@@ -1,0 +1,77 @@
+// E10 — validates the §3.3 scan-cost claim with real wall-clock
+// measurements: "we access 2*512/(8*64) + 16*512/(8*64) = 18 consecutive
+// cache lines to scan 1 GiB of guest-physical memory for free huge
+// pages". Scans the R array (2 bit/huge) and the shared area index
+// (16 bit/huge) of progressively larger guest memories.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "src/core/reclaim_states.h"
+#include "src/llfree/llfree.h"
+
+namespace hyperalloc {
+namespace {
+
+void BM_ReclamationScan(benchmark::State& state) {
+  const uint64_t gib = static_cast<uint64_t>(state.range(0));
+  const uint64_t frames = gib * kGiB / kFrameSize;
+  const uint64_t num_huge = frames / kFramesPerHuge;
+
+  llfree::SharedState shared(frames, llfree::Config{});
+  llfree::LLFree alloc(&shared);
+  core::ReclaimStateArray states(num_huge);
+  for (HugeId h = 0; h < num_huge; h += 3) {
+    states.Set(h, core::ReclaimState::kInstalled);
+  }
+
+  uint64_t found = 0;
+  for (auto _ : state) {
+    // The monitor's periodic scan: R == Installed && area free huge.
+    for (HugeId h = 0; h < num_huge; ++h) {
+      if (states.Get(h) != core::ReclaimState::kInstalled) {
+        continue;
+      }
+      const llfree::AreaEntry entry = alloc.ReadArea(h);
+      if (entry.IsFreeHuge() && !entry.evicted) {
+        ++found;
+      }
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  // State footprint per GiB of guest memory.
+  const uint64_t state_bytes =
+      states.ByteSize() + num_huge * sizeof(uint16_t);
+  const uint64_t cache_lines = (state_bytes + 63) / 64;
+  state.counters["cache_lines_per_GiB"] =
+      static_cast<double>(cache_lines) / static_cast<double>(gib);
+  state.counters["scan_GiB_per_s"] = benchmark::Counter(
+      static_cast<double>(gib), benchmark::Counter::kIsIterationInvariantRate);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() *
+                                               state_bytes));
+}
+BENCHMARK(BM_ReclamationScan)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// The same scan expressed through the monitor's accounting (virtual
+// time), confirming the 18-lines/GiB formula used for cost charging.
+void BM_ScanStateFootprint(benchmark::State& state) {
+  const uint64_t gib = static_cast<uint64_t>(state.range(0));
+  const uint64_t num_huge = gib * kGiB / kHugeSize;
+  core::ReclaimStateArray states(num_huge);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(states.CountState(core::ReclaimState::kSoft));
+  }
+  const double lines_r =
+      static_cast<double>((states.ByteSize() + 63) / 64);
+  const double lines_area =
+      static_cast<double>((num_huge * 2 + 63) / 64);
+  state.counters["lines_per_GiB"] =
+      (lines_r + lines_area) / static_cast<double>(gib);
+}
+BENCHMARK(BM_ScanStateFootprint)->Arg(1)->Arg(16);
+
+}  // namespace
+}  // namespace hyperalloc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Shared harness piece for the guest-impact experiments (§5.4): prepare
+// the VM SPEC-style, then shrink the hard limit to 2 GiB at t=20 s and
+// grow it back at t=90 s while a workload runs.
+#ifndef HYPERALLOC_BENCH_RESIZE_SCHEDULE_H_
+#define HYPERALLOC_BENCH_RESIZE_SCHEDULE_H_
+
+#include "bench/candidates.h"
+#include "src/workloads/memory_pool.h"
+#include "src/workloads/spec_prep.h"
+
+namespace hyperalloc::bench {
+
+inline constexpr sim::Time kShrinkAt = 20 * sim::kSec;
+inline constexpr sim::Time kGrowAt = 90 * sim::kSec;
+inline constexpr uint64_t kResizeTarget = 2 * kGiB;
+
+// Runs the SPEC-style preparation (§5.4): grow the VM to its maximum and
+// randomize the allocator state.
+inline void PrepareVm(Setup* setup, workloads::MemoryPool* pool) {
+  workloads::SpecPrepConfig prep;
+  prep.peak_bytes = 18 * kGiB;
+  prep.cache_bytes = 2560ull * kMiB;
+  prep.residual_fraction = 0.03;
+  workloads::SpecPrep(setup->vm.get(), pool, prep);
+}
+
+// Schedules the shrink/grow pair relative to `start` (no-op for
+// baselines without a deflator).
+inline void ScheduleResize(Setup* setup, sim::Time start) {
+  if (setup->deflator == nullptr) {
+    return;
+  }
+  hv::Deflator* deflator = setup->deflator.get();
+  const uint64_t full = setup->vm->config().memory_bytes;
+  setup->sim->At(start + kShrinkAt,
+                 [deflator] { deflator->RequestLimit(kResizeTarget, {}); });
+  setup->sim->At(start + kGrowAt,
+                 [deflator, full] { deflator->RequestLimit(full, {}); });
+}
+
+}  // namespace hyperalloc::bench
+
+#endif  // HYPERALLOC_BENCH_RESIZE_SCHEDULE_H_

@@ -1,0 +1,113 @@
+// Multi-tenant packing (paper §5.6): three VMs with staggered bursts
+// share one host. With HyperAlloc's automatic reclamation the host's
+// peak memory demand drops far below the provisioned sum, making room
+// for additional tenants on the same hardware.
+#include <cstdio>
+
+#include "src/base/units.h"
+#include "src/core/hyperalloc.h"
+#include "src/guest/guest_vm.h"
+#include "src/metrics/timeseries.h"
+#include "src/workloads/blender.h"
+#include "src/workloads/memory_pool.h"
+
+using namespace hyperalloc;
+
+namespace {
+
+struct Tenant {
+  std::unique_ptr<guest::GuestVm> vm;
+  std::unique_ptr<core::HyperAllocMonitor> monitor;
+  std::unique_ptr<workloads::MemoryPool> pool;
+  std::unique_ptr<workloads::BlenderWorkload> job;
+  bool done = false;
+};
+
+void RunScenario(bool reclaim) {
+  sim::Simulation sim;
+  hv::HostMemory host(FramesForBytes(32 * kGiB));
+
+  std::vector<std::unique_ptr<Tenant>> tenants;
+  for (int i = 0; i < 3; ++i) {
+    auto tenant = std::make_unique<Tenant>();
+    guest::GuestConfig config;
+    config.name = "tenant" + std::to_string(i);
+    config.memory_bytes = 6 * kGiB;
+    config.vcpus = 4;
+    config.dma32_bytes = 0;
+    config.allocator = guest::AllocatorKind::kLLFree;
+    tenant->vm = std::make_unique<guest::GuestVm>(&sim, &host, config);
+    tenant->monitor =
+        std::make_unique<core::HyperAllocMonitor>(tenant->vm.get(),
+                                                  core::HyperAllocConfig{});
+    if (reclaim) {
+      tenant->monitor->StartAuto();
+    } else {
+      tenant->vm->Touch(0, tenant->vm->total_frames());
+    }
+    tenant->pool = std::make_unique<workloads::MemoryPool>(tenant->vm.get());
+    tenant->pool->DisableMigrationTracking();
+    workloads::BlenderConfig job;
+    job.working_set = 4 * kGiB;
+    job.scene_bytes = 512 * kMiB;
+    job.render_time = 3 * sim::kMin;
+    job.slab_alloc_per_tick = 4 * kMiB;
+    tenant->job = std::make_unique<workloads::BlenderWorkload>(
+        tenant->vm.get(), tenant->pool.get(), job);
+    tenants.push_back(std::move(tenant));
+  }
+
+  metrics::TimeSeries used;
+  bool sampling = true;
+  std::function<void()> sample = [&] {
+    if (!sampling) {
+      return;
+    }
+    used.Sample(sim.now(), static_cast<double>(host.used_bytes()) /
+                               static_cast<double>(kGiB));
+    sim.After(2 * sim::kSec, sample);
+  };
+  sample();
+
+  // Staggered bursts: tenants start 2.5 minutes apart (relative to now —
+  // VM setup already consumed some virtual time).
+  const sim::Time start = sim.now();
+  for (int i = 0; i < 3; ++i) {
+    Tenant* tenant = tenants[static_cast<size_t>(i)].get();
+    sim.At(start + static_cast<sim::Time>(i) * 150 * sim::kSec, [tenant] {
+      tenant->job->Run([tenant] { tenant->done = true; });
+    });
+  }
+  auto all_done = [&] {
+    for (const auto& tenant : tenants) {
+      if (!tenant->done) {
+        return false;
+      }
+    }
+    return true;
+  };
+  while (!all_done()) {
+    sim.Step();
+  }
+  sim.RunUntil(sim.now() + 2 * sim::kMin);  // trailing idle
+  sampling = false;
+
+  std::printf("  provisioned: %-10s peak used: %-10s footprint: %.0f "
+              "GiB*min\n",
+              FormatBytes(3 * 6 * kGiB).c_str(),
+              FormatBytes(host.peak_frames() * kFrameSize).c_str(),
+              used.IntegralPerMinute());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("three 6 GiB tenants, staggered render bursts\n\n");
+  std::printf("static provisioning:\n");
+  RunScenario(/*reclaim=*/false);
+  std::printf("HyperAlloc automatic reclamation:\n");
+  RunScenario(/*reclaim=*/true);
+  std::printf("\nThe freed peak headroom is capacity for additional "
+              "tenants on the same host (paper 5.6).\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Renders bench_out/*.csv time series as a standalone SVG (no external
+dependencies), e.g.:
+
+  scripts/plot_csv.py fig8.svg \
+      bench_out/compiling_detail_balloon_rss.csv \
+      bench_out/compiling_detail_balloon_small.csv \
+      bench_out/compiling_detail_balloon_cached.csv
+
+Each CSV must have a `time_s,<name>` header as written by
+metrics::TimeSeries::WriteCsv.
+"""
+import sys
+
+
+PALETTE = ["#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951",
+           "#ff8ab7", "#a463f2", "#97bbf5"]
+WIDTH, HEIGHT = 960, 480
+MARGIN = {"left": 70, "right": 180, "top": 30, "bottom": 50}
+
+
+def read_series(path):
+    with open(path) as handle:
+        header = handle.readline().strip().split(",")
+        name = header[1] if len(header) > 1 else path
+        points = []
+        for line in handle:
+            parts = line.strip().split(",")
+            if len(parts) < 2:
+                continue
+            points.append((float(parts[0]), float(parts[1])))
+    return path.rsplit("/", 1)[-1].removesuffix(".csv"), name, points
+
+
+def nice_ticks(lo, hi, count=6):
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / count
+    magnitude = 10 ** int(f"{raw:e}".split("e")[1])
+    for step in (1, 2, 5, 10):
+        if raw <= step * magnitude:
+            step *= magnitude
+            break
+    first = int(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + step / 2:
+        if value >= lo - step / 2:
+            ticks.append(value)
+        value += step
+    return ticks
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    out_path = sys.argv[1]
+    series = [read_series(path) for path in sys.argv[2:]]
+
+    xs = [p[0] for _, _, pts in series for p in pts]
+    ys = [p[1] for _, _, pts in series for p in pts]
+    if not xs:
+        sys.exit("no data points")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, max(ys) * 1.05 or 1.0
+
+    plot_w = WIDTH - MARGIN["left"] - MARGIN["right"]
+    plot_h = HEIGHT - MARGIN["top"] - MARGIN["bottom"]
+
+    def sx(x):
+        return MARGIN["left"] + (x - x_lo) / (x_hi - x_lo or 1) * plot_w
+
+    def sy(y):
+        return MARGIN["top"] + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+    ]
+    # Axes and grid.
+    for tick in nice_ticks(y_lo, y_hi):
+        y = sy(tick)
+        parts.append(f'<line x1="{MARGIN["left"]}" y1="{y:.1f}" '
+                     f'x2="{MARGIN["left"] + plot_w}" y2="{y:.1f}" '
+                     'stroke="#e0e0e0"/>')
+        parts.append(f'<text x="{MARGIN["left"] - 8}" y="{y + 4:.1f}" '
+                     f'text-anchor="end">{tick:g}</text>')
+    for tick in nice_ticks(x_lo, x_hi):
+        x = sx(tick)
+        parts.append(f'<line x1="{x:.1f}" y1="{MARGIN["top"]}" '
+                     f'x2="{x:.1f}" y2="{MARGIN["top"] + plot_h}" '
+                     'stroke="#f0f0f0"/>')
+        parts.append(f'<text x="{x:.1f}" y="{MARGIN["top"] + plot_h + 18}" '
+                     f'text-anchor="middle">{tick:g}</text>')
+    parts.append(f'<text x="{MARGIN["left"] + plot_w / 2}" '
+                 f'y="{HEIGHT - 10}" text-anchor="middle">time [s]</text>')
+
+    # Series.
+    for i, (label, _, pts) in enumerate(series):
+        color = PALETTE[i % len(PALETTE)]
+        path = " ".join(f'{"M" if j == 0 else "L"}{sx(x):.1f},{sy(y):.1f}'
+                        for j, (x, y) in enumerate(pts))
+        parts.append(f'<path d="{path}" fill="none" stroke="{color}" '
+                     'stroke-width="1.5"/>')
+        ly = MARGIN["top"] + 16 * i + 10
+        lx = MARGIN["left"] + plot_w + 10
+        parts.append(f'<line x1="{lx}" y1="{ly}" x2="{lx + 18}" y2="{ly}" '
+                     f'stroke="{color}" stroke-width="2"/>')
+        parts.append(f'<text x="{lx + 24}" y="{ly + 4}">{label}</text>')
+
+    parts.append("</svg>")
+    with open(out_path, "w") as handle:
+        handle.write("\n".join(parts))
+    print(f"wrote {out_path} ({len(series)} series)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,267 @@
+#include "src/balloon/virtio_balloon.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace hyperalloc::balloon {
+
+VirtioBalloon::VirtioBalloon(guest::GuestVm* vm, const BalloonConfig& config)
+    : vm_(vm), config_(config), sim_(vm->simulation()) {
+  HA_CHECK(vm != nullptr);
+  HA_CHECK(config.vq_capacity > 0);
+  // virtio-balloon is not DMA-safe (§2): refuse passthrough configs.
+  HA_CHECK(!vm->config().vfio);
+  if (config.deflate_on_oom_bytes > 0) {
+    vm->SetOomNotifier([this] {
+      if (pages_.empty()) {
+        return false;
+      }
+      // Synchronous emergency deflation of a chunk of the balloon.
+      const uint64_t target_frames =
+          ballooned_frames_ -
+          std::min<uint64_t>(ballooned_frames_,
+                             config_.deflate_on_oom_bytes / kFrameSize);
+      ++oom_deflations_;
+      while (ballooned_frames_ > target_frames && !pages_.empty()) {
+        const Ballooned b = pages_.back();
+        pages_.pop_back();
+        sim_->AdvanceClock(b.order == kHugeOrder
+                               ? vm_->costs().balloon_deflate_2m_ns
+                               : vm_->costs().balloon_deflate_4k_ns);
+        vm_->Free(b.frame, b.order, config_.driver_cpu);
+        ballooned_frames_ -= 1ull << b.order;
+      }
+      return true;
+    });
+  }
+}
+
+uint64_t VirtioBalloon::ballooned_bytes() const {
+  return ballooned_frames_ * kFrameSize;
+}
+
+uint64_t VirtioBalloon::limit_bytes() const {
+  return vm_->config().memory_bytes - ballooned_bytes();
+}
+
+void VirtioBalloon::RequestLimit(uint64_t bytes,
+                                 std::function<void()> done) {
+  HA_CHECK(!busy_);
+  busy_ = true;
+  const uint64_t total = vm_->config().memory_bytes;
+  HA_CHECK(bytes <= total);
+  const uint64_t target_frames = (total - bytes) / kFrameSize;
+  auto finish = [this, done = std::move(done)] {
+    busy_ = false;
+    if (done) {
+      done();
+    }
+  };
+  if (target_frames > ballooned_frames_) {
+    InflateSlice(target_frames, std::move(finish));
+  } else {
+    DeflateSlice(target_frames, std::move(finish));
+  }
+}
+
+void VirtioBalloon::InflateSlice(uint64_t target_frames,
+                                 std::function<void()> done) {
+  const sim::Time t0 = sim_->now();
+  std::vector<Ballooned> batch;
+  const sim::Time guest_start = sim_->now();
+
+  // Guest driver: allocate pages and queue their PFNs (one virtqueue
+  // batch per slice).
+  while (batch.size() < config_.vq_capacity &&
+         ballooned_frames_ < target_frames) {
+    unsigned order = config_.huge ? kHugeOrder : 0;
+    if (config_.huge &&
+        target_frames - ballooned_frames_ < kFramesPerHuge) {
+      order = 0;  // tail smaller than one huge frame
+    }
+    Result<FrameId> r = vm_->Alloc(order, AllocType::kMovable,
+                                   config_.driver_cpu,
+                                   /*allow_oom_notify=*/false);
+    if (!r.ok() && order == kHugeOrder) {
+      // Fragmentation fallback (Hu et al. split path): 4 KiB pages.
+      order = 0;
+      r = vm_->Alloc(order, AllocType::kMovable, config_.driver_cpu,
+                     /*allow_oom_notify=*/false);
+    }
+    if (!r.ok()) {
+      break;  // guest out of reclaimable memory; stop inflating
+    }
+    sim_->AdvanceClock(order == kHugeOrder ? vm_->costs().guest_alloc_2m_ns
+                                           : vm_->costs().guest_alloc_4k_ns);
+    sim_->AdvanceClock(vm_->costs().virtqueue_element_ns);
+    batch.push_back({*r, order});
+    ballooned_frames_ += 1ull << order;
+  }
+  cpu_.guest_ns += sim_->now() - guest_start;
+
+  if (batch.empty()) {
+    done();
+    return;
+  }
+
+  // One hypercall delivers the batch; QEMU discards each entry.
+  sim_->AdvanceClock(vm_->costs().hypercall_ns);
+  cpu_.host_user_ns += vm_->costs().hypercall_ns;
+  HostDiscard(batch);
+  pages_.insert(pages_.end(), batch.begin(), batch.end());
+
+  // The balloon kthread monopolized its vCPU for the whole slice.
+  vm_->sink().OnCpuSteal(config_.driver_cpu, t0, sim_->now(), 1.0);
+
+  const bool more = ballooned_frames_ < target_frames;
+  if (!more) {
+    done();
+    return;
+  }
+  sim_->After(0, [this, target_frames, done = std::move(done)]() mutable {
+    InflateSlice(target_frames, std::move(done));
+  });
+}
+
+void VirtioBalloon::HostDiscard(const std::vector<Ballooned>& batch) {
+  const sim::Time t0 = sim_->now();
+  uint64_t sys_ns = 0;
+  uint64_t shootdown_allcpu_ns = 0;
+  for (const Ballooned& b : batch) {
+    const uint64_t frames = 1ull << b.order;
+    const uint64_t mapped = vm_->ept().CountMapped(b.frame, frames);
+    // QEMU issues one madvise(DONTNEED) per entry, mapped or not.
+    sys_ns += vm_->costs().madvise_syscall_ns;
+    ++madvise_calls_;
+    if (mapped > 0) {
+      if (b.order == kHugeOrder) {
+        sys_ns += vm_->costs().madvise_per_2m_ns +
+                  vm_->costs().tlb_shootdown_ns;
+        shootdown_allcpu_ns += vm_->costs().shootdown_allcpu_2m_ns;
+      } else {
+        sys_ns += vm_->costs().madvise_per_4k_ns;
+        shootdown_allcpu_ns += vm_->costs().shootdown_allcpu_4k_ns;
+      }
+      vm_->ept().Unmap(b.frame, frames);
+    }
+  }
+  sim_->AdvanceClock(sys_ns);
+  cpu_.host_sys_ns += sys_ns;
+  const sim::Time t1 = sim_->now();
+  if (shootdown_allcpu_ns > 0 && t1 > t0) {
+    vm_->sink().OnAllCpusSteal(
+        t0, t1,
+        static_cast<double>(shootdown_allcpu_ns) /
+            static_cast<double>(t1 - t0));
+  }
+}
+
+void VirtioBalloon::DeflateSlice(uint64_t target_frames,
+                                 std::function<void()> done) {
+  const sim::Time t0 = sim_->now();
+  unsigned elems = 0;
+  while (elems < config_.vq_capacity && ballooned_frames_ > target_frames &&
+         !pages_.empty()) {
+    const Ballooned b = pages_.back();
+    pages_.pop_back();
+    // Per-element deflate processing (QEMU side) ...
+    const uint64_t deflate_ns = b.order == kHugeOrder
+                                    ? vm_->costs().balloon_deflate_2m_ns
+                                    : vm_->costs().balloon_deflate_4k_ns;
+    sim_->AdvanceClock(deflate_ns);
+    cpu_.host_user_ns += deflate_ns;
+    // ... and the guest returning the page to its allocator. The memory
+    // itself is repopulated lazily on the next EPT fault.
+    const uint64_t free_ns = b.order == kHugeOrder
+                                 ? vm_->costs().guest_free_2m_ns
+                                 : vm_->costs().guest_free_4k_ns;
+    sim_->AdvanceClock(free_ns);
+    cpu_.guest_ns += free_ns;
+    vm_->Free(b.frame, b.order, config_.driver_cpu);
+    ballooned_frames_ -= 1ull << b.order;
+    ++elems;
+  }
+  vm_->sink().OnCpuSteal(config_.driver_cpu, t0, sim_->now(), 1.0);
+
+  if (ballooned_frames_ <= target_frames || pages_.empty()) {
+    done();
+    return;
+  }
+  sim_->After(0, [this, target_frames, done = std::move(done)]() mutable {
+    DeflateSlice(target_frames, std::move(done));
+  });
+}
+
+void VirtioBalloon::StartAuto() {
+  if (auto_running_) {
+    return;
+  }
+  auto_running_ = true;
+  sim_->After(config_.reporting_delay, [this] { ReportCycle(); });
+}
+
+void VirtioBalloon::StopAuto() { auto_running_ = false; }
+
+void VirtioBalloon::ReportCycle() {
+  if (!auto_running_) {
+    return;
+  }
+  const sim::Time t0 = sim_->now();
+  const unsigned order = config_.reporting_order;
+  const uint64_t block_frames = 1ull << order;
+
+  // Pull one batch (REPORTING_CAPACITY blocks) from the buddy free lists.
+  std::vector<Ballooned> batch;
+  std::vector<guest::Zone*> zone_of;
+  for (guest::Zone& zone : vm_->zones()) {
+    if (zone.buddy == nullptr) {
+      continue;  // free-page reporting is a buddy mechanism
+    }
+    while (batch.size() < config_.reporting_capacity) {
+      const std::optional<FrameId> local = zone.buddy->PopUnreported(order);
+      if (!local.has_value()) {
+        break;
+      }
+      sim_->AdvanceClock(vm_->costs().guest_alloc_4k_ns);  // isolation
+      sim_->AdvanceClock(vm_->costs().virtqueue_element_ns);
+      cpu_.guest_ns +=
+          vm_->costs().guest_alloc_4k_ns + vm_->costs().virtqueue_element_ns;
+      batch.push_back({zone.start + *local, order});
+      zone_of.push_back(&zone);
+    }
+    if (batch.size() >= config_.reporting_capacity) {
+      break;
+    }
+  }
+
+  if (batch.empty()) {
+    // Lists exhausted of unreported blocks: wait for the next cycle.
+    sim_->After(config_.reporting_delay, [this] { ReportCycle(); });
+    return;
+  }
+
+  sim_->AdvanceClock(vm_->costs().hypercall_ns);
+  cpu_.host_user_ns += vm_->costs().hypercall_ns;
+  ++hypercalls_;
+  HostDiscard(batch);
+
+  // Hand the blocks back to the allocator, remembering they are reported.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    guest::Zone& zone = *zone_of[i];
+    const FrameId local = batch[i].frame - zone.start;
+    zone.buddy->MarkReported(local, order);
+    const auto err = zone.buddy->Free(config_.driver_cpu, local, order);
+    HA_CHECK(!err.has_value());
+    sim_->AdvanceClock(vm_->costs().guest_free_4k_ns);
+    cpu_.guest_ns += vm_->costs().guest_free_4k_ns;
+    reported_bytes_ += block_frames * kFrameSize;
+  }
+  vm_->sink().OnCpuSteal(config_.driver_cpu, t0, sim_->now(), 1.0);
+
+  // Keep draining until no unreported blocks remain, yielding between
+  // batches; then sleep for the configured delay.
+  sim_->After(0, [this] { ReportCycle(); });
+}
+
+}  // namespace hyperalloc::balloon

@@ -1,0 +1,109 @@
+// virtio-balloon (Linux/QEMU memory ballooning) and the huge-page variant
+// of Hu et al. [24], including the automatic *free-page reporting* mode.
+//
+// Manual mode (inflate/deflate):
+//  * Inflate: the guest balloon driver allocates guest frames (inducing
+//    memory pressure: page-cache eviction and allocator-cache purging),
+//    sends the PFNs through a virtqueue (aggregated, up to 256 per
+//    hypercall), and QEMU madvise(DONTNEED)s them one by one — the
+//    per-page host cost that makes 4 KiB ballooning slow (§5.3).
+//  * Deflate: PFNs are returned to the guest allocator one by one; the
+//    memory is repopulated lazily on the next EPT fault.
+//
+// Auto mode (free-page reporting): every REPORTING_DELAY, up to
+// REPORTING_CAPACITY free blocks of REPORTING_ORDER are pulled from the
+// buddy free lists, reported, madvised away, and handed back to the
+// allocator *still logically free* (they repopulate on fault when
+// reallocated). Exactly the knobs the paper sweeps in Fig. 7.
+//
+// Not DMA-safe: reclaimed frames stay allocatable without any install
+// step, so a passthrough device can be pointed at an unbacked frame (§2).
+#ifndef HYPERALLOC_SRC_BALLOON_VIRTIO_BALLOON_H_
+#define HYPERALLOC_SRC_BALLOON_VIRTIO_BALLOON_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/guest/guest_vm.h"
+#include "src/hv/deflator.h"
+#include "src/sim/simulation.h"
+
+namespace hyperalloc::balloon {
+
+struct BalloonConfig {
+  // false: classic 4 KiB virtio-balloon; true: 2 MiB huge-page ballooning.
+  bool huge = false;
+  // Free-page reporting knobs (paper Fig. 7: o / d / c).
+  unsigned reporting_order = 0;
+  sim::Time reporting_delay = 2 * sim::kSec;
+  unsigned reporting_capacity = 32;
+  // vCPU the balloon kthread runs on.
+  unsigned driver_cpu = 0;
+  // Virtqueue batch size (PFNs per hypercall).
+  unsigned vq_capacity = 256;
+  // Deflate-on-OOM: when the guest is about to run out of memory, the
+  // balloon releases this many bytes instead (0 disables the feature).
+  uint64_t deflate_on_oom_bytes = 64 * kMiB;
+};
+
+class VirtioBalloon : public hv::Deflator {
+ public:
+  VirtioBalloon(guest::GuestVm* vm, const BalloonConfig& config);
+
+  const char* name() const override {
+    return config_.huge ? "virtio-balloon-huge" : "virtio-balloon";
+  }
+  bool dma_safe() const override { return false; }
+  bool supports_auto() const override { return true; }
+  uint64_t granularity_bytes() const override {
+    return config_.huge ? kHugeSize : kFrameSize;
+  }
+
+  void RequestLimit(uint64_t bytes, std::function<void()> done) override;
+  uint64_t limit_bytes() const override;
+  bool busy() const override { return busy_; }
+
+  void StartAuto() override;
+  void StopAuto() override;
+
+  const hv::CpuAccounting& cpu() const override { return cpu_; }
+
+  uint64_t ballooned_bytes() const;
+  uint64_t oom_deflations() const { return oom_deflations_; }
+  uint64_t total_hypercalls() const { return hypercalls_; }
+  uint64_t total_madvise_calls() const { return madvise_calls_; }
+  uint64_t reported_bytes_total() const { return reported_bytes_; }
+
+ private:
+  struct Ballooned {
+    FrameId frame;
+    unsigned order;
+  };
+
+  void InflateSlice(uint64_t target_frames, std::function<void()> done);
+  void DeflateSlice(uint64_t target_frames, std::function<void()> done);
+  void ReportCycle();
+
+  // Host-side processing of one batch of reclaimed blocks.
+  void HostDiscard(const std::vector<Ballooned>& batch);
+
+  guest::GuestVm* vm_;
+  BalloonConfig config_;
+  sim::Simulation* sim_;
+
+  std::vector<Ballooned> pages_;  // current balloon contents
+  uint64_t ballooned_frames_ = 0;
+  bool busy_ = false;
+  bool auto_running_ = false;
+
+  hv::CpuAccounting cpu_;
+  uint64_t oom_deflations_ = 0;
+  uint64_t hypercalls_ = 0;
+  uint64_t madvise_calls_ = 0;
+  uint64_t reported_bytes_ = 0;
+};
+
+}  // namespace hyperalloc::balloon
+
+#endif  // HYPERALLOC_SRC_BALLOON_VIRTIO_BALLOON_H_

@@ -1,0 +1,35 @@
+// Lightweight runtime checks. HA_CHECK is always on (these guard protocol
+// invariants whose violation would corrupt simulated memory state);
+// HA_DCHECK compiles out in release builds.
+#ifndef HYPERALLOC_SRC_BASE_CHECK_H_
+#define HYPERALLOC_SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hyperalloc::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "%s:%d: check failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace hyperalloc::internal
+
+#define HA_CHECK(expr)                                            \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::hyperalloc::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                             \
+  } while (0)
+
+#ifdef NDEBUG
+#define HA_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define HA_DCHECK(expr) HA_CHECK(expr)
+#endif
+
+#endif  // HYPERALLOC_SRC_BASE_CHECK_H_

@@ -1,0 +1,48 @@
+// Minimal expected-like result type (std::expected is C++23; this project
+// targets C++20). Carries either a value or an AllocError.
+#ifndef HYPERALLOC_SRC_BASE_RESULT_H_
+#define HYPERALLOC_SRC_BASE_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+
+namespace hyperalloc {
+
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): ergonomic returns.
+  Result(T value) : state_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(AllocError error) : state_(error) {}
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const {
+    HA_CHECK(ok());
+    return std::get<T>(state_);
+  }
+
+  T& value() {
+    HA_CHECK(ok());
+    return std::get<T>(state_);
+  }
+
+  const T& operator*() const { return value(); }
+
+  AllocError error() const {
+    HA_CHECK(!ok());
+    return std::get<AllocError>(state_);
+  }
+
+ private:
+  std::variant<T, AllocError> state_;
+};
+
+}  // namespace hyperalloc
+
+#endif  // HYPERALLOC_SRC_BASE_RESULT_H_

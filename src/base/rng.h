@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation for workload generators and
+// property tests. xoshiro256** seeded via SplitMix64 — fast, reproducible,
+// and independent of the standard library's unspecified distributions.
+#ifndef HYPERALLOC_SRC_BASE_RNG_H_
+#define HYPERALLOC_SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "src/base/check.h"
+
+namespace hyperalloc {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (uint64_t& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    HA_CHECK(bound > 0);
+    // Debiased via rejection on the top of the range.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t value = Next();
+      if (value >= threshold) {
+        return value % bound;
+      }
+    }
+  }
+
+  // Uniform value in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    HA_CHECK(lo <= hi);
+    return lo + Below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / (1ull << 53));
+  }
+
+  // Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace hyperalloc
+
+#endif  // HYPERALLOC_SRC_BASE_RNG_H_

@@ -1,0 +1,67 @@
+#include "src/base/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/check.h"
+
+namespace hyperalloc {
+
+Summary Summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) {
+    return s;
+  }
+  double sum = 0.0;
+  s.min = samples[0];
+  s.max = samples[0];
+  for (double x : samples) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double sq = 0.0;
+    for (double x : samples) {
+      sq += (x - s.mean) * (x - s.mean);
+    }
+    s.stddev = std::sqrt(sq / static_cast<double>(samples.size() - 1));
+    // Normal approximation; fine for the >= 10 repetitions the harness uses.
+    s.ci95 = 1.96 * s.stddev / std::sqrt(static_cast<double>(samples.size()));
+  }
+  return s;
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  HA_CHECK(!samples.empty());
+  HA_CHECK(p >= 0.0 && p <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) {
+    return samples[0];
+  }
+  const double rank = p * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace hyperalloc

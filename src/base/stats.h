@@ -1,0 +1,46 @@
+// Small statistics helpers used by the benchmark harnesses: mean, standard
+// deviation, 95 % confidence intervals (as in the paper's error bars), and
+// percentiles (Table 2 reports 1st-percentile values).
+#ifndef HYPERALLOC_SRC_BASE_STATS_H_
+#define HYPERALLOC_SRC_BASE_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hyperalloc {
+
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;   // sample standard deviation
+  double ci95 = 0.0;     // half-width of the 95 % confidence interval
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Computes summary statistics over the samples. Returns a zeroed Summary
+// for an empty input.
+Summary Summarize(const std::vector<double>& samples);
+
+// Returns the p-quantile (p in [0,1]) using linear interpolation between
+// closest ranks. The input does not need to be sorted.
+double Percentile(std::vector<double> samples, double p);
+
+// Running mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace hyperalloc
+
+#endif  // HYPERALLOC_SRC_BASE_STATS_H_

@@ -1,0 +1,103 @@
+// Fundamental types and constants shared by every HyperAlloc module.
+//
+// Memory is modelled as a flat array of 4 KiB base frames. A "huge frame"
+// is 2 MiB (order 9, 512 base frames), which is also the granularity of
+// one LLFree *area* and of HyperAlloc's reclamation state.
+#ifndef HYPERALLOC_SRC_BASE_TYPES_H_
+#define HYPERALLOC_SRC_BASE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hyperalloc {
+
+// Index of a 4 KiB base frame within some physical address space.
+using FrameId = uint64_t;
+
+// Index of a 2 MiB huge frame (= one LLFree area).
+using HugeId = uint64_t;
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+inline constexpr uint64_t kFrameSize = 4 * kKiB;
+inline constexpr unsigned kHugeOrder = 9;
+inline constexpr uint64_t kFramesPerHuge = 1ull << kHugeOrder;  // 512
+inline constexpr uint64_t kHugeSize = kFrameSize * kFramesPerHuge;  // 2 MiB
+
+// Maximum buddy order (Linux x86 default: 10 => 4 MiB blocks).
+inline constexpr unsigned kMaxBuddyOrder = 10;
+
+constexpr uint64_t FramesForBytes(uint64_t bytes) {
+  return (bytes + kFrameSize - 1) / kFrameSize;
+}
+
+constexpr uint64_t HugesForFrames(uint64_t frames) {
+  return (frames + kFramesPerHuge - 1) / kFramesPerHuge;
+}
+
+constexpr FrameId HugeToFrame(HugeId huge) { return huge << kHugeOrder; }
+constexpr HugeId FrameToHuge(FrameId frame) { return frame >> kHugeOrder; }
+
+constexpr bool IsHugeAligned(FrameId frame) {
+  return (frame & (kFramesPerHuge - 1)) == 0;
+}
+
+constexpr uint64_t AlignDown(uint64_t value, uint64_t alignment) {
+  return value - value % alignment;
+}
+
+constexpr uint64_t AlignUp(uint64_t value, uint64_t alignment) {
+  return AlignDown(value + alignment - 1, alignment);
+}
+
+// Linux-like allocation types used by LLFree's per-type tree reservations
+// (paper §4.2): unmovable kernel allocations, movable user allocations, and
+// huge allocations.
+enum class AllocType : uint8_t {
+  kUnmovable = 0,
+  kMovable = 1,
+  kHuge = 2,
+};
+inline constexpr unsigned kNumAllocTypes = 3;
+
+inline const char* ToString(AllocType type) {
+  switch (type) {
+    case AllocType::kUnmovable:
+      return "unmovable";
+    case AllocType::kMovable:
+      return "movable";
+    case AllocType::kHuge:
+      return "huge";
+  }
+  return "?";
+}
+
+// Error codes shared by the allocators. Modelled after LLFree's result
+// codes: allocations can fail because memory is exhausted or because a
+// lock-free operation should be retried at a higher level.
+enum class AllocError : uint8_t {
+  kNoMemory,   // no frame of the requested order is available
+  kRetry,      // transient race; caller may retry
+  kEvicted,    // frame is evicted and needs a hypervisor install first
+  kInvalid,    // bad argument (address out of range, double free, ...)
+};
+
+inline const char* ToString(AllocError error) {
+  switch (error) {
+    case AllocError::kNoMemory:
+      return "no-memory";
+    case AllocError::kRetry:
+      return "retry";
+    case AllocError::kEvicted:
+      return "evicted";
+    case AllocError::kInvalid:
+      return "invalid";
+  }
+  return "?";
+}
+
+}  // namespace hyperalloc
+
+#endif  // HYPERALLOC_SRC_BASE_TYPES_H_

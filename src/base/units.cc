@@ -1,0 +1,62 @@
+#include "src/base/units.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/base/types.h"
+
+namespace hyperalloc {
+
+namespace {
+
+std::string FormatScaled(double value, const char* const* units,
+                         int num_units, double step) {
+  int unit = 0;
+  while (value >= step && unit < num_units - 1) {
+    value /= step;
+    ++unit;
+  }
+  char buf[64];
+  if (value >= 100.0 || value == static_cast<uint64_t>(value)) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, units[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[unit]);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(uint64_t bytes) {
+  static const char* const kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  return FormatScaled(static_cast<double>(bytes), kUnits, 5, 1024.0);
+}
+
+std::string FormatRate(double bytes_per_second) {
+  static const char* const kUnits[] = {"B/s", "KiB/s", "MiB/s", "GiB/s",
+                                       "TiB/s"};
+  return FormatScaled(bytes_per_second, kUnits, 5, 1024.0);
+}
+
+std::string FormatDuration(uint64_t nanoseconds) {
+  char buf[64];
+  if (nanoseconds < 1000) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 " ns", nanoseconds);
+  } else if (nanoseconds < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2f us",
+                  static_cast<double>(nanoseconds) / 1e3);
+  } else if (nanoseconds < 1000ull * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms",
+                  static_cast<double>(nanoseconds) / 1e6);
+  } else if (nanoseconds < 60ull * 1000 * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2f s",
+                  static_cast<double>(nanoseconds) / 1e9);
+  } else {
+    const uint64_t total_s = nanoseconds / (1000ull * 1000 * 1000);
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 "m%02" PRIu64 "s",
+                  total_s / 60, total_s % 60);
+  }
+  return buf;
+}
+
+}  // namespace hyperalloc

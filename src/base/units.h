@@ -1,0 +1,22 @@
+// Pretty-printing helpers for byte quantities and rates, used by the
+// benchmark harnesses to print paper-style tables (GiB/s, GiB·min, ...).
+#ifndef HYPERALLOC_SRC_BASE_UNITS_H_
+#define HYPERALLOC_SRC_BASE_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hyperalloc {
+
+// "1.25 GiB", "512 KiB", ...
+std::string FormatBytes(uint64_t bytes);
+
+// "344.8 GiB/s", "4.92 TiB/s", ...
+std::string FormatRate(double bytes_per_second);
+
+// "1m23s", "456 ms", ...
+std::string FormatDuration(uint64_t nanoseconds);
+
+}  // namespace hyperalloc
+
+#endif  // HYPERALLOC_SRC_BASE_UNITS_H_

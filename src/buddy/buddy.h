@@ -1,0 +1,190 @@
+// Linux-style binary buddy page-frame allocator — the baseline guest
+// allocator for the virtio-balloon and virtio-mem candidates.
+//
+// Faithfully modelled mechanisms that matter for the paper's results:
+//  * free lists per order (0..10) and migrate type, LIFO
+//  * pageblock (2 MiB) migrate typing with largest-block fallback stealing
+//    and pageblock conversion — the main driver of the long-term
+//    fragmentation that limits virtio-balloon's free-page reporting
+//    (paper §5.5, Fig. 8)
+//  * per-CPU page caches (PCP) for order-0 allocations — the reason
+//    ballooned/reported frames are often re-allocated immediately (§2)
+//  * targeted range claiming (alloc_contig_range) used by virtio-mem to
+//    offline blocks
+//  * PageReported tracking for virtio-balloon's free-page reporting
+#ifndef HYPERALLOC_SRC_BUDDY_BUDDY_H_
+#define HYPERALLOC_SRC_BUDDY_BUDDY_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+
+namespace hyperalloc::buddy {
+
+// Internal migrate types. AllocType::kHuge maps to kMovable (THP
+// allocations are movable in Linux).
+enum class MigrateType : uint8_t { kUnmovable = 0, kMovable = 1 };
+inline constexpr unsigned kNumMigrateTypes = 2;
+
+MigrateType ToMigrateType(AllocType type);
+
+class Buddy {
+ public:
+  struct Config {
+    unsigned cores = 1;
+    // PCP batch size (order-0 frames cached per core and migrate type).
+    unsigned pcp_batch = 32;
+    bool pcp_enabled = true;
+  };
+
+  Buddy(uint64_t frames, const Config& config);
+
+  uint64_t frames() const { return frames_; }
+
+  // ------------------------------------------------------------------
+  // Allocation API
+  // ------------------------------------------------------------------
+
+  Result<FrameId> Alloc(unsigned core, unsigned order, AllocType type);
+  std::optional<AllocError> Free(unsigned core, FrameId frame,
+                                 unsigned order);
+
+  // Flushes all per-CPU caches back into the buddy lists (the guest's
+  // reaction to memory pressure / the hypervisor's cache purge).
+  void DrainPcp();
+
+  // ------------------------------------------------------------------
+  // virtio-mem support (alloc_contig_range / free_contig_range)
+  // ------------------------------------------------------------------
+
+  // Atomically removes [start, start+count) from the free lists. Fails
+  // (changing nothing) unless every frame in the range is free in the
+  // buddy lists (PCP-cached frames count as allocated — drain first).
+  bool ClaimRange(FrameId start, uint64_t count);
+
+  // Returns a previously claimed (or never-released) range to the free
+  // lists as maximal aligned blocks.
+  void ReleaseRange(FrameId start, uint64_t count);
+
+  // Claims every currently free frame in [start, start+count), leaving
+  // allocated frames alone (page isolation before migration:
+  // MIGRATE_ISOLATE). Returns the number of frames claimed.
+  uint64_t ClaimFreeInRange(FrameId start, uint64_t count);
+
+  // Frames in [start, start+count) that are currently allocated (must be
+  // migrated before the range can be claimed).
+  std::vector<FrameId> AllocatedInRange(FrameId start, uint64_t count) const;
+
+  bool IsFree(FrameId frame) const;
+
+  // ------------------------------------------------------------------
+  // Free-page reporting support
+  // ------------------------------------------------------------------
+
+  // Detaches the first not-yet-reported free block of `order` (any
+  // migrate type), marking it allocated. Returns its first frame.
+  std::optional<FrameId> PopUnreported(unsigned order);
+
+  // Marks a block as reported. Typically followed by Free() to return it
+  // to the allocator while remembering that the host already reclaimed it.
+  void MarkReported(FrameId frame, unsigned order);
+
+  bool IsReported(FrameId frame) const;
+
+  // ------------------------------------------------------------------
+  // Introspection
+  // ------------------------------------------------------------------
+
+  uint64_t FreeFrames() const { return free_frames_ + pcp_frames_; }
+  uint64_t FreeFramesInLists() const { return free_frames_; }
+  // Free frames that are part of >= order-9 blocks — what huge-page-
+  // granular reclamation can actually take (Fig. 8's fragmentation gap).
+  uint64_t FreeHugeFrames() const;
+  uint64_t FreeBlocksOfOrder(unsigned order) const;
+  // Fully-free, huge-aligned 2 MiB ranges regardless of block structure.
+  uint64_t FreeAlignedHugeRanges() const;
+
+  // O(num_huge) variants maintained incrementally (cheap enough for 1 Hz
+  // sampling in the footprint experiments).
+  uint64_t UsedFramesInBlock(HugeId huge) const {
+    HA_CHECK(huge < used_in_block_.size());
+    return used_in_block_[huge];
+  }
+  // 2 MiB blocks with at least one allocated (or PCP-cached) frame —
+  // the "(partially) used huge pages" curve of Fig. 8.
+  uint64_t UsedHugeBlocks() const;
+
+  // Verifies list/descriptor consistency. Quiescent use only.
+  bool Validate() const;
+
+ private:
+  enum class State : uint8_t {
+    kAllocated,  // in use (or in a PCP cache)
+    kFreeHead,   // first frame of a free block (order in desc)
+    kFreeTail,   // interior frame of a free block
+  };
+
+  struct PageDesc {
+    State state = State::kAllocated;
+    uint8_t order = 0;       // valid for kFreeHead
+    MigrateType type = MigrateType::kMovable;  // list the head is on
+    uint32_t prev = kNil;
+    uint32_t next = kNil;
+  };
+
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  struct Pcp {
+    std::array<std::vector<uint32_t>, kNumMigrateTypes> lists;
+  };
+
+  MigrateType PageblockType(FrameId frame) const {
+    return pageblock_type_[FrameToHuge(frame)];
+  }
+
+  void ListPush(unsigned order, MigrateType type, uint32_t frame);
+  void ListRemove(unsigned order, MigrateType type, uint32_t frame);
+  uint32_t ListPop(unsigned order, MigrateType type);
+
+  void MarkFree(uint32_t frame, unsigned order, MigrateType type);
+  void MarkAllocated(uint32_t frame, unsigned order);
+
+  // Core buddy paths (no PCP).
+  std::optional<FrameId> AllocCore(unsigned order, MigrateType type);
+  void FreeCore(FrameId frame, unsigned order);
+
+  // Splits `frame` (a detached block of `from_order`) down to `to_order`,
+  // freeing the upper halves onto `type` lists; returns the base.
+  uint32_t SplitTo(uint32_t frame, unsigned from_order, unsigned to_order,
+                   MigrateType type);
+
+  // Fallback: steal the largest block from the other migrate type,
+  // converting its pageblocks when large enough (Linux's
+  // steal_suitable_fallback).
+  std::optional<FrameId> StealFallback(unsigned order, MigrateType type);
+
+  // Finds the free block covering `frame`, if any.
+  std::optional<uint32_t> FindCoveringHead(FrameId frame) const;
+
+  void ClearReported(FrameId frame, unsigned order);
+
+  uint64_t frames_;
+  Config config_;
+  std::vector<PageDesc> desc_;
+  std::vector<MigrateType> pageblock_type_;
+  std::array<std::array<uint32_t, kNumMigrateTypes>, kMaxBuddyOrder + 1>
+      heads_;
+  std::vector<Pcp> pcp_;
+  std::vector<uint64_t> reported_;  // bitset, one bit per frame
+  std::vector<uint16_t> used_in_block_;  // allocated frames per 2 MiB block
+  uint64_t free_frames_ = 0;        // frames in buddy lists
+  uint64_t pcp_frames_ = 0;         // frames in PCP caches
+};
+
+}  // namespace hyperalloc::buddy
+
+#endif  // HYPERALLOC_SRC_BUDDY_BUDDY_H_

@@ -1,0 +1,357 @@
+#include "src/core/hyperalloc.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace hyperalloc::core {
+
+HyperAllocMonitor::HyperAllocMonitor(guest::GuestVm* vm,
+                                     const HyperAllocConfig& config)
+    : vm_(vm), config_(config), sim_(vm->simulation()),
+      total_huge_(HugesForFrames(vm->total_frames())) {
+  HA_CHECK(vm != nullptr);
+  HA_CHECK(vm->config().allocator == guest::AllocatorKind::kLLFree);
+
+  for (guest::Zone& zone : vm_->zones()) {
+    HA_CHECK(zone.llfree_state != nullptr);
+    auto view = std::make_unique<ZoneView>(&zone, zone.frames /
+                                                      kFramesPerHuge);
+    // The monitor's clone of the guest allocator over the shared state.
+    view->monitor_view =
+        std::make_unique<llfree::LLFree>(zone.llfree_state.get());
+    // A fresh VM has no populated guest-physical memory: every huge frame
+    // starts soft-reclaimed (M=0 => E=1), so first allocations install.
+    for (HugeId h = 0; h < view->states.size(); ++h) {
+      view->monitor_view->SetEvicted(h);
+      view->states.Set(h, ReclaimState::kSoft);
+    }
+    ZoneView* raw = view.get();
+    zone.llfree->SetInstallHandler(
+        [this, raw](HugeId huge) { Install(*raw, huge); });
+    zones_.push_back(std::move(view));
+  }
+
+  if (config.initial_limit_bytes > 0 &&
+      config.initial_limit_bytes < vm->config().memory_bytes) {
+    // Boot with a reduced hard limit: hard-reclaim the excess up front
+    // (pure state work — nothing is populated yet).
+    const uint64_t target =
+        (vm->config().memory_bytes - config.initial_limit_bytes) /
+        kHugeSize;
+    for (ZoneView* view : ReclaimOrder()) {
+      for (HugeId h = 0;
+           h < view->states.size() && hard_reclaimed_huge_ < target; ++h) {
+        if (view->monitor_view->TryHardReclaim(h)) {
+          view->states.Set(h, ReclaimState::kHard);
+          ++hard_reclaimed_huge_;
+        }
+      }
+    }
+    HA_CHECK(hard_reclaimed_huge_ == target);
+  }
+}
+
+AllocType HyperAllocMonitor::TreeTypeOf(HugeId global_huge) const {
+  for (const auto& view : zones_) {
+    const HugeId first = FrameToHuge(view->zone->start);
+    if (global_huge >= first && global_huge < first + view->states.size()) {
+      const uint64_t tree =
+          (global_huge - first) / view->zone->llfree->config().areas_per_tree;
+      return view->zone->llfree->ReadTree(tree).type;
+    }
+  }
+  HA_CHECK(false && "huge frame outside every zone");
+  __builtin_unreachable();
+}
+
+std::vector<HyperAllocMonitor::ZoneView*> HyperAllocMonitor::ReclaimOrder() {
+  // Normal zones before DMA32 (§4.2); the tiny DMA zone does not exist in
+  // this model.
+  std::vector<ZoneView*> order;
+  for (const auto& view : zones_) {
+    if (view->zone->kind == guest::ZoneKind::kNormal) {
+      order.push_back(view.get());
+    }
+  }
+  for (const auto& view : zones_) {
+    if (view->zone->kind != guest::ZoneKind::kNormal) {
+      order.push_back(view.get());
+    }
+  }
+  return order;
+}
+
+uint64_t HyperAllocMonitor::limit_bytes() const {
+  return vm_->config().memory_bytes - hard_reclaimed_bytes();
+}
+
+ReclaimState HyperAllocMonitor::StateOf(HugeId global_huge) const {
+  for (const auto& view : zones_) {
+    const HugeId first = FrameToHuge(view->zone->start);
+    if (global_huge >= first && global_huge < first + view->states.size()) {
+      return view->states.Get(global_huge - first);
+    }
+  }
+  HA_CHECK(false && "huge frame outside every zone");
+  __builtin_unreachable();
+}
+
+void HyperAllocMonitor::Install(ZoneView& view, HugeId local_huge) {
+  // Blocking install hypercall (§3.2 "Return and Install"): the guest's
+  // allocation waits until the memory is populated, mapped, and — with a
+  // passthrough device — pinned. Only then may it be handed out (DMA
+  // safety).
+  HA_DCHECK(view.states.Get(local_huge) == ReclaimState::kSoft);
+  const sim::Time t0 = sim_->now();
+  // In-kernel integration (§5.3 ablation): no KVM->QEMU context switch —
+  // the install costs no more than the EPT fault it replaces.
+  const uint64_t entry_ns = config_.in_kernel
+                                ? vm_->costs().ept_fault_2m_ns
+                                : vm_->costs().install_hypercall_2m_ns;
+  sim_->AdvanceClock(entry_ns);
+  cpu_.host_user_ns += entry_ns;
+
+  const FrameId global_first = view.zone->start + HugeToFrame(local_huge);
+  HA_CHECK(vm_->PopulateFrames(global_first, kFramesPerHuge));
+  uint64_t sys_ns = kFramesPerHuge * vm_->costs().populate_4k_ns;
+  if (vm_->config().vfio) {
+    vm_->iommu()->Pin(FrameToHuge(global_first));
+    sys_ns += vm_->costs().iommu_map_2m_ns;
+  }
+  sim_->AdvanceClock(sys_ns);
+  cpu_.host_sys_ns += sys_ns;
+  vm_->sink().OnBandwidth(t0, sim_->now(),
+                          static_cast<double>(kHugeSize) /
+                              static_cast<double>(sim_->now() - t0));
+
+  view.states.Set(local_huge, ReclaimState::kInstalled);
+  view.monitor_view->ClearEvicted(local_huge);
+  ++installs_;
+}
+
+void HyperAllocMonitor::UnmapBatch(const std::vector<HugeId>& global_huge) {
+  if (global_huge.empty()) {
+    return;
+  }
+  std::vector<HugeId> sorted = global_huge;
+  std::sort(sorted.begin(), sorted.end());
+
+  const sim::Time t0 = sim_->now();
+  uint64_t sys_ns = 0;
+  uint64_t shootdown_allcpu_ns = 0;
+
+  // Contiguous runs are unmapped with a single madvise syscall — the
+  // aggregation that LLFree's compact allocation behaviour makes
+  // effective (§4.2 "KVM/QEMU Integration").
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i + 1;
+    while (j < sorted.size() && sorted[j] == sorted[j - 1] + 1) {
+      ++j;
+    }
+    uint64_t mapped_huge = 0;
+    for (size_t k = i; k < j; ++k) {
+      const FrameId first = HugeToFrame(sorted[k]);
+      if (vm_->ept().CountMapped(first, kFramesPerHuge) > 0) {
+        ++mapped_huge;
+        sys_ns += vm_->costs().madvise_per_2m_ns;
+        shootdown_allcpu_ns += vm_->costs().shootdown_allcpu_2m_ns;
+        vm_->ept().Unmap(first, kFramesPerHuge);
+      }
+    }
+    if (mapped_huge > 0) {
+      // In-kernel: direct EPT zap, no madvise syscall per run.
+      sys_ns += (config_.in_kernel ? 0 : vm_->costs().madvise_syscall_ns) +
+                vm_->costs().tlb_shootdown_ns;
+    }
+    i = j;
+  }
+
+  if (vm_->config().vfio) {
+    for (const HugeId huge : sorted) {
+      if (vm_->iommu()->IsPinned(huge)) {
+        vm_->iommu()->Unpin(huge);
+        sys_ns +=
+            vm_->costs().iommu_unmap_2m_ns + vm_->costs().iotlb_flush_ns;
+      }
+    }
+  }
+
+  sim_->AdvanceClock(sys_ns);
+  cpu_.host_sys_ns += sys_ns;
+  const sim::Time t1 = sim_->now();
+  if (shootdown_allcpu_ns > 0 && t1 > t0) {
+    vm_->sink().OnAllCpusSteal(
+        t0, t1,
+        static_cast<double>(shootdown_allcpu_ns) /
+            static_cast<double>(t1 - t0));
+  }
+}
+
+void HyperAllocMonitor::RequestLimit(uint64_t bytes,
+                                     std::function<void()> done) {
+  HA_CHECK(!busy_);
+  busy_ = true;
+  HA_CHECK(bytes <= vm_->config().memory_bytes);
+  const uint64_t target_hard =
+      (vm_->config().memory_bytes - bytes) / kHugeSize;
+  auto finish = [this, done = std::move(done)] {
+    busy_ = false;
+    if (done) {
+      done();
+    }
+  };
+  if (target_hard > hard_reclaimed_huge_) {
+    ShrinkSlice(target_hard, /*escalation=*/0, std::move(finish));
+  } else {
+    GrowSlice(target_hard, std::move(finish));
+  }
+}
+
+void HyperAllocMonitor::ShrinkSlice(uint64_t target_huge, int escalation,
+                                    std::function<void()> done) {
+  std::vector<HugeId> batch;
+  const std::vector<ZoneView*> order = ReclaimOrder();
+
+  // Linear scan with a persistent per-zone hint, Normal zones before
+  // DMA32 (§4.2). The hint makes repeated shrink/grow cycles naturally
+  // re-take the previously reclaimed (still evicted) region first — the
+  // "reclaim untouched" fast path of §5.3, which needs no unmapping.
+  for (ZoneView* view : order) {
+    while (hard_reclaimed_huge_ < target_huge &&
+           batch.size() < config_.hugepages_per_slice) {
+      const std::optional<HugeId> huge = view->monitor_view->ReclaimHuge(
+          view->hint, /*hard=*/true, /*allow_reserved=*/escalation >= 1);
+      if (!huge.has_value()) {
+        break;  // zone exhausted; try the next one
+      }
+      view->hint = (*huge + 1) % view->states.size();
+      sim_->AdvanceClock(vm_->costs().ha_reclaim_state_2m_ns);
+      cpu_.host_user_ns += vm_->costs().ha_reclaim_state_2m_ns;
+      view->states.Set(*huge, ReclaimState::kHard);
+      batch.push_back(FrameToHuge(view->zone->start) + *huge);
+      ++hard_reclaimed_huge_;
+    }
+  }
+  UnmapBatch(batch);
+
+  if (hard_reclaimed_huge_ >= target_huge) {
+    done();
+    return;
+  }
+  if (batch.empty()) {
+    // No fully free huge frame found: escalate the memory pressure
+    // (§3.3: "we instruct the guest to free the remaining memory from
+    // its caches and retry").
+    if (escalation == 0) {
+      vm_->PurgeAllocatorCaches();
+      escalation = 1;
+    } else if (vm_->cache_bytes() > 0) {
+      vm_->CacheDrop(64 * kMiB);
+    } else {
+      done();  // nothing left to reclaim at huge granularity
+      return;
+    }
+  }
+  sim_->After(0, [this, target_huge, escalation,
+                  done = std::move(done)]() mutable {
+    ShrinkSlice(target_huge, escalation, std::move(done));
+  });
+}
+
+void HyperAllocMonitor::GrowSlice(uint64_t target_huge,
+                                  std::function<void()> done) {
+  unsigned returned = 0;
+  for (const auto& view : zones_) {
+    for (HugeId h = 0; h < view->states.size() &&
+                       hard_reclaimed_huge_ > target_huge &&
+                       returned < config_.hugepages_per_slice;
+         ++h) {
+      if (view->states.Get(h) != ReclaimState::kHard) {
+        continue;
+      }
+      HA_CHECK(view->monitor_view->MarkReturned(h));
+      view->states.Set(h, ReclaimState::kSoft);
+      sim_->AdvanceClock(vm_->costs().ha_return_state_2m_ns);
+      cpu_.host_user_ns += vm_->costs().ha_return_state_2m_ns;
+      --hard_reclaimed_huge_;
+      ++returned;
+    }
+  }
+  if (hard_reclaimed_huge_ <= target_huge || returned == 0) {
+    done();
+    return;
+  }
+  sim_->After(0, [this, target_huge, done = std::move(done)]() mutable {
+    GrowSlice(target_huge, std::move(done));
+  });
+}
+
+bool HyperAllocMonitor::IsHot(HugeId global_huge) const {
+  for (const auto& view : zones_) {
+    const HugeId first = FrameToHuge(view->zone->start);
+    if (global_huge >= first && global_huge < first + view->states.size()) {
+      return view->zone->llfree->HotnessOf(global_huge - first) > 0;
+    }
+  }
+  HA_CHECK(false && "huge frame outside every zone");
+  __builtin_unreachable();
+}
+
+uint64_t HyperAllocMonitor::AutoReclaimPass() {
+  std::vector<HugeId> batch;
+  for (ZoneView* view : ReclaimOrder()) {
+    // Linear scan over the R array (2 bit/huge) and the shared area index
+    // (16 bit/huge): 18 consecutive cache lines per GiB (§3.3).
+    const uint64_t lines =
+        (view->states.size() * 2 + 511) / 512 +       // area index (16 bit)
+        (view->states.ByteSize() + 63) / 64;          // R array (2 bit)
+    scan_cache_lines_ += lines;
+    sim_->AdvanceClock(lines * vm_->costs().scan_cache_line_ns);
+    cpu_.host_user_ns += lines * vm_->costs().scan_cache_line_ns;
+
+    for (HugeId h = 0; h < view->states.size(); ++h) {
+      // Age the guest's access hints as part of the scan (the host-side
+      // half of the §6 hotness protocol).
+      view->monitor_view->AgeHotness(h);
+      if (view->states.Get(h) != ReclaimState::kInstalled) {
+        continue;
+      }
+      const llfree::AreaEntry entry = view->monitor_view->ReadArea(h);
+      if (!entry.IsFreeHuge() || entry.evicted) {
+        continue;
+      }
+      if (!view->monitor_view->TrySoftReclaim(h)) {
+        continue;  // guest raced us: it just allocated the frame
+      }
+      sim_->AdvanceClock(vm_->costs().ha_reclaim_state_2m_ns);
+      cpu_.host_user_ns += vm_->costs().ha_reclaim_state_2m_ns;
+      view->states.Set(h, ReclaimState::kSoft);
+      batch.push_back(FrameToHuge(view->zone->start) + h);
+    }
+  }
+  UnmapBatch(batch);
+  soft_reclaims_ += batch.size();
+  return batch.size();
+}
+
+void HyperAllocMonitor::StartAuto() {
+  if (auto_running_) {
+    return;
+  }
+  auto_running_ = true;
+  sim_->After(config_.auto_period, [this] { AutoTick(); });
+}
+
+void HyperAllocMonitor::StopAuto() { auto_running_ = false; }
+
+void HyperAllocMonitor::AutoTick() {
+  if (!auto_running_) {
+    return;
+  }
+  AutoReclaimPass();
+  sim_->After(config_.auto_period, [this] { AutoTick(); });
+}
+
+}  // namespace hyperalloc::core

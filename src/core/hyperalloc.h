@@ -1,0 +1,143 @@
+// HyperAlloc — the paper's contribution: VM memory de/inflation via a
+// hypervisor-shared page-frame allocator (§3–4).
+//
+// The monitor holds a clone of each guest zone's LLFree allocator over the
+// *same* shared state and manipulates guest-visible per-frame state (the
+// A/E bits in the area index) with single CAS transactions — no guest
+// transition is needed to find or claim reclaimable memory. The monitor's
+// own authoritative state is the per-huge-frame R array (I/S/H).
+//
+// Mechanisms (paper §3.2/§3.3):
+//  * Hard reclamation  — lowers the VM's hard memory limit: A<-1, E<-1,
+//    unmap (batched madvise over contiguous runs), R<-H.
+//  * Return            — raises the limit: A<-0 (E stays 1), R<-S. No
+//    host memory moves; 229 ns of state work per huge frame.
+//  * Install           — the guest's allocation of an evicted frame
+//    triggers one blocking hypercall; the monitor populates + maps (EPT
+//    and, under VFIO, IOMMU with pinning) before the allocation returns —
+//    DMA safety by construction.
+//  * Automatic (soft) reclamation — every 5 s the monitor scans R and the
+//    shared area index (18 cache lines per GiB) and soft-reclaims free,
+//    installed, host-backed huge frames.
+#ifndef HYPERALLOC_SRC_CORE_HYPERALLOC_H_
+#define HYPERALLOC_SRC_CORE_HYPERALLOC_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/reclaim_states.h"
+#include "src/guest/guest_vm.h"
+#include "src/hv/deflator.h"
+#include "src/sim/simulation.h"
+
+namespace hyperalloc::core {
+
+struct HyperAllocConfig {
+  // Auto-reclamation scan period (paper: every 5 seconds).
+  sim::Time auto_period = 5 * sim::kSec;
+  // Huge frames processed per event-loop slice.
+  unsigned hugepages_per_slice = 512;
+  // §6 "Beyond Memory Reclamation": start with a hard limit below the
+  // guest-physical memory size ("starting with a large guest-physical
+  // memory but low hard limit"), so the VM can later grow beyond its
+  // boot-time allotment. 0 = full memory.
+  uint64_t initial_limit_bytes = 0;
+  // §5.3 ablation: integrate the monitor into KVM instead of QEMU. The
+  // install hypercall loses its extra kernel->user context switch (cost
+  // drops to a plain EPT fault) and unmapping manipulates the EPT
+  // directly instead of going through madvise syscalls.
+  bool in_kernel = false;
+};
+
+class HyperAllocMonitor : public hv::Deflator {
+ public:
+  // The guest must use the LLFree allocator. The monitor maps each zone's
+  // allocator state (paper §4.2 "Locating the Allocator State"), installs
+  // the install-hypercall handler, and marks all memory soft-reclaimed:
+  // a freshly booted VM has no populated memory, so every first
+  // allocation installs its huge frame.
+  HyperAllocMonitor(guest::GuestVm* vm, const HyperAllocConfig& config);
+
+  const char* name() const override { return "HyperAlloc"; }
+  bool dma_safe() const override { return true; }
+  bool supports_auto() const override { return true; }
+  uint64_t granularity_bytes() const override { return kHugeSize; }
+
+  void RequestLimit(uint64_t bytes, std::function<void()> done) override;
+  uint64_t limit_bytes() const override;
+  bool busy() const override { return busy_; }
+
+  void StartAuto() override;
+  void StopAuto() override;
+
+  const hv::CpuAccounting& cpu() const override { return cpu_; }
+
+  // Introspection / statistics.
+  uint64_t hard_reclaimed_bytes() const {
+    return hard_reclaimed_huge_ * kHugeSize;
+  }
+  uint64_t installs() const { return installs_; }
+  uint64_t soft_reclaims() const { return soft_reclaims_; }
+
+  // §6 swap-strategy hook: the shared tree index carries each tree's
+  // allocation type, so the host can prefer (e.g.) swapping movable user
+  // memory over unmovable kernel memory. Read-only shared-state access.
+  AllocType TreeTypeOf(HugeId global_huge) const;
+  // §6 hotness hints: whether the guest accessed the huge frame since
+  // the last few auto-reclamation scans (which age the counters).
+  bool IsHot(HugeId global_huge) const;
+  uint64_t scan_cache_lines_total() const { return scan_cache_lines_; }
+  ReclaimState StateOf(HugeId global_huge) const;
+
+  // One full auto-reclamation pass, callable directly (tests, benches).
+  // Returns the number of huge frames soft-reclaimed.
+  uint64_t AutoReclaimPass();
+
+ private:
+  struct ZoneView {
+    guest::Zone* zone;
+    std::unique_ptr<llfree::LLFree> monitor_view;  // clone on shared state
+    ReclaimStateArray states;
+    HugeId hint = 0;
+
+    ZoneView(guest::Zone* z, uint64_t num_huge)
+        : zone(z), states(num_huge) {}
+  };
+
+  // Zones in reclamation order: Normal zones first, then DMA32 (§4.2).
+  std::vector<ZoneView*> ReclaimOrder();
+
+  void Install(ZoneView& view, HugeId local_huge);
+
+  // One shrink slice; escalation: 0 = free memory only, 1 = purge
+  // allocator caches + raid reserved trees, 2 = evict page cache.
+  void ShrinkSlice(uint64_t target_huge, int escalation,
+                   std::function<void()> done);
+  void GrowSlice(uint64_t target_huge, std::function<void()> done);
+
+  // Unmaps a batch of (globally addressed) reclaimed huge frames,
+  // batching contiguous runs into single madvise calls.
+  void UnmapBatch(const std::vector<HugeId>& global_huge);
+
+  void AutoTick();
+
+  guest::GuestVm* vm_;
+  HyperAllocConfig config_;
+  sim::Simulation* sim_;
+  std::vector<std::unique_ptr<ZoneView>> zones_;
+
+  uint64_t total_huge_;
+  uint64_t hard_reclaimed_huge_ = 0;
+  bool busy_ = false;
+  bool auto_running_ = false;
+
+  hv::CpuAccounting cpu_;
+  uint64_t installs_ = 0;
+  uint64_t soft_reclaims_ = 0;
+  uint64_t scan_cache_lines_ = 0;
+};
+
+}  // namespace hyperalloc::core
+
+#endif  // HYPERALLOC_SRC_CORE_HYPERALLOC_H_

@@ -1,0 +1,97 @@
+// Generalized HyperAlloc for guests whose page-frame allocator cannot be
+// shared directly (paper §6 "Concept Generalization"): the guest's buddy
+// allocator stays private; guest and host exchange the per-huge-frame
+// (A, E) state through an auxiliary memory-mapped array (hv::AuxState).
+//
+// What generalizes: DMA-safe *automatic* (soft) reclamation. The monitor
+// scans (R, A) — same 18-cache-lines-per-GiB footprint — and claims free
+// huge frames with one CAS that atomically checks A and sets E, so a
+// concurrent guest allocation either sees E (and installs) or beats the
+// CAS. Installs work exactly as with LLFree.
+//
+// What does not: lock-free *hard* reclamation. Without write access to
+// the allocator's internals the monitor cannot mark frames allocated for
+// the guest, so hard limit changes fall back to a guest-mediated
+// balloon-style path (allocate the frames through the guest allocator) —
+// slower, but still DMA-safe and batched. This asymmetry is the measured
+// cost of not co-designing the allocator (see bench_inflate's
+// "HyperAlloc-generic" rows and the ablation discussion).
+#ifndef HYPERALLOC_SRC_CORE_HYPERALLOC_GENERIC_H_
+#define HYPERALLOC_SRC_CORE_HYPERALLOC_GENERIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/reclaim_states.h"
+#include "src/guest/guest_vm.h"
+#include "src/hv/aux_state.h"
+#include "src/hv/deflator.h"
+#include "src/sim/simulation.h"
+
+namespace hyperalloc::core {
+
+struct GenericHyperAllocConfig {
+  sim::Time auto_period = 5 * sim::kSec;
+  unsigned hugepages_per_slice = 512;
+};
+
+class GenericHyperAllocMonitor : public hv::Deflator {
+ public:
+  // The guest must use the buddy allocator; the monitor attaches the
+  // auxiliary (A, E) bridge and starts with all memory soft-reclaimed.
+  GenericHyperAllocMonitor(guest::GuestVm* vm,
+                           const GenericHyperAllocConfig& config);
+
+  const char* name() const override { return "HyperAlloc-generic"; }
+  bool dma_safe() const override { return true; }
+  bool supports_auto() const override { return true; }
+  uint64_t granularity_bytes() const override { return kHugeSize; }
+
+  void RequestLimit(uint64_t bytes, std::function<void()> done) override;
+  uint64_t limit_bytes() const override;
+  bool busy() const override { return busy_; }
+
+  void StartAuto() override;
+  void StopAuto() override;
+
+  const hv::CpuAccounting& cpu() const override { return cpu_; }
+
+  uint64_t installs() const { return installs_; }
+  uint64_t soft_reclaims() const { return soft_reclaims_; }
+  hv::AuxState& aux() { return aux_; }
+  ReclaimState StateOf(HugeId huge) const { return states_.Get(huge); }
+
+  // One full soft-reclamation scan; returns reclaimed huge frames.
+  uint64_t AutoReclaimPass();
+
+ private:
+  struct HardHeld {
+    FrameId frame;  // guest allocation backing the hard reclaim
+  };
+
+  void Install(HugeId huge);
+  void ShrinkSlice(uint64_t target_huge, std::function<void()> done);
+  void GrowSlice(uint64_t target_huge, std::function<void()> done);
+  void UnmapBatch(const std::vector<HugeId>& huge_frames);
+
+  void AutoTick();
+
+  guest::GuestVm* vm_;
+  GenericHyperAllocConfig config_;
+  sim::Simulation* sim_;
+  hv::AuxState aux_;
+  ReclaimStateArray states_;
+  std::vector<HardHeld> hard_held_;
+  bool suppress_install_ = false;  // shrink path: frames leave the guest
+  bool busy_ = false;
+  bool auto_running_ = false;
+
+  hv::CpuAccounting cpu_;
+  uint64_t installs_ = 0;
+  uint64_t soft_reclaims_ = 0;
+};
+
+}  // namespace hyperalloc::core
+
+#endif  // HYPERALLOC_SRC_CORE_HYPERALLOC_GENERIC_H_

@@ -1,0 +1,69 @@
+// The monitor's authoritative per-huge-frame reclamation state R (paper
+// §3.2): Installed / Soft-reclaimed / Hard-reclaimed. Host-private (the
+// guest never sees it; the evicted hint E is its one-way shadow).
+//
+// Packed 2 bits per frame into 64-bit words, exactly as assumed by the
+// paper's scan-cost analysis (§3.3): together with the 16-bit guest area
+// entries, scanning 1 GiB of guest memory touches
+// 2*512/(8*64) + 16*512/(8*64) = 18 consecutive cache lines.
+#ifndef HYPERALLOC_SRC_CORE_RECLAIM_STATES_H_
+#define HYPERALLOC_SRC_CORE_RECLAIM_STATES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+
+namespace hyperalloc::core {
+
+enum class ReclaimState : uint8_t {
+  kInstalled = 0,  // I: backed by host memory (M=1)
+  kSoft = 1,       // S: reclaimed, repopulated on guest install
+  kHard = 2,       // H: reclaimed, not available to the guest
+};
+
+class ReclaimStateArray {
+ public:
+  explicit ReclaimStateArray(uint64_t num_huge)
+      : num_huge_(num_huge), words_((num_huge * 2 + 63) / 64, 0) {}
+
+  uint64_t size() const { return num_huge_; }
+
+  ReclaimState Get(HugeId huge) const {
+    HA_DCHECK(huge < num_huge_);
+    const uint64_t word = words_[huge / 32];
+    return static_cast<ReclaimState>((word >> ((huge % 32) * 2)) & 0x3);
+  }
+
+  void Set(HugeId huge, ReclaimState state) {
+    HA_DCHECK(huge < num_huge_);
+    uint64_t& word = words_[huge / 32];
+    const unsigned shift = (huge % 32) * 2;
+    word = (word & ~(0x3ull << shift)) |
+           (static_cast<uint64_t>(state) << shift);
+  }
+
+  uint64_t CountState(ReclaimState state) const {
+    uint64_t count = 0;
+    for (HugeId h = 0; h < num_huge_; ++h) {
+      if (Get(h) == state) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  // Bytes of state scanned by one pass (for the §3.3 cache-load claim).
+  uint64_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  uint64_t num_huge_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace hyperalloc::core
+
+#endif  // HYPERALLOC_SRC_CORE_RECLAIM_STATES_H_

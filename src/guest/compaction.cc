@@ -1,0 +1,83 @@
+#include "src/guest/compaction.h"
+
+#include "src/base/check.h"
+
+namespace hyperalloc::guest {
+
+Compactor::Compactor(GuestVm* vm, const CompactionConfig& config)
+    : vm_(vm), config_(config), sim_(vm->simulation()) {
+  HA_CHECK(vm != nullptr);
+}
+
+bool Compactor::TryCompactBlock(Zone& zone, HugeId local_block) {
+  const FrameId global_first =
+      zone.start + HugeToFrame(local_block);
+  // Unmovable content pins the block: check before doing any work.
+  for (FrameId f = global_first; f < global_first + kFramesPerHuge;) {
+    const unsigned order = vm_->AllocOrderAt(f);
+    if (order == 0xff) {
+      ++f;
+      continue;
+    }
+    if (vm_->AllocUnmovableAt(f)) {
+      return false;
+    }
+    f += 1ull << order;
+  }
+
+  zone.buddy->ClaimFreeInRange(global_first - zone.start, kFramesPerHuge);
+  if (!vm_->MigrateRange(global_first, kFramesPerHuge, config_.core)) {
+    vm_->ReleaseIsolatedRange(global_first, kFramesPerHuge);
+    ++failed_blocks_;
+    return false;
+  }
+  // The whole block is evacuated: release it as one free huge block.
+  zone.buddy->ReleaseRange(global_first - zone.start, kFramesPerHuge);
+  ++blocks_compacted_;
+  return true;
+}
+
+uint64_t Compactor::CompactPass(uint64_t max_blocks) {
+  uint64_t freed = 0;
+  for (Zone& zone : vm_->zones()) {
+    if (zone.buddy == nullptr) {
+      continue;  // LLFree defragments passively (§4.2)
+    }
+    const uint64_t blocks = zone.frames / kFramesPerHuge;
+    for (HugeId b = 0; b < blocks && freed < max_blocks; ++b) {
+      const uint64_t used = zone.buddy->UsedFramesInBlock(b);
+      if (used == 0 || used > config_.max_used_frames) {
+        continue;
+      }
+      if (TryCompactBlock(zone, b)) {
+        ++freed;
+      }
+    }
+    if (freed >= max_blocks) {
+      break;
+    }
+  }
+  return freed;
+}
+
+void Compactor::StartBackground() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  sim_->After(config_.period, [this] { Tick(); });
+}
+
+void Compactor::Stop() { running_ = false; }
+
+void Compactor::Tick() {
+  if (!running_) {
+    return;
+  }
+  if (vm_->FreeHugeFrames() < config_.min_free_huge) {
+    CompactPass(config_.blocks_per_wakeup);
+  }
+  sim_->After(config_.period, [this] { Tick(); });
+}
+
+}  // namespace hyperalloc::guest

@@ -1,0 +1,65 @@
+// Memory compaction (kcompactd) for buddy-allocator zones.
+//
+// Linux actively defragments physical memory by migrating movable pages
+// out of sparsely used pageblocks, re-forming free huge blocks. The paper
+// leans on this in two places: virtio-mem's unplug path depends on it
+// ("virtio-mem has to compact and migrate memory, which turned out to be
+// too slow", §5.5), and LLFree's per-type reservations are praised for
+// making active compaction *less* necessary (§4.2). This model performs
+// block-granular compaction over the same migration machinery virtio-mem
+// uses, with migration costs charged to virtual time.
+#ifndef HYPERALLOC_SRC_GUEST_COMPACTION_H_
+#define HYPERALLOC_SRC_GUEST_COMPACTION_H_
+
+#include <cstdint>
+
+#include "src/guest/guest_vm.h"
+#include "src/sim/simulation.h"
+
+namespace hyperalloc::guest {
+
+struct CompactionConfig {
+  // Only pageblocks with at most this many used frames are evacuation
+  // candidates (cheap wins first, as kcompactd does).
+  uint64_t max_used_frames = 128;
+  // Background daemon: scan period and the free-huge-frame watermark
+  // below which it compacts.
+  sim::Time period = 2 * sim::kSec;
+  uint64_t min_free_huge = 64;
+  // Blocks compacted per daemon wakeup.
+  uint64_t blocks_per_wakeup = 16;
+  unsigned core = 0;
+};
+
+class Compactor {
+ public:
+  Compactor(GuestVm* vm, const CompactionConfig& config);
+
+  // One synchronous compaction pass over all buddy zones: evacuates up
+  // to `max_blocks` sparsely used pageblocks. Returns the number of huge
+  // blocks freed.
+  uint64_t CompactPass(uint64_t max_blocks);
+
+  // kcompactd: periodically compacts while huge-frame availability is
+  // below the watermark.
+  void StartBackground();
+  void Stop();
+
+  uint64_t blocks_compacted() const { return blocks_compacted_; }
+  uint64_t failed_blocks() const { return failed_blocks_; }
+
+ private:
+  bool TryCompactBlock(Zone& zone, HugeId local_block);
+  void Tick();
+
+  GuestVm* vm_;
+  CompactionConfig config_;
+  sim::Simulation* sim_;
+  bool running_ = false;
+  uint64_t blocks_compacted_ = 0;
+  uint64_t failed_blocks_ = 0;
+};
+
+}  // namespace hyperalloc::guest
+
+#endif  // HYPERALLOC_SRC_GUEST_COMPACTION_H_

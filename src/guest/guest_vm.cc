@@ -1,0 +1,519 @@
+#include "src/guest/guest_vm.h"
+
+#include <algorithm>
+#include <span>
+
+#include "src/base/check.h"
+
+namespace hyperalloc::guest {
+
+namespace {
+
+// How much page cache the kernel evicts per direct-reclaim round.
+constexpr uint64_t kReclaimBatchFrames = 4096;  // 16 MiB
+
+}  // namespace
+
+GuestVm::GuestVm(sim::Simulation* sim, hv::HostMemory* host,
+                 const GuestConfig& config, const hv::CostModel& costs)
+    : sim_(sim),
+      host_(host),
+      config_(config),
+      costs_(costs),
+      total_frames_(config.memory_bytes / kFrameSize),
+      ept_(total_frames_, host),
+      sink_(&hv::NullInterference()) {
+  HA_CHECK(sim != nullptr);
+  HA_CHECK(config.memory_bytes % (kFrameSize << kMaxBuddyOrder) == 0);
+  HA_CHECK(config.vcpus > 0);
+
+  if (config.vfio) {
+    iommu_ = std::make_unique<hv::Iommu>(total_frames_);
+  }
+  alloc_order_.assign(total_frames_, 0);
+  in_cache_.assign(total_frames_, false);
+
+  // Zone layout: [DMA32][Normal][Movable] — whichever are configured.
+  uint64_t movable_frames = config.movable_bytes / kFrameSize;
+  uint64_t dma32_frames = config.dma32_bytes / kFrameSize;
+  HA_CHECK(movable_frames + dma32_frames <= total_frames_);
+  if (movable_frames + dma32_frames == total_frames_) {
+    dma32_frames = 0;  // degenerate config: keep a Normal zone
+  }
+
+  auto add_zone = [&](ZoneKind kind, FrameId start, uint64_t frames) {
+    if (frames == 0) {
+      return;
+    }
+    Zone zone;
+    zone.kind = kind;
+    zone.start = start;
+    zone.frames = frames;
+    if (config.allocator == AllocatorKind::kBuddy) {
+      buddy::Buddy::Config bc = config.buddy_config;
+      bc.cores = config.vcpus;
+      zone.buddy = std::make_unique<buddy::Buddy>(frames, bc);
+    } else {
+      llfree::Config lc = config.llfree_config;
+      lc.cores = config.vcpus;
+      zone.llfree_state = std::make_unique<llfree::SharedState>(frames, lc);
+      zone.llfree = std::make_unique<llfree::LLFree>(zone.llfree_state.get());
+    }
+    zones_.push_back(std::move(zone));
+  };
+
+  approx_free_frames_ = total_frames_;
+  const uint64_t normal_frames =
+      total_frames_ - movable_frames - dma32_frames;
+  add_zone(ZoneKind::kDma32, 0, dma32_frames);
+  add_zone(ZoneKind::kNormal, dma32_frames, normal_frames);
+  add_zone(ZoneKind::kMovable, dma32_frames + normal_frames, movable_frames);
+}
+
+Zone& GuestVm::ZoneOf(FrameId frame) {
+  for (Zone& zone : zones_) {
+    if (zone.Contains(frame)) {
+      return zone;
+    }
+  }
+  HA_CHECK(false && "frame outside every zone");
+  __builtin_unreachable();
+}
+
+Result<FrameId> GuestVm::ZoneAlloc(Zone& zone, unsigned order,
+                                   AllocType type, unsigned core) {
+  if (zone.buddy != nullptr) {
+    const Result<FrameId> r = zone.buddy->Alloc(core, order, type);
+    if (r.ok()) {
+      return zone.start + *r;
+    }
+    return r;
+  }
+  const Result<FrameId> r = zone.llfree->Get(core, order, type);
+  if (r.ok()) {
+    return zone.start + *r;
+  }
+  return r;
+}
+
+void GuestVm::ZoneFree(Zone& zone, FrameId frame, unsigned order,
+                       unsigned core) {
+  const FrameId local = frame - zone.start;
+  if (zone.buddy != nullptr) {
+    const auto err = zone.buddy->Free(core, local, order);
+    HA_CHECK(!err.has_value());
+    return;
+  }
+  const auto err = zone.llfree->Put(local, order);
+  HA_CHECK(!err.has_value());
+}
+
+Result<FrameId> GuestVm::AllocFromZones(unsigned order, AllocType type,
+                                        unsigned core) {
+  // Zone preference (Linux-like): movable allocations may use the
+  // Movable zone first, then Normal, then DMA32; unmovable kernel
+  // allocations never touch Movable.
+  const bool movable = type != AllocType::kUnmovable;
+  static constexpr ZoneKind kMovableOrder[] = {
+      ZoneKind::kMovable, ZoneKind::kNormal, ZoneKind::kDma32};
+  static constexpr ZoneKind kUnmovableOrder[] = {ZoneKind::kNormal,
+                                                 ZoneKind::kDma32};
+  const std::span<const ZoneKind> order_list =
+      movable ? std::span<const ZoneKind>(kMovableOrder)
+              : std::span<const ZoneKind>(kUnmovableOrder);
+  for (const ZoneKind kind : order_list) {
+    for (Zone& zone : zones_) {
+      if (zone.kind != kind) {
+        continue;
+      }
+      const Result<FrameId> r = ZoneAlloc(zone, order, type, core);
+      if (r.ok()) {
+        return r;
+      }
+    }
+  }
+  return AllocError::kNoMemory;
+}
+
+void GuestVm::MaybeReclaimToWatermark(unsigned core) {
+  if (watermark_resync_countdown_ == 0) {
+    approx_free_frames_ = FreeFrames();  // periodic exact resync
+    watermark_resync_countdown_ = 4096;
+  }
+  --watermark_resync_countdown_;
+  const uint64_t low_watermark = std::max<uint64_t>(total_frames_ / 64,
+                                                    kReclaimBatchFrames);
+  int rounds = 8;
+  while (approx_free_frames_ < low_watermark && !cache_frames_.empty() &&
+         rounds-- > 0) {
+    CacheDrop(kReclaimBatchFrames * kFrameSize, core);
+    ++cache_evictions_;
+    watermark_resync_countdown_ = 0;  // state changed: resync next time
+    approx_free_frames_ = FreeFrames();
+  }
+}
+
+Result<FrameId> GuestVm::Alloc(unsigned order, AllocType type,
+                               unsigned core, bool allow_oom_notify) {
+  MaybeReclaimToWatermark(core);
+  for (int round = 0; round < 64; ++round) {
+    const Result<FrameId> r = AllocFromZones(order, type, core);
+    if (r.ok()) {
+      alloc_order_[*r] = static_cast<uint8_t>(
+          (order + 1) | (type == AllocType::kUnmovable ? 0x80 : 0));
+      approx_free_frames_ -= std::min<uint64_t>(approx_free_frames_,
+                                                1ull << order);
+      if (aux_ != nullptr) {
+        AuxAfterAlloc(*r, order);
+      }
+      return r;
+    }
+    // Direct reclaim: evict page cache and retry. Higher orders also
+    // purge allocator caches, since reclaim alone rarely forms
+    // contiguity.
+    if (cache_frames_.empty()) {
+      break;
+    }
+    const uint64_t batch =
+        std::max<uint64_t>(kReclaimBatchFrames, 4ull << order);
+    CacheDrop(batch * kFrameSize, core);
+    ++cache_evictions_;
+    if (order > 0 && round >= 1) {
+      PurgeAllocatorCaches();
+    }
+  }
+  // One last attempt with drained allocator caches.
+  PurgeAllocatorCaches();
+  const Result<FrameId> r = AllocFromZones(order, type, core);
+  if (r.ok()) {
+    alloc_order_[*r] = static_cast<uint8_t>(
+        (order + 1) | (type == AllocType::kUnmovable ? 0x80 : 0));
+    approx_free_frames_ -= std::min<uint64_t>(approx_free_frames_,
+                                              1ull << order);
+    if (aux_ != nullptr) {
+      AuxAfterAlloc(*r, order);
+    }
+    return r;
+  }
+  // "Costly" orders (> 3, e.g. THP) fail gracefully — callers fall back
+  // to base pages. Only low-order failures are out-of-memory situations.
+  if (order <= 3) {
+    // Deflate-on-OOM (virtio-balloon feature): give the balloon a chance
+    // to release memory before declaring OOM.
+    if (allow_oom_notify && oom_notifier_ && !in_oom_notifier_) {
+      in_oom_notifier_ = true;
+      const bool freed = oom_notifier_();
+      in_oom_notifier_ = false;
+      if (freed) {
+        const Result<FrameId> retry = AllocFromZones(order, type, core);
+        if (retry.ok()) {
+          alloc_order_[*retry] = static_cast<uint8_t>(
+              (order + 1) | (type == AllocType::kUnmovable ? 0x80 : 0));
+          approx_free_frames_ -= std::min<uint64_t>(approx_free_frames_,
+                                                    1ull << order);
+          if (aux_ != nullptr) {
+            AuxAfterAlloc(*retry, order);
+          }
+          return retry;
+        }
+      }
+    }
+    ++oom_events_;
+  }
+  return AllocError::kNoMemory;
+}
+
+void GuestVm::AttachAuxBridge(hv::AuxState* aux,
+                              std::function<void(HugeId)> install) {
+  HA_CHECK(aux != nullptr);
+  HA_CHECK(aux->size() == HugesForFrames(total_frames_));
+  aux_ = aux;
+  aux_install_ = std::move(install);
+}
+
+void GuestVm::AuxAfterAlloc(FrameId frame, unsigned order) {
+  const HugeId first = FrameToHuge(frame);
+  const HugeId last = FrameToHuge(frame + (1ull << order) - 1);
+  for (HugeId h = first; h <= last; ++h) {
+    aux_->SetAllocated(h);
+    if (aux_->Evicted(h)) {
+      // DMA safety: block until the hypervisor installed the frame.
+      aux_install_(h);
+    }
+  }
+}
+
+void GuestVm::AuxAfterFree(FrameId frame, unsigned order) {
+  Zone& zone = ZoneOf(frame);
+  if (zone.buddy == nullptr) {
+    return;  // LLFree guests carry A in their own area index
+  }
+  const HugeId first = FrameToHuge(frame);
+  const HugeId last = FrameToHuge(frame + (1ull << order) - 1);
+  for (HugeId h = first; h <= last; ++h) {
+    const HugeId local = h - FrameToHuge(zone.start);
+    if (zone.buddy->UsedFramesInBlock(local) == 0) {
+      aux_->ClearAllocated(h);
+    }
+  }
+}
+
+void GuestVm::Free(FrameId frame, unsigned order, unsigned core) {
+  HA_CHECK(frame < total_frames_);
+  HA_CHECK((alloc_order_[frame] & 0x7fu) == order + 1);
+  alloc_order_[frame] = 0;
+  approx_free_frames_ += 1ull << order;
+  ZoneFree(ZoneOf(frame), frame, order, core);
+  if (aux_ != nullptr) {
+    AuxAfterFree(frame, order);
+  }
+}
+
+bool GuestVm::PopulateFrames(FrameId first, uint64_t count) {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const uint64_t missing = count - ept_.CountMapped(first, count);
+    if (missing == 0) {
+      return true;
+    }
+    if (ept_.Map(first, count) != hv::Ept::kNoHostMemory) {
+      return true;
+    }
+    if (!host_pressure_ || !host_pressure_(missing)) {
+      break;
+    }
+  }
+  HA_CHECK(host_pressure_ != nullptr);  // without swap, exhaustion is fatal
+  return false;
+}
+
+void GuestVm::Touch(FrameId first, uint64_t count) {
+  HA_CHECK(first + count <= total_frames_);
+  const sim::Time start = sim_->now();
+  sim::Time cost = 0;
+  uint64_t populated_bytes = 0;
+
+  FrameId frame = first;
+  const FrameId end = first + count;
+  while (frame < end) {
+    const HugeId huge = FrameToHuge(frame);
+    const FrameId huge_base = HugeToFrame(huge);
+    const FrameId huge_end = std::min<FrameId>(huge_base + kFramesPerHuge,
+                                               total_frames_);
+    const FrameId chunk_end = std::min(huge_end, end);
+    const uint64_t chunk = chunk_end - frame;
+
+    const uint64_t mapped_in_huge =
+        ept_.CountMapped(huge_base, huge_end - huge_base);
+    if (mapped_in_huge == 0) {
+      // THP-style population: first touch of a fully unmapped huge frame
+      // backs the entire 2 MiB region (one EPT fault, one host huge page).
+      const uint64_t huge_frames = huge_end - huge_base;
+      PopulateFrames(huge_base, huge_frames);
+      ++ept_faults_2m_;
+      cost += costs_.ept_fault_2m_ns + huge_frames * costs_.populate_4k_ns;
+      populated_bytes += huge_frames * kFrameSize;
+    } else if (mapped_in_huge < huge_end - huge_base) {
+      // Partially backed huge frame: missing 4 KiB pages fault
+      // individually.
+      const uint64_t missing = chunk - ept_.CountMapped(frame, chunk);
+      if (missing > 0) {
+        PopulateFrames(frame, chunk);
+        ept_faults_4k_ += missing;
+        cost += missing * (costs_.ept_fault_4k_ns + costs_.populate_4k_ns);
+        populated_bytes += missing * kFrameSize;
+      }
+    }
+    if (fault_surcharge_) {
+      cost += fault_surcharge_(frame, chunk);  // swap-in reads
+    }
+    cost += chunk * costs_.touch_4k_ns;  // the write itself (17 GiB/s)
+    // Expose the access to the hypervisor via the shared hotness hint
+    // (6): one relaxed check + rare CAS per 2 MiB of traffic.
+    {
+      Zone& zone = ZoneOf(frame);
+      if (zone.llfree != nullptr) {
+        zone.llfree->MarkHot(FrameToHuge(frame - zone.start));
+      }
+    }
+    frame = chunk_end;
+  }
+
+  fault_time_ += cost;
+  sim_->AdvanceClock(cost);
+  if (populated_bytes > 0 && cost > 0) {
+    sink_->OnBandwidth(start, start + cost,
+                       static_cast<double>(populated_bytes) /
+                           static_cast<double>(cost));
+  }
+}
+
+bool GuestVm::DmaWrite(FrameId first, uint64_t count) {
+  HA_CHECK(first + count <= total_frames_);
+  if (iommu_ == nullptr) {
+    // Emulated device: QEMU writes through its own mapping, faulting the
+    // memory in like a CPU access — always succeeds.
+    Touch(first, count);
+    return true;
+  }
+  // Passthrough device: no IO page faults possible (§2). Every frame must
+  // already be pinned in the IOMMU.
+  for (HugeId huge = FrameToHuge(first);
+       huge <= FrameToHuge(first + count - 1); ++huge) {
+    if (!iommu_->IsPinned(huge)) {
+      return false;  // DMA transfer fails
+    }
+  }
+  return true;
+}
+
+void GuestVm::CacheAdd(uint64_t bytes, unsigned core) {
+  const uint64_t frames = FramesForBytes(bytes);
+  for (uint64_t i = 0; i < frames; ++i) {
+    const Result<FrameId> r = Alloc(0, AllocType::kMovable, core);
+    if (!r.ok()) {
+      return;  // cache fills only as far as memory allows
+    }
+    Touch(*r, 1);
+    cache_frames_.push_back(*r);
+    in_cache_[*r] = true;
+    ++cache_count_;
+  }
+}
+
+void GuestVm::CacheDrop(uint64_t bytes, unsigned core) {
+  uint64_t frames = FramesForBytes(bytes);
+  while (frames > 0 && !cache_frames_.empty()) {
+    const FrameId front = cache_frames_.front();
+    cache_frames_.pop_front();
+    if (!in_cache_[front]) {
+      continue;  // stale entry: the frame migrated away
+    }
+    in_cache_[front] = false;
+    --cache_count_;
+    Free(front, 0, core);
+    --frames;
+  }
+}
+
+void GuestVm::DropCaches(unsigned core) {
+  CacheDrop(cache_count_ * kFrameSize, core);
+}
+
+bool GuestVm::MigrateRange(FrameId first, uint64_t count, unsigned core,
+                           uint64_t* migrated) {
+  HA_CHECK(first + count <= total_frames_);
+  Zone& zone = ZoneOf(first);
+  HA_CHECK(zone.buddy != nullptr);  // compaction is a buddy-zone mechanism
+  HA_CHECK(first + count <= zone.end());
+  const sim::Time t0 = sim_->now();
+  uint64_t moved = 0;
+
+  FrameId f = first;
+  bool ok = true;
+  while (f < first + count) {
+    if (alloc_order_[f] == 0) {
+      ++f;
+      continue;
+    }
+    if (AllocUnmovableAt(f)) {
+      ok = false;  // pinned kernel memory: the range cannot be evacuated
+      break;
+    }
+    const unsigned order = AllocOrderAt(f);
+    const uint64_t size = 1ull << order;
+    const Result<FrameId> dest = Alloc(order, AllocType::kMovable, core);
+    if (!dest.ok()) {
+      ok = false;  // nowhere to migrate: the block stays partially used
+      break;
+    }
+    HA_CHECK(*dest < first || *dest >= first + count);
+    // Copy the contents (charging copy time + bus traffic) and fix up all
+    // owners of the old frame id.
+    sim_->AdvanceClock(size * costs_.migrate_4k_ns);
+    Touch(*dest, size);
+    if (in_cache_[f]) {
+      HA_CHECK(order == 0);
+      in_cache_[f] = false;
+      in_cache_[*dest] = true;
+      cache_frames_.push_back(*dest);
+    }
+    for (MigrationListener* listener : migration_listeners_) {
+      listener->OnFrameMigrated(f, *dest, order);
+    }
+    // Transfer ownership of the evacuated frames to the isolation: they
+    // are already marked allocated in the buddy, which is exactly the
+    // claimed state — releasing them to the free lists would let the
+    // allocator hand them out again (alloc_contig_range semantics).
+    alloc_order_[f] = 0;
+    moved += size;
+    f += size;
+  }
+
+  migrated_frames_ += moved;
+  if (migrated != nullptr) {
+    *migrated = moved;
+  }
+  const sim::Time t1 = sim_->now();
+  if (moved > 0 && t1 > t0) {
+    // Migration reads + writes every byte once.
+    sink_->OnBandwidth(t0, t1,
+                       2.0 * static_cast<double>(moved * kFrameSize) /
+                           static_cast<double>(t1 - t0));
+  }
+  return ok;
+}
+
+void GuestVm::PurgeAllocatorCaches() {
+  for (Zone& zone : zones_) {
+    if (zone.buddy != nullptr) {
+      zone.buddy->DrainPcp();
+    } else {
+      zone.llfree->DrainReservations();
+    }
+  }
+}
+
+void GuestVm::ReleaseIsolatedRange(FrameId first, uint64_t count) {
+  Zone& zone = ZoneOf(first);
+  HA_CHECK(zone.buddy != nullptr);
+  FrameId f = first;
+  while (f < first + count) {
+    const unsigned order = AllocOrderAt(f);
+    if (order != 0xff) {
+      f += 1ull << order;  // live allocation: leave it alone
+      continue;
+    }
+    zone.buddy->ReleaseRange(f - zone.start, 1);
+    ++f;
+  }
+}
+
+uint64_t GuestVm::FreeFrames() const {
+  uint64_t total = 0;
+  for (const Zone& zone : zones_) {
+    total += zone.buddy != nullptr ? zone.buddy->FreeFrames()
+                                   : zone.llfree->FreeFrames();
+  }
+  return total;
+}
+
+uint64_t GuestVm::FreeHugeFrames() const {
+  uint64_t total = 0;
+  for (const Zone& zone : zones_) {
+    total += zone.buddy != nullptr
+                 ? zone.buddy->FreeHugeFrames() / kFramesPerHuge
+                 : zone.llfree->FreeHugeFrames();
+  }
+  return total;
+}
+
+uint64_t GuestVm::UsedHugeBytes() const {
+  uint64_t blocks = 0;
+  for (const Zone& zone : zones_) {
+    blocks += zone.buddy != nullptr ? zone.buddy->UsedHugeBlocks()
+                                    : zone.llfree->UsedHugeAreas();
+  }
+  return blocks * kHugeSize;
+}
+
+}  // namespace hyperalloc::guest

@@ -1,0 +1,165 @@
+#include "src/hv/console.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/base/check.h"
+#include "src/base/units.h"
+
+namespace hyperalloc::hv {
+
+namespace {
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(
+                              text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+// Splits off the first whitespace-delimited word.
+std::string_view NextWord(std::string_view* text) {
+  *text = Trim(*text);
+  size_t end = 0;
+  while (end < text->size() &&
+         !std::isspace(static_cast<unsigned char>((*text)[end]))) {
+    ++end;
+  }
+  const std::string_view word = text->substr(0, end);
+  text->remove_prefix(end);
+  return word;
+}
+
+}  // namespace
+
+uint64_t ParseSize(std::string_view text) {
+  text = Trim(text);
+  if (text.empty()) {
+    return 0;
+  }
+  uint64_t multiplier = 1;
+  switch (text.back()) {
+    case 'T':
+    case 't':
+      multiplier = 1024 * kGiB;
+      text.remove_suffix(1);
+      break;
+    case 'G':
+    case 'g':
+      multiplier = kGiB;
+      text.remove_suffix(1);
+      break;
+    case 'M':
+    case 'm':
+      multiplier = kMiB;
+      text.remove_suffix(1);
+      break;
+    case 'K':
+    case 'k':
+      multiplier = kKiB;
+      text.remove_suffix(1);
+      break;
+    default:
+      break;
+  }
+  if (text.empty()) {
+    return 0;
+  }
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return 0;
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value * multiplier;
+}
+
+Console::Console(guest::GuestVm* vm, Deflator* deflator)
+    : vm_(vm), deflator_(deflator) {
+  HA_CHECK(vm != nullptr && deflator != nullptr);
+}
+
+std::string Console::Execute(std::string_view line) {
+  std::string_view rest = line;
+  const std::string_view command = NextWord(&rest);
+  if (command == "balloon") {
+    return Balloon(rest);
+  }
+  if (command == "info") {
+    const std::string_view topic = NextWord(&rest);
+    if (topic == "balloon") {
+      return InfoBalloon();
+    }
+    if (topic == "stats") {
+      return InfoStats();
+    }
+    return "unknown info topic; try 'info balloon' or 'info stats'";
+  }
+  if (command == "auto") {
+    const std::string_view mode = NextWord(&rest);
+    if (mode == "on") {
+      if (!deflator_->supports_auto()) {
+        return "error: " + std::string(deflator_->name()) +
+               " has no automatic mode";
+      }
+      deflator_->StartAuto();
+      return "automatic reclamation enabled";
+    }
+    if (mode == "off") {
+      deflator_->StopAuto();
+      return "automatic reclamation disabled";
+    }
+    return "usage: auto on|off";
+  }
+  if (command == "help") {
+    return "commands: balloon <size> | info balloon | info stats | "
+           "auto on|off | help";
+  }
+  return "unknown command '" + std::string(command) + "'; try 'help'";
+}
+
+std::string Console::Balloon(std::string_view argument) {
+  const uint64_t target = ParseSize(argument);
+  if (target == 0) {
+    return "usage: balloon <size>  (e.g. 'balloon 2G')";
+  }
+  if (target > vm_->config().memory_bytes) {
+    return "error: " + FormatBytes(target) + " exceeds the VM's " +
+           FormatBytes(vm_->config().memory_bytes);
+  }
+  if (busy_) {
+    return "error: a resize is already in progress";
+  }
+  busy_ = true;
+  deflator_->RequestLimit(target, [this] { busy_ = false; });
+  return "resizing to " + FormatBytes(target);
+}
+
+std::string Console::InfoBalloon() const {
+  // Matches QEMU's "balloon: actual=<MiB>" reply format, extended with
+  // the maximum.
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "balloon: actual=%llu max_mem=%llu",
+                static_cast<unsigned long long>(deflator_->limit_bytes() /
+                                                kMiB),
+                static_cast<unsigned long long>(
+                    vm_->config().memory_bytes / kMiB));
+  return buf;
+}
+
+std::string Console::InfoStats() const {
+  std::string reply = "rss=" + FormatBytes(vm_->rss_bytes());
+  reply += " guest-free=" + FormatBytes(vm_->FreeFrames() * kFrameSize);
+  reply += " cache=" + FormatBytes(vm_->cache_bytes());
+  reply += " reclaim-cpu=" + FormatDuration(deflator_->cpu().total());
+  return reply;
+}
+
+}  // namespace hyperalloc::hv

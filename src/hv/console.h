@@ -1,0 +1,53 @@
+// QEMU-HMP-style management console over a Deflator (paper §3.3: the
+// adaptable hard limit is "triggered from the QEMU console or QEMU's QOM
+// API"). Text commands in, text replies out — the integration surface a
+// cloud orchestrator would script against.
+//
+// Commands:
+//   balloon <size>     set the VM's memory limit (e.g. "balloon 2G",
+//                      "balloon 512M"); asynchronous, completes in
+//                      virtual time
+//   info balloon       current and maximum memory limit
+//   info stats         RSS, free guest memory, reclamation CPU time
+//   auto on|off        start/stop automatic reclamation
+//   help               command list
+#ifndef HYPERALLOC_SRC_HV_CONSOLE_H_
+#define HYPERALLOC_SRC_HV_CONSOLE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/guest/guest_vm.h"
+#include "src/hv/deflator.h"
+
+namespace hyperalloc::hv {
+
+class Console {
+ public:
+  Console(guest::GuestVm* vm, Deflator* deflator);
+
+  // Executes one command line; returns the reply text. Limit changes are
+  // kicked off asynchronously ("request queued"); run the simulation to
+  // complete them.
+  std::string Execute(std::string_view line);
+
+  // Whether a previously issued balloon command is still in flight.
+  bool busy() const { return busy_; }
+
+ private:
+  std::string Balloon(std::string_view argument);
+  std::string InfoBalloon() const;
+  std::string InfoStats() const;
+
+  guest::GuestVm* vm_;
+  Deflator* deflator_;
+  bool busy_ = false;
+};
+
+// Parses "2G", "512M", "1024K", "4096" (bytes) size arguments.
+// Returns 0 on parse failure.
+uint64_t ParseSize(std::string_view text);
+
+}  // namespace hyperalloc::hv
+
+#endif  // HYPERALLOC_SRC_HV_CONSOLE_H_

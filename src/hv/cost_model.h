@@ -1,0 +1,88 @@
+// Calibrated virtual-time costs of hypervisor/guest operations.
+//
+// Every protocol path charges these constants to the simulation clock.
+// The constants are calibrated against the per-operation rates reported in
+// the paper (§5.3, Fig. 4) — see DESIGN.md §1 "Calibration". The headline
+// ratios (e.g. HyperAlloc 362× faster than virtio-balloon at shrinking)
+// are NOT encoded anywhere; they emerge from operation counts ×
+// granularity × batching on the different code paths.
+#ifndef HYPERALLOC_SRC_HV_COST_MODEL_H_
+#define HYPERALLOC_SRC_HV_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace hyperalloc::hv {
+
+struct CostModel {
+  // --- transitions & communication -------------------------------------
+  // VM exit + KVM dispatch + QEMU user-space wakeup + resume.
+  uint64_t hypercall_ns = 2000;
+  // Processing one virtqueue descriptor element.
+  uint64_t virtqueue_element_ns = 150;
+
+  // --- host page-table manipulation (QEMU-level: madvise/DONTNEED) -----
+  // Fixed syscall + VMA-walk cost per madvise invocation.
+  uint64_t madvise_syscall_ns = 2500;
+  // TLB shootdown broadcast per unmap invocation.
+  uint64_t tlb_shootdown_ns = 1500;
+  // Incremental cost per unmapped 4 KiB page / 2 MiB huge page.
+  uint64_t madvise_per_4k_ns = 120;
+  uint64_t madvise_per_2m_ns = 5200;
+  // Remote-core interruption caused by the shootdown IPIs (charged as an
+  // aggregate load on every vCPU while unmapping runs).
+  uint64_t shootdown_allcpu_4k_ns = 1300;
+  uint64_t shootdown_allcpu_2m_ns = 1500;
+
+  // --- EPT faults & population ------------------------------------------
+  uint64_t ept_fault_4k_ns = 1500;
+  uint64_t ept_fault_2m_ns = 2600;
+  // HyperAlloc's explicit install hypercall: an EPT-fault-equivalent plus
+  // one extra KVM->QEMU context switch (paper: "about 6 percent slower").
+  uint64_t install_hypercall_2m_ns = 2750;
+  // Host-side zero + map per 4 KiB when populating fresh memory.
+  uint64_t populate_4k_ns = 700;
+  // Guest write access to a mapped 4 KiB page (17 GiB/s, §5.3).
+  uint64_t touch_4k_ns = 229;
+
+  // --- guest-side driver work --------------------------------------------
+  // Balloon driver: allocate + isolate one page for inflation.
+  uint64_t guest_alloc_4k_ns = 400;
+  uint64_t guest_alloc_2m_ns = 800;
+  uint64_t guest_free_4k_ns = 300;
+  uint64_t guest_free_2m_ns = 600;
+  // Balloon deflate: per-element return processing (QEMU + guest).
+  uint64_t balloon_deflate_4k_ns = 1100;
+  uint64_t balloon_deflate_2m_ns = 7000;
+
+  // --- virtio-mem hot(un)plug infrastructure -----------------------------
+  // Per 2 MiB block: offline/online bookkeeping, memmap updates,
+  // notifier chains — the dominant cost per the paper ("the main
+  // bottleneck in both cases appears to be the hot(un)plugging
+  // infrastructure").
+  uint64_t vmem_unplug_block_ns = 48000;
+  uint64_t vmem_plug_block_ns = 17000;
+  // Guest page migration when unplugging used subblocks (per 4 KiB:
+  // copy + remap + LRU bookkeeping).
+  uint64_t migrate_4k_ns = 1000;
+
+  // --- IOMMU / VFIO (device passthrough) ---------------------------------
+  uint64_t iommu_map_2m_ns = 25000;
+  uint64_t iommu_unmap_2m_ns = 25000;
+  uint64_t iotlb_flush_ns = 6000;
+
+  // --- HyperAlloc state transitions (shared-memory CAS paths) ------------
+  // Reclaiming one untouched huge frame: area-entry CAS + tree-counter
+  // update + R-array update (388 ns measured in the paper).
+  uint64_t ha_reclaim_state_2m_ns = 388;
+  // Returning one hard-reclaimed huge frame (229 ns in the paper).
+  uint64_t ha_return_state_2m_ns = 229;
+  // Auto-reclamation scan: per touched cache line (§3.3: 18 consecutive
+  // cache lines per GiB of guest memory).
+  uint64_t scan_cache_line_ns = 4;
+
+  static CostModel Default() { return CostModel{}; }
+};
+
+}  // namespace hyperalloc::hv
+
+#endif  // HYPERALLOC_SRC_HV_COST_MODEL_H_

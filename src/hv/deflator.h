@@ -1,0 +1,54 @@
+// Common interface of all VM de/inflation techniques (Table 1 of the
+// paper): virtio-balloon (4 KiB), virtio-balloon-huge (2 MiB, Hu et al.),
+// virtio-mem (Hildenbrand & Schulz), and HyperAlloc.
+//
+// Limit changes are *asynchronous*: the driver processes work in slices
+// interleaved with the rest of the simulation (workload events, samplers),
+// exactly as a real driver kthread interleaves with the workload. `done`
+// fires in virtual time when the request completes (possibly partially —
+// check limit_bytes()).
+#ifndef HYPERALLOC_SRC_HV_DEFLATOR_H_
+#define HYPERALLOC_SRC_HV_DEFLATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace hyperalloc::hv {
+
+// CPU-time bookkeeping for the footprint experiments (Fig. 7's user/system
+// columns): guest driver work, QEMU user-space work, and host kernel work
+// (syscalls, page faults).
+struct CpuAccounting {
+  uint64_t guest_ns = 0;
+  uint64_t host_user_ns = 0;
+  uint64_t host_sys_ns = 0;
+
+  uint64_t total() const { return guest_ns + host_user_ns + host_sys_ns; }
+};
+
+class Deflator {
+ public:
+  virtual ~Deflator() = default;
+
+  virtual const char* name() const = 0;
+  virtual bool dma_safe() const = 0;
+  virtual bool supports_auto() const = 0;
+  virtual uint64_t granularity_bytes() const = 0;
+
+  // Moves the VM's (hard) memory limit toward `bytes`; `done` fires when
+  // the operation has gone as far as it can. Must not be called while a
+  // previous request is still in flight (check busy()).
+  virtual void RequestLimit(uint64_t bytes, std::function<void()> done) = 0;
+  virtual uint64_t limit_bytes() const = 0;
+  virtual bool busy() const = 0;
+
+  // Automatic (soft) reclamation, where supported.
+  virtual void StartAuto() {}
+  virtual void StopAuto() {}
+
+  virtual const CpuAccounting& cpu() const = 0;
+};
+
+}  // namespace hyperalloc::hv
+
+#endif  // HYPERALLOC_SRC_HV_DEFLATOR_H_

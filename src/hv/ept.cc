@@ -1,0 +1,72 @@
+#include "src/hv/ept.h"
+
+#include <bit>
+
+#include "src/base/check.h"
+
+namespace hyperalloc::hv {
+
+Ept::Ept(uint64_t frames, HostMemory* host)
+    : frames_(frames), host_(host), bitmap_((frames + 63) / 64, 0) {}
+
+bool Ept::IsMapped(FrameId frame) const {
+  HA_CHECK(frame < frames_);
+  return (bitmap_[frame / 64] >> (frame % 64)) & 1;
+}
+
+uint64_t Ept::CountMapped(FrameId first, uint64_t count) const {
+  HA_CHECK(first + count <= frames_);
+  uint64_t mapped = 0;
+  // Word-wise popcount over the aligned middle; bit loop at the edges.
+  FrameId frame = first;
+  const FrameId end = first + count;
+  while (frame < end && frame % 64 != 0) {
+    mapped += (bitmap_[frame / 64] >> (frame % 64)) & 1;
+    ++frame;
+  }
+  while (frame + 64 <= end) {
+    mapped += static_cast<uint64_t>(std::popcount(bitmap_[frame / 64]));
+    frame += 64;
+  }
+  while (frame < end) {
+    mapped += (bitmap_[frame / 64] >> (frame % 64)) & 1;
+    ++frame;
+  }
+  return mapped;
+}
+
+uint64_t Ept::Map(FrameId first, uint64_t count) {
+  HA_CHECK(first + count <= frames_);
+  const uint64_t missing = count - CountMapped(first, count);
+  if (missing == 0) {
+    return 0;
+  }
+  if (host_ != nullptr && !host_->Reserve(missing)) {
+    return kNoHostMemory;
+  }
+  for (FrameId frame = first; frame < first + count; ++frame) {
+    bitmap_[frame / 64] |= 1ull << (frame % 64);
+  }
+  mapped_ += missing;
+  ++total_map_ops_;
+  return missing;
+}
+
+uint64_t Ept::Unmap(FrameId first, uint64_t count) {
+  HA_CHECK(first + count <= frames_);
+  const uint64_t present = CountMapped(first, count);
+  if (present == 0) {
+    return 0;
+  }
+  for (FrameId frame = first; frame < first + count; ++frame) {
+    bitmap_[frame / 64] &= ~(1ull << (frame % 64));
+  }
+  mapped_ -= present;
+  if (host_ != nullptr) {
+    host_->Release(present);
+  }
+  ++total_unmap_ops_;
+  return present;
+}
+
+}  // namespace hyperalloc::hv

@@ -1,0 +1,60 @@
+// Extended page table (second-stage translation) model.
+//
+// Tracks, per 4 KiB guest-physical frame, whether it is backed by
+// host-physical memory. Mapping reserves host frames; unmapping (the
+// madvise(DONTNEED) path in the paper's QEMU prototype) releases them.
+// The VM's resident-set size — the metric all footprint experiments
+// sample — is exactly the number of mapped frames.
+#ifndef HYPERALLOC_SRC_HV_EPT_H_
+#define HYPERALLOC_SRC_HV_EPT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/hv/host_memory.h"
+
+namespace hyperalloc::hv {
+
+class Ept {
+ public:
+  // `host` may be null for standalone tests (no capacity accounting).
+  Ept(uint64_t frames, HostMemory* host);
+
+  uint64_t frames() const { return frames_; }
+  uint64_t mapped_frames() const { return mapped_; }
+  uint64_t rss_bytes() const { return mapped_ * kFrameSize; }
+
+  bool IsMapped(FrameId frame) const;
+
+  // Maps [first, first+count). Returns the number of frames that were
+  // not already mapped (those reserve host memory). Returns UINT64_MAX
+  // if the host pool is exhausted (nothing is changed in that case).
+  uint64_t Map(FrameId first, uint64_t count);
+
+  // Unmaps [first, first+count). Returns the number of frames that were
+  // mapped (those are released back to the host pool).
+  uint64_t Unmap(FrameId first, uint64_t count);
+
+  // Number of mapped frames in [first, first+count) without changing
+  // anything (used to price unmap operations that skip absent pages).
+  uint64_t CountMapped(FrameId first, uint64_t count) const;
+
+  // Lifetime fault/operation statistics.
+  uint64_t total_mapped_ops() const { return total_map_ops_; }
+  uint64_t total_unmapped_ops() const { return total_unmap_ops_; }
+
+  static constexpr uint64_t kNoHostMemory = ~0ull;
+
+ private:
+  uint64_t frames_;
+  HostMemory* host_;
+  std::vector<uint64_t> bitmap_;  // bit set = mapped
+  uint64_t mapped_ = 0;
+  uint64_t total_map_ops_ = 0;
+  uint64_t total_unmap_ops_ = 0;
+};
+
+}  // namespace hyperalloc::hv
+
+#endif  // HYPERALLOC_SRC_HV_EPT_H_

@@ -1,0 +1,51 @@
+// Host physical memory pool. VMs (their EPTs) reserve frames from this
+// pool when guest-physical memory is populated and release them when the
+// hypervisor reclaims it. The multi-VM experiment (Fig. 11) reads the
+// aggregate usage here.
+#ifndef HYPERALLOC_SRC_HV_HOST_MEMORY_H_
+#define HYPERALLOC_SRC_HV_HOST_MEMORY_H_
+
+#include <cstdint>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+
+namespace hyperalloc::hv {
+
+class HostMemory {
+ public:
+  explicit HostMemory(uint64_t total_frames) : total_(total_frames) {}
+
+  uint64_t total_frames() const { return total_; }
+  uint64_t used_frames() const { return used_; }
+  uint64_t free_frames() const { return total_ - used_; }
+  uint64_t used_bytes() const { return used_ * kFrameSize; }
+
+  // Peak usage high-water mark (Fig. 11 "peak memory demand").
+  uint64_t peak_frames() const { return peak_; }
+
+  bool Reserve(uint64_t frames) {
+    if (used_ + frames > total_) {
+      return false;
+    }
+    used_ += frames;
+    if (used_ > peak_) {
+      peak_ = used_;
+    }
+    return true;
+  }
+
+  void Release(uint64_t frames) {
+    HA_CHECK(frames <= used_);
+    used_ -= frames;
+  }
+
+ private:
+  uint64_t total_;
+  uint64_t used_ = 0;
+  uint64_t peak_ = 0;
+};
+
+}  // namespace hyperalloc::hv
+
+#endif  // HYPERALLOC_SRC_HV_HOST_MEMORY_H_

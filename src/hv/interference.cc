@@ -1,0 +1,10 @@
+#include "src/hv/interference.h"
+
+namespace hyperalloc::hv {
+
+InterferenceSink& NullInterference() {
+  static InterferenceSink sink;
+  return sink;
+}
+
+}  // namespace hyperalloc::hv

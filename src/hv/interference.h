@@ -1,0 +1,48 @@
+// Interface through which protocol operations report the side effects that
+// slow down a running guest: stolen vCPU time (driver kthreads), memory-bus
+// traffic (population, migration), and TLB-shootdown IPIs. The STREAM/FTQ
+// harnesses implement this to translate reclamation activity into workload
+// slowdowns; batch benchmarks use the default no-op implementation.
+#ifndef HYPERALLOC_SRC_HV_INTERFERENCE_H_
+#define HYPERALLOC_SRC_HV_INTERFERENCE_H_
+
+#include "src/sim/simulation.h"
+
+namespace hyperalloc::hv {
+
+class InterferenceSink {
+ public:
+  virtual ~InterferenceSink() = default;
+
+  // A guest kernel thread consumed `fraction` of vCPU `cpu` in [t0, t1).
+  virtual void OnCpuSteal(unsigned cpu, sim::Time t0, sim::Time t1,
+                          double fraction) {
+    (void)cpu;
+    (void)t0;
+    (void)t1;
+    (void)fraction;
+  }
+
+  // Host or guest activity moved `bytes_per_ns` of memory traffic during
+  // [t0, t1), competing with the workload for memory bandwidth.
+  virtual void OnBandwidth(sim::Time t0, sim::Time t1, double bytes_per_ns) {
+    (void)t0;
+    (void)t1;
+    (void)bytes_per_ns;
+  }
+
+  // Broadcast interruptions (aggregated TLB-shootdown IPIs): every vCPU
+  // loses `fraction` of its capacity during [t0, t1).
+  virtual void OnAllCpusSteal(sim::Time t0, sim::Time t1, double fraction) {
+    (void)t0;
+    (void)t1;
+    (void)fraction;
+  }
+};
+
+// Shared no-op sink for harnesses that do not model interference.
+InterferenceSink& NullInterference();
+
+}  // namespace hyperalloc::hv
+
+#endif  // HYPERALLOC_SRC_HV_INTERFERENCE_H_

@@ -1,0 +1,76 @@
+// IOMMU (VFIO device passthrough) model.
+//
+// DMA-capable devices cannot take IO page faults (paper §2), so every
+// guest-physical frame a device may target must be mapped and *pinned* in
+// the IOMMU page tables before the DMA happens. We track pinning at
+// 2 MiB granularity (HyperAlloc maps/unmaps huge frames; virtio-mem
+// pre-populates whole blocks). DmaAccessOk() is the DMA-safety oracle the
+// tests and the device-passthrough example use.
+#ifndef HYPERALLOC_SRC_HV_IOMMU_H_
+#define HYPERALLOC_SRC_HV_IOMMU_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+
+namespace hyperalloc::hv {
+
+class Iommu {
+ public:
+  explicit Iommu(uint64_t frames)
+      : num_huge_(HugesForFrames(frames)),
+        pinned_((num_huge_ + 63) / 64, 0) {}
+
+  uint64_t num_huge() const { return num_huge_; }
+  uint64_t pinned_huge() const { return pinned_count_; }
+
+  bool IsPinned(HugeId huge) const {
+    HA_CHECK(huge < num_huge_);
+    return (pinned_[huge / 64] >> (huge % 64)) & 1;
+  }
+
+  // Returns true if the state changed.
+  bool Pin(HugeId huge) {
+    HA_CHECK(huge < num_huge_);
+    if (IsPinned(huge)) {
+      return false;
+    }
+    pinned_[huge / 64] |= 1ull << (huge % 64);
+    ++pinned_count_;
+    ++map_ops_;
+    return true;
+  }
+
+  bool Unpin(HugeId huge) {
+    HA_CHECK(huge < num_huge_);
+    if (!IsPinned(huge)) {
+      return false;
+    }
+    pinned_[huge / 64] &= ~(1ull << (huge % 64));
+    --pinned_count_;
+    ++unmap_ops_;
+    ++iotlb_flushes_;
+    return true;
+  }
+
+  // Would a DMA transfer targeting `frame` succeed? (No IO page faults.)
+  bool DmaAccessOk(FrameId frame) const { return IsPinned(FrameToHuge(frame)); }
+
+  uint64_t map_ops() const { return map_ops_; }
+  uint64_t unmap_ops() const { return unmap_ops_; }
+  uint64_t iotlb_flushes() const { return iotlb_flushes_; }
+
+ private:
+  uint64_t num_huge_;
+  std::vector<uint64_t> pinned_;
+  uint64_t pinned_count_ = 0;
+  uint64_t map_ops_ = 0;
+  uint64_t unmap_ops_ = 0;
+  uint64_t iotlb_flushes_ = 0;
+};
+
+}  // namespace hyperalloc::hv
+
+#endif  // HYPERALLOC_SRC_HV_IOMMU_H_

@@ -1,0 +1,105 @@
+#include "src/hv/market.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/check.h"
+
+namespace hyperalloc::hv {
+
+MemoryMarket::MemoryMarket(sim::Simulation* sim, HostMemory* host,
+                           const MarketConfig& config)
+    : sim_(sim), host_(host), config_(config),
+      price_(config.base_price) {
+  HA_CHECK(sim != nullptr && host != nullptr);
+  HA_CHECK(config.base_price > 0.0);
+}
+
+size_t MemoryMarket::Register(guest::GuestVm* vm, Deflator* deflator,
+                              double budget_per_s) {
+  HA_CHECK(vm != nullptr && deflator != nullptr);
+  HA_CHECK(budget_per_s > 0.0);
+  tenants_.push_back({vm, deflator, budget_per_s});
+  return tenants_.size() - 1;
+}
+
+double MemoryMarket::PriceForUtilization(double utilization) const {
+  utilization = std::clamp(utilization, 0.0, 0.99);
+  const double price =
+      config_.base_price /
+      std::pow(1.0 - utilization, config_.scarcity_exponent);
+  return std::min(price, config_.max_price);
+}
+
+void MemoryMarket::Tick() {
+  const sim::Time now = sim_->now();
+  const double dt_s =
+      static_cast<double>(now - last_tick_) / static_cast<double>(sim::kSec);
+  last_tick_ = now;
+
+  // Spot price from host scarcity.
+  price_ = PriceForUtilization(static_cast<double>(host_->used_frames()) /
+                               static_cast<double>(host_->total_frames()));
+
+  for (Tenant& tenant : tenants_) {
+    // Bill the elapsed interval at the *previous* limit (GiB-seconds).
+    const double limit_gib =
+        static_cast<double>(tenant.deflator->limit_bytes()) /
+        static_cast<double>(kGiB);
+    tenant.billed += limit_gib * price_ * dt_s;
+
+    // What the tenant wants vs what it can afford at this price. Guest
+    // usage is the current limit minus what is still free inside the
+    // guest (hypervisor-reclaimed frames are *not* demand).
+    const uint64_t free_bytes = tenant.vm->FreeFrames() * kFrameSize;
+    const uint64_t limit_now = tenant.deflator->limit_bytes();
+    const uint64_t used =
+        limit_now > free_bytes ? limit_now - free_bytes : 0;
+    const uint64_t demand = used + config_.headroom_bytes;
+    const uint64_t affordable = static_cast<uint64_t>(
+        tenant.budget_per_s / price_ * static_cast<double>(kGiB));
+    uint64_t target = std::min(demand, affordable);
+    target = std::clamp(target, config_.min_limit_bytes,
+                        tenant.vm->config().memory_bytes);
+    // Hysteresis: move only on meaningful change, and never preempt an
+    // in-flight resize.
+    const uint64_t current = tenant.deflator->limit_bytes();
+    const uint64_t delta =
+        target > current ? target - current : current - target;
+    if (delta >= 256 * kMiB && !tenant.deflator->busy()) {
+      tenant.deflator->RequestLimit(target, nullptr);
+    }
+  }
+}
+
+void MemoryMarket::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  last_tick_ = sim_->now();
+  ScheduleNext();
+}
+
+void MemoryMarket::ScheduleNext() {
+  sim_->After(config_.period, [this] {
+    if (running_) {
+      Tick();
+      ScheduleNext();
+    }
+  });
+}
+
+void MemoryMarket::Stop() { running_ = false; }
+
+double MemoryMarket::BilledCredits(size_t tenant) const {
+  HA_CHECK(tenant < tenants_.size());
+  return tenants_[tenant].billed;
+}
+
+uint64_t MemoryMarket::CurrentLimit(size_t tenant) const {
+  HA_CHECK(tenant < tenants_.size());
+  return tenants_[tenant].deflator->limit_bytes();
+}
+
+}  // namespace hyperalloc::hv

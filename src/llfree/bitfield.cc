@@ -1,0 +1,142 @@
+#include "src/llfree/bitfield.h"
+
+#include <bit>
+
+#include "src/base/check.h"
+
+namespace hyperalloc::llfree {
+
+std::optional<unsigned> AreaBits::Set(unsigned order, unsigned start_hint) {
+  HA_CHECK(order <= kMaxBitfieldOrder);
+  if (order > kMaxSingleWordOrder) {
+    return SetMultiWord(order);
+  }
+  const unsigned run = 1u << order;
+  const uint64_t mask = (order == 6) ? ~0ull : ((1ull << run) - 1);
+  const unsigned first_word = (start_hint / 64) % kWordsPerArea;
+
+  for (unsigned i = 0; i < kWordsPerArea; ++i) {
+    const unsigned w = (first_word + i) % kWordsPerArea;
+    std::atomic<uint64_t>& word = words_[w];
+    uint64_t current = word.load(std::memory_order_acquire);
+    for (;;) {
+      // Find an aligned zero run in `current`.
+      int shift = -1;
+      for (unsigned pos = 0; pos < 64; pos += run) {
+        if ((current & (mask << pos)) == 0) {
+          shift = static_cast<int>(pos);
+          break;
+        }
+      }
+      if (shift < 0) {
+        break;  // word full for this order; next word
+      }
+      const uint64_t desired = current | (mask << shift);
+      if (word.compare_exchange_weak(current, desired,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+        return w * 64 + static_cast<unsigned>(shift);
+      }
+      // CAS failed: `current` reloaded; retry within this word.
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<unsigned> AreaBits::SetMultiWord(unsigned order) {
+  // Orders 7..8 cover 2/4 naturally aligned whole words. Claim the run
+  // word-by-word (each word 0 -> ~0); on a conflict, roll back the words
+  // already taken. Lock-free: every step is a CAS, rollback cannot fail.
+  const unsigned words_per_run = (1u << order) / 64;
+  for (unsigned base = 0; base + words_per_run <= kWordsPerArea;
+       base += words_per_run) {
+    unsigned claimed = 0;
+    for (; claimed < words_per_run; ++claimed) {
+      uint64_t expected = 0;
+      if (!words_[base + claimed].compare_exchange_strong(
+              expected, ~0ull, std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        break;
+      }
+    }
+    if (claimed == words_per_run) {
+      return base * 64;
+    }
+    while (claimed-- > 0) {
+      words_[base + claimed].store(0, std::memory_order_release);
+    }
+  }
+  return std::nullopt;
+}
+
+bool AreaBits::Clear(unsigned offset, unsigned order) {
+  HA_CHECK(order <= kMaxBitfieldOrder);
+  const unsigned run = 1u << order;
+  HA_CHECK(offset % run == 0);
+  HA_CHECK(offset + run <= kFramesPerHuge);
+  if (order > kMaxSingleWordOrder) {
+    // Verify the whole run is set, then release word-by-word.
+    const unsigned words_per_run = run / 64;
+    const unsigned base = offset / 64;
+    for (unsigned w = 0; w < words_per_run; ++w) {
+      if (words_[base + w].load(std::memory_order_acquire) != ~0ull) {
+        return false;  // double free
+      }
+    }
+    for (unsigned w = 0; w < words_per_run; ++w) {
+      words_[base + w].store(0, std::memory_order_release);
+    }
+    return true;
+  }
+  const uint64_t mask = (order == 6) ? ~0ull : ((1ull << run) - 1);
+  const unsigned w = offset / 64;
+  const unsigned shift = offset % 64;
+
+  std::atomic<uint64_t>& word = words_[w];
+  uint64_t current = word.load(std::memory_order_acquire);
+  for (;;) {
+    if ((current & (mask << shift)) != (mask << shift)) {
+      return false;  // double free (some bit already clear)
+    }
+    const uint64_t desired = current & ~(mask << shift);
+    if (word.compare_exchange_weak(current, desired,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+      return true;
+    }
+  }
+}
+
+bool AreaBits::IsFree(unsigned offset, unsigned order) const {
+  const unsigned run = 1u << order;
+  HA_CHECK(order <= kMaxBitfieldOrder);
+  HA_CHECK(offset % run == 0 && offset + run <= kFramesPerHuge);
+  if (order > kMaxSingleWordOrder) {
+    for (unsigned w = offset / 64; w < (offset + run) / 64; ++w) {
+      if (words_[w].load(std::memory_order_acquire) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+  const uint64_t mask = (order == 6) ? ~0ull : ((1ull << run) - 1);
+  const uint64_t word = words_[offset / 64].load(std::memory_order_acquire);
+  return (word & (mask << (offset % 64))) == 0;
+}
+
+unsigned AreaBits::CountSet() const {
+  unsigned total = 0;
+  for (unsigned w = 0; w < kWordsPerArea; ++w) {
+    total += static_cast<unsigned>(
+        std::popcount(words_[w].load(std::memory_order_relaxed)));
+  }
+  return total;
+}
+
+void AreaBits::FillAll() {
+  for (unsigned w = 0; w < kWordsPerArea; ++w) {
+    words_[w].store(~0ull, std::memory_order_release);
+  }
+}
+
+}  // namespace hyperalloc::llfree

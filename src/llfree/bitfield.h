@@ -1,0 +1,56 @@
+// Lock-free bit field covering one LLFree area (512 base frames = eight
+// 64-bit words = one cache line). Bit = 1 means the base frame is
+// allocated. Allocations of order 0..6 are naturally aligned runs within
+// a single word and therefore single-CAS transactions.
+#ifndef HYPERALLOC_SRC_LLFREE_BITFIELD_H_
+#define HYPERALLOC_SRC_LLFREE_BITFIELD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "src/base/types.h"
+
+namespace hyperalloc::llfree {
+
+inline constexpr unsigned kWordsPerArea = kFramesPerHuge / 64;  // 8
+// Orders 0..6 fit in one 64-bit word (single-CAS transactions); orders
+// 7..8 span 2/4 whole words and are claimed word-by-word with rollback;
+// order 9 is handled by the area entry's allocated flag and never touches
+// the bit field.
+inline constexpr unsigned kMaxBitfieldOrder = 8;
+inline constexpr unsigned kMaxSingleWordOrder = 6;
+
+// A view over the 8 words of one area within the global bitfield array.
+class AreaBits {
+ public:
+  explicit AreaBits(std::atomic<uint64_t>* words) : words_(words) {}
+
+  // Finds and claims a naturally aligned run of 2^order zero bits.
+  // `start_hint` is a frame offset within the area (0..511) biasing where
+  // the search begins. Returns the frame offset within the area.
+  std::optional<unsigned> Set(unsigned order, unsigned start_hint);
+
+  // Clears a previously set run. Returns false (and changes nothing) if
+  // any bit in the run was already clear — i.e. a double free.
+  bool Clear(unsigned offset, unsigned order);
+
+  // Returns true if all 2^order bits at `offset` are zero.
+  bool IsFree(unsigned offset, unsigned order) const;
+
+  // Number of set (allocated) bits in the area.
+  unsigned CountSet() const;
+
+  // Sets all 512 bits (used when the covering huge frame is carved out of
+  // a fresh area for base allocations bookkeeping — not in the hot path).
+  void FillAll();
+
+ private:
+  std::optional<unsigned> SetMultiWord(unsigned order);
+
+  std::atomic<uint64_t>* words_;
+};
+
+}  // namespace hyperalloc::llfree
+
+#endif  // HYPERALLOC_SRC_LLFREE_BITFIELD_H_

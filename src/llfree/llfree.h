@@ -1,0 +1,265 @@
+// LLFree — a lock-free, pointer-free page-frame allocator (Wrenger et al.,
+// USENIX ATC '23), extended with HyperAlloc's bilateral operations
+// (paper §3–4): evicted hints, per-type tree reservations, and host-side
+// reclaim / return / install transitions.
+//
+// The allocator state (bit field, area index, tree index) lives in a
+// SharedState object that contains only densely packed atomic arrays —
+// no pointers — so that a hypervisor view (a second LLFree object over the
+// same SharedState) can locate and modify any entry via offset arithmetic,
+// exactly as the QEMU monitor maps the guest's allocator state in the
+// paper ("Locating the Allocator State", §4.2).
+#ifndef HYPERALLOC_SRC_LLFREE_LLFREE_H_
+#define HYPERALLOC_SRC_LLFREE_LLFREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+#include "src/llfree/bitfield.h"
+#include "src/llfree/entries.h"
+
+namespace hyperalloc::llfree {
+
+struct Config {
+  enum class ReservationMode {
+    kPerCore,  // original LLFree: one reserved tree per core
+    kPerType,  // HyperAlloc variant (§4.2): one global reservation per
+               // allocation type (unmovable / movable / huge)
+  };
+
+  ReservationMode mode = ReservationMode::kPerType;
+  // Number of reservation slots in per-core mode.
+  unsigned cores = 1;
+  // Areas per tree: 8 (16 MiB) for the HyperAlloc variant, 32 (64 MiB)
+  // for the original LLFree.
+  unsigned areas_per_tree = 8;
+  // HyperAlloc allocation policy: prefer frames that are still backed by
+  // host memory over evicted ones.
+  bool prefer_non_evicted = true;
+
+  unsigned NumSlots() const {
+    return mode == ReservationMode::kPerCore ? cores : kNumAllocTypes;
+  }
+};
+
+// The shareable allocator state. In the real system this is guest memory
+// communicated to QEMU via virtio at boot; here it is a heap object that
+// both the guest-side and the monitor-side LLFree views reference.
+class SharedState {
+ public:
+  // `frames` must be a multiple of 512 (whole huge frames).
+  SharedState(uint64_t frames, const Config& config);
+
+  SharedState(const SharedState&) = delete;
+  SharedState& operator=(const SharedState&) = delete;
+
+  uint64_t frames() const { return frames_; }
+  uint64_t num_areas() const { return num_areas_; }
+  uint64_t num_trees() const { return num_trees_; }
+  const Config& config() const { return config_; }
+
+  // Raw state arrays. The auto-reclamation scan (src/core) reads the area
+  // array directly to count touched cache lines (paper §3.3).
+  std::atomic<uint16_t>* areas() { return areas_.get(); }
+  std::atomic<uint32_t>* trees() { return trees_.get(); }
+  std::atomic<uint64_t>* bitfield() { return bitfield_.get(); }
+  std::atomic<uint64_t>* reservations() { return reservations_.get(); }
+
+  // Size in bytes of the hypervisor-shared portion (bit field + indexes),
+  // for the scan-cost analysis.
+  uint64_t SharedBytes() const;
+
+ private:
+  friend class LLFree;
+
+  uint64_t frames_;
+  uint64_t num_areas_;
+  uint64_t num_trees_;
+  Config config_;
+
+  std::unique_ptr<std::atomic<uint64_t>[]> bitfield_;
+  std::unique_ptr<std::atomic<uint16_t>[]> areas_;
+  std::unique_ptr<std::atomic<uint32_t>[]> trees_;
+  std::unique_ptr<std::atomic<uint64_t>[]> reservations_;
+  // Per-slot search hints (not part of the shared protocol state).
+  std::unique_ptr<std::atomic<uint64_t>[]> tree_hints_;
+};
+
+// A view over a SharedState. Guest and monitor each construct their own
+// LLFree over the same state; all operations are lock-free atomic
+// transactions on the shared arrays.
+class LLFree {
+ public:
+  // Invoked when the guest allocates frames inside an evicted huge frame.
+  // The handler must make the frame host-backed and is expected to clear
+  // the evicted hint (monitor install path, §3.2 "Return and Install").
+  // The allocation blocks until the handler returns (DMA safety).
+  using InstallHandler = std::function<void(HugeId)>;
+
+  explicit LLFree(SharedState* state);
+
+  LLFree(const LLFree&) = delete;
+  LLFree& operator=(const LLFree&) = delete;
+
+  const SharedState& state() const { return *state_; }
+  const Config& config() const { return state_->config(); }
+  uint64_t frames() const { return state_->frames(); }
+  uint64_t num_areas() const { return state_->num_areas(); }
+  uint64_t num_trees() const { return state_->num_trees(); }
+
+  void SetInstallHandler(InstallHandler handler) {
+    install_handler_ = std::move(handler);
+  }
+
+  // ------------------------------------------------------------------
+  // Guest-side API
+  // ------------------------------------------------------------------
+
+  // Allocates 2^order naturally aligned base frames. Supported orders:
+  // 0..6 (single bit-field word), 7..8 (whole-word runs), and 9 (huge
+  // frame via the area entry's allocated flag). Returns the first frame
+  // of the run.
+  Result<FrameId> Get(unsigned core, unsigned order, AllocType type);
+
+  // Frees a previous allocation. Returns kInvalid on double free or
+  // out-of-range frames.
+  std::optional<AllocError> Put(FrameId frame, unsigned order);
+
+  // Returns reserved (cached) frames to the global tree counters —
+  // the guest's reaction to the hypervisor's "cache purge" request when
+  // shrinking the hard limit (§3.3).
+  void DrainReservations();
+
+  // ------------------------------------------------------------------
+  // Bilateral (hypervisor-side) API — §3.2 state transitions
+  // ------------------------------------------------------------------
+
+  // Finds the next fully free, non-evicted huge frame at or after
+  // `start_hint` (wrapping) and atomically transitions it:
+  //   hard:  (A<-1, E<-1)  frame removed from the guest's usable memory
+  //   soft:  (A=0,  E<-1)  frame stays allocatable but needs install
+  // Skips areas whose tree is currently reserved by the guest, unless
+  // `allow_reserved`. Returns the reclaimed huge frame.
+  std::optional<HugeId> ReclaimHuge(HugeId start_hint, bool hard,
+                                    bool allow_reserved = false);
+
+  // Targeted variants for the monitor's own scan loops. Both require the
+  // area to currently be a free, non-evicted huge frame; they return
+  // false (changing nothing) otherwise.
+  bool TrySoftReclaim(HugeId huge);
+  bool TryHardReclaim(HugeId huge, bool allow_reserved = false);
+
+  // Hard-reclaimed -> soft-reclaimed (host "return" operation): clears A,
+  // keeps E, and re-credits the tree counter.
+  bool MarkReturned(HugeId huge);
+
+  // Clears the evicted hint after the host installed backing memory.
+  bool ClearEvicted(HugeId huge);
+
+  // Sets the evicted hint (soft reclaim of an already-free frame whose
+  // area entry the caller has already validated; also used in tests).
+  bool SetEvicted(HugeId huge);
+
+  // ------------------------------------------------------------------
+  // Hotness hints (§6) — guest-side access marking and host-side aging
+  // ------------------------------------------------------------------
+
+  // Guest: marks the huge frame as recently accessed (H <- max).
+  void MarkHot(HugeId huge);
+  // Host: decays one hotness level (a periodic aging pass). Returns the
+  // hotness *before* aging.
+  uint8_t AgeHotness(HugeId huge);
+  uint8_t HotnessOf(HugeId huge) const { return ReadArea(huge).hotness; }
+
+  // ------------------------------------------------------------------
+  // Introspection
+  // ------------------------------------------------------------------
+
+  AreaEntry ReadArea(HugeId huge) const;
+  TreeEntry ReadTree(uint64_t tree) const;
+  Reservation ReadReservation(unsigned slot) const;
+
+  // Exact counts (iterate the area index).
+  uint64_t FreeFrames() const;
+  uint64_t AllocatedFrames() const { return frames() - FreeFrames(); }
+  // Fully free huge frames; `include_evicted` selects whether evicted
+  // (soft-reclaimed) ones count.
+  uint64_t FreeHugeFrames(bool include_evicted = true) const;
+  // Areas that are (partially) used — the "huge" curve of Fig. 8.
+  uint64_t UsedHugeAreas() const;
+  uint64_t EvictedAreas() const;
+
+  // Frames per tree (the last tree may be shorter).
+  uint64_t TreeCapacity(uint64_t tree) const;
+
+  // Validates cross-level counter/bit-field consistency. Only meaningful
+  // at quiescence (no concurrent operations). Returns false and prints
+  // the first violation to stderr if inconsistent.
+  bool Validate() const;
+
+  // Crash recovery (LLFree is designed to be optionally persistent): the
+  // bit field and the huge-allocated flags are the authoritative state;
+  // free counters and tree entries are caches that this rebuilds after a
+  // crash or corruption. Reservations are cleared, reserved flags
+  // dropped, evicted hints and tree types preserved. Returns the number
+  // of repaired index entries. Quiescent use only.
+  uint64_t Recover();
+
+ private:
+  static constexpr unsigned kMaxReserveAttempts = 16;
+
+  unsigned SlotFor(unsigned core, AllocType type) const;
+  AreaBits BitsOf(uint64_t area) const;
+  uint64_t TreeOf(uint64_t area) const {
+    return area / config().areas_per_tree;
+  }
+  uint64_t FirstAreaOf(uint64_t tree) const {
+    return tree * config().areas_per_tree;
+  }
+  uint64_t AreasInTree(uint64_t tree) const;
+
+  // Attempts to take `need` frames from the slot's local counter,
+  // re-stealing from the reserved tree's global counter when the local
+  // counter runs dry. Returns the reserved tree index on success.
+  std::optional<uint64_t> TakeFromReservation(unsigned slot, unsigned need);
+
+  // Returns `need` frames: to the slot's reservation if it still points
+  // at `tree`, otherwise to the tree's global counter.
+  void GiveBack(unsigned slot, uint64_t tree, unsigned need);
+
+  // Reserves a new tree for `slot` (preference order per §4.1/§4.2) and
+  // moves its free counter into the local reservation, pre-charging
+  // `need` frames. `avoid` is a tree to skip (just searched, failed).
+  bool ReserveNewTree(unsigned slot, AllocType type, unsigned need,
+                      std::optional<uint64_t> avoid);
+
+  // Claims 2^order frames inside `tree`. Two internal passes: non-evicted
+  // areas first (if configured), then evicted ones (triggering install).
+  std::optional<FrameId> SearchTree(uint64_t tree, unsigned order);
+
+  // Claims one huge frame inside `tree` (area allocated flag).
+  std::optional<FrameId> SearchTreeHuge(uint64_t tree);
+
+  // Pressure fallback: steals directly from tree counters, ignoring the
+  // reserved flag, when no tree can be reserved for the slot.
+  Result<FrameId> GetFallback(unsigned order, bool huge);
+
+  // Area-level claim helpers; return true on success.
+  bool ClaimBase(uint64_t area, unsigned order, FrameId* out);
+  bool ClaimHuge(uint64_t area);
+
+  void TriggerInstall(HugeId huge);
+
+  SharedState* state_;
+  InstallHandler install_handler_;
+};
+
+}  // namespace hyperalloc::llfree
+
+#endif  // HYPERALLOC_SRC_LLFREE_LLFREE_H_

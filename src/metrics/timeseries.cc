@@ -1,0 +1,86 @@
+#include "src/metrics/timeseries.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/base/check.h"
+
+namespace hyperalloc::metrics {
+
+double TimeSeries::Max() const {
+  HA_CHECK(!points_.empty());
+  double max = points_[0].value;
+  for (const Point& p : points_) {
+    max = std::max(max, p.value);
+  }
+  return max;
+}
+
+double TimeSeries::Min() const {
+  HA_CHECK(!points_.empty());
+  double min = points_[0].value;
+  for (const Point& p : points_) {
+    min = std::min(min, p.value);
+  }
+  return min;
+}
+
+double TimeSeries::Last() const {
+  HA_CHECK(!points_.empty());
+  return points_.back().value;
+}
+
+double TimeSeries::IntegralPerMinute() const {
+  if (points_.size() < 2) {
+    return 0.0;
+  }
+  double integral_ns = 0.0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    const double dt = static_cast<double>(points_[i].at - points_[i - 1].at);
+    integral_ns += 0.5 * (points_[i].value + points_[i - 1].value) * dt;
+  }
+  return integral_ns / static_cast<double>(sim::kMin);
+}
+
+double TimeSeries::Mean() const {
+  HA_CHECK(points_.size() >= 2);
+  const double span =
+      static_cast<double>(points_.back().at - points_.front().at);
+  return IntegralPerMinute() * static_cast<double>(sim::kMin) / span;
+}
+
+void TimeSeries::WriteCsv(const std::string& path,
+                          const std::string& value_name) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  HA_CHECK(file != nullptr);
+  std::fprintf(file, "time_s,%s\n", value_name.c_str());
+  for (const Point& p : points_) {
+    std::fprintf(file, "%.3f,%.6f\n",
+                 static_cast<double>(p.at) / static_cast<double>(sim::kSec),
+                 p.value);
+  }
+  std::fclose(file);
+}
+
+Sampler::Sampler(sim::Simulation* sim, sim::Time interval, TimeSeries* series,
+                 std::function<double()> probe)
+    : sim_(sim), interval_(interval), series_(series),
+      probe_(std::move(probe)) {
+  HA_CHECK(sim != nullptr && series != nullptr && interval > 0);
+}
+
+void Sampler::Start() {
+  running_ = true;
+  series_->Sample(sim_->now(), probe_());
+  sim_->After(interval_, [this] { Tick(); });
+}
+
+void Sampler::Tick() {
+  if (!running_) {
+    return;
+  }
+  series_->Sample(sim_->now(), probe_());
+  sim_->After(interval_, [this] { Tick(); });
+}
+
+}  // namespace hyperalloc::metrics

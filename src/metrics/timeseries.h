@@ -1,0 +1,69 @@
+// Time-series collection and footprint metrics.
+//
+// The paper's elasticity experiments (Figs. 7–11) sample the QEMU
+// process's resident-set size at 1 Hz and integrate it into a GiB·min
+// footprint ("similar metrics are also used by cloud providers (e.g., AWS
+// Lambda) to price memory usage").
+#ifndef HYPERALLOC_SRC_METRICS_TIMESERIES_H_
+#define HYPERALLOC_SRC_METRICS_TIMESERIES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace hyperalloc::metrics {
+
+class TimeSeries {
+ public:
+  struct Point {
+    sim::Time at;
+    double value;
+  };
+
+  void Sample(sim::Time at, double value) { points_.push_back({at, value}); }
+
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  double Max() const;
+  double Min() const;
+  double Last() const;
+
+  // Trapezoidal integral of value over time, in value·minutes.
+  double IntegralPerMinute() const;
+
+  // Average value over the sampled span.
+  double Mean() const;
+
+  // Writes "time_s,value" lines (plus header) to `path`.
+  void WriteCsv(const std::string& path, const std::string& value_name) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+// Periodically samples `probe` into `series` until Stop() (or forever).
+class Sampler {
+ public:
+  Sampler(sim::Simulation* sim, sim::Time interval, TimeSeries* series,
+          std::function<double()> probe);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+ private:
+  void Tick();
+
+  sim::Simulation* sim_;
+  sim::Time interval_;
+  TimeSeries* series_;
+  std::function<double()> probe_;
+  bool running_ = false;
+};
+
+}  // namespace hyperalloc::metrics
+
+#endif  // HYPERALLOC_SRC_METRICS_TIMESERIES_H_

@@ -1,0 +1,103 @@
+#include "src/sim/capacity_timeline.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/base/check.h"
+
+namespace hyperalloc::sim {
+
+CapacityTimeline::CapacityTimeline(double base_capacity)
+    : base_(base_capacity), floor_(base_capacity * 0.02) {
+  HA_CHECK(base_capacity > 0.0);
+}
+
+void CapacityTimeline::AddLoad(Time start, Time end, double units_per_ns) {
+  HA_CHECK(start <= end);
+  if (start == end || units_per_ns <= 0.0) {
+    return;
+  }
+  deltas_[start] += units_per_ns;
+  deltas_[end] -= units_per_ns;
+}
+
+double CapacityTimeline::FlooredCapacity(double raw) const {
+  return std::max(raw, floor_);
+}
+
+double CapacityTimeline::CapacityAt(Time t) const {
+  double load = 0.0;
+  for (const auto& [at, delta] : deltas_) {
+    if (at > t) {
+      break;
+    }
+    load += delta;
+  }
+  return FlooredCapacity(base_ - load);
+}
+
+double CapacityTimeline::Integrate(Time a, Time b) const {
+  HA_CHECK(a <= b);
+  if (a == b) {
+    return 0.0;
+  }
+  double total = 0.0;
+  double load = 0.0;
+  Time cursor = a;
+  auto it = deltas_.begin();
+  // Accumulate load active before `a`.
+  for (; it != deltas_.end() && it->first <= a; ++it) {
+    load += it->second;
+  }
+  for (; it != deltas_.end() && it->first < b; ++it) {
+    total += FlooredCapacity(base_ - load) *
+             static_cast<double>(it->first - cursor);
+    cursor = it->first;
+    load += it->second;
+  }
+  total += FlooredCapacity(base_ - load) * static_cast<double>(b - cursor);
+  return total;
+}
+
+Time CapacityTimeline::ConsumeFrom(Time start, double units) const {
+  HA_CHECK(units >= 0.0);
+  if (units == 0.0) {
+    return start;
+  }
+  double load = 0.0;
+  Time cursor = start;
+  auto it = deltas_.begin();
+  for (; it != deltas_.end() && it->first <= start; ++it) {
+    load += it->second;
+  }
+  double remaining = units;
+  for (; it != deltas_.end(); ++it) {
+    const double cap = FlooredCapacity(base_ - load);
+    const double available =
+        cap * static_cast<double>(it->first - cursor);
+    if (available >= remaining) {
+      return cursor + static_cast<Time>(remaining / cap);
+    }
+    remaining -= available;
+    cursor = it->first;
+    load += it->second;
+  }
+  const double cap = FlooredCapacity(base_ - load);
+  return cursor + static_cast<Time>(remaining / cap);
+}
+
+void CapacityTimeline::TrimBefore(Time t) {
+  // Only safe to drop *balanced* prefix segments; fold them into nothing.
+  // We conservatively erase entries whose cumulative effect has ended.
+  double prefix = 0.0;
+  auto it = deltas_.begin();
+  while (it != deltas_.end() && it->first <= t) {
+    prefix += it->second;
+    ++it;
+  }
+  if (prefix == 0.0) {
+    deltas_.erase(deltas_.begin(), it);
+  }
+}
+
+}  // namespace hyperalloc::sim

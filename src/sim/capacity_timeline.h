@@ -1,0 +1,57 @@
+// Piecewise-constant capacity model for contended resources.
+//
+// A CapacityTimeline describes how much of a resource (vCPU compute,
+// memory bandwidth) is available to a consumer over virtual time. The base
+// capacity is reduced by "loads" — finite intervals during which some other
+// activity (balloon-driver inflation, virtio-mem migration, host page
+// population) competes for the resource. STREAM iterations and FTQ samples
+// integrate over this timeline to compute slowdowns.
+#ifndef HYPERALLOC_SRC_SIM_CAPACITY_TIMELINE_H_
+#define HYPERALLOC_SRC_SIM_CAPACITY_TIMELINE_H_
+
+#include <map>
+
+#include "src/sim/simulation.h"
+
+namespace hyperalloc::sim {
+
+class CapacityTimeline {
+ public:
+  // `base_capacity` is in units per nanosecond (e.g. bytes/ns for
+  // bandwidth, or 1.0 for a fully available CPU).
+  explicit CapacityTimeline(double base_capacity);
+
+  double base_capacity() const { return base_; }
+
+  // Registers a competing load of `units_per_ns` during [start, end).
+  // Capacity is clamped to >= 2 % of base so consumers always make
+  // progress (mirrors OS fairness: background work cannot fully starve
+  // a runnable thread).
+  void AddLoad(Time start, Time end, double units_per_ns);
+
+  // Available capacity at time t (>= floor).
+  double CapacityAt(Time t) const;
+
+  // Integral of available capacity over [a, b) — total units obtainable.
+  double Integrate(Time a, Time b) const;
+
+  // Starting at `start`, how long does it take to obtain `units`?
+  // Returns the completion time.
+  Time ConsumeFrom(Time start, double units) const;
+
+  // Drops all load segments that end at or before `t` (bounded memory for
+  // long-running simulations).
+  void TrimBefore(Time t);
+
+ private:
+  double FlooredCapacity(double raw) const;
+
+  double base_;
+  double floor_;
+  // Sum of active loads changes at these times (delta encoding).
+  std::map<Time, double> deltas_;
+};
+
+}  // namespace hyperalloc::sim
+
+#endif  // HYPERALLOC_SRC_SIM_CAPACITY_TIMELINE_H_

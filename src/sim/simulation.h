@@ -1,0 +1,109 @@
+// Deterministic discrete-event simulation engine.
+//
+// All protocol-level experiments (reclamation speed, STREAM/FTQ impact,
+// footprint traces) run in *virtual time*: operations charge calibrated
+// nanosecond costs (src/hv/cost_model.h) to this clock, which makes results
+// reproducible and independent of the build machine. Real data-structure
+// work (LLFree/buddy) still executes for real; only its *cost* is virtual.
+#ifndef HYPERALLOC_SRC_SIM_SIMULATION_H_
+#define HYPERALLOC_SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace hyperalloc::sim {
+
+// Virtual time in nanoseconds since simulation start.
+using Time = uint64_t;
+
+inline constexpr Time kUs = 1000;
+inline constexpr Time kMs = 1000 * kUs;
+inline constexpr Time kSec = 1000 * kMs;
+inline constexpr Time kMin = 60 * kSec;
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `fn` to run at absolute virtual time `at` (>= now).
+  void At(Time at, std::function<void()> fn) {
+    HA_CHECK(at >= now_);
+    queue_.push(Event{at, next_seq_++, std::move(fn)});
+  }
+
+  // Schedules `fn` to run `delay` nanoseconds from now.
+  void After(Time delay, std::function<void()> fn) {
+    At(now_ + delay, std::move(fn));
+  }
+
+  // Advances the clock without dispatching an event (used by inline code
+  // paths that consume virtual time mid-handler, e.g. a blocking hypercall).
+  void AdvanceClock(Time delta) { now_ += delta; }
+
+  // Runs the next pending event. Returns false if the queue is empty.
+  bool Step() {
+    if (queue_.empty()) {
+      return false;
+    }
+    // The heap is a max-heap on `operator<`, which orders later events
+    // first; top() is therefore the earliest event.
+    Event event = queue_.top();
+    queue_.pop();
+    // Events scheduled in the past can occur when a handler advanced the
+    // clock inline past a pending event; dispatch them at the current time.
+    if (event.at > now_) {
+      now_ = event.at;
+    }
+    event.fn();
+    return true;
+  }
+
+  // Processes all events with timestamp <= deadline; the clock ends at
+  // max(now, deadline).
+  void RunUntil(Time deadline) {
+    while (!queue_.empty() && queue_.top().at <= deadline) {
+      Step();
+    }
+    if (now_ < deadline) {
+      now_ = deadline;
+    }
+  }
+
+  // Processes events until the queue drains.
+  void RunUntilIdle() {
+    while (Step()) {
+    }
+  }
+
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::function<void()> fn;
+
+    bool operator<(const Event& other) const {
+      if (at != other.at) {
+        return at > other.at;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event> queue_;
+};
+
+}  // namespace hyperalloc::sim
+
+#endif  // HYPERALLOC_SRC_SIM_SIMULATION_H_

@@ -1,0 +1,36 @@
+#include "src/sim/vcpu.h"
+
+#include "src/base/check.h"
+
+namespace hyperalloc::sim {
+
+VcpuSet::VcpuSet(unsigned num_cpus) {
+  HA_CHECK(num_cpus > 0);
+  cpus_.reserve(num_cpus);
+  for (unsigned i = 0; i < num_cpus; ++i) {
+    cpus_.push_back(std::make_unique<CapacityTimeline>(1.0));
+  }
+}
+
+CapacityTimeline& VcpuSet::cpu(unsigned i) {
+  HA_CHECK(i < cpus_.size());
+  return *cpus_[i];
+}
+
+const CapacityTimeline& VcpuSet::cpu(unsigned i) const {
+  HA_CHECK(i < cpus_.size());
+  return *cpus_[i];
+}
+
+void VcpuSet::StealCpu(unsigned i, Time start, Time end, double fraction) {
+  cpu(i).AddLoad(start, end, fraction);
+}
+
+void VcpuSet::BroadcastIpi(Time at, Time duration_ns) {
+  ++total_ipis_;
+  for (auto& cpu_timeline : cpus_) {
+    cpu_timeline->AddLoad(at, at + duration_ns, 1.0);
+  }
+}
+
+}  // namespace hyperalloc::sim

@@ -1,0 +1,45 @@
+// Guest vCPU model.
+//
+// Each vCPU owns a CapacityTimeline (1.0 = fully available). Workload
+// threads are pinned 1:1 to vCPUs; kernel threads (balloon driver,
+// virtio-mem migration, LLFree install paths) "steal" capacity by adding
+// loads. TLB shootdown IPIs are modelled as short full-capacity steals on
+// every vCPU.
+#ifndef HYPERALLOC_SRC_SIM_VCPU_H_
+#define HYPERALLOC_SRC_SIM_VCPU_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/capacity_timeline.h"
+#include "src/sim/simulation.h"
+
+namespace hyperalloc::sim {
+
+class VcpuSet {
+ public:
+  explicit VcpuSet(unsigned num_cpus);
+
+  unsigned size() const { return static_cast<unsigned>(cpus_.size()); }
+
+  CapacityTimeline& cpu(unsigned i);
+  const CapacityTimeline& cpu(unsigned i) const;
+
+  // A kernel thread consuming `fraction` of cpu `i` during [start, end).
+  void StealCpu(unsigned i, Time start, Time end, double fraction);
+
+  // An IPI broadcast (e.g. TLB shootdown): every vCPU loses `duration_ns`
+  // of full capacity starting at `at`.
+  void BroadcastIpi(Time at, Time duration_ns);
+
+  // Aggregate IPI accounting (for reporting).
+  uint64_t total_ipis() const { return total_ipis_; }
+
+ private:
+  std::vector<std::unique_ptr<CapacityTimeline>> cpus_;
+  uint64_t total_ipis_ = 0;
+};
+
+}  // namespace hyperalloc::sim
+
+#endif  // HYPERALLOC_SRC_SIM_VCPU_H_

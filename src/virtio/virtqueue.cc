@@ -1,0 +1,35 @@
+#include "src/virtio/virtqueue.h"
+
+#include "src/base/check.h"
+
+namespace hyperalloc::virtio {
+
+Virtqueue::Virtqueue(sim::Simulation* sim, const hv::CostModel* costs,
+                     unsigned capacity)
+    : sim_(sim), costs_(costs), capacity_(capacity) {
+  HA_CHECK(sim != nullptr && costs != nullptr && capacity > 0);
+  pending_.reserve(capacity);
+}
+
+void Virtqueue::Push(uint64_t value) {
+  sim_->AdvanceClock(costs_->virtqueue_element_ns);
+  pending_.push_back(value);
+  ++total_elements_;
+  if (pending_.size() >= capacity_) {
+    Kick();
+  }
+}
+
+void Virtqueue::Kick() {
+  if (pending_.empty()) {
+    return;
+  }
+  sim_->AdvanceClock(costs_->hypercall_ns);
+  ++total_hypercalls_;
+  if (consumer_) {
+    consumer_(pending_);
+  }
+  pending_.clear();
+}
+
+}  // namespace hyperalloc::virtio

@@ -1,0 +1,52 @@
+// Minimal virtio-queue model: a guest driver pushes page-frame numbers,
+// which are delivered to the host-side consumer in batches of up to
+// `capacity` elements per hypercall ("Even though the hypercalls are
+// aggregated (up to 256 pages per hypercall) ...", paper §5.3). Costs are
+// charged to the simulation clock: one descriptor-processing cost per
+// element and one hypercall per kick.
+#ifndef HYPERALLOC_SRC_VIRTIO_VIRTQUEUE_H_
+#define HYPERALLOC_SRC_VIRTIO_VIRTQUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/hv/cost_model.h"
+#include "src/sim/simulation.h"
+
+namespace hyperalloc::virtio {
+
+class Virtqueue {
+ public:
+  using Consumer = std::function<void(std::span<const uint64_t>)>;
+
+  Virtqueue(sim::Simulation* sim, const hv::CostModel* costs,
+            unsigned capacity = 256);
+
+  void SetConsumer(Consumer consumer) { consumer_ = std::move(consumer); }
+
+  unsigned capacity() const { return capacity_; }
+
+  // Enqueues one element; kicks automatically when the batch is full.
+  void Push(uint64_t value);
+
+  // Delivers any pending elements with one hypercall.
+  void Kick();
+
+  uint64_t total_elements() const { return total_elements_; }
+  uint64_t total_hypercalls() const { return total_hypercalls_; }
+
+ private:
+  sim::Simulation* sim_;
+  const hv::CostModel* costs_;
+  unsigned capacity_;
+  Consumer consumer_;
+  std::vector<uint64_t> pending_;
+  uint64_t total_elements_ = 0;
+  uint64_t total_hypercalls_ = 0;
+};
+
+}  // namespace hyperalloc::virtio
+
+#endif  // HYPERALLOC_SRC_VIRTIO_VIRTQUEUE_H_

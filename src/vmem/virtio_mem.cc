@@ -1,0 +1,241 @@
+#include "src/vmem/virtio_mem.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace hyperalloc::vmem {
+
+VirtioMem::VirtioMem(guest::GuestVm* vm, const VmemConfig& config)
+    : vm_(vm), config_(config), sim_(vm->simulation()) {
+  HA_CHECK(vm != nullptr);
+  guest::Zone& zone = movable_zone();
+  HA_CHECK(zone.buddy != nullptr);
+  num_blocks_ = zone.frames / kFramesPerHuge;
+  plugged_.assign(num_blocks_, true);  // boot with everything plugged
+  plugged_blocks_ = num_blocks_;
+
+  if (vm_->config().vfio) {
+    // DMA safety by pre-population: all guest memory (static zones and
+    // plugged blocks) is populated and pinned at boot. No time is charged
+    // — this is part of VM start-up, outside every benchmark window.
+    HA_CHECK(vm_->ept().Map(0, vm_->total_frames()) !=
+             hv::Ept::kNoHostMemory);
+    for (HugeId h = 0; h < HugesForFrames(vm_->total_frames()); ++h) {
+      vm_->iommu()->Pin(h);
+    }
+  }
+}
+
+guest::Zone& VirtioMem::movable_zone() {
+  for (guest::Zone& zone : vm_->zones()) {
+    if (zone.kind == guest::ZoneKind::kMovable) {
+      return zone;
+    }
+  }
+  HA_CHECK(false && "virtio-mem requires a Movable zone");
+  __builtin_unreachable();
+}
+
+FrameId VirtioMem::BlockFirstFrame(uint64_t block) const {
+  return const_cast<VirtioMem*>(this)->movable_zone().start +
+         block * kFramesPerHuge;
+}
+
+uint64_t VirtioMem::limit_bytes() const {
+  const uint64_t unplugged = num_blocks_ - plugged_blocks_;
+  return vm_->config().memory_bytes - unplugged * kHugeSize;
+}
+
+void VirtioMem::RequestLimit(uint64_t bytes, std::function<void()> done) {
+  HA_CHECK(!busy_);
+  busy_ = true;
+  const uint64_t static_bytes =
+      vm_->config().memory_bytes - num_blocks_ * kHugeSize;
+  const uint64_t want_plugged_bytes =
+      bytes > static_bytes ? bytes - static_bytes : 0;
+  const uint64_t target_blocks =
+      std::min<uint64_t>(num_blocks_, want_plugged_bytes / kHugeSize);
+  auto finish = [this, done = std::move(done)] {
+    busy_ = false;
+    if (done) {
+      done();
+    }
+  };
+  if (target_blocks < plugged_blocks_) {
+    UnplugSlice(target_blocks, std::move(finish));
+  } else {
+    PlugSlice(target_blocks, std::move(finish));
+  }
+}
+
+bool VirtioMem::UnplugOneBlock() {
+  // Decreasing address order (§5.4).
+  uint64_t block = num_blocks_;
+  for (uint64_t b = num_blocks_; b-- > 0;) {
+    if (plugged_[b]) {
+      block = b;
+      break;
+    }
+  }
+  HA_CHECK(block != num_blocks_);
+
+  guest::Zone& zone = movable_zone();
+  const FrameId global_first = BlockFirstFrame(block);
+  const FrameId local_first = global_first - zone.start;
+
+  // Offline the block: isolate its free frames, migrate the used ones.
+  const sim::Time guest_start = sim_->now();
+  vm_->PurgeAllocatorCaches();  // PCP pages cannot be isolated
+  zone.buddy->ClaimFreeInRange(local_first, kFramesPerHuge);
+  if (!vm_->MigrateRange(global_first, kFramesPerHuge, config_.driver_cpu)) {
+    // Migration failed (no free destination or pinned kernel memory):
+    // the block stays online; release everything we isolated.
+    vm_->ReleaseIsolatedRange(global_first, kFramesPerHuge);
+    ++unpluggable_failures_;
+    cpu_.guest_ns += sim_->now() - guest_start;
+    return false;
+  }
+  // Hot-unplug bookkeeping (memmap, notifier chains, resource tree).
+  sim_->AdvanceClock(vm_->costs().vmem_unplug_block_ns);
+  cpu_.guest_ns += sim_->now() - guest_start;
+
+  // Notify the device (one request per block) and discard host memory.
+  sim_->AdvanceClock(vm_->costs().hypercall_ns);
+  cpu_.host_user_ns += vm_->costs().hypercall_ns;
+  const uint64_t mapped = vm_->ept().CountMapped(global_first,
+                                                 kFramesPerHuge);
+  uint64_t sys_ns = 0;
+  if (mapped > 0) {
+    sys_ns += vm_->costs().madvise_syscall_ns +
+              vm_->costs().tlb_shootdown_ns + vm_->costs().madvise_per_2m_ns;
+    vm_->ept().Unmap(global_first, kFramesPerHuge);
+    const sim::Time t = sim_->now();
+    vm_->sink().OnAllCpusSteal(
+        t, t + sys_ns,
+        static_cast<double>(vm_->costs().shootdown_allcpu_2m_ns) /
+            static_cast<double>(sys_ns));
+  }
+  if (vm_->config().vfio) {
+    // VFIO: unpin + IOTLB flush, even for untouched memory (§5.3).
+    vm_->iommu()->Unpin(FrameToHuge(global_first));
+    sys_ns += vm_->costs().iommu_unmap_2m_ns + vm_->costs().iotlb_flush_ns;
+  }
+  sim_->AdvanceClock(sys_ns);
+  cpu_.host_sys_ns += sys_ns;
+
+  plugged_[block] = false;
+  --plugged_blocks_;
+  return true;
+}
+
+void VirtioMem::UnplugSlice(uint64_t target_blocks,
+                            std::function<void()> done) {
+  const sim::Time t0 = sim_->now();
+  for (unsigned i = 0;
+       i < config_.blocks_per_slice && plugged_blocks_ > target_blocks;
+       ++i) {
+    if (!UnplugOneBlock()) {
+      // Cannot evacuate further blocks right now: stop (partial success,
+      // like the real driver's "requested size not reached").
+      vm_->sink().OnCpuSteal(config_.driver_cpu, t0, sim_->now(), 1.0);
+      done();
+      return;
+    }
+  }
+  vm_->sink().OnCpuSteal(config_.driver_cpu, t0, sim_->now(), 1.0);
+  if (plugged_blocks_ <= target_blocks) {
+    done();
+    return;
+  }
+  sim_->After(0, [this, target_blocks, done = std::move(done)]() mutable {
+    UnplugSlice(target_blocks, std::move(done));
+  });
+}
+
+void VirtioMem::PlugOneBlock(uint64_t block) {
+  guest::Zone& zone = movable_zone();
+  const FrameId global_first = BlockFirstFrame(block);
+  const FrameId local_first = global_first - zone.start;
+
+  // One request per plugged block.
+  sim_->AdvanceClock(vm_->costs().hypercall_ns);
+  cpu_.host_user_ns += vm_->costs().hypercall_ns;
+  // Guest onlining (memmap init, buddy release).
+  sim_->AdvanceClock(vm_->costs().vmem_plug_block_ns);
+  cpu_.guest_ns += vm_->costs().vmem_plug_block_ns;
+  zone.buddy->ReleaseRange(local_first, kFramesPerHuge);
+
+  if (vm_->config().vfio) {
+    // Pre-populate and pin for DMA safety — the expensive part (§5.3:
+    // "virtio-mem with VFIO is 21x slower ... because it has to
+    // pre-populate the memory").
+    const sim::Time t0 = sim_->now();
+    HA_CHECK(vm_->PopulateFrames(global_first, kFramesPerHuge));
+    const uint64_t sys_ns = kFramesPerHuge * vm_->costs().populate_4k_ns +
+                            vm_->costs().iommu_map_2m_ns;
+    vm_->iommu()->Pin(FrameToHuge(global_first));
+    sim_->AdvanceClock(sys_ns);
+    cpu_.host_sys_ns += sys_ns;
+    vm_->sink().OnBandwidth(t0, sim_->now(),
+                            static_cast<double>(kHugeSize) /
+                                static_cast<double>(sim_->now() - t0));
+  }
+
+  plugged_[block] = true;
+  ++plugged_blocks_;
+}
+
+void VirtioMem::PlugSlice(uint64_t target_blocks,
+                          std::function<void()> done) {
+  const sim::Time t0 = sim_->now();
+  unsigned plugged_now = 0;
+  for (uint64_t b = 0; b < num_blocks_ && plugged_blocks_ < target_blocks &&
+                       plugged_now < config_.blocks_per_slice;
+       ++b) {
+    if (!plugged_[b]) {
+      PlugOneBlock(b);
+      ++plugged_now;
+    }
+  }
+  vm_->sink().OnCpuSteal(config_.driver_cpu, t0, sim_->now(), 1.0);
+  if (plugged_blocks_ >= target_blocks || plugged_now == 0) {
+    done();
+    return;
+  }
+  sim_->After(0, [this, target_blocks, done = std::move(done)]() mutable {
+    PlugSlice(target_blocks, std::move(done));
+  });
+}
+
+void VirtioMem::StartAuto() {
+  if (auto_running_) {
+    return;
+  }
+  auto_running_ = true;
+  sim_->After(config_.auto_period, [this] { AutoTick(); });
+}
+
+void VirtioMem::StopAuto() { auto_running_ = false; }
+
+void VirtioMem::AutoTick() {
+  if (!auto_running_) {
+    return;
+  }
+  if (!busy_) {
+    const uint64_t free_bytes = vm_->FreeFrames() * kFrameSize;
+    const uint64_t free_huge_bytes = vm_->FreeHugeFrames() * kHugeSize;
+    if (free_bytes < config_.auto_low_bytes &&
+        plugged_blocks_ < num_blocks_) {
+      RequestLimit(std::min(limit_bytes() + config_.auto_granularity,
+                            vm_->config().memory_bytes),
+                   nullptr);
+    } else if (free_huge_bytes >
+               config_.auto_high_bytes + config_.auto_granularity) {
+      RequestLimit(limit_bytes() - config_.auto_granularity, nullptr);
+    }
+  }
+  sim_->After(config_.auto_period, [this] { AutoTick(); });
+}
+
+}  // namespace hyperalloc::vmem

@@ -1,0 +1,95 @@
+// virtio-mem: paravirtualized memory hot(un)plug (Hildenbrand & Schulz
+// [23]).
+//
+// The hotpluggable memory lives in the guest's Movable zone, managed as
+// 2 MiB blocks. Plugging onlines a block (hypercall per block — "virtio-
+// mem makes hypercalls for every plugged 2 MiB block", §5.3); unplugging
+// offlines blocks in decreasing address order, migrating any used
+// subblocks first ("requiring the guest OS to migrate used subblocks to
+// other memory locations", §5.4).
+//
+// DMA safety comes from pre-population: with a VFIO device attached,
+// every plugged block is fully populated and pinned up front, and every
+// unplug must also unmap the IOMMU and flush the IOTLB — even for memory
+// that was never touched (§5.3).
+//
+// virtio-mem itself has no automatic reclamation; the paper *simulates*
+// one by tracking the guest's free huge pages and (un)plugging at 1 GiB
+// granularity every second (§5.5) — implemented here the same way.
+#ifndef HYPERALLOC_SRC_VMEM_VIRTIO_MEM_H_
+#define HYPERALLOC_SRC_VMEM_VIRTIO_MEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/guest/guest_vm.h"
+#include "src/hv/deflator.h"
+#include "src/sim/simulation.h"
+
+namespace hyperalloc::vmem {
+
+struct VmemConfig {
+  unsigned driver_cpu = 0;
+  // Blocks processed per event-loop slice.
+  unsigned blocks_per_slice = 16;
+  // Simulated auto mode (hand-tuned like the paper's, §5.5).
+  sim::Time auto_period = 1 * sim::kSec;
+  uint64_t auto_granularity = 1 * kGiB;
+  // Plug when total free memory falls below this ...
+  uint64_t auto_low_bytes = 768 * kMiB;
+  // ... unplug (1 GiB) when huge-page-backed free memory exceeds this.
+  uint64_t auto_high_bytes = 1792 * kMiB;
+};
+
+class VirtioMem : public hv::Deflator {
+ public:
+  // The guest must have a Movable zone (config().movable_bytes > 0) using
+  // the buddy allocator. All hotpluggable memory starts plugged.
+  VirtioMem(guest::GuestVm* vm, const VmemConfig& config);
+
+  const char* name() const override { return "virtio-mem"; }
+  bool dma_safe() const override { return true; }
+  bool supports_auto() const override { return false; }  // simulated only
+  uint64_t granularity_bytes() const override { return kHugeSize; }
+
+  void RequestLimit(uint64_t bytes, std::function<void()> done) override;
+  uint64_t limit_bytes() const override;
+  bool busy() const override { return busy_; }
+
+  // The paper's simulated auto-resizer (not part of upstream virtio-mem).
+  void StartAuto() override;
+  void StopAuto() override;
+
+  const hv::CpuAccounting& cpu() const override { return cpu_; }
+
+  uint64_t plugged_blocks() const { return plugged_blocks_; }
+  uint64_t unpluggable_failures() const { return unpluggable_failures_; }
+
+ private:
+  guest::Zone& movable_zone();
+
+  void PlugSlice(uint64_t target_blocks, std::function<void()> done);
+  void UnplugSlice(uint64_t target_blocks, std::function<void()> done);
+  bool UnplugOneBlock();
+  void PlugOneBlock(uint64_t block);
+  void AutoTick();
+
+  FrameId BlockFirstFrame(uint64_t block) const;
+
+  guest::GuestVm* vm_;
+  VmemConfig config_;
+  sim::Simulation* sim_;
+  uint64_t num_blocks_;
+  std::vector<bool> plugged_;
+  uint64_t plugged_blocks_ = 0;
+  bool busy_ = false;
+  bool auto_running_ = false;
+
+  hv::CpuAccounting cpu_;
+  uint64_t unpluggable_failures_ = 0;
+};
+
+}  // namespace hyperalloc::vmem
+
+#endif  // HYPERALLOC_SRC_VMEM_VIRTIO_MEM_H_

@@ -1,0 +1,82 @@
+// Routes protocol interference (vCPU steals, TLB-shootdown IPIs, memory
+// traffic) into the resource timelines the workloads integrate over.
+#ifndef HYPERALLOC_SRC_WORKLOADS_INTERFERENCE_HUB_H_
+#define HYPERALLOC_SRC_WORKLOADS_INTERFERENCE_HUB_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/hv/interference.h"
+#include "src/sim/capacity_timeline.h"
+#include "src/sim/vcpu.h"
+
+namespace hyperalloc::workloads {
+
+// Assumed aggregate machine memory bandwidth (for scaling interference
+// traffic into fractional bandwidth loads). The evaluation machine
+// sustains 69 GB/s for 12 STREAM threads; the node peak is higher.
+inline constexpr double kMachineBandwidthBytesPerNs = 80.0;  // 80 GB/s
+
+class InterferenceHub : public hv::InterferenceSink {
+ public:
+  // `bandwidths` are the per-consumer bandwidth timelines (one per
+  // workload thread); may be empty for CPU-only workloads.
+  // `workload_threads` models the guest scheduler: while idle vCPUs
+  // exist, driver kthreads run there and do not displace the workload;
+  // on a fully loaded guest, CFS gives the kthread a fair (half) share
+  // of the vCPU it lands on. 0 means "all vCPUs busy".
+  // `ipi_sensitivity` scales how strongly shootdown IPIs disturb the
+  // workload: memory-bound code (STREAM) takes the full hit (TLB refills,
+  // page-table contention), compute-bound code (FTQ) mostly pays the
+  // bare interrupt handler.
+  InterferenceHub(sim::VcpuSet* vcpus,
+                  std::vector<sim::CapacityTimeline*> bandwidths,
+                  unsigned workload_threads = 0,
+                  double ipi_sensitivity = 1.0)
+      : vcpus_(vcpus), bandwidths_(std::move(bandwidths)),
+        workload_threads_(workload_threads),
+        ipi_sensitivity_(ipi_sensitivity) {}
+
+  void OnCpuSteal(unsigned cpu, sim::Time t0, sim::Time t1,
+                  double fraction) override {
+    if (vcpus_ == nullptr || t1 <= t0) {
+      return;
+    }
+    if (workload_threads_ != 0 && workload_threads_ < vcpus_->size()) {
+      return;  // the kthread was scheduled onto an idle vCPU
+    }
+    vcpus_->StealCpu(cpu % vcpus_->size(), t0, t1, fraction * 0.5);
+  }
+
+  void OnAllCpusSteal(sim::Time t0, sim::Time t1, double fraction) override {
+    if (vcpus_ == nullptr || t1 <= t0) {
+      return;
+    }
+    for (unsigned i = 0; i < vcpus_->size(); ++i) {
+      vcpus_->StealCpu(i, t0, t1, fraction * ipi_sensitivity_);
+    }
+  }
+
+  void OnBandwidth(sim::Time t0, sim::Time t1,
+                   double bytes_per_ns) override {
+    if (t1 <= t0) {
+      return;
+    }
+    // Convert absolute traffic into a fractional load on each consumer's
+    // own timeline.
+    const double fraction = bytes_per_ns / kMachineBandwidthBytesPerNs;
+    for (sim::CapacityTimeline* timeline : bandwidths_) {
+      timeline->AddLoad(t0, t1, fraction * timeline->base_capacity());
+    }
+  }
+
+ private:
+  sim::VcpuSet* vcpus_;
+  std::vector<sim::CapacityTimeline*> bandwidths_;
+  unsigned workload_threads_;
+  double ipi_sensitivity_;
+};
+
+}  // namespace hyperalloc::workloads
+
+#endif  // HYPERALLOC_SRC_WORKLOADS_INTERFERENCE_HUB_H_

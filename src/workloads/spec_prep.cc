@@ -1,0 +1,41 @@
+#include "src/workloads/spec_prep.h"
+
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace hyperalloc::workloads {
+
+uint64_t SpecPrep(guest::GuestVm* vm, MemoryPool* pool,
+                  const SpecPrepConfig& config) {
+  Rng rng(config.seed);
+  vm->CacheAdd(config.cache_bytes);
+
+  // Grow to the peak in randomized chunks (mixed THP fractions), then
+  // free most of it in random order so the free lists are scrambled.
+  std::vector<uint64_t> regions;
+  uint64_t allocated = 0;
+  while (allocated < config.peak_bytes) {
+    const uint64_t chunk =
+        rng.Range(16 * kMiB, 256 * kMiB);
+    const double thp = rng.NextDouble() * 0.6;
+    regions.push_back(pool->AllocRegion(chunk, thp, 0));
+    allocated += chunk;
+  }
+  uint64_t keep =
+      static_cast<uint64_t>(static_cast<double>(regions.size()) *
+                            config.residual_fraction);
+  if (config.residual_fraction > 0.0 && keep == 0 && !regions.empty()) {
+    keep = 1;  // a nonzero residual fraction keeps at least one region
+  }
+  // Free in random order.
+  while (regions.size() > keep) {
+    const size_t idx = rng.Below(regions.size());
+    pool->FreeRegion(regions[idx], 0);
+    regions[idx] = regions.back();
+    regions.pop_back();
+  }
+  return regions.empty() ? 0 : regions[0];
+}
+
+}  // namespace hyperalloc::workloads

@@ -1,0 +1,34 @@
+// SPECrate-style preparation churn (paper §5.4 "Experiment Procedure"):
+// before the STREAM/FTQ runs, memory-intensive benchmark instances grow
+// the VM to its maximum size and randomize the allocator state. We model
+// this with a randomized allocate/touch/free churn plus page-cache fill.
+#ifndef HYPERALLOC_SRC_WORKLOADS_SPEC_PREP_H_
+#define HYPERALLOC_SRC_WORKLOADS_SPEC_PREP_H_
+
+#include <cstdint>
+
+#include "src/guest/guest_vm.h"
+#include "src/workloads/memory_pool.h"
+
+namespace hyperalloc::workloads {
+
+struct SpecPrepConfig {
+  // Peak anonymous memory the preparation grows to.
+  uint64_t peak_bytes;
+  // Page cache left behind by the benchmark binaries / inputs.
+  uint64_t cache_bytes;
+  // Fraction of the peak that remains allocated afterwards (randomly
+  // scattered — the "randomized allocator state").
+  double residual_fraction = 0.05;
+  uint64_t seed = 42;
+};
+
+// Runs the preparation synchronously (advancing virtual time only through
+// touch/fault costs). Returns the id of the residual region (0 if none),
+// which the caller may keep or free.
+uint64_t SpecPrep(guest::GuestVm* vm, MemoryPool* pool,
+                  const SpecPrepConfig& config);
+
+}  // namespace hyperalloc::workloads
+
+#endif  // HYPERALLOC_SRC_WORKLOADS_SPEC_PREP_H_

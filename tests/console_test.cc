@@ -1,0 +1,101 @@
+// Tests for the management console (the QEMU-HMP-style surface of §3.3).
+#include <gtest/gtest.h>
+
+#include "src/core/hyperalloc.h"
+#include "src/guest/guest_vm.h"
+#include "src/hv/console.h"
+
+namespace hyperalloc::hv {
+namespace {
+
+TEST(ParseSize, Units) {
+  EXPECT_EQ(ParseSize("2G"), 2 * kGiB);
+  EXPECT_EQ(ParseSize("512M"), 512 * kMiB);
+  EXPECT_EQ(ParseSize("16k"), 16 * kKiB);
+  EXPECT_EQ(ParseSize("4096"), 4096u);
+  EXPECT_EQ(ParseSize("  1g "), kGiB);
+}
+
+TEST(ParseSize, Invalid) {
+  EXPECT_EQ(ParseSize(""), 0u);
+  EXPECT_EQ(ParseSize("G"), 0u);
+  EXPECT_EQ(ParseSize("12x"), 0u);
+  EXPECT_EQ(ParseSize("1.5G"), 0u);
+  EXPECT_EQ(ParseSize("-1G"), 0u);
+}
+
+class ConsoleTest : public ::testing::Test {
+ protected:
+  // 2 GiB VM: limit changes span multiple event-loop slices, so the
+  // console's busy window is observable.
+  ConsoleTest() : host_(FramesForBytes(4 * kGiB)) {
+    guest::GuestConfig config;
+    config.memory_bytes = 2 * kGiB;
+    config.vcpus = 2;
+    config.dma32_bytes = 0;
+    config.allocator = guest::AllocatorKind::kLLFree;
+    vm_ = std::make_unique<guest::GuestVm>(&sim_, &host_, config);
+    monitor_ = std::make_unique<core::HyperAllocMonitor>(
+        vm_.get(), core::HyperAllocConfig{});
+    console_ = std::make_unique<Console>(vm_.get(), monitor_.get());
+  }
+
+  sim::Simulation sim_;
+  hv::HostMemory host_;
+  std::unique_ptr<guest::GuestVm> vm_;
+  std::unique_ptr<core::HyperAllocMonitor> monitor_;
+  std::unique_ptr<Console> console_;
+};
+
+TEST_F(ConsoleTest, BalloonResizes) {
+  EXPECT_EQ(console_->Execute("balloon 128M"), "resizing to 128 MiB");
+  EXPECT_TRUE(console_->busy());
+  sim_.RunUntilIdle();
+  EXPECT_FALSE(console_->busy());
+  EXPECT_EQ(monitor_->limit_bytes(), 128 * kMiB);
+  EXPECT_EQ(console_->Execute("info balloon"),
+            "balloon: actual=128 max_mem=2048");
+}
+
+TEST_F(ConsoleTest, BalloonRejectsBadInput) {
+  EXPECT_NE(console_->Execute("balloon").find("usage"), std::string::npos);
+  EXPECT_NE(console_->Execute("balloon 4T").find("exceeds"),
+            std::string::npos);
+  EXPECT_NE(console_->Execute("balloon abc").find("usage"),
+            std::string::npos);
+}
+
+TEST_F(ConsoleTest, BalloonRejectsConcurrentResize) {
+  console_->Execute("balloon 128M");
+  EXPECT_NE(console_->Execute("balloon 256M").find("in progress"),
+            std::string::npos);
+  sim_.RunUntilIdle();
+  EXPECT_EQ(console_->Execute("balloon 256M"), "resizing to 256 MiB");
+}
+
+TEST_F(ConsoleTest, AutoToggle) {
+  EXPECT_EQ(console_->Execute("auto on"),
+            "automatic reclamation enabled");
+  EXPECT_EQ(console_->Execute("auto off"),
+            "automatic reclamation disabled");
+  EXPECT_NE(console_->Execute("auto maybe").find("usage"),
+            std::string::npos);
+}
+
+TEST_F(ConsoleTest, InfoStats) {
+  const std::string reply = console_->Execute("info stats");
+  EXPECT_NE(reply.find("rss="), std::string::npos);
+  EXPECT_NE(reply.find("guest-free=2 GiB"), std::string::npos);
+}
+
+TEST_F(ConsoleTest, UnknownCommandsAndHelp) {
+  EXPECT_NE(console_->Execute("frobnicate").find("unknown command"),
+            std::string::npos);
+  EXPECT_NE(console_->Execute("help").find("balloon <size>"),
+            std::string::npos);
+  EXPECT_NE(console_->Execute("info bogus").find("unknown info"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hyperalloc::hv

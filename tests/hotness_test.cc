@@ -1,0 +1,125 @@
+// Tests for the §6 hotness-hint protocol: the guest raises the 2-bit H
+// field in the shared area entries on access, the monitor ages it during
+// its scans, and the host's swap victim selection spares hot frames.
+#include <gtest/gtest.h>
+
+#include "src/core/hyperalloc.h"
+#include "src/guest/guest_vm.h"
+#include "src/hv/swap.h"
+
+namespace hyperalloc {
+namespace {
+
+class HotnessTest : public ::testing::Test {
+ protected:
+  void Init(uint64_t host_bytes = kGiB) {
+    sim_ = std::make_unique<sim::Simulation>();
+    host_ = std::make_unique<hv::HostMemory>(FramesForBytes(host_bytes));
+    guest::GuestConfig config;
+    config.memory_bytes = 256 * kMiB;
+    config.vcpus = 2;
+    config.dma32_bytes = 0;
+    config.allocator = guest::AllocatorKind::kLLFree;
+    vm_ = std::make_unique<guest::GuestVm>(sim_.get(), host_.get(), config);
+    monitor_ = std::make_unique<core::HyperAllocMonitor>(
+        vm_.get(), core::HyperAllocConfig{});
+  }
+
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<hv::HostMemory> host_;
+  std::unique_ptr<guest::GuestVm> vm_;
+  std::unique_ptr<core::HyperAllocMonitor> monitor_;
+};
+
+TEST_F(HotnessTest, TouchRaisesHotness) {
+  Init();
+  const Result<FrameId> r = vm_->Alloc(kHugeOrder, AllocType::kHuge);
+  ASSERT_TRUE(r.ok());
+  vm_->Touch(*r, kFramesPerHuge);
+  EXPECT_TRUE(monitor_->IsHot(FrameToHuge(*r)));
+  // An untouched frame stays cold.
+  const Result<FrameId> cold = vm_->Alloc(kHugeOrder, AllocType::kHuge);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(monitor_->IsHot(FrameToHuge(*cold)));
+}
+
+TEST_F(HotnessTest, ScansAgeHotnessDown) {
+  Init();
+  const Result<FrameId> r = vm_->Alloc(kHugeOrder, AllocType::kHuge);
+  ASSERT_TRUE(r.ok());
+  vm_->Touch(*r, kFramesPerHuge);
+  ASSERT_TRUE(monitor_->IsHot(FrameToHuge(*r)));
+  // Hotness saturates at 3; three aging scans cool it down.
+  monitor_->AutoReclaimPass();
+  EXPECT_TRUE(monitor_->IsHot(FrameToHuge(*r)));
+  monitor_->AutoReclaimPass();
+  monitor_->AutoReclaimPass();
+  EXPECT_FALSE(monitor_->IsHot(FrameToHuge(*r)));
+  // A new access re-heats it.
+  vm_->Touch(*r, 1);
+  EXPECT_TRUE(monitor_->IsHot(FrameToHuge(*r)));
+}
+
+TEST_F(HotnessTest, HotnessSurvivesReclaimCycle) {
+  Init();
+  const Result<FrameId> r = vm_->Alloc(kHugeOrder, AllocType::kHuge);
+  ASSERT_TRUE(r.ok());
+  vm_->Touch(*r, kFramesPerHuge);
+  vm_->Free(*r, kHugeOrder);
+  vm_->PurgeAllocatorCaches();
+  // Soft reclaim + reuse keep the hint bits intact (they ride in the
+  // same 16-bit word as A and E).
+  ASSERT_GE(monitor_->AutoReclaimPass(), 1u);
+  const Result<FrameId> again = vm_->Alloc(kHugeOrder, AllocType::kHuge);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(monitor_->IsHot(FrameToHuge(*again)));
+}
+
+TEST_F(HotnessTest, SwapSparesHotFrames) {
+  // Overcommitted host: 256 MiB of guest demand + a second VM forces
+  // swapping; the hotness oracle steers eviction to the cold region.
+  sim_ = std::make_unique<sim::Simulation>();
+  host_ = std::make_unique<hv::HostMemory>(FramesForBytes(384 * kMiB));
+  hv::SwapManager swap(sim_.get(), host_.get());
+
+  guest::GuestConfig config;
+  config.memory_bytes = 256 * kMiB;
+  config.vcpus = 2;
+  config.dma32_bytes = 0;
+  config.allocator = guest::AllocatorKind::kLLFree;
+  vm_ = std::make_unique<guest::GuestVm>(sim_.get(), host_.get(), config);
+  monitor_ = std::make_unique<core::HyperAllocMonitor>(
+      vm_.get(), core::HyperAllocConfig{});
+  swap.Register(vm_.get(), [this](HugeId huge) {
+    return monitor_->IsHot(huge);
+  });
+
+  guest::GuestConfig other_config;
+  other_config.memory_bytes = 256 * kMiB;
+  other_config.vcpus = 2;
+  other_config.dma32_bytes = 0;
+  guest::GuestVm other(sim_.get(), host_.get(), other_config);
+  swap.Register(&other);
+
+  // VM 0: a hot half (touched repeatedly) and a cold half (aged).
+  vm_->Touch(0, vm_->total_frames());
+  for (int scan = 0; scan < 4; ++scan) {
+    monitor_->AutoReclaimPass();  // ages everything
+  }
+  vm_->Touch(0, vm_->total_frames() / 2);  // re-heat the lower half
+
+  // VM 1 faults in its memory: the host must evict ~128 MiB from VM 0.
+  other.Touch(0, other.total_frames());
+  ASSERT_GT(swap.swapped_out_frames(), 0u);
+
+  // The hot (lower) half should be mostly resident, the cold (upper)
+  // half mostly evicted.
+  const uint64_t half = vm_->total_frames() / 2;
+  const uint64_t hot_resident = vm_->ept().CountMapped(0, half);
+  const uint64_t cold_resident = vm_->ept().CountMapped(half, half);
+  EXPECT_GT(hot_resident, cold_resident + half / 4)
+      << "hotness steering should spare recently accessed memory";
+}
+
+}  // namespace
+}  // namespace hyperalloc

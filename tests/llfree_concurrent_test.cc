@@ -1,0 +1,256 @@
+// Multithreaded stress tests for LLFree: the allocator must stay
+// consistent when real threads (guest cores) and a hypervisor thread
+// operate on the shared state concurrently — the property the paper's
+// whole design rests on ("all operations are implemented by atomic memory
+// transactions", §3).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/llfree/llfree.h"
+
+namespace hyperalloc::llfree {
+namespace {
+
+constexpr uint64_t kFrames = 32768;  // 128 MiB, 64 areas, 8 trees
+
+TEST(LLFreeConcurrent, ParallelAllocFreeNoOverlap) {
+  Config config;
+  config.mode = Config::ReservationMode::kPerCore;
+  config.cores = 4;
+  SharedState state(kFrames, config);
+  LLFree alloc(&state);
+
+  constexpr unsigned kThreads = 4;
+  constexpr int kIterations = 20000;
+  std::vector<std::vector<FrameId>> owned(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t + 1);
+      for (int i = 0; i < kIterations && !failed; ++i) {
+        if (owned[t].size() < 512 && rng.Chance(0.6)) {
+          const Result<FrameId> r = alloc.Get(t, 0, AllocType::kMovable);
+          if (r.ok()) {
+            owned[t].push_back(*r);
+          }
+        } else if (!owned[t].empty()) {
+          const size_t idx = rng.Below(owned[t].size());
+          if (alloc.Put(owned[t][idx], 0).has_value()) {
+            failed = true;  // double free => overlapping handout
+          }
+          owned[t][idx] = owned[t].back();
+          owned[t].pop_back();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  ASSERT_FALSE(failed);
+
+  // No frame owned by two threads.
+  std::vector<FrameId> all;
+  for (const auto& frames : owned) {
+    all.insert(all.end(), frames.begin(), frames.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "the same frame was handed to two threads";
+
+  EXPECT_TRUE(alloc.Validate());
+  for (const FrameId f : all) {
+    ASSERT_FALSE(alloc.Put(f, 0).has_value());
+  }
+  EXPECT_EQ(alloc.FreeFrames(), kFrames);
+  EXPECT_TRUE(alloc.Validate());
+}
+
+TEST(LLFreeConcurrent, MixedOrdersUnderContention) {
+  Config config;  // per-type: all threads share reservation slots
+  SharedState state(kFrames, config);
+  LLFree alloc(&state);
+
+  constexpr unsigned kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  std::vector<std::vector<std::pair<FrameId, unsigned>>> owned(kThreads);
+
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t + 77);
+      static constexpr unsigned kOrders[] = {0, 0, 1, 3, 9};
+      for (int i = 0; i < 8000 && !failed; ++i) {
+        if (rng.Chance(0.55)) {
+          const unsigned order = kOrders[rng.Below(5)];
+          const AllocType type = static_cast<AllocType>(rng.Below(3));
+          const Result<FrameId> r = alloc.Get(t, order, type);
+          if (r.ok()) {
+            owned[t].emplace_back(*r, order);
+          }
+        } else if (!owned[t].empty()) {
+          const size_t idx = rng.Below(owned[t].size());
+          const auto [frame, order] = owned[t][idx];
+          if (alloc.Put(frame, order).has_value()) {
+            failed = true;
+          }
+          owned[t][idx] = owned[t].back();
+          owned[t].pop_back();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  ASSERT_FALSE(failed);
+  EXPECT_TRUE(alloc.Validate());
+
+  uint64_t live_frames = 0;
+  for (const auto& frames : owned) {
+    for (const auto& [frame, order] : frames) {
+      live_frames += 1ull << order;
+    }
+  }
+  EXPECT_EQ(alloc.FreeFrames(), kFrames - live_frames);
+}
+
+TEST(LLFreeConcurrent, GuestVsHypervisorRace) {
+  // A guest thread allocates/frees huge frames while a hypervisor thread
+  // hard-reclaims and returns them — the bilateral scenario of Fig. 1.
+  Config config;
+  SharedState state(kFrames, config);
+  LLFree guest(&state);
+  LLFree monitor(&state);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> reclaim_count{0};
+
+  std::thread hypervisor([&] {
+    Rng rng(4242);
+    std::vector<HugeId> reclaimed;
+    while (!stop) {
+      if (rng.Chance(0.6) || reclaimed.empty()) {
+        const std::optional<HugeId> h =
+            monitor.ReclaimHuge(rng.Below(monitor.num_areas()), true);
+        if (h.has_value()) {
+          reclaimed.push_back(*h);
+          ++reclaim_count;
+        }
+      } else {
+        const size_t idx = rng.Below(reclaimed.size());
+        if (!monitor.MarkReturned(reclaimed[idx])) {
+          failed = true;  // hard-reclaimed frame changed under the monitor
+        }
+        reclaimed[idx] = reclaimed.back();
+        reclaimed.pop_back();
+      }
+    }
+    for (const HugeId h : reclaimed) {
+      if (!monitor.MarkReturned(h)) {
+        failed = true;
+      }
+    }
+  });
+
+  Rng rng(11);
+  std::vector<std::pair<FrameId, unsigned>> owned;
+  for (int i = 0; i < 40000 && !failed; ++i) {
+    if (rng.Chance(0.55)) {
+      const unsigned order = rng.Chance(0.3) ? kHugeOrder : 0;
+      const Result<FrameId> r = guest.Get(0, order, AllocType::kMovable);
+      if (r.ok()) {
+        owned.emplace_back(*r, order);
+      }
+    } else if (!owned.empty()) {
+      const size_t idx = rng.Below(owned.size());
+      const auto [frame, order] = owned[idx];
+      if (guest.Put(frame, order).has_value()) {
+        failed = true;
+      }
+      owned[idx] = owned.back();
+      owned.pop_back();
+    }
+  }
+  // On heavily loaded (or single-core) machines the hypervisor thread may
+  // not have been scheduled yet; give it a chance to do some work before
+  // stopping so the interleaving is actually exercised.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (reclaim_count.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  stop = true;
+  hypervisor.join();
+  ASSERT_FALSE(failed);
+  EXPECT_GT(reclaim_count.load(), 0u) << "hypervisor never reclaimed";
+
+  for (const auto& [frame, order] : owned) {
+    ASSERT_FALSE(guest.Put(frame, order).has_value());
+  }
+  // Evicted hints may remain set (they are hints); clear for full check.
+  for (HugeId h = 0; h < guest.num_areas(); ++h) {
+    guest.ClearEvicted(h);
+  }
+  EXPECT_TRUE(guest.Validate());
+  EXPECT_EQ(guest.FreeFrames(), kFrames);
+}
+
+TEST(LLFreeConcurrent, InstallHandlerRunsOnEvictedAllocation) {
+  Config config;
+  SharedState state(kFrames, config);
+  LLFree guest(&state);
+  LLFree monitor(&state);
+
+  // Soft-reclaim every free huge frame.
+  uint64_t evicted = 0;
+  while (monitor.ReclaimHuge(0, /*hard=*/false).has_value()) {
+    ++evicted;
+  }
+  EXPECT_EQ(evicted, guest.num_areas());
+
+  std::atomic<uint64_t> installs{0};
+  guest.SetInstallHandler([&](HugeId huge) {
+    ++installs;
+    // Two racing allocations from the same area may both trigger the
+    // install; clearing twice is harmless (idempotent from the guest's
+    // perspective), so no assertion on the return value.
+    monitor.ClearEvicted(huge);
+  });
+
+  constexpr unsigned kThreads = 4;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        const Result<FrameId> r = guest.Get(t, 0, AllocType::kMovable);
+        ASSERT_TRUE(r.ok());
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_GT(installs.load(), 0u);
+  // Every allocated area must have been installed (no evicted area holds
+  // allocations).
+  for (HugeId h = 0; h < guest.num_areas(); ++h) {
+    const AreaEntry e = guest.ReadArea(h);
+    if (e.free < kFramesPerHuge) {
+      EXPECT_FALSE(e.evicted) << "allocation from evicted area " << h
+                              << " without install";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyperalloc::llfree

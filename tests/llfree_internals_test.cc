@@ -1,0 +1,178 @@
+// White-box tests for the LLFree building blocks: the per-area bit field
+// and the packed area/tree/reservation entries (paper §4.1 layouts).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <set>
+
+#include "src/llfree/bitfield.h"
+#include "src/llfree/entries.h"
+
+namespace hyperalloc::llfree {
+namespace {
+
+class AreaBitsTest : public ::testing::Test {
+ protected:
+  AreaBitsTest() : bits_(words_.data()) {
+    for (auto& word : words_) {
+      word.store(0);
+    }
+  }
+
+  std::array<std::atomic<uint64_t>, kWordsPerArea> words_;
+  AreaBits bits_;
+};
+
+TEST_F(AreaBitsTest, SetFindsFirstFreeRun) {
+  const auto a = bits_.Set(0, 0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 0u);
+  const auto b = bits_.Set(0, 0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, 1u);
+  EXPECT_EQ(bits_.CountSet(), 2u);
+}
+
+TEST_F(AreaBitsTest, StartHintBiasesSearch) {
+  const auto a = bits_.Set(0, 128);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 128u);  // word 2 searched first
+}
+
+TEST_F(AreaBitsTest, AlignedRunsPerOrder) {
+  for (unsigned order = 0; order <= kMaxBitfieldOrder; ++order) {
+    for (auto& word : words_) {
+      word.store(0);
+    }
+    std::set<unsigned> offsets;
+    for (;;) {
+      const auto offset = bits_.Set(order, 0);
+      if (!offset.has_value()) {
+        break;
+      }
+      EXPECT_EQ(*offset % (1u << order), 0u) << "order " << order;
+      EXPECT_TRUE(offsets.insert(*offset).second) << "duplicate offset";
+    }
+    EXPECT_EQ(offsets.size(), kFramesPerHuge >> order) << "order " << order;
+    EXPECT_EQ(bits_.CountSet(), kFramesPerHuge);
+  }
+}
+
+TEST_F(AreaBitsTest, SetSkipsOccupiedRuns) {
+  // Occupy bit 1: no order-1 run fits in [0,2), next run is [2,4).
+  ASSERT_TRUE(bits_.Set(0, 0).has_value());  // bit 0
+  ASSERT_TRUE(bits_.Set(0, 0).has_value());  // bit 1
+  const auto run = bits_.Set(1, 0);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_EQ(*run, 2u);
+}
+
+TEST_F(AreaBitsTest, ClearDetectsDoubleFree) {
+  const auto offset = bits_.Set(3, 0);
+  ASSERT_TRUE(offset.has_value());
+  EXPECT_TRUE(bits_.Clear(*offset, 3));
+  EXPECT_FALSE(bits_.Clear(*offset, 3)) << "double free must fail";
+  EXPECT_EQ(bits_.CountSet(), 0u);
+}
+
+TEST_F(AreaBitsTest, PartialClearRejected) {
+  ASSERT_TRUE(bits_.Set(2, 0).has_value());  // bits 0..3
+  ASSERT_TRUE(bits_.Clear(0, 2));
+  // Clearing again at a different order over the now-free range fails.
+  EXPECT_FALSE(bits_.Clear(0, 1));
+}
+
+TEST_F(AreaBitsTest, IsFreeChecksWholeRun) {
+  ASSERT_TRUE(bits_.Set(0, 0).has_value());  // bit 0
+  EXPECT_FALSE(bits_.IsFree(0, 0));
+  EXPECT_FALSE(bits_.IsFree(0, 2));  // run [0,4) contains bit 0
+  EXPECT_TRUE(bits_.IsFree(4, 2));
+}
+
+TEST_F(AreaBitsTest, FillAllMarksEverything) {
+  bits_.FillAll();
+  EXPECT_EQ(bits_.CountSet(), kFramesPerHuge);
+  EXPECT_FALSE(bits_.Set(0, 0).has_value());
+}
+
+TEST(AreaEntry, PackUnpackRoundTrip) {
+  for (uint16_t free : {0u, 1u, 511u, 512u}) {
+    for (const bool allocated : {false, true}) {
+      for (const bool evicted : {false, true}) {
+        AreaEntry entry;
+        entry.free = free;
+        entry.allocated = allocated;
+        entry.evicted = evicted;
+        EXPECT_EQ(AreaEntry::Unpack(entry.Pack()), entry);
+      }
+    }
+  }
+}
+
+TEST(AreaEntry, SixteenBitsSuffice) {
+  AreaEntry entry;
+  entry.free = 512;
+  entry.allocated = true;
+  entry.evicted = true;
+  // The paper's layout: 10-bit counter + A + E fit in 12 of 16 bits.
+  EXPECT_LT(entry.Pack(), 1u << 12);
+}
+
+TEST(AreaEntry, IsFreeHugeSemantics) {
+  AreaEntry entry;
+  entry.free = 512;
+  EXPECT_TRUE(entry.IsFreeHuge());
+  entry.allocated = true;
+  EXPECT_FALSE(entry.IsFreeHuge());
+  entry.allocated = false;
+  entry.free = 511;
+  EXPECT_FALSE(entry.IsFreeHuge());
+  // Evicted does not affect huge-freeness (it is a hint).
+  entry.free = 512;
+  entry.evicted = true;
+  EXPECT_TRUE(entry.IsFreeHuge());
+}
+
+TEST(TreeEntry, PackUnpackRoundTrip) {
+  for (uint32_t free : {0u, 4096u, 16384u, 65535u}) {
+    for (const bool reserved : {false, true}) {
+      for (const AllocType type :
+           {AllocType::kUnmovable, AllocType::kMovable, AllocType::kHuge}) {
+        TreeEntry entry;
+        entry.free = free;
+        entry.reserved = reserved;
+        entry.type = type;
+        EXPECT_EQ(TreeEntry::Unpack(entry.Pack()), entry);
+      }
+    }
+  }
+}
+
+TEST(Reservation, PackUnpackRoundTrip) {
+  Reservation r;
+  r.active = true;
+  r.tree = 0xdeadbeu;
+  r.free = 4096;
+  EXPECT_EQ(Reservation::Unpack(r.Pack()), r);
+  EXPECT_EQ(Reservation::Unpack(Reservation{}.Pack()), Reservation{});
+}
+
+TEST(AtomicUpdate, RetriesAndAborts) {
+  std::atomic<uint16_t> atom{5};
+  // Successful update returns the previous value.
+  const auto prev = AtomicUpdate(atom, [](uint16_t v) {
+    return std::optional<uint16_t>(static_cast<uint16_t>(v + 1));
+  });
+  ASSERT_TRUE(prev.has_value());
+  EXPECT_EQ(*prev, 5u);
+  EXPECT_EQ(atom.load(), 6u);
+  // Abort leaves the value untouched.
+  const auto aborted = AtomicUpdate(
+      atom, [](uint16_t) { return std::optional<uint16_t>(); });
+  EXPECT_FALSE(aborted.has_value());
+  EXPECT_EQ(atom.load(), 6u);
+}
+
+}  // namespace
+}  // namespace hyperalloc::llfree

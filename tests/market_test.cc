@@ -1,0 +1,138 @@
+// Tests for the market-driven memory orchestration (paper §6: memory
+// pricing / auctioning across VMs).
+#include <gtest/gtest.h>
+
+#include "src/core/hyperalloc.h"
+#include "src/hv/market.h"
+#include "src/workloads/memory_pool.h"
+
+namespace hyperalloc::hv {
+namespace {
+
+class MarketTest : public ::testing::Test {
+ protected:
+  struct Tenant {
+    std::unique_ptr<guest::GuestVm> vm;
+    std::unique_ptr<core::HyperAllocMonitor> monitor;
+    std::unique_ptr<workloads::MemoryPool> pool;
+    size_t id = 0;
+  };
+
+  void Init(int tenants, double* budgets, uint64_t host_bytes = 8 * kGiB,
+            MarketConfig config = {}) {
+    sim_ = std::make_unique<sim::Simulation>();
+    host_ = std::make_unique<HostMemory>(FramesForBytes(host_bytes));
+    market_ = std::make_unique<MemoryMarket>(sim_.get(), host_.get(),
+                                             config);
+    for (int i = 0; i < tenants; ++i) {
+      auto tenant = std::make_unique<Tenant>();
+      guest::GuestConfig gc;
+      gc.memory_bytes = 4 * kGiB;
+      gc.vcpus = 2;
+      gc.dma32_bytes = 0;
+      gc.allocator = guest::AllocatorKind::kLLFree;
+      tenant->vm = std::make_unique<guest::GuestVm>(sim_.get(), host_.get(),
+                                                    gc);
+      tenant->monitor = std::make_unique<core::HyperAllocMonitor>(
+          tenant->vm.get(), core::HyperAllocConfig{});
+      tenant->pool =
+          std::make_unique<workloads::MemoryPool>(tenant->vm.get());
+      tenant->id = market_->Register(tenant->vm.get(),
+                                     tenant->monitor.get(), budgets[i]);
+      tenants_.push_back(std::move(tenant));
+    }
+  }
+
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<HostMemory> host_;
+  std::unique_ptr<MemoryMarket> market_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+};
+
+TEST_F(MarketTest, PriceRisesWithScarcity) {
+  double budgets[] = {100.0};
+  Init(1, budgets);
+  market_->Tick();
+  const double idle_price = market_->current_price();
+  tenants_[0]->pool->AllocRegion(3 * kGiB, 0.5, 0);
+  market_->Tick();
+  EXPECT_GT(market_->current_price(), idle_price);
+}
+
+TEST_F(MarketTest, LimitsFollowDemand) {
+  double budgets[] = {100.0};  // rich tenant: demand-limited
+  Init(1, budgets);
+  const uint64_t region = tenants_[0]->pool->AllocRegion(2 * kGiB, 0.5, 0);
+  market_->Tick();
+  sim_->RunUntilIdle();
+  // demand = 2 GiB used + 0.5 GiB headroom.
+  EXPECT_NEAR(static_cast<double>(market_->CurrentLimit(0)),
+              2.5 * static_cast<double>(kGiB),
+              0.26 * static_cast<double>(kGiB));
+  // Demand drops: the next round shrinks the limit (and the bill).
+  tenants_[0]->pool->FreeRegion(region, 0);
+  tenants_[0]->vm->PurgeAllocatorCaches();
+  market_->Tick();
+  sim_->RunUntilIdle();
+  EXPECT_LE(market_->CurrentLimit(0), kGiB);
+}
+
+TEST_F(MarketTest, PoorTenantSqueezedUnderScarcity) {
+  // Two tenants use 3 GiB each on a tight host; the rich tenant's memory
+  // is anonymous (unreclaimable), the poor one's is page cache. When the
+  // price spikes, the poor tenant can no longer afford its cache: the
+  // limit squeeze evicts it (6: "actively shrinking the page cache ...
+  // could make economic sense").
+  double budgets[] = {256.0, 4.0};
+  MarketConfig config;
+  config.scarcity_exponent = 3.0;
+  Init(2, budgets, 8 * kGiB, config);
+  tenants_[0]->pool->AllocRegion(3 * kGiB, 0.5, 0);
+  tenants_[1]->vm->CacheAdd(3 * kGiB);
+  market_->Tick();
+  sim_->RunUntilIdle();
+  market_->Tick();  // second round reacts to the post-resize price
+  sim_->RunUntilIdle();
+  EXPECT_GT(market_->CurrentLimit(0), market_->CurrentLimit(1))
+      << "the high-budget tenant must keep more memory";
+  EXPECT_LE(market_->CurrentLimit(1), 2 * kGiB);
+  EXPECT_LT(tenants_[1]->vm->cache_bytes(), 3 * kGiB)
+      << "the squeeze must have evicted cache";
+  // The rich tenant's working set is untouched.
+  EXPECT_GE(market_->CurrentLimit(0), 3 * kGiB);
+}
+
+TEST_F(MarketTest, BillingAccumulatesGibSeconds) {
+  double budgets[] = {100.0};
+  Init(1, budgets);
+  // Hold a steady 2 GiB working set: the market converges on a ~2.5 GiB
+  // limit and bills it per GiB-second.
+  tenants_[0]->pool->AllocRegion(2 * kGiB, 0.5, 0);
+  market_->Start();
+  sim_->RunUntil(sim_->now() + 30 * sim::kSec);
+  const double at_30s = market_->BilledCredits(0);
+  sim_->RunUntil(sim_->now() + 30 * sim::kSec);
+  market_->Stop();
+  const double at_60s = market_->BilledCredits(0);
+  EXPECT_GT(at_30s, 0.0);
+  EXPECT_GT(at_60s, at_30s * 1.5) << "the meter must keep running";
+  // Order of magnitude: ~2.5-4 GiB x 60 s x ~1.1-1.6 credits.
+  EXPECT_GT(at_60s, 100.0);
+  EXPECT_LT(at_60s, 600.0);
+}
+
+TEST_F(MarketTest, HysteresisAvoidsChurn) {
+  double budgets[] = {100.0};
+  Init(1, budgets);
+  market_->Tick();
+  sim_->RunUntilIdle();
+  const uint64_t limit = market_->CurrentLimit(0);
+  // Tiny demand change: the limit must not move.
+  tenants_[0]->pool->AllocRegion(64 * kMiB, 0.0, 0);
+  market_->Tick();
+  sim_->RunUntilIdle();
+  EXPECT_EQ(market_->CurrentLimit(0), limit);
+}
+
+}  // namespace
+}  // namespace hyperalloc::hv

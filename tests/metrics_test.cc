@@ -1,0 +1,93 @@
+// Tests for time series, footprint integration, and the 1 Hz sampler.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/metrics/timeseries.h"
+
+namespace hyperalloc::metrics {
+namespace {
+
+TEST(TimeSeries, MinMaxLast) {
+  TimeSeries ts;
+  ts.Sample(0, 3.0);
+  ts.Sample(sim::kSec, 1.0);
+  ts.Sample(2 * sim::kSec, 2.0);
+  EXPECT_DOUBLE_EQ(ts.Max(), 3.0);
+  EXPECT_DOUBLE_EQ(ts.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(ts.Last(), 2.0);
+}
+
+TEST(TimeSeries, IntegralConstantValue) {
+  TimeSeries ts;
+  // 4 GiB held for 2 minutes => 8 GiB*min.
+  ts.Sample(0, 4.0);
+  ts.Sample(2 * sim::kMin, 4.0);
+  EXPECT_DOUBLE_EQ(ts.IntegralPerMinute(), 8.0);
+  EXPECT_DOUBLE_EQ(ts.Mean(), 4.0);
+}
+
+TEST(TimeSeries, IntegralTrapezoid) {
+  TimeSeries ts;
+  ts.Sample(0, 0.0);
+  ts.Sample(sim::kMin, 2.0);  // ramp: average 1.0 over one minute
+  EXPECT_DOUBLE_EQ(ts.IntegralPerMinute(), 1.0);
+}
+
+TEST(TimeSeries, IntegralEmptyAndSingle) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.IntegralPerMinute(), 0.0);
+  ts.Sample(0, 5.0);
+  EXPECT_DOUBLE_EQ(ts.IntegralPerMinute(), 0.0);
+}
+
+TEST(TimeSeries, CsvRoundTrip) {
+  TimeSeries ts;
+  ts.Sample(0, 1.5);
+  ts.Sample(sim::kSec, 2.5);
+  const std::string path = ::testing::TempDir() + "/ts_test.csv";
+  ts.WriteCsv(path, "value");
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char header[64];
+  ASSERT_NE(std::fgets(header, sizeof(header), f), nullptr);
+  EXPECT_STREQ(header, "time_s,value\n");
+  double t = 0.0;
+  double v = 0.0;
+  ASSERT_EQ(std::fscanf(f, "%lf,%lf", &t, &v), 2);
+  EXPECT_DOUBLE_EQ(t, 0.0);
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  std::fclose(f);
+}
+
+TEST(Sampler, SamplesAtInterval) {
+  sim::Simulation sim;
+  TimeSeries ts;
+  double value = 0.0;
+  Sampler sampler(&sim, sim::kSec, &ts, [&] { return value; });
+  sampler.Start();
+  value = 1.0;
+  sim.RunUntil(3 * sim::kSec + sim::kMs);
+  sampler.Stop();
+  sim.RunUntilIdle();
+  // Sample at t=0 (value 0) plus t=1,2,3 s (value 1).
+  ASSERT_EQ(ts.points().size(), 4u);
+  EXPECT_DOUBLE_EQ(ts.points()[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(ts.points()[3].value, 1.0);
+  EXPECT_EQ(ts.points()[3].at, 3 * sim::kSec);
+}
+
+TEST(Sampler, StopPreventsFurtherSamples) {
+  sim::Simulation sim;
+  TimeSeries ts;
+  Sampler sampler(&sim, sim::kSec, &ts, [] { return 1.0; });
+  sampler.Start();
+  sim.RunUntil(sim::kSec + sim::kMs);
+  sampler.Stop();
+  sim.RunUntil(10 * sim::kSec);
+  sim.RunUntilIdle();
+  EXPECT_EQ(ts.points().size(), 2u);  // t=0 and t=1s only
+}
+
+}  // namespace
+}  // namespace hyperalloc::metrics

@@ -1,0 +1,168 @@
+// Unit tests for the discrete-event engine, capacity timelines, and vCPUs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/capacity_timeline.h"
+#include "src/sim/simulation.h"
+#include "src/sim/vcpu.h"
+
+namespace hyperalloc::sim {
+namespace {
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.At(30, [&] { order.push_back(3); });
+  sim.At(10, [&] { order.push_back(1); });
+  sim.At(20, [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulation, FifoAmongEqualTimestamps) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.At(5, [&] { order.push_back(1); });
+  sim.At(5, [&] { order.push_back(2); });
+  sim.At(5, [&] { order.push_back(3); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, AfterSchedulesRelative) {
+  Simulation sim;
+  Time fired_at = 0;
+  sim.At(100, [&] {
+    // From within an event, After() is relative to the current time.
+    sim.After(50, [&] { fired_at = sim.now(); });
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWithoutEvents) {
+  Simulation sim;
+  sim.RunUntil(1000);
+  EXPECT_EQ(sim.now(), 1000u);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  bool late_ran = false;
+  sim.At(500, [&] { late_ran = true; });
+  sim.RunUntil(400);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(sim.now(), 400u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunUntilIdle();
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(Simulation, HandlerAdvancingClockInline) {
+  Simulation sim;
+  Time second_event_time = 0;
+  sim.At(10, [&] { sim.AdvanceClock(100); });  // inline blocking work
+  sim.At(50, [&] { second_event_time = sim.now(); });
+  sim.RunUntilIdle();
+  // The 50 ns event was overtaken by inline work; it runs at the current
+  // (later) clock rather than travelling back in time.
+  EXPECT_EQ(second_event_time, 110u);
+}
+
+TEST(Simulation, NestedScheduling) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) {
+      sim.After(10, tick);
+    }
+  };
+  sim.After(10, tick);
+  sim.RunUntilIdle();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(CapacityTimeline, FullCapacityByDefault) {
+  CapacityTimeline t(2.0);
+  EXPECT_DOUBLE_EQ(t.CapacityAt(0), 2.0);
+  EXPECT_DOUBLE_EQ(t.Integrate(0, 100), 200.0);
+  EXPECT_EQ(t.ConsumeFrom(0, 200.0), 100u);
+}
+
+TEST(CapacityTimeline, LoadReducesCapacity) {
+  CapacityTimeline t(1.0);
+  t.AddLoad(100, 200, 0.5);
+  EXPECT_DOUBLE_EQ(t.CapacityAt(50), 1.0);
+  EXPECT_DOUBLE_EQ(t.CapacityAt(150), 0.5);
+  EXPECT_DOUBLE_EQ(t.CapacityAt(250), 1.0);
+}
+
+TEST(CapacityTimeline, IntegrateAcrossSegments) {
+  CapacityTimeline t(1.0);
+  t.AddLoad(100, 200, 0.5);
+  // [0,100): 100, [100,200): 50, [200,300): 100.
+  EXPECT_DOUBLE_EQ(t.Integrate(0, 300), 250.0);
+  EXPECT_DOUBLE_EQ(t.Integrate(150, 250), 75.0);
+}
+
+TEST(CapacityTimeline, ConsumeSpansLoads) {
+  CapacityTimeline t(1.0);
+  t.AddLoad(100, 300, 0.5);
+  // 100 units at full speed (t=100), then 100 more at half speed (200 ns).
+  EXPECT_EQ(t.ConsumeFrom(0, 200.0), 300u);
+}
+
+TEST(CapacityTimeline, CapacityFloorPreventsStarvation) {
+  CapacityTimeline t(1.0);
+  t.AddLoad(0, 1000, 5.0);  // oversubscribed
+  EXPECT_GT(t.CapacityAt(500), 0.0);
+  EXPECT_DOUBLE_EQ(t.CapacityAt(500), 0.02);  // 2 % floor
+}
+
+TEST(CapacityTimeline, OverlappingLoadsStack) {
+  CapacityTimeline t(1.0);
+  t.AddLoad(0, 100, 0.25);
+  t.AddLoad(50, 150, 0.25);
+  EXPECT_DOUBLE_EQ(t.CapacityAt(25), 0.75);
+  EXPECT_DOUBLE_EQ(t.CapacityAt(75), 0.5);
+  EXPECT_DOUBLE_EQ(t.CapacityAt(125), 0.75);
+  EXPECT_DOUBLE_EQ(t.CapacityAt(175), 1.0);
+}
+
+TEST(CapacityTimeline, ZeroLengthLoadIgnored) {
+  CapacityTimeline t(1.0);
+  t.AddLoad(100, 100, 0.5);
+  EXPECT_DOUBLE_EQ(t.CapacityAt(100), 1.0);
+}
+
+TEST(CapacityTimeline, TrimBeforeKeepsSemantics) {
+  CapacityTimeline t(1.0);
+  t.AddLoad(0, 100, 0.5);
+  t.AddLoad(200, 300, 0.5);
+  t.TrimBefore(150);
+  EXPECT_DOUBLE_EQ(t.CapacityAt(250), 0.5);
+  EXPECT_DOUBLE_EQ(t.CapacityAt(350), 1.0);
+}
+
+TEST(Vcpu, StealSlowsCpu) {
+  VcpuSet cpus(2);
+  cpus.StealCpu(0, 0, 1000, 0.5);
+  EXPECT_DOUBLE_EQ(cpus.cpu(0).CapacityAt(500), 0.5);
+  EXPECT_DOUBLE_EQ(cpus.cpu(1).CapacityAt(500), 1.0);
+}
+
+TEST(Vcpu, IpiHitsAllCpus) {
+  VcpuSet cpus(3);
+  cpus.BroadcastIpi(100, 10);
+  for (unsigned i = 0; i < 3; ++i) {
+    EXPECT_LT(cpus.cpu(i).CapacityAt(105), 1.0);
+    EXPECT_DOUBLE_EQ(cpus.cpu(i).CapacityAt(115), 1.0);
+  }
+  EXPECT_EQ(cpus.total_ipis(), 1u);
+}
+
+}  // namespace
+}  // namespace hyperalloc::sim

@@ -1,0 +1,91 @@
+// Tests for host-level swapping under overcommit (paper §6).
+#include <gtest/gtest.h>
+
+#include "src/hv/swap.h"
+#include "src/workloads/memory_pool.h"
+
+namespace hyperalloc::hv {
+namespace {
+
+class SwapTest : public ::testing::Test {
+ protected:
+  // Host has 256 MiB for two 256 MiB VMs: 2x overcommitted.
+  void Init(uint64_t host_bytes = 256 * kMiB, int num_vms = 2) {
+    sim_ = std::make_unique<sim::Simulation>();
+    host_ = std::make_unique<HostMemory>(FramesForBytes(host_bytes));
+    swap_ = std::make_unique<SwapManager>(sim_.get(), host_.get());
+    for (int i = 0; i < num_vms; ++i) {
+      guest::GuestConfig config;
+      config.memory_bytes = 256 * kMiB;
+      config.vcpus = 2;
+      config.dma32_bytes = 0;
+      vms_.push_back(std::make_unique<guest::GuestVm>(sim_.get(),
+                                                      host_.get(), config));
+      swap_->Register(vms_.back().get());
+    }
+  }
+
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<HostMemory> host_;
+  std::unique_ptr<SwapManager> swap_;
+  std::vector<std::unique_ptr<guest::GuestVm>> vms_;
+};
+
+TEST_F(SwapTest, OvercommitSwapsInsteadOfFailing) {
+  Init();
+  // Both VMs touch their full memory: 512 MiB demand on a 256 MiB host.
+  vms_[0]->Touch(0, vms_[0]->total_frames());
+  vms_[1]->Touch(0, vms_[1]->total_frames());
+  EXPECT_GT(swap_->swapped_out_frames(), 0u);
+  EXPECT_LE(host_->used_frames(), host_->total_frames());
+  // The second VM is fully resident; the first was partially evicted.
+  EXPECT_EQ(vms_[1]->rss_bytes(), 256 * kMiB);
+  EXPECT_LT(vms_[0]->rss_bytes(), 256 * kMiB);
+}
+
+TEST_F(SwapTest, SwapInChargesLatency) {
+  Init();
+  vms_[0]->Touch(0, vms_[0]->total_frames());
+  vms_[1]->Touch(0, vms_[1]->total_frames());
+  ASSERT_GT(swap_->swapped_out_frames(), 0u);
+
+  // Re-touching VM 0's swapped memory swaps it back in — slower than a
+  // plain fault, and it evicts something else.
+  const sim::Time before = sim_->now();
+  vms_[0]->Touch(0, 4096);
+  EXPECT_GT(swap_->swapped_in_frames(), 0u);
+  const sim::Time cost = sim_->now() - before;
+  EXPECT_GT(cost, 4096ull * 15000 / 2) << "swap-in latency must show";
+}
+
+TEST_F(SwapTest, ThrashingUnderSustainedOvercommit) {
+  Init();
+  vms_[0]->Touch(0, vms_[0]->total_frames());
+  vms_[1]->Touch(0, vms_[1]->total_frames());
+  const uint64_t out_before = swap_->swapped_out_frames();
+  // Ping-pong touches: each VM's accesses evict the other.
+  for (int round = 0; round < 4; ++round) {
+    vms_[round % 2]->Touch(0, 8192);
+  }
+  EXPECT_GT(swap_->swapped_out_frames(), out_before)
+      << "sustained overcommit must keep swapping (thrashing)";
+}
+
+TEST_F(SwapTest, NoSwapWhenHostHasRoom) {
+  Init(kGiB, 2);
+  vms_[0]->Touch(0, vms_[0]->total_frames());
+  vms_[1]->Touch(0, vms_[1]->total_frames());
+  EXPECT_EQ(swap_->swapped_out_frames(), 0u);
+}
+
+TEST_F(SwapTest, AccountingBalances) {
+  Init();
+  vms_[0]->Touch(0, vms_[0]->total_frames());
+  vms_[1]->Touch(0, vms_[1]->total_frames());
+  vms_[0]->Touch(0, vms_[0]->total_frames());
+  EXPECT_EQ(swap_->swap_used_frames(),
+            swap_->swapped_out_frames() - swap_->swapped_in_frames());
+}
+
+}  // namespace
+}  // namespace hyperalloc::hv

@@ -1,0 +1,71 @@
+// Tests for the virtqueue batching model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/virtio/virtqueue.h"
+
+namespace hyperalloc::virtio {
+namespace {
+
+class VirtqueueTest : public ::testing::Test {
+ protected:
+  VirtqueueTest() : vq_(&sim_, &costs_, 4) {
+    vq_.SetConsumer([this](std::span<const uint64_t> batch) {
+      batches_.emplace_back(batch.begin(), batch.end());
+    });
+  }
+
+  sim::Simulation sim_;
+  hv::CostModel costs_;
+  Virtqueue vq_;
+  std::vector<std::vector<uint64_t>> batches_;
+};
+
+TEST_F(VirtqueueTest, AutoKickWhenFull) {
+  for (uint64_t i = 0; i < 4; ++i) {
+    vq_.Push(i);
+  }
+  ASSERT_EQ(batches_.size(), 1u);
+  EXPECT_EQ(batches_[0], (std::vector<uint64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(vq_.total_hypercalls(), 1u);
+  EXPECT_EQ(vq_.total_elements(), 4u);
+}
+
+TEST_F(VirtqueueTest, ManualKickFlushesPartialBatch) {
+  vq_.Push(7);
+  EXPECT_TRUE(batches_.empty());
+  vq_.Kick();
+  ASSERT_EQ(batches_.size(), 1u);
+  EXPECT_EQ(batches_[0], (std::vector<uint64_t>{7}));
+}
+
+TEST_F(VirtqueueTest, EmptyKickIsFree) {
+  const sim::Time before = sim_.now();
+  vq_.Kick();
+  EXPECT_EQ(sim_.now(), before);
+  EXPECT_EQ(vq_.total_hypercalls(), 0u);
+}
+
+TEST_F(VirtqueueTest, CostsChargedToClock) {
+  const sim::Time before = sim_.now();
+  for (uint64_t i = 0; i < 4; ++i) {
+    vq_.Push(i);
+  }
+  // 4 element costs + 1 hypercall.
+  EXPECT_EQ(sim_.now() - before,
+            4 * costs_.virtqueue_element_ns + costs_.hypercall_ns);
+}
+
+TEST_F(VirtqueueTest, MultipleBatchesKeepOrder) {
+  for (uint64_t i = 0; i < 10; ++i) {
+    vq_.Push(i);
+  }
+  vq_.Kick();
+  ASSERT_EQ(batches_.size(), 3u);
+  EXPECT_EQ(batches_[2], (std::vector<uint64_t>{8, 9}));
+  EXPECT_EQ(vq_.total_hypercalls(), 3u);
+}
+
+}  // namespace
+}  // namespace hyperalloc::virtio
