@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blender.dir/bench_blender.cc.o"
+  "CMakeFiles/bench_blender.dir/bench_blender.cc.o.d"
+  "bench_blender"
+  "bench_blender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

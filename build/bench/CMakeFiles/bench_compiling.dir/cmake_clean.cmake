@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compiling.dir/bench_compiling.cc.o"
+  "CMakeFiles/bench_compiling.dir/bench_compiling.cc.o.d"
+  "bench_compiling"
+  "bench_compiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ftq.dir/bench_ftq.cc.o"
+  "CMakeFiles/bench_ftq.dir/bench_ftq.cc.o.d"
+  "bench_ftq"
+  "bench_ftq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ftq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inflate.dir/bench_inflate.cc.o"
+  "CMakeFiles/bench_inflate.dir/bench_inflate.cc.o.d"
+  "bench_inflate"
+  "bench_inflate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inflate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

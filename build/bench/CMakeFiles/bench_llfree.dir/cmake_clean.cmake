@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_llfree.dir/bench_llfree.cc.o"
+  "CMakeFiles/bench_llfree.dir/bench_llfree.cc.o.d"
+  "bench_llfree"
+  "bench_llfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_llfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

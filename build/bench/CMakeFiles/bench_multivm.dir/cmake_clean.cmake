@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multivm.dir/bench_multivm.cc.o"
+  "CMakeFiles/bench_multivm.dir/bench_multivm.cc.o.d"
+  "bench_multivm"
+  "bench_multivm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multivm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

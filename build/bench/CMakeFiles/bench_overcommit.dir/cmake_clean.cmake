@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overcommit.dir/bench_overcommit.cc.o"
+  "CMakeFiles/bench_overcommit.dir/bench_overcommit.cc.o.d"
+  "bench_overcommit"
+  "bench_overcommit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overcommit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

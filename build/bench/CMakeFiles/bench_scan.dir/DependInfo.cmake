@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_scan.cc" "bench/CMakeFiles/bench_scan.dir/bench_scan.cc.o" "gcc" "bench/CMakeFiles/bench_scan.dir/bench_scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llfree/CMakeFiles/ha_llfree.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ha_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/ha_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/buddy/CMakeFiles/ha_buddy.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/ha_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ha_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vfio_compile.dir/bench_vfio_compile.cc.o"
+  "CMakeFiles/bench_vfio_compile.dir/bench_vfio_compile.cc.o.d"
+  "bench_vfio_compile"
+  "bench_vfio_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vfio_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_bench_common.dir/candidates.cc.o"
+  "CMakeFiles/ha_bench_common.dir/candidates.cc.o.d"
+  "libha_bench_common.a"
+  "libha_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_passthrough.dir/device_passthrough.cpp.o"
+  "CMakeFiles/device_passthrough.dir/device_passthrough.cpp.o.d"
+  "device_passthrough"
+  "device_passthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_passthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

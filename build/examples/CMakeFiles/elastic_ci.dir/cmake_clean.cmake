@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_ci.dir/elastic_ci.cpp.o"
+  "CMakeFiles/elastic_ci.dir/elastic_ci.cpp.o.d"
+  "elastic_ci"
+  "elastic_ci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

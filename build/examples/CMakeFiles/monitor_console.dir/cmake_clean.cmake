@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_console.dir/monitor_console.cpp.o"
+  "CMakeFiles/monitor_console.dir/monitor_console.cpp.o.d"
+  "monitor_console"
+  "monitor_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("llfree")
+subdirs("buddy")
+subdirs("hv")
+subdirs("virtio")
+subdirs("metrics")
+subdirs("guest")
+subdirs("balloon")
+subdirs("vmem")
+subdirs("core")
+subdirs("workloads")

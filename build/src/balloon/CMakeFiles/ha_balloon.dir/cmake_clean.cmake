@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_balloon.dir/virtio_balloon.cc.o"
+  "CMakeFiles/ha_balloon.dir/virtio_balloon.cc.o.d"
+  "libha_balloon.a"
+  "libha_balloon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_balloon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_base.dir/stats.cc.o"
+  "CMakeFiles/ha_base.dir/stats.cc.o.d"
+  "CMakeFiles/ha_base.dir/units.cc.o"
+  "CMakeFiles/ha_base.dir/units.cc.o.d"
+  "libha_base.a"
+  "libha_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_buddy.dir/buddy.cc.o"
+  "CMakeFiles/ha_buddy.dir/buddy.cc.o.d"
+  "libha_buddy.a"
+  "libha_buddy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_buddy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

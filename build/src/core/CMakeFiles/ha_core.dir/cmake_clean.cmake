@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_core.dir/hyperalloc.cc.o"
+  "CMakeFiles/ha_core.dir/hyperalloc.cc.o.d"
+  "CMakeFiles/ha_core.dir/hyperalloc_generic.cc.o"
+  "CMakeFiles/ha_core.dir/hyperalloc_generic.cc.o.d"
+  "libha_core.a"
+  "libha_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

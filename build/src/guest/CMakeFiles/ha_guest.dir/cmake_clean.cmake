@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_guest.dir/compaction.cc.o"
+  "CMakeFiles/ha_guest.dir/compaction.cc.o.d"
+  "CMakeFiles/ha_guest.dir/guest_vm.cc.o"
+  "CMakeFiles/ha_guest.dir/guest_vm.cc.o.d"
+  "libha_guest.a"
+  "libha_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/console.cc" "src/hv/CMakeFiles/ha_hv.dir/console.cc.o" "gcc" "src/hv/CMakeFiles/ha_hv.dir/console.cc.o.d"
+  "/root/repo/src/hv/ept.cc" "src/hv/CMakeFiles/ha_hv.dir/ept.cc.o" "gcc" "src/hv/CMakeFiles/ha_hv.dir/ept.cc.o.d"
+  "/root/repo/src/hv/interference.cc" "src/hv/CMakeFiles/ha_hv.dir/interference.cc.o" "gcc" "src/hv/CMakeFiles/ha_hv.dir/interference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ha_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ha_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

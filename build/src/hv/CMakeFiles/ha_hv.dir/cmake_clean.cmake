@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_hv.dir/console.cc.o"
+  "CMakeFiles/ha_hv.dir/console.cc.o.d"
+  "CMakeFiles/ha_hv.dir/ept.cc.o"
+  "CMakeFiles/ha_hv.dir/ept.cc.o.d"
+  "CMakeFiles/ha_hv.dir/interference.cc.o"
+  "CMakeFiles/ha_hv.dir/interference.cc.o.d"
+  "libha_hv.a"
+  "libha_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_swap.dir/market.cc.o"
+  "CMakeFiles/ha_swap.dir/market.cc.o.d"
+  "CMakeFiles/ha_swap.dir/swap.cc.o"
+  "CMakeFiles/ha_swap.dir/swap.cc.o.d"
+  "libha_swap.a"
+  "libha_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_llfree.dir/bitfield.cc.o"
+  "CMakeFiles/ha_llfree.dir/bitfield.cc.o.d"
+  "CMakeFiles/ha_llfree.dir/llfree.cc.o"
+  "CMakeFiles/ha_llfree.dir/llfree.cc.o.d"
+  "libha_llfree.a"
+  "libha_llfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_llfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

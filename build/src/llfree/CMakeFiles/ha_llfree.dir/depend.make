@@ -1,0 +1,2 @@
+# Empty dependencies file for ha_llfree.
+# This may be replaced when dependencies are built.

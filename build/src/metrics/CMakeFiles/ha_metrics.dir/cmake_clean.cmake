@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_metrics.dir/timeseries.cc.o"
+  "CMakeFiles/ha_metrics.dir/timeseries.cc.o.d"
+  "libha_metrics.a"
+  "libha_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

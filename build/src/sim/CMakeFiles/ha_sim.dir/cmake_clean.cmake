@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_sim.dir/capacity_timeline.cc.o"
+  "CMakeFiles/ha_sim.dir/capacity_timeline.cc.o.d"
+  "CMakeFiles/ha_sim.dir/vcpu.cc.o"
+  "CMakeFiles/ha_sim.dir/vcpu.cc.o.d"
+  "libha_sim.a"
+  "libha_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_virtio.dir/virtqueue.cc.o"
+  "CMakeFiles/ha_virtio.dir/virtqueue.cc.o.d"
+  "libha_virtio.a"
+  "libha_virtio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_virtio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

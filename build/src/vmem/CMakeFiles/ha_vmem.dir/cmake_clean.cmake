@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_vmem.dir/virtio_mem.cc.o"
+  "CMakeFiles/ha_vmem.dir/virtio_mem.cc.o.d"
+  "libha_vmem.a"
+  "libha_vmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_vmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

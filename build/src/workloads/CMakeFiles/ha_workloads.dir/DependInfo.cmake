@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/blender.cc" "src/workloads/CMakeFiles/ha_workloads.dir/blender.cc.o" "gcc" "src/workloads/CMakeFiles/ha_workloads.dir/blender.cc.o.d"
+  "/root/repo/src/workloads/compile.cc" "src/workloads/CMakeFiles/ha_workloads.dir/compile.cc.o" "gcc" "src/workloads/CMakeFiles/ha_workloads.dir/compile.cc.o.d"
+  "/root/repo/src/workloads/ftq.cc" "src/workloads/CMakeFiles/ha_workloads.dir/ftq.cc.o" "gcc" "src/workloads/CMakeFiles/ha_workloads.dir/ftq.cc.o.d"
+  "/root/repo/src/workloads/memory_pool.cc" "src/workloads/CMakeFiles/ha_workloads.dir/memory_pool.cc.o" "gcc" "src/workloads/CMakeFiles/ha_workloads.dir/memory_pool.cc.o.d"
+  "/root/repo/src/workloads/spec_prep.cc" "src/workloads/CMakeFiles/ha_workloads.dir/spec_prep.cc.o" "gcc" "src/workloads/CMakeFiles/ha_workloads.dir/spec_prep.cc.o.d"
+  "/root/repo/src/workloads/stream.cc" "src/workloads/CMakeFiles/ha_workloads.dir/stream.cc.o" "gcc" "src/workloads/CMakeFiles/ha_workloads.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/ha_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ha_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/ha_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/buddy/CMakeFiles/ha_buddy.dir/DependInfo.cmake"
+  "/root/repo/build/src/llfree/CMakeFiles/ha_llfree.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ha_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_workloads.dir/blender.cc.o"
+  "CMakeFiles/ha_workloads.dir/blender.cc.o.d"
+  "CMakeFiles/ha_workloads.dir/compile.cc.o"
+  "CMakeFiles/ha_workloads.dir/compile.cc.o.d"
+  "CMakeFiles/ha_workloads.dir/ftq.cc.o"
+  "CMakeFiles/ha_workloads.dir/ftq.cc.o.d"
+  "CMakeFiles/ha_workloads.dir/memory_pool.cc.o"
+  "CMakeFiles/ha_workloads.dir/memory_pool.cc.o.d"
+  "CMakeFiles/ha_workloads.dir/spec_prep.cc.o"
+  "CMakeFiles/ha_workloads.dir/spec_prep.cc.o.d"
+  "CMakeFiles/ha_workloads.dir/stream.cc.o"
+  "CMakeFiles/ha_workloads.dir/stream.cc.o.d"
+  "libha_workloads.a"
+  "libha_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balloon_test.dir/balloon_test.cc.o"
+  "CMakeFiles/balloon_test.dir/balloon_test.cc.o.d"
+  "balloon_test"
+  "balloon_test.pdb"
+  "balloon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balloon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_fuzz_test.dir/guest_fuzz_test.cc.o"
+  "CMakeFiles/guest_fuzz_test.dir/guest_fuzz_test.cc.o.d"
+  "guest_fuzz_test"
+  "guest_fuzz_test.pdb"
+  "guest_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

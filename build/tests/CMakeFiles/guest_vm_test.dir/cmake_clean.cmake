@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_vm_test.dir/guest_vm_test.cc.o"
+  "CMakeFiles/guest_vm_test.dir/guest_vm_test.cc.o.d"
+  "guest_vm_test"
+  "guest_vm_test.pdb"
+  "guest_vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

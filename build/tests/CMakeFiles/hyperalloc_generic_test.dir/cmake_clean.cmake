@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperalloc_generic_test.dir/hyperalloc_generic_test.cc.o"
+  "CMakeFiles/hyperalloc_generic_test.dir/hyperalloc_generic_test.cc.o.d"
+  "hyperalloc_generic_test"
+  "hyperalloc_generic_test.pdb"
+  "hyperalloc_generic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperalloc_generic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperalloc_test.dir/hyperalloc_test.cc.o"
+  "CMakeFiles/hyperalloc_test.dir/hyperalloc_test.cc.o.d"
+  "hyperalloc_test"
+  "hyperalloc_test.pdb"
+  "hyperalloc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperalloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llfree_internals_test.dir/llfree_internals_test.cc.o"
+  "CMakeFiles/llfree_internals_test.dir/llfree_internals_test.cc.o.d"
+  "llfree_internals_test"
+  "llfree_internals_test.pdb"
+  "llfree_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llfree_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

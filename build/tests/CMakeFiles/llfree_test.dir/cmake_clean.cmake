@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llfree_test.dir/llfree_test.cc.o"
+  "CMakeFiles/llfree_test.dir/llfree_test.cc.o.d"
+  "llfree_test"
+  "llfree_test.pdb"
+  "llfree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llfree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

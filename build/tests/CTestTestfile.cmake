@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/llfree_test[1]_include.cmake")
+include("/root/repo/build/tests/llfree_concurrent_test[1]_include.cmake")
+include("/root/repo/build/tests/buddy_test[1]_include.cmake")
+include("/root/repo/build/tests/guest_vm_test[1]_include.cmake")
+include("/root/repo/build/tests/hyperalloc_test[1]_include.cmake")
+include("/root/repo/build/tests/balloon_test[1]_include.cmake")
+include("/root/repo/build/tests/vmem_test[1]_include.cmake")
+include("/root/repo/build/tests/virtio_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/hv_test[1]_include.cmake")
+include("/root/repo/build/tests/llfree_internals_test[1]_include.cmake")
+include("/root/repo/build/tests/guest_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/console_test[1]_include.cmake")
+include("/root/repo/build/tests/hyperalloc_generic_test[1]_include.cmake")
+include("/root/repo/build/tests/compaction_test[1]_include.cmake")
+include("/root/repo/build/tests/swap_test[1]_include.cmake")
+include("/root/repo/build/tests/hotness_test[1]_include.cmake")
+include("/root/repo/build/tests/market_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
