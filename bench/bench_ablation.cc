@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/trace_io.h"
 #include "src/base/rng.h"
 #include "src/core/hyperalloc.h"
 #include "src/guest/guest_vm.h"
@@ -213,4 +214,7 @@ int Main() {
 }  // namespace
 }  // namespace hyperalloc::llfree
 
-int main() { return hyperalloc::llfree::Main(); }
+int main(int argc, char** argv) {
+  hyperalloc::bench::TraceOutput trace_out(argc, argv);
+  return hyperalloc::llfree::Main();
+}

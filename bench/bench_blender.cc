@@ -11,6 +11,7 @@
 #include <string>
 
 #include "bench/candidates.h"
+#include "bench/trace_io.h"
 #include "src/metrics/timeseries.h"
 #include "src/workloads/blender.h"
 #include "src/workloads/memory_pool.h"
@@ -117,4 +118,7 @@ int Main() {
 }  // namespace
 }  // namespace hyperalloc::bench
 
-int main() { return hyperalloc::bench::Main(); }
+int main(int argc, char** argv) {
+  hyperalloc::bench::TraceOutput trace_out(argc, argv);
+  return hyperalloc::bench::Main();
+}

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench/compile_harness.h"
+#include "bench/trace_io.h"
 #include "src/base/stats.h"
 
 namespace hyperalloc::bench {
@@ -173,4 +174,7 @@ int Main(int argc, char** argv) {
 }  // namespace
 }  // namespace hyperalloc::bench
 
-int main(int argc, char** argv) { return hyperalloc::bench::Main(argc, argv); }
+int main(int argc, char** argv) {
+  hyperalloc::bench::TraceOutput trace_out(argc, argv);
+  return hyperalloc::bench::Main(argc, argv);
+}

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench/candidates.h"
+#include "bench/trace_io.h"
 #include "src/base/stats.h"
 #include "src/base/units.h"
 #include "src/workloads/memory_pool.h"
@@ -160,4 +161,7 @@ int Main(int argc, char** argv) {
 }  // namespace
 }  // namespace hyperalloc::bench
 
-int main(int argc, char** argv) { return hyperalloc::bench::Main(argc, argv); }
+int main(int argc, char** argv) {
+  hyperalloc::bench::TraceOutput trace_out(argc, argv);
+  return hyperalloc::bench::Main(argc, argv);
+}

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench/candidates.h"
+#include "bench/trace_io.h"
 #include "src/metrics/timeseries.h"
 #include "src/workloads/compile.h"
 #include "src/workloads/interference_hub.h"
@@ -191,4 +192,7 @@ int Main(int argc, char** argv) {
 }  // namespace
 }  // namespace hyperalloc::bench
 
-int main(int argc, char** argv) { return hyperalloc::bench::Main(argc, argv); }
+int main(int argc, char** argv) {
+  hyperalloc::bench::TraceOutput trace_out(argc, argv);
+  return hyperalloc::bench::Main(argc, argv);
+}

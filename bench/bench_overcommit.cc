@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "bench/candidates.h"
+#include "bench/trace_io.h"
 #include "src/base/units.h"
 #include "src/hv/swap.h"
 #include "src/workloads/blender.h"
@@ -114,4 +115,7 @@ int Main() {
 }  // namespace
 }  // namespace hyperalloc::bench
 
-int main() { return hyperalloc::bench::Main(); }
+int main(int argc, char** argv) {
+  hyperalloc::bench::TraceOutput trace_out(argc, argv);
+  return hyperalloc::bench::Main();
+}

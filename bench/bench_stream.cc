@@ -11,6 +11,7 @@
 #include <string>
 
 #include "bench/candidates.h"
+#include "bench/trace_io.h"
 #include "bench/resize_schedule.h"
 #include "src/base/stats.h"
 #include "src/workloads/interference_hub.h"
@@ -119,4 +120,7 @@ int Main(int argc, char** argv) {
 }  // namespace
 }  // namespace hyperalloc::bench
 
-int main(int argc, char** argv) { return hyperalloc::bench::Main(argc, argv); }
+int main(int argc, char** argv) {
+  hyperalloc::bench::TraceOutput trace_out(argc, argv);
+  return hyperalloc::bench::Main(argc, argv);
+}

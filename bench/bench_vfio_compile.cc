@@ -8,6 +8,7 @@
 #include <string>
 
 #include "bench/compile_harness.h"
+#include "bench/trace_io.h"
 
 namespace hyperalloc::bench {
 namespace {
@@ -76,4 +77,7 @@ int Main(int argc, char** argv) {
 }  // namespace
 }  // namespace hyperalloc::bench
 
-int main(int argc, char** argv) { return hyperalloc::bench::Main(argc, argv); }
+int main(int argc, char** argv) {
+  hyperalloc::bench::TraceOutput trace_out(argc, argv);
+  return hyperalloc::bench::Main(argc, argv);
+}

@@ -1,6 +1,7 @@
 #include "bench/candidates.h"
 
 #include "src/base/check.h"
+#include "src/trace/trace.h"
 
 namespace hyperalloc::bench {
 
@@ -78,6 +79,10 @@ VmBundle MakeVmBundle(sim::Simulation* sim, hv::HostMemory* host,
                       const std::string& name) {
   VmBundle setup;
   setup.candidate = candidate;
+
+  // Stamp trace events with this simulation's virtual clock. Benches run
+  // one simulation at a time, so the last-created bundle owns the clock.
+  trace::Tracer::Global().SetTimeSource(sim);
 
   guest::GuestConfig gc;
   gc.name = name;

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Full verification: the tier-1 build + test cycle, plus a
+# ThreadSanitizer build that exercises the lock-free paths (the LLFree
+# concurrent stress test and the trace-layer counter/ring tests).
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo "== tsan: llfree_concurrent_test + trace_test =="
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+cmake --build build-tsan -j --target llfree_concurrent_test trace_test
+./build-tsan/tests/llfree_concurrent_test
+./build-tsan/tests/trace_test
+
+echo "== all checks passed =="

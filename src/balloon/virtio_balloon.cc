@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/check.h"
+#include "src/trace/trace.h"
 
 namespace hyperalloc::balloon {
 
@@ -23,6 +24,7 @@ VirtioBalloon::VirtioBalloon(guest::GuestVm* vm, const BalloonConfig& config)
           std::min<uint64_t>(ballooned_frames_,
                              config_.deflate_on_oom_bytes / kFrameSize);
       ++oom_deflations_;
+      HA_COUNT("balloon.oom_deflate");
       while (ballooned_frames_ > target_frames && !pages_.empty()) {
         const Ballooned b = pages_.back();
         pages_.pop_back();
@@ -31,6 +33,9 @@ VirtioBalloon::VirtioBalloon(guest::GuestVm* vm, const BalloonConfig& config)
                                : vm_->costs().balloon_deflate_4k_ns);
         vm_->Free(b.frame, b.order, config_.driver_cpu);
         ballooned_frames_ -= 1ull << b.order;
+        HA_COUNT_N("balloon.deflate_frames", 1ull << b.order);
+        HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kDeflate,
+                       b.frame, b.order);
       }
       return true;
     });
@@ -97,6 +102,8 @@ void VirtioBalloon::InflateSlice(uint64_t target_frames,
     sim_->AdvanceClock(vm_->costs().virtqueue_element_ns);
     batch.push_back({*r, order});
     ballooned_frames_ += 1ull << order;
+    HA_COUNT_N("balloon.inflate_frames", 1ull << order);
+    HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kInflate, *r, order);
   }
   cpu_.guest_ns += sim_->now() - guest_start;
 
@@ -106,8 +113,11 @@ void VirtioBalloon::InflateSlice(uint64_t target_frames,
   }
 
   // One hypercall delivers the batch; QEMU discards each entry.
-  sim_->AdvanceClock(vm_->costs().hypercall_ns);
-  cpu_.host_user_ns += vm_->costs().hypercall_ns;
+  cpu_.host_user_ns +=
+      hv::ChargeTraced(sim_, "balloon.hypercall_ns", vm_->costs().hypercall_ns);
+  HA_COUNT("balloon.hypercall");
+  HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kHypercall,
+                 batch.size(), 0);
   HostDiscard(batch);
   pages_.insert(pages_.end(), batch.begin(), batch.end());
 
@@ -134,6 +144,9 @@ void VirtioBalloon::HostDiscard(const std::vector<Ballooned>& batch) {
     // QEMU issues one madvise(DONTNEED) per entry, mapped or not.
     sys_ns += vm_->costs().madvise_syscall_ns;
     ++madvise_calls_;
+    HA_COUNT("balloon.madvise");
+    HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kMadvise, b.frame,
+                   frames);
     if (mapped > 0) {
       if (b.order == kHugeOrder) {
         sys_ns += vm_->costs().madvise_per_2m_ns +
@@ -180,6 +193,9 @@ void VirtioBalloon::DeflateSlice(uint64_t target_frames,
     cpu_.guest_ns += free_ns;
     vm_->Free(b.frame, b.order, config_.driver_cpu);
     ballooned_frames_ -= 1ull << b.order;
+    HA_COUNT_N("balloon.deflate_frames", 1ull << b.order);
+    HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kDeflate, b.frame,
+                   b.order);
     ++elems;
   }
   vm_->sink().OnCpuSteal(config_.driver_cpu, t0, sim_->now(), 1.0);
@@ -241,9 +257,12 @@ void VirtioBalloon::ReportCycle() {
     return;
   }
 
-  sim_->AdvanceClock(vm_->costs().hypercall_ns);
-  cpu_.host_user_ns += vm_->costs().hypercall_ns;
+  cpu_.host_user_ns +=
+      hv::ChargeTraced(sim_, "balloon.hypercall_ns", vm_->costs().hypercall_ns);
   ++hypercalls_;
+  HA_COUNT("balloon.hypercall");
+  HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kHypercall,
+                 batch.size(), 0);
   HostDiscard(batch);
 
   // Hand the blocks back to the allocator, remembering they are reported.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/check.h"
+#include "src/trace/trace.h"
 
 namespace hyperalloc::core {
 
@@ -109,8 +110,11 @@ void HyperAllocMonitor::Install(ZoneView& view, HugeId local_huge) {
   const uint64_t entry_ns = config_.in_kernel
                                 ? vm_->costs().ept_fault_2m_ns
                                 : vm_->costs().install_hypercall_2m_ns;
-  sim_->AdvanceClock(entry_ns);
-  cpu_.host_user_ns += entry_ns;
+  cpu_.host_user_ns +=
+      hv::ChargeTraced(sim_, "monitor.install_entry_ns", entry_ns);
+  if (!config_.in_kernel) {
+    HA_COUNT("monitor.hypercall");
+  }
 
   const FrameId global_first = view.zone->start + HugeToFrame(local_huge);
   HA_CHECK(vm_->PopulateFrames(global_first, kFramesPerHuge));
@@ -119,8 +123,10 @@ void HyperAllocMonitor::Install(ZoneView& view, HugeId local_huge) {
     vm_->iommu()->Pin(FrameToHuge(global_first));
     sys_ns += vm_->costs().iommu_map_2m_ns;
   }
-  sim_->AdvanceClock(sys_ns);
-  cpu_.host_sys_ns += sys_ns;
+  cpu_.host_sys_ns += hv::ChargeTraced(sim_, "monitor.install_ns", sys_ns);
+  HA_COUNT("monitor.install");
+  HA_TRACE_EVENT(trace::Category::kMonitor, trace::Op::kInstall,
+                 FrameToHuge(global_first), 0);
   vm_->sink().OnBandwidth(t0, sim_->now(),
                           static_cast<double>(kHugeSize) /
                               static_cast<double>(sim_->now() - t0));
@@ -164,6 +170,11 @@ void HyperAllocMonitor::UnmapBatch(const std::vector<HugeId>& global_huge) {
       // In-kernel: direct EPT zap, no madvise syscall per run.
       sys_ns += (config_.in_kernel ? 0 : vm_->costs().madvise_syscall_ns) +
                 vm_->costs().tlb_shootdown_ns;
+      if (!config_.in_kernel) {
+        HA_COUNT("monitor.madvise");
+        HA_TRACE_EVENT(trace::Category::kMonitor, trace::Op::kMadvise,
+                       sorted[i], mapped_huge);
+      }
     }
     i = j;
   }
@@ -178,8 +189,8 @@ void HyperAllocMonitor::UnmapBatch(const std::vector<HugeId>& global_huge) {
     }
   }
 
-  sim_->AdvanceClock(sys_ns);
-  cpu_.host_sys_ns += sys_ns;
+  cpu_.host_sys_ns += hv::ChargeTraced(sim_, "monitor.unmap_ns", sys_ns);
+  HA_HIST("monitor.unmap_batch_huge", sorted.size());
   const sim::Time t1 = sim_->now();
   if (shootdown_allcpu_ns > 0 && t1 > t0) {
     vm_->sink().OnAllCpusSteal(
@@ -227,10 +238,13 @@ void HyperAllocMonitor::ShrinkSlice(uint64_t target_huge, int escalation,
         break;  // zone exhausted; try the next one
       }
       view->hint = (*huge + 1) % view->states.size();
-      sim_->AdvanceClock(vm_->costs().ha_reclaim_state_2m_ns);
-      cpu_.host_user_ns += vm_->costs().ha_reclaim_state_2m_ns;
+      cpu_.host_user_ns += hv::ChargeTraced(
+          sim_, "monitor.reclaim_ns", vm_->costs().ha_reclaim_state_2m_ns);
       view->states.Set(*huge, ReclaimState::kHard);
       batch.push_back(FrameToHuge(view->zone->start) + *huge);
+      HA_COUNT("monitor.reclaim_hard");
+      HA_TRACE_EVENT(trace::Category::kMonitor, trace::Op::kReclaimHard,
+                     batch.back(), escalation);
       ++hard_reclaimed_huge_;
     }
   }
@@ -273,8 +287,11 @@ void HyperAllocMonitor::GrowSlice(uint64_t target_huge,
       }
       HA_CHECK(view->monitor_view->MarkReturned(h));
       view->states.Set(h, ReclaimState::kSoft);
-      sim_->AdvanceClock(vm_->costs().ha_return_state_2m_ns);
-      cpu_.host_user_ns += vm_->costs().ha_return_state_2m_ns;
+      cpu_.host_user_ns += hv::ChargeTraced(
+          sim_, "monitor.return_ns", vm_->costs().ha_return_state_2m_ns);
+      HA_COUNT("monitor.return");
+      HA_TRACE_EVENT(trace::Category::kMonitor, trace::Op::kReturn,
+                     FrameToHuge(view->zone->start) + h, 0);
       --hard_reclaimed_huge_;
       ++returned;
     }
@@ -308,8 +325,11 @@ uint64_t HyperAllocMonitor::AutoReclaimPass() {
         (view->states.size() * 2 + 511) / 512 +       // area index (16 bit)
         (view->states.ByteSize() + 63) / 64;          // R array (2 bit)
     scan_cache_lines_ += lines;
-    sim_->AdvanceClock(lines * vm_->costs().scan_cache_line_ns);
-    cpu_.host_user_ns += lines * vm_->costs().scan_cache_line_ns;
+    HA_COUNT_N("monitor.scan_cache_lines", lines);
+    HA_TRACE_EVENT(trace::Category::kMonitor, trace::Op::kScan,
+                   view->states.size(), lines);
+    cpu_.host_user_ns += hv::ChargeTraced(
+        sim_, "monitor.scan_ns", lines * vm_->costs().scan_cache_line_ns);
 
     for (HugeId h = 0; h < view->states.size(); ++h) {
       // Age the guest's access hints as part of the scan (the host-side
@@ -325,10 +345,13 @@ uint64_t HyperAllocMonitor::AutoReclaimPass() {
       if (!view->monitor_view->TrySoftReclaim(h)) {
         continue;  // guest raced us: it just allocated the frame
       }
-      sim_->AdvanceClock(vm_->costs().ha_reclaim_state_2m_ns);
-      cpu_.host_user_ns += vm_->costs().ha_reclaim_state_2m_ns;
+      cpu_.host_user_ns += hv::ChargeTraced(
+          sim_, "monitor.reclaim_ns", vm_->costs().ha_reclaim_state_2m_ns);
       view->states.Set(h, ReclaimState::kSoft);
       batch.push_back(FrameToHuge(view->zone->start) + h);
+      HA_COUNT("monitor.reclaim_soft");
+      HA_TRACE_EVENT(trace::Category::kMonitor, trace::Op::kReclaimSoft,
+                     batch.back(), 0);
     }
   }
   UnmapBatch(batch);

@@ -9,11 +9,13 @@
 #ifndef HYPERALLOC_SRC_CORE_RECLAIM_STATES_H_
 #define HYPERALLOC_SRC_CORE_RECLAIM_STATES_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "src/base/check.h"
 #include "src/base/types.h"
+#include "src/trace/trace.h"
 
 namespace hyperalloc::core {
 
@@ -38,6 +40,12 @@ class ReclaimStateArray {
 
   void Set(HugeId huge, ReclaimState state) {
     HA_DCHECK(huge < num_huge_);
+#if HYPERALLOC_TRACE
+    const ReclaimState old = Get(huge);
+    if (old != state) {
+      CountTransition(old, state, huge);
+    }
+#endif
     uint64_t& word = words_[huge / 32];
     const unsigned shift = (huge % 32) * 2;
     word = (word & ~(0x3ull << shift)) |
@@ -60,6 +68,44 @@ class ReclaimStateArray {
   const std::vector<uint64_t>& words() const { return words_; }
 
  private:
+#if HYPERALLOC_TRACE
+  // Counts the R-array transition (the paper's I/S/H state machine edges,
+  // Fig. 2) and emits a trace event. Counter lookups are cached once per
+  // process; arg1 packs (from << 4) | to for the exporters.
+  static void CountTransition(ReclaimState from, ReclaimState to,
+                              HugeId huge) {
+    static const std::array<trace::Counter*, 9> counters = [] {
+      constexpr const char* kNames[9] = {
+          nullptr,                      // I -> I
+          "state.installed_to_soft",    // I -> S (auto/soft reclaim)
+          "state.installed_to_hard",    // I -> H (direct hard reclaim)
+          "state.soft_to_installed",    // S -> I (install)
+          nullptr,                      // S -> S
+          "state.soft_to_hard",         // S -> H (reclaim untouched)
+          "state.hard_to_installed",    // H -> I
+          "state.hard_to_soft",         // H -> S (return)
+          nullptr,                      // H -> H
+      };
+      std::array<trace::Counter*, 9> out{};
+      for (unsigned i = 0; i < 9; ++i) {
+        out[i] = kNames[i] == nullptr
+                     ? nullptr
+                     : &trace::CounterRegistry::Global().FindOrCreate(
+                           kNames[i]);
+      }
+      return out;
+    }();
+    trace::Counter* counter =
+        counters[static_cast<unsigned>(from) * 3 + static_cast<unsigned>(to)];
+    if (counter != nullptr) {
+      counter->Add(1);
+    }
+    HA_TRACE_EVENT(trace::Category::kState, trace::Op::kTransition, huge,
+                   (static_cast<uint64_t>(from) << 4) |
+                       static_cast<uint64_t>(to));
+  }
+#endif
+
   uint64_t num_huge_;
   std::vector<uint64_t> words_;
 };

@@ -11,6 +11,9 @@
 
 #include <cstdint>
 
+#include "src/sim/simulation.h"
+#include "src/trace/trace.h"
+
 namespace hyperalloc::hv {
 
 struct CostModel {
@@ -82,6 +85,23 @@ struct CostModel {
 
   static CostModel Default() { return CostModel{}; }
 };
+
+// Charges `ns` of virtual time to `sim` and attributes it to the `name`
+// latency histogram (e.g. "monitor.install_ns"), so traces break virtual
+// time down per charging category. Returns `ns` for the caller's CPU
+// accounting. `name` need not be a literal here: the registry lookup is
+// uncached (charging sites are orders of magnitude colder than the
+// counter macros' hot paths).
+inline uint64_t ChargeTraced(sim::Simulation* sim, const char* name,
+                             uint64_t ns) {
+  sim->AdvanceClock(ns);
+#if HYPERALLOC_TRACE
+  trace::CounterRegistry::Global().FindOrCreateHistogram(name).Record(ns);
+#else
+  (void)name;
+#endif
+  return ns;
+}
 
 }  // namespace hyperalloc::hv
 

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "src/base/check.h"
+#include "src/trace/trace.h"
 
 namespace hyperalloc::hv {
 
@@ -49,6 +50,9 @@ uint64_t Ept::Map(FrameId first, uint64_t count) {
   }
   mapped_ += missing;
   ++total_map_ops_;
+  HA_COUNT("ept.map_ops");
+  HA_COUNT_N("ept.map_frames", missing);
+  HA_TRACE_EVENT(trace::Category::kEpt, trace::Op::kMap, first, count);
   return missing;
 }
 
@@ -66,6 +70,9 @@ uint64_t Ept::Unmap(FrameId first, uint64_t count) {
     host_->Release(present);
   }
   ++total_unmap_ops_;
+  HA_COUNT("ept.unmap_ops");
+  HA_COUNT_N("ept.unmap_frames", present);
+  HA_TRACE_EVENT(trace::Category::kEpt, trace::Op::kUnmap, first, count);
   return present;
 }
 

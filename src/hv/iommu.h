@@ -14,6 +14,7 @@
 
 #include "src/base/check.h"
 #include "src/base/types.h"
+#include "src/trace/trace.h"
 
 namespace hyperalloc::hv {
 
@@ -40,6 +41,8 @@ class Iommu {
     pinned_[huge / 64] |= 1ull << (huge % 64);
     ++pinned_count_;
     ++map_ops_;
+    HA_COUNT("iommu.map");
+    HA_TRACE_EVENT(trace::Category::kIommu, trace::Op::kMap, huge, 0);
     return true;
   }
 
@@ -52,6 +55,10 @@ class Iommu {
     --pinned_count_;
     ++unmap_ops_;
     ++iotlb_flushes_;
+    HA_COUNT("iommu.unmap");
+    HA_COUNT("iommu.iotlb_flush");
+    HA_TRACE_EVENT(trace::Category::kIommu, trace::Op::kUnmap, huge, 0);
+    HA_TRACE_EVENT(trace::Category::kIommu, trace::Op::kIotlbFlush, huge, 0);
     return true;
   }
 

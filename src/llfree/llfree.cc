@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "src/base/check.h"
+#include "src/trace/trace.h"
 
 namespace hyperalloc::llfree {
 
@@ -259,7 +260,13 @@ bool LLFree::ReserveNewTree(unsigned slot, AllocType type, unsigned need,
                        return e.Pack();
                      });
       }
-      state_->tree_hints_[slot].store(t, std::memory_order_relaxed);
+      // Hints are always stored in-range so a view over a shrunk tree
+      // index can never publish an out-of-bounds search start (the load
+      // side additionally clamps with % n, defense in depth).
+      state_->tree_hints_[slot].store(t % n, std::memory_order_relaxed);
+      HA_COUNT("llfree.reserve_tree");
+      HA_TRACE_EVENT(trace::Category::kLLFree, trace::Op::kReserveTree, t,
+                     slot);
       (void)need;
       return true;
     }
@@ -299,6 +306,7 @@ void LLFree::DrainReservations() {
 
 Result<FrameId> LLFree::Get(unsigned core, unsigned order, AllocType type) {
   if (order > kMaxBitfieldOrder && order != kHugeOrder) {
+    HA_COUNT("llfree.get_fail");
     return AllocError::kInvalid;
   }
   const bool huge = order == kHugeOrder;
@@ -319,6 +327,10 @@ Result<FrameId> LLFree::Get(unsigned core, unsigned order, AllocType type) {
     std::optional<FrameId> frame =
         huge ? SearchTreeHuge(*tree) : SearchTree(*tree, order);
     if (frame.has_value()) {
+      HA_COUNT("llfree.get");
+      HA_HIST("llfree.get_order", order);
+      HA_TRACE_EVENT(trace::Category::kLLFree, trace::Op::kGet, *frame,
+                     order);
       return *frame;
     }
     // The counter promised frames, but no suitable run exists in this
@@ -329,6 +341,7 @@ Result<FrameId> LLFree::Get(unsigned core, unsigned order, AllocType type) {
       return GetFallback(order, huge);
     }
   }
+  HA_COUNT("llfree.get_fail");
   return AllocError::kRetry;
 }
 
@@ -337,6 +350,7 @@ Result<FrameId> LLFree::GetFallback(unsigned order, bool huge) {
   // trees reserved by *other* slots (or fragmented ones) may still hold
   // free frames. Steal directly from the global tree counters, ignoring
   // the reserved flag.
+  HA_COUNT("llfree.fallback_steal");
   const unsigned need = 1u << order;
   for (uint64_t t = 0; t < num_trees(); ++t) {
     const auto stolen = AtomicUpdate(
@@ -354,6 +368,10 @@ Result<FrameId> LLFree::GetFallback(unsigned order, bool huge) {
     const std::optional<FrameId> frame =
         huge ? SearchTreeHuge(t) : SearchTree(t, order);
     if (frame.has_value()) {
+      HA_COUNT("llfree.get");
+      HA_HIST("llfree.get_order", order);
+      HA_TRACE_EVENT(trace::Category::kLLFree, trace::Op::kSteal, *frame,
+                     order);
       return *frame;
     }
     AtomicUpdate(state_->trees_[t],
@@ -384,10 +402,15 @@ Result<FrameId> LLFree::GetFallback(unsigned order, bool huge) {
     const std::optional<FrameId> frame =
         huge ? SearchTreeHuge(victim_tree) : SearchTree(victim_tree, order);
     if (frame.has_value()) {
+      HA_COUNT("llfree.get");
+      HA_HIST("llfree.get_order", order);
+      HA_TRACE_EVENT(trace::Category::kLLFree, trace::Op::kSteal, *frame,
+                     order);
       return *frame;
     }
     GiveBack(s, victim_tree, need);
   }
+  HA_COUNT("llfree.get_fail");
   return AllocError::kNoMemory;
 }
 
@@ -498,6 +521,8 @@ bool LLFree::ClaimHuge(uint64_t area) {
 }
 
 void LLFree::TriggerInstall(HugeId huge) {
+  HA_COUNT("llfree.install_trigger");
+  HA_TRACE_EVENT(trace::Category::kLLFree, trace::Op::kInstall, huge, 0);
   if (install_handler_) {
     install_handler_(huge);
   } else {
@@ -552,6 +577,8 @@ std::optional<AllocError> LLFree::Put(FrameId frame, unsigned order) {
                  entry.free += need;
                  return entry.Pack();
                });
+  HA_COUNT("llfree.put");
+  HA_TRACE_EVENT(trace::Category::kLLFree, trace::Op::kPut, frame, order);
   return std::nullopt;
 }
 
@@ -583,9 +610,14 @@ bool LLFree::TrySoftReclaim(HugeId huge) {
   AreaEntry desired = entry;
   desired.evicted = true;
   uint16_t expected = entry.Pack();
-  return state_->areas_[huge].compare_exchange_strong(
-      expected, desired.Pack(), std::memory_order_acq_rel,
-      std::memory_order_acquire);
+  if (!state_->areas_[huge].compare_exchange_strong(
+          expected, desired.Pack(), std::memory_order_acq_rel,
+          std::memory_order_acquire)) {
+    return false;
+  }
+  HA_COUNT("llfree.reclaim_soft");
+  HA_TRACE_EVENT(trace::Category::kLLFree, trace::Op::kReclaimSoft, huge, 0);
+  return true;
 }
 
 bool LLFree::TryHardReclaim(HugeId huge, bool allow_reserved) {
@@ -646,6 +678,9 @@ bool LLFree::TryHardReclaim(HugeId huge, bool allow_reserved) {
   if (state_->areas_[huge].compare_exchange_strong(
           expected, desired.Pack(), std::memory_order_acq_rel,
           std::memory_order_acquire)) {
+    HA_COUNT("llfree.reclaim_hard");
+    HA_TRACE_EVENT(trace::Category::kLLFree, trace::Op::kReclaimHard, huge,
+                   0);
     return true;
   }
   // Lost the race for this area (guest allocated it); undo the steal.
@@ -684,35 +719,50 @@ bool LLFree::MarkReturned(HugeId huge) {
                  entry.free += kFramesPerHuge;
                  return entry.Pack();
                });
+  HA_COUNT("llfree.return");
+  HA_TRACE_EVENT(trace::Category::kLLFree, trace::Op::kReturn, huge, 0);
   return true;
 }
 
 bool LLFree::ClearEvicted(HugeId huge) {
   HA_CHECK(huge < num_areas());
-  return AtomicUpdate(state_->areas_[huge],
-                      [](uint16_t raw) -> std::optional<uint16_t> {
-                        AreaEntry entry = AreaEntry::Unpack(raw);
-                        if (!entry.evicted) {
-                          return std::nullopt;
-                        }
-                        entry.evicted = false;
-                        return entry.Pack();
-                      })
-      .has_value();
+  const bool cleared =
+      AtomicUpdate(state_->areas_[huge],
+                   [](uint16_t raw) -> std::optional<uint16_t> {
+                     AreaEntry entry = AreaEntry::Unpack(raw);
+                     if (!entry.evicted) {
+                       return std::nullopt;
+                     }
+                     entry.evicted = false;
+                     return entry.Pack();
+                   })
+          .has_value();
+  if (cleared) {
+    HA_COUNT("llfree.evicted_clear");
+    HA_TRACE_EVENT(trace::Category::kLLFree, trace::Op::kEvictedClear, huge,
+                   0);
+  }
+  return cleared;
 }
 
 bool LLFree::SetEvicted(HugeId huge) {
   HA_CHECK(huge < num_areas());
-  return AtomicUpdate(state_->areas_[huge],
-                      [](uint16_t raw) -> std::optional<uint16_t> {
-                        AreaEntry entry = AreaEntry::Unpack(raw);
-                        if (entry.evicted) {
-                          return std::nullopt;
-                        }
-                        entry.evicted = true;
-                        return entry.Pack();
-                      })
-      .has_value();
+  const bool set =
+      AtomicUpdate(state_->areas_[huge],
+                   [](uint16_t raw) -> std::optional<uint16_t> {
+                     AreaEntry entry = AreaEntry::Unpack(raw);
+                     if (entry.evicted) {
+                       return std::nullopt;
+                     }
+                     entry.evicted = true;
+                     return entry.Pack();
+                   })
+          .has_value();
+  if (set) {
+    HA_COUNT("llfree.evicted_set");
+    HA_TRACE_EVENT(trace::Category::kLLFree, trace::Op::kEvictedSet, huge, 0);
+  }
+  return set;
 }
 
 void LLFree::MarkHot(HugeId huge) {

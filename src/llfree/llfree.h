@@ -70,6 +70,11 @@ class SharedState {
   std::atomic<uint32_t>* trees() { return trees_.get(); }
   std::atomic<uint64_t>* bitfield() { return bitfield_.get(); }
   std::atomic<uint64_t>* reservations() { return reservations_.get(); }
+  // Per-slot tree search hints. Values may legitimately exceed num_trees()
+  // when a view over a *larger* previous state wrote them (tree-count
+  // shrink); every reader clamps with % num_trees() and every store
+  // re-clamps, so stale hints only bias the search start.
+  std::atomic<uint64_t>* tree_hints() { return tree_hints_.get(); }
 
   // Size in bytes of the hypervisor-shared portion (bit field + indexes),
   // for the scan-cost analysis.

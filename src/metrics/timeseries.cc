@@ -8,7 +8,9 @@
 namespace hyperalloc::metrics {
 
 double TimeSeries::Max() const {
-  HA_CHECK(!points_.empty());
+  if (points_.empty()) {
+    return 0.0;
+  }
   double max = points_[0].value;
   for (const Point& p : points_) {
     max = std::max(max, p.value);
@@ -17,7 +19,9 @@ double TimeSeries::Max() const {
 }
 
 double TimeSeries::Min() const {
-  HA_CHECK(!points_.empty());
+  if (points_.empty()) {
+    return 0.0;
+  }
   double min = points_[0].value;
   for (const Point& p : points_) {
     min = std::min(min, p.value);
@@ -26,8 +30,7 @@ double TimeSeries::Min() const {
 }
 
 double TimeSeries::Last() const {
-  HA_CHECK(!points_.empty());
-  return points_.back().value;
+  return points_.empty() ? 0.0 : points_.back().value;
 }
 
 double TimeSeries::IntegralPerMinute() const {
@@ -43,9 +46,16 @@ double TimeSeries::IntegralPerMinute() const {
 }
 
 double TimeSeries::Mean() const {
-  HA_CHECK(points_.size() >= 2);
+  if (points_.empty()) {
+    return 0.0;
+  }
   const double span =
       static_cast<double>(points_.back().at - points_.front().at);
+  if (points_.size() < 2 || span <= 0.0) {
+    // A single sample (or samples at one instant) has no time extent; the
+    // last value is the best estimate of the series' average.
+    return points_.back().value;
+  }
   return IntegralPerMinute() * static_cast<double>(sim::kMin) / span;
 }
 
@@ -71,16 +81,17 @@ Sampler::Sampler(sim::Simulation* sim, sim::Time interval, TimeSeries* series,
 
 void Sampler::Start() {
   running_ = true;
+  ++epoch_;
   series_->Sample(sim_->now(), probe_());
-  sim_->After(interval_, [this] { Tick(); });
+  sim_->After(interval_, [this, e = epoch_] { Tick(e); });
 }
 
-void Sampler::Tick() {
-  if (!running_) {
-    return;
+void Sampler::Tick(uint64_t epoch) {
+  if (!running_ || epoch != epoch_) {
+    return;  // stopped, or superseded by a newer Start
   }
   series_->Sample(sim_->now(), probe_());
-  sim_->After(interval_, [this] { Tick(); });
+  sim_->After(interval_, [this, epoch] { Tick(epoch); });
 }
 
 }  // namespace hyperalloc::metrics

@@ -52,16 +52,24 @@ class Sampler {
           std::function<double()> probe);
 
   void Start();
-  void Stop() { running_ = false; }
+  void Stop() {
+    running_ = false;
+    ++epoch_;  // invalidates any Tick already scheduled on the sim queue
+  }
 
  private:
-  void Tick();
+  void Tick(uint64_t epoch);
 
   sim::Simulation* sim_;
   sim::Time interval_;
   TimeSeries* series_;
   std::function<double()> probe_;
   bool running_ = false;
+  // Bumped by every Start/Stop. A scheduled Tick carries the epoch it was
+  // created under and ignores itself if the epoch moved on — otherwise a
+  // Start after a Stop would revive the old pending Tick chain and sample
+  // at a doubled rate.
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace hyperalloc::metrics

@@ -1,0 +1,133 @@
+#include "src/trace/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/base/check.h"
+
+namespace hyperalloc::trace {
+
+namespace {
+
+// Counter/histogram names are dotted lowercase identifiers, but escape
+// defensively so a stray name cannot corrupt the document.
+void PrintJsonString(std::FILE* file, const std::string& s) {
+  std::fputc('"', file);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', file);
+      std::fputc(c, file);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(file, "\\u%04x", c);
+    } else {
+      std::fputc(c, file);
+    }
+  }
+  std::fputc('"', file);
+}
+
+void PrintHistogramJson(std::FILE* file, const Histogram::Snapshot& snap) {
+  std::fprintf(file, "{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                     ",\"mean\":%.3f,\"buckets\":[",
+               snap.count, snap.sum, snap.Mean());
+  // Sparse: only non-empty buckets, as [lower_bound, count] pairs.
+  bool first = true;
+  for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+    if (snap.buckets[b] == 0) {
+      continue;
+    }
+    std::fprintf(file, "%s[%" PRIu64 ",%" PRIu64 "]", first ? "" : ",",
+                 Histogram::BucketLowerBound(b), snap.buckets[b]);
+    first = false;
+  }
+  std::fprintf(file, "]}");
+}
+
+}  // namespace
+
+void WriteJson(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  HA_CHECK(file != nullptr);
+
+  const uint64_t dropped = Tracer::Global().dropped_events();
+  const std::vector<TraceEvent> events = Tracer::Global().Drain();
+
+  std::fprintf(file, "{\n  \"dropped_events\": %" PRIu64 ",\n", dropped);
+
+  std::fprintf(file, "  \"counters\": {");
+  bool first = true;
+  for (const auto& [name, value] : CounterRegistry::Global().Counters()) {
+    std::fprintf(file, "%s\n    ", first ? "" : ",");
+    PrintJsonString(file, name);
+    std::fprintf(file, ": %" PRIu64, value);
+    first = false;
+  }
+  std::fprintf(file, "\n  },\n");
+
+  std::fprintf(file, "  \"histograms\": {");
+  first = true;
+  for (const auto& [name, snap] : CounterRegistry::Global().Histograms()) {
+    std::fprintf(file, "%s\n    ", first ? "" : ",");
+    PrintJsonString(file, name);
+    std::fprintf(file, ": ");
+    PrintHistogramJson(file, snap);
+    first = false;
+  }
+  std::fprintf(file, "\n  },\n");
+
+  // Events as compact [t_ns, "category", "op", arg0, arg1] rows, already
+  // sorted by (virtual time, emission order).
+  std::fprintf(file, "  \"events\": [");
+  first = true;
+  for (const TraceEvent& event : events) {
+    std::fprintf(file,
+                 "%s\n    [%" PRIu64 ",\"%s\",\"%s\",%" PRIu64 ",%" PRIu64
+                 "]",
+                 first ? "" : ",", event.at, Name(event.category),
+                 Name(event.op), event.arg0, event.arg1);
+    first = false;
+  }
+  std::fprintf(file, "\n  ]\n}\n");
+  std::fclose(file);
+}
+
+void WriteCountersCsv(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  HA_CHECK(file != nullptr);
+  std::fprintf(file, "name,value\n");
+  for (const auto& [name, value] : CounterRegistry::Global().Counters()) {
+    std::fprintf(file, "%s,%" PRIu64 "\n", name.c_str(), value);
+  }
+  for (const auto& [name, snap] : CounterRegistry::Global().Histograms()) {
+    std::fprintf(file, "%s.count,%" PRIu64 "\n", name.c_str(), snap.count);
+    std::fprintf(file, "%s.sum,%" PRIu64 "\n", name.c_str(), snap.sum);
+    std::fprintf(file, "%s.mean,%.3f\n", name.c_str(), snap.Mean());
+  }
+  std::fclose(file);
+}
+
+void WriteEventsCsv(const std::string& path,
+                    const std::vector<TraceEvent>& events) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  HA_CHECK(file != nullptr);
+  std::fprintf(file, "time_ns,category,op,arg0,arg1\n");
+  for (const TraceEvent& event : events) {
+    std::fprintf(file, "%" PRIu64 ",%s,%s,%" PRIu64 ",%" PRIu64 "\n",
+                 event.at, Name(event.category), Name(event.op), event.arg0,
+                 event.arg1);
+  }
+  std::fclose(file);
+}
+
+void WriteTraceArtifact(const std::string& path) {
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json) {
+    WriteJson(path);
+    return;
+  }
+  WriteEventsCsv(path, Tracer::Global().Drain());
+  WriteCountersCsv(path + ".counters.csv");
+}
+
+}  // namespace hyperalloc::trace

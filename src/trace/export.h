@@ -1,0 +1,34 @@
+// Exporters for the observability layer: serialize the global counter
+// registry and the drained event trace to JSON or CSV artifacts that the
+// bench harness emits via --trace-out (see bench/trace_io.h).
+#ifndef HYPERALLOC_SRC_TRACE_EXPORT_H_
+#define HYPERALLOC_SRC_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace hyperalloc::trace {
+
+// Writes one JSON document holding counters, histogram snapshots, the
+// (time-ordered) event list, and the dropped-event count. Drains the
+// global tracer.
+void WriteJson(const std::string& path);
+
+// Writes counters (and histogram count/sum/mean rows) as
+// "name,value" CSV lines.
+void WriteCountersCsv(const std::string& path);
+
+// Writes events as "time_ns,category,op,arg0,arg1" CSV lines.
+void WriteEventsCsv(const std::string& path,
+                    const std::vector<TraceEvent>& events);
+
+// Dispatches on the extension: "*.json" produces one JSON artifact;
+// anything else writes the event trace as CSV to `path` plus the counters
+// to `path + ".counters.csv"`. Drains the global tracer either way.
+void WriteTraceArtifact(const std::string& path);
+
+}  // namespace hyperalloc::trace
+
+#endif  // HYPERALLOC_SRC_TRACE_EXPORT_H_

@@ -1,0 +1,345 @@
+// Low-overhead observability: named monotonic counters, bucketed
+// histograms, and a per-thread ring-buffer event tracer.
+//
+// The paper's headline results (Figs. 4, 7–11) are operation-count × cost
+// arguments — hypercalls, madvise batches, EPT/IOMMU faults, reclaim-state
+// transitions. This layer makes those per-operation events first-class:
+// every hot path bumps a counter (lock-free, relaxed, cache-line-padded
+// shards) and optionally appends a TraceEvent to its thread's fixed-size
+// ring buffer. A global drain merges all buffers and sorts by virtual
+// time, giving a deterministic, time-ordered trace of a whole run.
+//
+// Cost discipline:
+//   * Compile time: building with -DHYPERALLOC_TRACE=0 turns every macro
+//     below into a no-op; nothing is linked into the hot paths.
+//   * Runtime: event emission is additionally gated on Tracer::enabled()
+//     (one relaxed bool load when off). Counters are always live when
+//     compiled in — a relaxed fetch_add on a thread-sharded cache line.
+//
+// Naming scheme (see README.md "Observability"): dotted lowercase
+// "<layer>.<operation>[_<unit>]", e.g. "llfree.get", "balloon.madvise",
+// "monitor.install_ns". Counter/histogram names passed to HA_COUNT /
+// HA_HIST must be string literals: the macros cache the registry lookup
+// in a function-local static, keyed by the expansion site.
+#ifndef HYPERALLOC_SRC_TRACE_TRACE_H_
+#define HYPERALLOC_SRC_TRACE_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+// Compile-time switch; overridable from the build system
+// (-DHYPERALLOC_TRACE=0 compiles all instrumentation out).
+#ifndef HYPERALLOC_TRACE
+#define HYPERALLOC_TRACE 1
+#endif
+
+namespace hyperalloc::trace {
+
+// Number of cache-line-padded shards per counter/histogram. Threads are
+// striped across shards to avoid false sharing under concurrent updates.
+inline constexpr unsigned kShards = 8;
+
+// Stable per-thread shard index.
+unsigned ThreadShardIndex();
+
+// A named monotonic counter. Increments are lock-free relaxed atomics on
+// a per-thread-stripe cache line; Value() sums the shards (approximate
+// while writers are running, exact at quiescence).
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    shards_[ThreadShardIndex()].value.fetch_add(delta,
+                                                std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kShards];
+};
+
+// A power-of-two bucketed histogram for latencies (ns) and sizes.
+// Bucket 0 holds zeros; bucket b >= 1 holds values in [2^(b-1), 2^b).
+class Histogram {
+ public:
+  static constexpr unsigned kBuckets = 65;  // 0 plus bit_width 1..64
+
+  static unsigned BucketOf(uint64_t value) {
+    return static_cast<unsigned>(std::bit_width(value));
+  }
+  // Inclusive lower bound of a bucket.
+  static uint64_t BucketLowerBound(unsigned bucket) {
+    return bucket == 0 ? 0 : 1ull << (bucket - 1);
+  }
+
+  void Record(uint64_t value) {
+    Shard& shard = shards_[ThreadShardIndex()];
+    shard.count[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::array<uint64_t, kBuckets> buckets{};
+
+    double Mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+
+  Snapshot Read() const {
+    Snapshot snap;
+    for (const Shard& shard : shards_) {
+      snap.sum += shard.sum.load(std::memory_order_relaxed);
+      for (unsigned b = 0; b < kBuckets; ++b) {
+        const uint64_t n = shard.count[b].load(std::memory_order_relaxed);
+        snap.buckets[b] += n;
+        snap.count += n;
+      }
+    }
+    return snap;
+  }
+
+  void Reset() {
+    for (Shard& shard : shards_) {
+      shard.sum.store(0, std::memory_order_relaxed);
+      for (unsigned b = 0; b < kBuckets; ++b) {
+        shard.count[b].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count[kBuckets]{};
+    std::atomic<uint64_t> sum{0};
+  };
+  Shard shards_[kShards];
+};
+
+// Process-wide registry of named counters and histograms. Registration
+// (first lookup per call site) takes a mutex; the returned references are
+// stable for the process lifetime, so the hot path never locks.
+class CounterRegistry {
+ public:
+  static CounterRegistry& Global();
+
+  Counter& FindOrCreate(std::string_view name);
+  Histogram& FindOrCreateHistogram(std::string_view name);
+
+  // Snapshots, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> Counters() const;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> Histograms() const;
+
+  // Zeroes every counter/histogram, keeping registrations (and thus the
+  // references cached in function-local statics) valid.
+  void ResetForTest();
+
+ private:
+  CounterRegistry() = default;
+  struct Impl;
+  Impl* impl();
+  const Impl* impl() const;
+};
+
+// ----------------------------------------------------------------------
+// Event tracing
+// ----------------------------------------------------------------------
+
+enum class Category : uint8_t {
+  kLLFree,   // guest page-frame allocator operations
+  kGuest,    // guest VM memory accesses (EPT faults, touch)
+  kEpt,      // second-stage page-table map/unmap
+  kIommu,    // VFIO pinning and IOTLB flushes
+  kBalloon,  // virtio-balloon queue operations
+  kVmem,     // virtio-mem block (un)plug
+  kMonitor,  // HyperAlloc monitor reclaim/return/install
+  kState,    // reclaim-state (R array) transitions
+};
+
+enum class Op : uint8_t {
+  kGet,
+  kGetFail,
+  kPut,
+  kReserveTree,
+  kSteal,
+  kEvictedSet,
+  kEvictedClear,
+  kReclaimSoft,
+  kReclaimHard,
+  kReturn,
+  kInstall,
+  kMap,
+  kUnmap,
+  kIotlbFlush,
+  kFault4k,
+  kFault2m,
+  kInflate,
+  kDeflate,
+  kMadvise,
+  kHypercall,
+  kTransition,
+  kScan,
+};
+
+const char* Name(Category category);
+const char* Name(Op op);
+
+struct TraceEvent {
+  sim::Time at = 0;   // virtual time of the operation
+  uint64_t seq = 0;   // global emission order (total-order tie-break)
+  uint64_t arg0 = 0;  // operation-specific (usually a frame/huge id)
+  uint64_t arg1 = 0;
+  Category category = Category::kLLFree;
+  Op op = Op::kGet;
+};
+
+// Process-wide event tracer. Each thread appends to its own fixed-size
+// ring buffer (oldest events are overwritten once full; the overwrite
+// count is reported as "dropped"). Drain() merges every buffer — live and
+// retired — into one list sorted by (virtual time, emission seq).
+//
+// Emission is wait-free per thread; Drain/SetCapacity/Reset must run at
+// quiescence (no concurrent Emit), which is when traces are meaningful
+// anyway.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Virtual-time source for event timestamps. Events emitted with no
+  // source (e.g. real-time allocator stress tests) are stamped 0 and
+  // ordered by seq. The simulation must outlive emission.
+  void SetTimeSource(const sim::Simulation* sim) {
+    time_source_.store(sim, std::memory_order_relaxed);
+  }
+
+  sim::Time Now() const {
+    const sim::Simulation* sim = time_source_.load(std::memory_order_relaxed);
+    return sim == nullptr ? 0 : sim->now();
+  }
+
+  void Emit(Category category, Op op, uint64_t arg0, uint64_t arg1);
+
+  // Collects and clears all buffered events, sorted by (at, seq).
+  std::vector<TraceEvent> Drain();
+
+  // Events overwritten in full rings since the last reset (cumulative,
+  // surviving Drain so exporters can report truncation).
+  uint64_t dropped_events() const;
+
+  // Ring capacity (events per thread) for buffers created or reset after
+  // the call; existing buffers are resized and cleared.
+  void SetCapacity(size_t events_per_thread);
+
+  void ResetForTest();
+
+ private:
+  friend struct TracerThreadHandle;
+  struct ThreadBuffer {
+    std::vector<TraceEvent> ring;
+    uint64_t head = 0;  // total events pushed since last reset
+    Tracer* owner = nullptr;
+  };
+
+  Tracer() = default;
+  ThreadBuffer& LocalBuffer();
+  void Register(ThreadBuffer* buffer);
+  void Retire(ThreadBuffer* buffer);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<const sim::Simulation*> time_source_{nullptr};
+  std::atomic<uint64_t> seq_{0};
+  struct Impl;
+  Impl* impl();
+  const Impl* impl() const;
+};
+
+}  // namespace hyperalloc::trace
+
+// ----------------------------------------------------------------------
+// Instrumentation macros
+// ----------------------------------------------------------------------
+//
+// `name` must be a string literal (the registry lookup is cached in a
+// function-local static per expansion site).
+
+#if HYPERALLOC_TRACE
+
+#define HA_COUNT_N(name, delta)                                              \
+  do {                                                                       \
+    static ::hyperalloc::trace::Counter& ha_counter_ =                       \
+        ::hyperalloc::trace::CounterRegistry::Global().FindOrCreate(name);   \
+    ha_counter_.Add(delta);                                                  \
+  } while (0)
+
+#define HA_COUNT(name) HA_COUNT_N(name, 1)
+
+#define HA_HIST(name, value)                                                 \
+  do {                                                                       \
+    static ::hyperalloc::trace::Histogram& ha_hist_ =                        \
+        ::hyperalloc::trace::CounterRegistry::Global().FindOrCreateHistogram( \
+            name);                                                           \
+    ha_hist_.Record(value);                                                  \
+  } while (0)
+
+#define HA_TRACE_EVENT(category, op, arg0, arg1)                             \
+  do {                                                                       \
+    ::hyperalloc::trace::Tracer& ha_tracer_ =                                \
+        ::hyperalloc::trace::Tracer::Global();                               \
+    if (ha_tracer_.enabled()) {                                              \
+      ha_tracer_.Emit((category), (op), (arg0), (arg1));                     \
+    }                                                                        \
+  } while (0)
+
+#else  // !HYPERALLOC_TRACE
+
+#define HA_COUNT_N(name, delta) \
+  do {                          \
+    (void)sizeof(delta);        \
+  } while (0)
+#define HA_COUNT(name) \
+  do {                 \
+  } while (0)
+#define HA_HIST(name, value) \
+  do {                       \
+    (void)sizeof(value);     \
+  } while (0)
+#define HA_TRACE_EVENT(category, op, arg0, arg1) \
+  do {                                           \
+    (void)sizeof(arg0);                          \
+    (void)sizeof(arg1);                          \
+  } while (0)
+
+#endif  // HYPERALLOC_TRACE
+
+#endif  // HYPERALLOC_SRC_TRACE_TRACE_H_

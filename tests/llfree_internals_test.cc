@@ -1,5 +1,6 @@
 // White-box tests for the LLFree building blocks: the per-area bit field
-// and the packed area/tree/reservation entries (paper §4.1 layouts).
+// and the packed area/tree/reservation entries (paper §4.1 layouts), plus
+// the per-slot tree search hints.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -8,6 +9,7 @@
 
 #include "src/llfree/bitfield.h"
 #include "src/llfree/entries.h"
+#include "src/llfree/llfree.h"
 
 namespace hyperalloc::llfree {
 namespace {
@@ -156,6 +158,46 @@ TEST(Reservation, PackUnpackRoundTrip) {
   r.free = 4096;
   EXPECT_EQ(Reservation::Unpack(r.Pack()), r);
   EXPECT_EQ(Reservation::Unpack(Reservation{}.Pack()), Reservation{});
+}
+
+TEST(TreeHints, InitialHintsAreInRange) {
+  // More slots than trees: the initial spread must still land in-range.
+  Config config;
+  config.mode = Config::ReservationMode::kPerType;  // 3 slots
+  config.areas_per_tree = 8;
+  SharedState state(2 * config.areas_per_tree * kFramesPerHuge,
+                    config);  // 2 trees
+  ASSERT_EQ(state.num_trees(), 2u);
+  for (unsigned s = 0; s < config.NumSlots(); ++s) {
+    EXPECT_LT(state.tree_hints()[s].load(), state.num_trees()) << "slot " << s;
+  }
+}
+
+TEST(TreeHints, OutOfRangeHintIsToleratedAndReclamped) {
+  // A view over a previous, larger shared state may have published a hint
+  // beyond the current tree count (tree-count shrink). The allocator must
+  // treat it as a biased search start, not an index, and the next
+  // reservation must store the hint back in-range.
+  Config config;
+  config.mode = Config::ReservationMode::kPerType;
+  config.areas_per_tree = 8;
+  SharedState state(2 * config.areas_per_tree * kFramesPerHuge, config);
+  const uint64_t n = state.num_trees();
+  for (unsigned s = 0; s < config.NumSlots(); ++s) {
+    state.tree_hints()[s].store(n * 1000 + s);  // far out of range
+  }
+  LLFree llfree(&state);
+  const Result<FrameId> frame = llfree.Get(0, 0, AllocType::kMovable);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_LT(*frame, state.frames());
+  // The slot that just reserved a tree re-clamped its hint.
+  bool any_reclamped = false;
+  for (unsigned s = 0; s < config.NumSlots(); ++s) {
+    any_reclamped |= state.tree_hints()[s].load() < n;
+  }
+  EXPECT_TRUE(any_reclamped);
+  EXPECT_TRUE(llfree.Validate());
+  EXPECT_FALSE(llfree.Put(*frame, 0).has_value());
 }
 
 TEST(AtomicUpdate, RetriesAndAborts) {

@@ -41,6 +41,33 @@ TEST(TimeSeries, IntegralEmptyAndSingle) {
   EXPECT_DOUBLE_EQ(ts.IntegralPerMinute(), 0.0);
 }
 
+TEST(TimeSeries, EmptySeriesStatsAreZero) {
+  const TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.Last(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.IntegralPerMinute(), 0.0);
+}
+
+TEST(TimeSeries, SinglePointStats) {
+  TimeSeries ts;
+  ts.Sample(sim::kSec, 7.0);
+  EXPECT_DOUBLE_EQ(ts.Max(), 7.0);
+  EXPECT_DOUBLE_EQ(ts.Min(), 7.0);
+  EXPECT_DOUBLE_EQ(ts.Last(), 7.0);
+  // One sample has no time extent; Mean degrades to the value itself
+  // instead of dividing by a zero span.
+  EXPECT_DOUBLE_EQ(ts.Mean(), 7.0);
+}
+
+TEST(TimeSeries, ZeroSpanMeanIsFinite) {
+  TimeSeries ts;
+  ts.Sample(sim::kSec, 2.0);
+  ts.Sample(sim::kSec, 4.0);  // same instant
+  EXPECT_DOUBLE_EQ(ts.Mean(), 4.0);
+}
+
 TEST(TimeSeries, CsvRoundTrip) {
   TimeSeries ts;
   ts.Sample(0, 1.5);
@@ -87,6 +114,36 @@ TEST(Sampler, StopPreventsFurtherSamples) {
   sim.RunUntil(10 * sim::kSec);
   sim.RunUntilIdle();
   EXPECT_EQ(ts.points().size(), 2u);  // t=0 and t=1s only
+}
+
+TEST(Sampler, RestartDoesNotReviveOldTickChain) {
+  sim::Simulation sim;
+  TimeSeries ts;
+  Sampler sampler(&sim, sim::kSec, &ts, [] { return 1.0; });
+  sampler.Start();  // samples at t=0, schedules a Tick for t=1s
+  sampler.Stop();
+  // Restart while the old Tick is still on the queue. Without epoch-based
+  // cancellation the revived old chain and the new chain both run,
+  // doubling the sampling rate.
+  sampler.Start();  // samples again at t=0, schedules its own Tick
+  sim.RunUntil(3 * sim::kSec + sim::kMs);
+  sampler.Stop();
+  sim.RunUntilIdle();
+  // Two immediate samples at t=0 plus exactly one per second at t=1,2,3.
+  ASSERT_EQ(ts.points().size(), 5u);
+  EXPECT_EQ(ts.points()[2].at, sim::kSec);
+  EXPECT_EQ(ts.points()[3].at, 2 * sim::kSec);
+  EXPECT_EQ(ts.points()[4].at, 3 * sim::kSec);
+}
+
+TEST(Sampler, StopDropsAlreadyScheduledTick) {
+  sim::Simulation sim;
+  TimeSeries ts;
+  Sampler sampler(&sim, sim::kSec, &ts, [] { return 1.0; });
+  sampler.Start();
+  sampler.Stop();  // the t=1s Tick is already on the queue
+  sim.RunUntilIdle();
+  EXPECT_EQ(ts.points().size(), 1u);  // only the immediate t=0 sample
 }
 
 }  // namespace

@@ -1,0 +1,296 @@
+// Tests for the observability layer: lock-free counter/histogram registry
+// (correctness under concurrent writers) and the per-thread ring-buffer
+// event tracer (virtual-time ordering, overflow, thread-exit retirement,
+// exporters).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/hv/cost_model.h"
+#include "src/sim/simulation.h"
+#include "src/trace/export.h"
+#include "src/trace/trace.h"
+
+namespace hyperalloc::trace {
+namespace {
+
+constexpr size_t kDefaultCapacity = 1 << 16;  // mirrors trace.cc
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  EXPECT_NE(f, nullptr) << path;
+  std::string out;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CounterRegistry::Global().ResetForTest();
+    Tracer::Global().ResetForTest();
+    Tracer::Global().SetEnabled(false);
+    Tracer::Global().SetTimeSource(nullptr);
+  }
+
+  void TearDown() override {
+    Tracer::Global().SetEnabled(false);
+    Tracer::Global().SetTimeSource(nullptr);
+    Tracer::Global().SetCapacity(kDefaultCapacity);
+    Tracer::Global().Drain();
+  }
+};
+
+uint64_t CounterValue(const std::string& name) {
+  for (const auto& [n, v] : CounterRegistry::Global().Counters()) {
+    if (n == name) {
+      return v;
+    }
+  }
+  return 0;
+}
+
+TEST_F(TraceTest, RegistryReturnsStableInstances) {
+  Counter& a = CounterRegistry::Global().FindOrCreate("test.same");
+  Counter& b = CounterRegistry::Global().FindOrCreate("test.same");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = CounterRegistry::Global().FindOrCreateHistogram("test.same");
+  Histogram& h2 = CounterRegistry::Global().FindOrCreateHistogram("test.same");
+  EXPECT_EQ(&h1, &h2);  // counters and histograms are separate namespaces
+  a.Add(3);
+  EXPECT_EQ(b.Value(), 3u);
+}
+
+TEST_F(TraceTest, CountersExactUnderEightThreads) {
+  constexpr unsigned kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  Counter& counter = CounterRegistry::Global().FindOrCreate("test.mt");
+  Histogram& hist =
+      CounterRegistry::Global().FindOrCreateHistogram("test.mt_hist");
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &hist] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter.Add(1);
+        HA_COUNT("test.mt_macro");  // no-op when HYPERALLOC_TRACE=0
+        hist.Record(i % 7);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+#if HYPERALLOC_TRACE
+  EXPECT_EQ(CounterValue("test.mt_macro"), kThreads * kPerThread);
+#endif
+  const Histogram::Snapshot snap = hist.Read();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  // sum of i % 7 over 100000 iterations, times 8 threads.
+  uint64_t per_thread_sum = 0;
+  for (uint64_t i = 0; i < kPerThread; ++i) {
+    per_thread_sum += i % 7;
+  }
+  EXPECT_EQ(snap.sum, kThreads * per_thread_sum);
+}
+
+TEST_F(TraceTest, HistogramBuckets) {
+  Histogram& hist =
+      CounterRegistry::Global().FindOrCreateHistogram("test.buckets");
+  hist.Record(0);     // bucket 0
+  hist.Record(1);     // bucket 1: [1, 2)
+  hist.Record(2);     // bucket 2: [2, 4)
+  hist.Record(3);     // bucket 2
+  hist.Record(1024);  // bucket 11: [1024, 2048)
+  const Histogram::Snapshot snap = hist.Read();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 1030u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 206.0);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 2u);
+  EXPECT_EQ(snap.buckets[11], 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(11), 1024u);
+}
+
+#if HYPERALLOC_TRACE
+TEST_F(TraceTest, MacroDeltaAndHistogram) {
+  HA_COUNT_N("test.delta", 5);
+  HA_COUNT_N("test.delta", 7);
+  EXPECT_EQ(CounterValue("test.delta"), 12u);
+  HA_HIST("test.hist_macro", 100);
+  for (const auto& [name, snap] : CounterRegistry::Global().Histograms()) {
+    if (name == "test.hist_macro") {
+      EXPECT_EQ(snap.count, 1u);
+      EXPECT_EQ(snap.sum, 100u);
+    }
+  }
+}
+#endif  // HYPERALLOC_TRACE
+
+TEST_F(TraceTest, EventsOrderedByVirtualTime) {
+  sim::Simulation sim;
+  Tracer& tracer = Tracer::Global();
+  tracer.SetTimeSource(&sim);
+  tracer.SetEnabled(true);
+  tracer.Emit(Category::kLLFree, Op::kGet, 10, 0);
+  tracer.Emit(Category::kLLFree, Op::kPut, 10, 0);  // same time, later seq
+  sim.AdvanceClock(500);
+  tracer.Emit(Category::kMonitor, Op::kReclaimHard, 3, 1);
+  sim.AdvanceClock(500);
+  tracer.Emit(Category::kEpt, Op::kUnmap, 7, 512);
+
+  const std::vector<TraceEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].at, 0u);
+  EXPECT_EQ(events[0].op, Op::kGet);
+  EXPECT_EQ(events[1].op, Op::kPut);  // seq breaks the t=0 tie
+  EXPECT_EQ(events[2].at, 500u);
+  EXPECT_EQ(events[2].category, Category::kMonitor);
+  EXPECT_EQ(events[3].at, 1000u);
+  EXPECT_EQ(events[3].arg0, 7u);
+  EXPECT_EQ(events[3].arg1, 512u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].at, events[i].at);
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+  EXPECT_STREQ(Name(events[3].category), "ept");
+  EXPECT_STREQ(Name(events[3].op), "unmap");
+}
+
+TEST_F(TraceTest, SeqGivesTotalOrderAcrossThreads) {
+  constexpr unsigned kThreads = 8;
+  constexpr uint64_t kPerThread = 1000;
+  Tracer& tracer = Tracer::Global();
+  tracer.SetEnabled(true);  // no time source: all events at t=0
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        tracer.Emit(Category::kLLFree, Op::kGet, t, i);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const std::vector<TraceEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), kThreads * kPerThread);
+  // The global seq is a total order; the drain must respect it, and each
+  // thread's own events must appear in emission order within it.
+  std::vector<uint64_t> next(kThreads, 0);
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(events[i - 1].seq, events[i].seq);
+    }
+    const uint64_t thread = events[i].arg0;
+    ASSERT_LT(thread, kThreads);
+    EXPECT_EQ(events[i].arg1, next[thread]++);
+  }
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+}
+
+TEST_F(TraceTest, RingOverflowKeepsNewestEvents) {
+  Tracer& tracer = Tracer::Global();
+  tracer.SetCapacity(16);
+  tracer.SetEnabled(true);
+  for (uint64_t i = 0; i < 40; ++i) {
+    tracer.Emit(Category::kGuest, Op::kFault4k, i, 0);
+  }
+  EXPECT_EQ(tracer.dropped_events(), 24u);
+  const std::vector<TraceEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), 16u);
+  for (uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(events[i].arg0, 24 + i);  // oldest overwritten, newest kept
+  }
+  EXPECT_EQ(tracer.dropped_events(), 24u);  // survives the drain
+}
+
+TEST_F(TraceTest, ThreadExitRetiresBufferedEvents) {
+  Tracer& tracer = Tracer::Global();
+  tracer.SetEnabled(true);
+  std::thread worker([&tracer] {
+    for (uint64_t i = 0; i < 5; ++i) {
+      tracer.Emit(Category::kBalloon, Op::kInflate, i, 0);
+    }
+  });
+  worker.join();  // thread gone; its events moved to the retired list
+  const std::vector<TraceEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[4].arg0, 4u);
+}
+
+TEST_F(TraceTest, DisabledTracerEmitsNothing) {
+  EXPECT_FALSE(Tracer::Global().enabled());
+  HA_TRACE_EVENT(Category::kLLFree, Op::kGet, 1, 2);
+  EXPECT_TRUE(Tracer::Global().Drain().empty());
+#if HYPERALLOC_TRACE
+  // Counters stay live even while event tracing is off.
+  HA_COUNT("test.while_disabled");
+  EXPECT_EQ(CounterValue("test.while_disabled"), 1u);
+#endif
+}
+
+TEST_F(TraceTest, ChargeTracedAdvancesClockAndRecords) {
+  sim::Simulation sim;
+  EXPECT_EQ(hv::ChargeTraced(&sim, "test.charge_ns", 2500), 2500u);
+  EXPECT_EQ(sim.now(), 2500u);
+  for (const auto& [name, snap] : CounterRegistry::Global().Histograms()) {
+    if (name == "test.charge_ns") {
+      EXPECT_EQ(snap.count, 1u);
+      EXPECT_EQ(snap.sum, 2500u);
+    }
+  }
+}
+
+TEST_F(TraceTest, JsonExportHoldsCountersHistogramsAndEvents) {
+  sim::Simulation sim;
+  Tracer& tracer = Tracer::Global();
+  tracer.SetTimeSource(&sim);
+  tracer.SetEnabled(true);
+  CounterRegistry::Global().FindOrCreate("test.json_counter").Add(42);
+  CounterRegistry::Global().FindOrCreateHistogram("test.json_hist").Record(8);
+  sim.AdvanceClock(123);
+  tracer.Emit(Category::kMonitor, Op::kMadvise, 5, 2);
+
+  const std::string path = ::testing::TempDir() + "/trace_test.json";
+  WriteJson(path);
+  const std::string json = ReadFile(path);
+  EXPECT_NE(json.find("\"test.json_counter\": 42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"monitor\""), std::string::npos);
+  EXPECT_NE(json.find("\"madvise\""), std::string::npos);
+  EXPECT_NE(json.find("[123,\"monitor\",\"madvise\",5,2]"), std::string::npos)
+      << json;
+  EXPECT_TRUE(tracer.Drain().empty());  // the export drained the tracer
+}
+
+TEST_F(TraceTest, CsvArtifactWritesEventsAndCounters) {
+  Tracer& tracer = Tracer::Global();
+  tracer.SetEnabled(true);
+  CounterRegistry::Global().FindOrCreate("test.csv_counter").Add(1);
+  tracer.Emit(Category::kIommu, Op::kIotlbFlush, 9, 0);
+
+  const std::string path = ::testing::TempDir() + "/trace_test.csv";
+  WriteTraceArtifact(path);
+  const std::string events_csv = ReadFile(path);
+  EXPECT_NE(events_csv.find("time_ns,category,op,arg0,arg1"),
+            std::string::npos);
+  EXPECT_NE(events_csv.find("iommu,iotlb_flush,9,0"), std::string::npos);
+  const std::string counters_csv = ReadFile(path + ".counters.csv");
+  EXPECT_NE(counters_csv.find("test.csv_counter,1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hyperalloc::trace
