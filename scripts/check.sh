@@ -1,22 +1,34 @@
 #!/bin/sh
-# Full verification: the tier-1 build + test cycle, plus a
-# ThreadSanitizer build that exercises the lock-free paths (the LLFree
-# concurrent stress test and the trace-layer counter/ring tests).
+# Full verification wall:
+#   1. tier-1 build + full ctest (default preset),
+#   2. static gates (scripts/lint.sh),
+#   3. full ctest under ASan+UBSan (asan-ubsan preset, no recovery),
+#   4. ThreadSanitizer on the lock-free paths (tsan preset): the LLFree
+#      concurrent stress test, the trace-layer counter/ring tests, and a
+#      capped model-check run (the model checker is deterministic, so a
+#      small TSan run only needs to cover the harness machinery itself).
 set -e
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: build + ctest =="
-cmake -B build -S . >/dev/null
-cmake --build build -j
-(cd build && ctest --output-on-failure -j "$(nproc)")
+echo "== tier-1: build + ctest (preset: default) =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j
+ctest --preset default -j "$(nproc)"
 
-echo "== tsan: llfree_concurrent_test + trace_test =="
-cmake -B build-tsan -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
-cmake --build build-tsan -j --target llfree_concurrent_test trace_test
+echo "== lint: pragma-once / explicit memory orders / clang-tidy =="
+sh scripts/lint.sh
+
+echo "== asan-ubsan: full ctest (preset: asan-ubsan) =="
+cmake --preset asan-ubsan >/dev/null
+cmake --build --preset asan-ubsan -j
+ctest --preset asan-ubsan -j "$(nproc)"
+
+echo "== tsan: lock-free paths (preset: tsan) =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j \
+  --target llfree_concurrent_test trace_test model_check_test
 ./build-tsan/tests/llfree_concurrent_test
 ./build-tsan/tests/trace_test
+HYPERALLOC_MC_ITERS=50 ./build-tsan/tests/model_check_test
 
 echo "== all checks passed =="

@@ -1,0 +1,91 @@
+#!/bin/sh
+# Static gates for the lock-free core. Fails (non-zero) on:
+#   1. headers under src/ without #pragma once,
+#   2. atomic operations with an implicit (defaulted seq_cst) memory
+#      order in the concurrency-critical directories — every load /
+#      store / exchange / CAS / fetch_* there must spell out its
+#      std::memory_order, so the ordering contract is visible at the
+#      call site and survives the check::Atomic shim (which has no
+#      defaulted-order overloads at all),
+#   3. clang-tidy bugprone-* / concurrency-* findings (skipped with a
+#      note when clang-tidy is not installed; CI installs it).
+set -e
+cd "$(dirname "$0")/.."
+
+status=0
+
+echo "-- gate 1: #pragma once in src/ headers"
+missing=$(for h in $(find src -name '*.h'); do
+  grep -L '^#pragma once$' "$h"
+done)
+if [ -n "$missing" ]; then
+  echo "headers missing '#pragma once':"
+  echo "$missing"
+  status=1
+fi
+
+echo "-- gate 2: explicit memory orders in src/llfree src/core src/trace src/check"
+python3 - <<'EOF' || status=1
+import re
+import sys
+from pathlib import Path
+
+# Atomic member operations that default to seq_cst when the order is
+# omitted. Matched as member calls (".op(" / "->op("); the argument list
+# is extracted with paren matching so multi-line calls and nested calls
+# are handled, then required to name a std::memory_order.
+OPS = ("load", "store", "exchange", "compare_exchange_weak",
+       "compare_exchange_strong", "fetch_add", "fetch_sub", "fetch_or",
+       "fetch_and", "fetch_xor")
+
+# The shim is the one place that legitimately forwards caller-provided
+# orders held in plain parameters — it has no defaulted-order overloads,
+# which is the property this gate enforces everywhere else.
+EXEMPT = {Path("src/check/shim.h")}
+
+call_re = re.compile(r"(?:\.|->)(%s)\s*\(" % "|".join(OPS))
+
+failures = []
+for root in ("src/llfree", "src/core", "src/trace", "src/check"):
+    for path in sorted(Path(root).rglob("*.cc")) + sorted(
+            Path(root).rglob("*.h")):
+        if path in EXEMPT:
+            continue
+        text = path.read_text()
+        for m in call_re.finditer(text):
+            op = m.group(1)
+            # Extract the balanced argument list after the opening paren.
+            depth, i = 1, m.end()
+            while i < len(text) and depth:
+                if text[i] == "(":
+                    depth += 1
+                elif text[i] == ")":
+                    depth -= 1
+                i += 1
+            args = text[m.end():i - 1]
+            if "memory_order" not in args:
+                line = text.count("\n", 0, m.start()) + 1
+                failures.append(f"{path}:{line}: .{op}({args.strip()[:60]}"
+                                f"...) has no explicit std::memory_order")
+
+if failures:
+    print("atomic operations with implicit seq_cst ordering:")
+    print("\n".join(failures))
+    sys.exit(1)
+EOF
+
+echo "-- gate 3: clang-tidy (bugprone-*, concurrency-*)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake --preset default >/dev/null
+  files=$(find src -name '*.cc' ! -path 'src/workloads/*')
+  # shellcheck disable=SC2086
+  clang-tidy -p build --quiet $files || status=1
+else
+  echo "clang-tidy not installed; skipping (CI runs this gate)"
+fi
+
+if [ "$status" -ne 0 ]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: OK"

@@ -18,8 +18,7 @@
 //
 // Not DMA-safe: reclaimed frames stay allocatable without any install
 // step, so a passthrough device can be pointed at an unbacked frame (§2).
-#ifndef HYPERALLOC_SRC_BALLOON_VIRTIO_BALLOON_H_
-#define HYPERALLOC_SRC_BALLOON_VIRTIO_BALLOON_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -105,5 +104,3 @@ class VirtioBalloon : public hv::Deflator {
 };
 
 }  // namespace hyperalloc::balloon
-
-#endif  // HYPERALLOC_SRC_BALLOON_VIRTIO_BALLOON_H_

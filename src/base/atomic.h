@@ -1,0 +1,34 @@
+// The atomic seam of the lock-free core.
+//
+// Production builds alias hyperalloc::Atomic<T> to std::atomic<T>, so the
+// allocator compiles to exactly the code it always did. Model-checking
+// builds (-DHYPERALLOC_MODEL_CHECK=1, see src/check/) alias it to
+// check::Atomic<T>, which routes every load/store/CAS through a controlled
+// scheduler so that bounded scenarios can be explored exhaustively or by
+// seeded random walk and any failing schedule can be replayed from its
+// seed.
+//
+// Code using this seam must name an explicit std::memory_order on every
+// operation (scripts/lint.sh enforces this); the shim deliberately
+// declares no defaulted order parameters.
+#pragma once
+
+#if defined(HYPERALLOC_MODEL_CHECK) && HYPERALLOC_MODEL_CHECK
+
+#include "src/check/shim.h"
+
+namespace hyperalloc {
+template <typename T>
+using Atomic = check::Atomic<T>;
+}  // namespace hyperalloc
+
+#else
+
+#include <atomic>
+
+namespace hyperalloc {
+template <typename T>
+using Atomic = std::atomic<T>;
+}  // namespace hyperalloc
+
+#endif

@@ -1,8 +1,7 @@
 // Lightweight runtime checks. HA_CHECK is always on (these guard protocol
 // invariants whose violation would corrupt simulated memory state);
 // HA_DCHECK compiles out in release builds.
-#ifndef HYPERALLOC_SRC_BASE_CHECK_H_
-#define HYPERALLOC_SRC_BASE_CHECK_H_
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,5 +30,3 @@ namespace hyperalloc::internal {
 #else
 #define HA_DCHECK(expr) HA_CHECK(expr)
 #endif
-
-#endif  // HYPERALLOC_SRC_BASE_CHECK_H_

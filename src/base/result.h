@@ -1,7 +1,6 @@
 // Minimal expected-like result type (std::expected is C++23; this project
 // targets C++20). Carries either a value or an AllocError.
-#ifndef HYPERALLOC_SRC_BASE_RESULT_H_
-#define HYPERALLOC_SRC_BASE_RESULT_H_
+#pragma once
 
 #include <utility>
 #include <variant>
@@ -44,5 +43,3 @@ class Result {
 };
 
 }  // namespace hyperalloc
-
-#endif  // HYPERALLOC_SRC_BASE_RESULT_H_

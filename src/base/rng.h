@@ -1,8 +1,7 @@
 // Deterministic pseudo-random number generation for workload generators and
 // property tests. xoshiro256** seeded via SplitMix64 — fast, reproducible,
 // and independent of the standard library's unspecified distributions.
-#ifndef HYPERALLOC_SRC_BASE_RNG_H_
-#define HYPERALLOC_SRC_BASE_RNG_H_
+#pragma once
 
 #include <cstdint>
 
@@ -73,5 +72,3 @@ class Rng {
 };
 
 }  // namespace hyperalloc
-
-#endif  // HYPERALLOC_SRC_BASE_RNG_H_

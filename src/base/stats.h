@@ -1,8 +1,7 @@
 // Small statistics helpers used by the benchmark harnesses: mean, standard
 // deviation, 95 % confidence intervals (as in the paper's error bars), and
 // percentiles (Table 2 reports 1st-percentile values).
-#ifndef HYPERALLOC_SRC_BASE_STATS_H_
-#define HYPERALLOC_SRC_BASE_STATS_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -42,5 +41,3 @@ class RunningStats {
 };
 
 }  // namespace hyperalloc
-
-#endif  // HYPERALLOC_SRC_BASE_STATS_H_

@@ -3,8 +3,7 @@
 // Memory is modelled as a flat array of 4 KiB base frames. A "huge frame"
 // is 2 MiB (order 9, 512 base frames), which is also the granularity of
 // one LLFree *area* and of HyperAlloc's reclamation state.
-#ifndef HYPERALLOC_SRC_BASE_TYPES_H_
-#define HYPERALLOC_SRC_BASE_TYPES_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -99,5 +98,3 @@ inline const char* ToString(AllocError error) {
 }
 
 }  // namespace hyperalloc
-
-#endif  // HYPERALLOC_SRC_BASE_TYPES_H_

@@ -1,7 +1,6 @@
 // Pretty-printing helpers for byte quantities and rates, used by the
 // benchmark harnesses to print paper-style tables (GiB/s, GiB·min, ...).
-#ifndef HYPERALLOC_SRC_BASE_UNITS_H_
-#define HYPERALLOC_SRC_BASE_UNITS_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -18,5 +17,3 @@ std::string FormatRate(double bytes_per_second);
 std::string FormatDuration(uint64_t nanoseconds);
 
 }  // namespace hyperalloc
-
-#endif  // HYPERALLOC_SRC_BASE_UNITS_H_

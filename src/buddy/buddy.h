@@ -12,8 +12,7 @@
 //  * targeted range claiming (alloc_contig_range) used by virtio-mem to
 //    offline blocks
 //  * PageReported tracking for virtio-balloon's free-page reporting
-#ifndef HYPERALLOC_SRC_BUDDY_BUDDY_H_
-#define HYPERALLOC_SRC_BUDDY_BUDDY_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -186,5 +185,3 @@ class Buddy {
 };
 
 }  // namespace hyperalloc::buddy
-
-#endif  // HYPERALLOC_SRC_BUDDY_BUDDY_H_

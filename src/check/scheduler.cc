@@ -1,0 +1,409 @@
+#include "src/check/scheduler.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "src/base/check.h"
+#include "src/base/rng.h"
+
+namespace hyperalloc::check {
+
+namespace {
+
+// Internal unwind signal: the execution was aborted (failure recorded or
+// drain after another thread failed). Never escapes the engine.
+struct Aborted {};
+
+// Picks the next thread to run at each scheduling decision. `runnable`
+// is the sorted list of unfinished thread ids; `current` is the thread
+// that reached the decision point, or -1 if it just finished (a switch is
+// forced). Implementations must be deterministic functions of their own
+// state so that executions replay.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual uint32_t Choose(const std::vector<uint32_t>& runnable,
+                          int current) = 0;
+  virtual bool SpuriousCas() { return false; }
+};
+
+class RandomStrategy : public Strategy {
+ public:
+  RandomStrategy(uint64_t seed, unsigned preemption_bound,
+                 double preempt_probability)
+      : rng_(seed),
+        preemptions_left_(preemption_bound),
+        preempt_probability_(preempt_probability) {}
+
+  uint32_t Choose(const std::vector<uint32_t>& runnable,
+                  int current) override {
+    size_t current_pos = runnable.size();
+    for (size_t i = 0; i < runnable.size(); ++i) {
+      if (static_cast<int>(runnable[i]) == current) {
+        current_pos = i;
+        break;
+      }
+    }
+    if (current_pos == runnable.size()) {
+      // Forced switch (current finished): uniform over the runnable set.
+      return runnable[rng_.Below(runnable.size())];
+    }
+    if (runnable.size() == 1 || preemptions_left_ == 0 ||
+        !rng_.Chance(preempt_probability_)) {
+      return static_cast<uint32_t>(current);
+    }
+    if (preemptions_left_ != kUnboundedPreemptions) {
+      --preemptions_left_;
+    }
+    size_t pick = rng_.Below(runnable.size() - 1);
+    if (pick >= current_pos) {
+      ++pick;  // uniform over runnable \ {current}
+    }
+    return runnable[pick];
+  }
+
+  bool SpuriousCas() override { return rng_.Chance(1.0 / 64); }
+
+ private:
+  Rng rng_;
+  unsigned preemptions_left_;
+  double preempt_probability_;
+};
+
+// Depth-first enumeration of the schedule tree. The stack of decision
+// nodes persists across executions; each execution replays the forced
+// prefix and extends the first unexplored branch.
+class ExhaustiveStrategy : public Strategy {
+ public:
+  uint32_t Choose(const std::vector<uint32_t>& runnable,
+                  int current) override {
+    (void)current;
+    if (runnable.size() == 1) {
+      return runnable[0];  // no branching: not a decision node
+    }
+    if (depth_ < stack_.size()) {
+      Node& node = stack_[depth_++];
+      Require(node.options == runnable.size(),
+              "exhaustive exploration: scenario is nondeterministic "
+              "(decision point changed option count between executions)");
+      return runnable[node.chosen];
+    }
+    stack_.push_back(Node{0, static_cast<uint32_t>(runnable.size())});
+    ++depth_;
+    return runnable[0];
+  }
+
+  void BeginExecution() { depth_ = 0; }
+
+  // Advances to the next unexplored branch; false when fully explored.
+  bool Advance() {
+    while (!stack_.empty() &&
+           stack_.back().chosen + 1 == stack_.back().options) {
+      stack_.pop_back();
+    }
+    if (stack_.empty()) {
+      return false;
+    }
+    ++stack_.back().chosen;
+    return true;
+  }
+
+ private:
+  struct Node {
+    uint32_t chosen;
+    uint32_t options;
+  };
+  std::vector<Node> stack_;
+  size_t depth_ = 0;
+};
+
+class TraceStrategy : public Strategy {
+ public:
+  explicit TraceStrategy(const std::vector<uint32_t>& trace)
+      : trace_(trace) {}
+
+  uint32_t Choose(const std::vector<uint32_t>& runnable,
+                  int current) override {
+    (void)current;
+    Require(position_ < trace_.size(),
+            "trace replay: execution has more schedule points than the "
+            "recorded trace");
+    const uint32_t forced = trace_[position_++];
+    for (const uint32_t tid : runnable) {
+      if (tid == forced) {
+        return forced;
+      }
+    }
+    throw CheckFailure(
+        "trace replay: recorded thread is not runnable (diverged)");
+  }
+
+ private:
+  const std::vector<uint32_t>& trace_;
+  size_t position_ = 0;
+};
+
+class Engine;
+
+thread_local Engine* tls_engine = nullptr;
+thread_local int tls_thread = -1;
+
+// Runs one execution: sequentialized model threads, handing control off
+// only at schedule points, with the strategy deciding every transfer.
+class Engine {
+ public:
+  Engine(const Execution& exec, Strategy* strategy, uint64_t max_steps)
+      : exec_(exec), strategy_(strategy), max_steps_(max_steps) {}
+
+  void Run() {
+    const size_t n = exec_.threads().size();
+    states_.assign(n, State::kReady);
+    std::vector<std::thread> os_threads;
+    os_threads.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      os_threads.emplace_back([this, i] { Worker(static_cast<int>(i)); });
+    }
+    if (n > 0) {
+      std::unique_lock<std::mutex> lk(mu_);
+      try {
+        HandOffLocked(kNone, /*finishing=*/true, lk);
+      } catch (const CheckFailure& failure) {
+        // Strategy refused the very first decision (e.g. trace replay
+        // divergence). Record and drain the never-started workers.
+        lk.unlock();
+        RecordFailure(failure.what());
+        lk.lock();
+        active_ = static_cast<int>(RunnableLocked()[0]);
+        cv_.notify_all();
+      }
+      cv_.wait(lk, [this] { return active_ == kDone; });
+    }
+    for (std::thread& t : os_threads) {
+      t.join();
+    }
+    if (!failed_) {
+      try {
+        for (const auto& fn : exec_.end_checks()) {
+          fn();
+        }
+      } catch (const CheckFailure& failure) {
+        failed_ = true;
+        message_ = failure.what();
+      }
+    }
+  }
+
+  bool failed() const { return failed_; }
+  const std::string& message() const { return message_; }
+  const std::vector<uint32_t>& trace() const { return trace_; }
+
+  // Schedule point, called from a model thread via the shim.
+  void Point() {
+    if (in_oracle_) {
+      return;
+    }
+    if (aborted_) {
+      throw Aborted{};
+    }
+    if (++steps_ > max_steps_) {
+      RecordFailure(
+          "livelock suspected: execution exceeded the schedule-point "
+          "budget (Options::max_steps)");
+      throw Aborted{};
+    }
+    if (!exec_.step_oracles().empty()) {
+      in_oracle_ = true;
+      struct Reset {
+        bool* flag;
+        ~Reset() { *flag = false; }
+      } reset{&in_oracle_};
+      for (const auto& oracle : exec_.step_oracles()) {
+        oracle();  // CheckFailure propagates to Worker after Reset
+      }
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    HandOffLocked(tls_thread, /*finishing=*/false, lk);
+  }
+
+  bool SpuriousCas() {
+    if (in_oracle_ || aborted_) {
+      return false;
+    }
+    return strategy_->SpuriousCas();
+  }
+
+ private:
+  enum class State { kReady, kFinished };
+  static constexpr int kNone = -1;
+  static constexpr int kDone = -2;
+
+  void Worker(int index) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this, index] { return active_ == index; });
+    }
+    tls_engine = this;
+    tls_thread = index;
+    try {
+      if (!aborted_) {
+        exec_.threads()[index]();
+      }
+    } catch (const CheckFailure& failure) {
+      RecordFailure(failure.what());
+    } catch (const Aborted&) {
+      // Drained after a failure elsewhere.
+    }
+    tls_engine = nullptr;
+    tls_thread = -1;
+    std::unique_lock<std::mutex> lk(mu_);
+    states_[index] = State::kFinished;
+    HandOffLocked(index, /*finishing=*/true, lk);
+  }
+
+  std::vector<uint32_t> RunnableLocked() const {
+    std::vector<uint32_t> runnable;
+    for (size_t i = 0; i < states_.size(); ++i) {
+      if (states_[i] != State::kFinished) {
+        runnable.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    return runnable;
+  }
+
+  // Picks and activates the next thread. When `finishing`, the caller
+  // does not wait to be re-activated (it is exiting or the coordinator).
+  void HandOffLocked(int from, bool finishing,
+                     std::unique_lock<std::mutex>& lk) {
+    const std::vector<uint32_t> runnable = RunnableLocked();
+    if (runnable.empty()) {
+      active_ = kDone;
+      cv_.notify_all();
+      return;
+    }
+    int next;
+    if (aborted_) {
+      next = static_cast<int>(runnable[0]);  // drain deterministically
+    } else {
+      next = static_cast<int>(
+          strategy_->Choose(runnable, finishing ? kNone : from));
+      trace_.push_back(static_cast<uint32_t>(next));
+    }
+    if (next == from && !finishing) {
+      return;  // keep running; the decision is still part of the trace
+    }
+    active_ = next;
+    cv_.notify_all();
+    if (!finishing) {
+      cv_.wait(lk, [this, from] { return active_ == from; });
+      if (aborted_) {
+        throw Aborted{};
+      }
+    }
+  }
+
+  void RecordFailure(const std::string& message) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!failed_) {
+      failed_ = true;
+      message_ = message;
+    }
+    aborted_ = true;
+  }
+
+  const Execution& exec_;
+  Strategy* strategy_;
+  uint64_t max_steps_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<State> states_;
+  int active_ = kNone;
+  uint64_t steps_ = 0;
+  bool aborted_ = false;
+  bool failed_ = false;
+  bool in_oracle_ = false;
+  std::string message_;
+  std::vector<uint32_t> trace_;
+};
+
+// Runs one execution with the given strategy; returns the engine outcome
+// merged into `result` (which accumulates the execution count).
+bool RunOnce(const Options& options, Strategy* strategy,
+             const Scenario& scenario, uint64_t seed_for_result,
+             RunResult* result) {
+  Execution exec;
+  scenario(exec);
+  Engine engine(exec, strategy, options.max_steps);
+  engine.Run();
+  ++result->executions;
+  result->trace = engine.trace();
+  if (engine.failed()) {
+    result->failed = true;
+    result->message = engine.message();
+    result->failing_seed = seed_for_result;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RunResult Explore(const Options& options, const Scenario& scenario) {
+  RunResult result;
+  if (options.mode == Options::Mode::kRandom) {
+    for (uint64_t i = 0; i < options.iterations; ++i) {
+      const uint64_t seed = options.seed + i;
+      RandomStrategy strategy(seed, options.preemption_bound,
+                              options.preempt_probability);
+      if (!RunOnce(options, &strategy, scenario, seed, &result)) {
+        return result;
+      }
+    }
+    return result;
+  }
+  ExhaustiveStrategy strategy;
+  for (uint64_t i = 0; i < options.max_executions; ++i) {
+    strategy.BeginExecution();
+    if (!RunOnce(options, &strategy, scenario, /*seed_for_result=*/i,
+                 &result)) {
+      return result;
+    }
+    if (!strategy.Advance()) {
+      result.complete = true;
+      return result;
+    }
+  }
+  return result;  // time-boxed: complete stays false
+}
+
+RunResult ReplaySeed(const Options& options, uint64_t seed,
+                     const Scenario& scenario) {
+  RunResult result;
+  RandomStrategy strategy(seed, options.preemption_bound,
+                          options.preempt_probability);
+  RunOnce(options, &strategy, scenario, seed, &result);
+  return result;
+}
+
+RunResult ReplayTrace(const Options& options,
+                      const std::vector<uint32_t>& trace,
+                      const Scenario& scenario) {
+  RunResult result;
+  TraceStrategy strategy(trace);
+  RunOnce(options, &strategy, scenario, /*seed_for_result=*/0, &result);
+  return result;
+}
+
+void SchedulePoint() {
+  if (tls_engine != nullptr && tls_thread >= 0) {
+    tls_engine->Point();
+  }
+}
+
+bool SpuriousCasFailure() {
+  return tls_engine != nullptr && tls_thread >= 0 &&
+         tls_engine->SpuriousCas();
+}
+
+}  // namespace hyperalloc::check

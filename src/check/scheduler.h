@@ -1,0 +1,158 @@
+// Loom/relacy-style concurrency model checking for the lock-free core.
+//
+// A *scenario* describes one bounded concurrent situation: it builds the
+// state under test, spawns 2..N model threads, and registers invariant
+// oracles. The engine runs the threads *sequentialized*: exactly one model
+// thread executes at a time, and control can only transfer at the schedule
+// points the atomic shim (src/check/shim.h) inserts before every
+// instrumented load/store/CAS. Which thread runs next at each point is a
+// scheduling decision taken by an exploration strategy:
+//
+//   - kRandom: a seeded random walk with a preemption bound — each
+//     execution preempts the running thread at most `preemption_bound`
+//     times at uniformly chosen points (most concurrency bugs are
+//     triggered by schedules with very few preemptions). Every execution
+//     is a pure function of its seed, so any failing schedule replays
+//     deterministically from the recorded seed (ReplaySeed).
+//   - kExhaustive: depth-first enumeration of *every* interleaving for
+//     tiny scenarios, with a completion flag. Failing schedules replay
+//     from the recorded decision trace (ReplayTrace).
+//
+// Invariant oracles registered with Execution::OnStep run after every
+// instrumented memory operation (while all other threads are paused);
+// their own reads are not schedule points. A violated invariant throws
+// CheckFailure, which aborts the execution and surfaces the message,
+// seed, and schedule trace in the RunResult.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hyperalloc::check {
+
+// Thrown by oracles/scenarios on an invariant violation; caught by the
+// engine, which turns it into a failed RunResult.
+class CheckFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline void Require(bool condition, const std::string& message) {
+  if (!condition) {
+    throw CheckFailure(message);
+  }
+}
+
+inline constexpr unsigned kUnboundedPreemptions = ~0u;
+
+struct Options {
+  enum class Mode {
+    kRandom,      // seeded random walk, `iterations` executions
+    kExhaustive,  // DFS over all interleavings (tiny scenarios only)
+  };
+
+  Mode mode = Mode::kRandom;
+  // Random mode: number of executions and base seed (execution i uses
+  // seed + i as its per-execution seed).
+  uint64_t iterations = 2000;
+  uint64_t seed = 1;
+  // Random mode: at most this many preemptions (switching away from a
+  // thread that could have continued) per execution, each taken with
+  // `preempt_probability` at any schedule point.
+  unsigned preemption_bound = 3;
+  double preempt_probability = 1.0 / 16;
+  // Livelock guard: fail an execution that exceeds this many schedule
+  // points (lock-free retry loops cannot spin forever under any fair
+  // schedule; hitting the budget means the scenario diverged).
+  uint64_t max_steps = 1 << 20;
+  // Exhaustive mode: time-box — stop (complete=false) after this many
+  // executions even if the schedule tree has not been exhausted.
+  uint64_t max_executions = 1 << 17;
+};
+
+struct RunResult {
+  // Number of executions (distinct explored schedules) that ran.
+  uint64_t executions = 0;
+  // Exhaustive mode: the whole schedule tree was explored.
+  bool complete = false;
+
+  bool failed = false;
+  std::string message;
+  // Random mode: the per-execution seed of the failing schedule; feed to
+  // ReplaySeed to reproduce it exactly.
+  uint64_t failing_seed = 0;
+  // The schedule of the last (or failing) execution: the thread id chosen
+  // at every schedule point. Feed to ReplayTrace to force it again
+  // (exhaustive mode; random mode replays via the seed because spurious
+  // weak-CAS failures are drawn from the same random stream).
+  std::vector<uint32_t> trace;
+};
+
+// One execution's configuration, assembled by the scenario callback.
+class Execution {
+ public:
+  // Adds a model thread. Threads are identified by spawn order (0-based);
+  // the ids appearing in RunResult::trace refer to these.
+  void Spawn(std::function<void()> fn) { threads_.push_back(std::move(fn)); }
+
+  // Registers an invariant oracle, run after every instrumented memory
+  // operation. Oracle reads are not schedule points.
+  void OnStep(std::function<void()> oracle) {
+    on_step_.push_back(std::move(oracle));
+  }
+
+  // Registers a quiescent check, run once after all threads finished.
+  void OnEnd(std::function<void()> fn) { on_end_.push_back(std::move(fn)); }
+
+  // Engine-side read access.
+  const std::vector<std::function<void()>>& threads() const {
+    return threads_;
+  }
+  const std::vector<std::function<void()>>& step_oracles() const {
+    return on_step_;
+  }
+  const std::vector<std::function<void()>>& end_checks() const {
+    return on_end_;
+  }
+
+ private:
+  std::vector<std::function<void()>> threads_;
+  std::vector<std::function<void()>> on_step_;
+  std::vector<std::function<void()>> on_end_;
+};
+
+// Builds one execution. Called once per explored schedule; must be
+// deterministic (no wall clock, no global RNG) so that schedules replay.
+using Scenario = std::function<void(Execution&)>;
+
+// Explores the scenario per the options. Stops at the first failure.
+RunResult Explore(const Options& options, const Scenario& scenario);
+
+// Runs exactly one random-mode execution with the given per-execution
+// seed. Replaying a recorded failing_seed reproduces the identical
+// schedule (same trace, same failure).
+RunResult ReplaySeed(const Options& options, uint64_t seed,
+                     const Scenario& scenario);
+
+// Runs exactly one execution forcing the recorded schedule trace.
+RunResult ReplayTrace(const Options& options,
+                      const std::vector<uint32_t>& trace,
+                      const Scenario& scenario);
+
+// ---------------------------------------------------------------------
+// Hooks used by the atomic shim (src/check/shim.h).
+// ---------------------------------------------------------------------
+
+// A scheduling decision point. No-op when the calling thread is not a
+// model thread (setup/teardown code, production binaries that happen to
+// link the checker) or while an oracle is running.
+void SchedulePoint();
+
+// Scheduler decision: should this compare_exchange_weak fail spuriously?
+// (Random mode only; exhaustive keeps the decision tree CAS-deterministic.)
+bool SpuriousCasFailure();
+
+}  // namespace hyperalloc::check

@@ -1,0 +1,108 @@
+// Drop-in replacement for std::atomic used by model-check builds.
+//
+// Production code declares its shared state as `hyperalloc::Atomic<T>`
+// (src/base/atomic.h), which aliases std::atomic<T> normally and this
+// class when compiled with -DHYPERALLOC_MODEL_CHECK=1. Every operation
+// first calls check::SchedulePoint(), so the model-check engine
+// (src/check/scheduler.h) can transfer control between model threads at
+// exactly the instruction granularity that matters for lock-free code:
+// the shared-memory accesses.
+//
+// Because the engine runs exactly one model thread at a time, the
+// underlying std::atomic operations are never concurrent — the shim
+// explores *interleavings*, not hardware memory-model reorderings. That
+// matches the code under test, which is lock-free via CAS loops rather
+// than via fence subtleties; the TSan preset (scripts/check.sh) covers
+// the ordering dimension on real hardware.
+//
+// Every operation takes mandatory explicit std::memory_order arguments —
+// there are deliberately no defaulted-order overloads and no implicit
+// conversion or operator=. Code that compiles against std::atomic with
+// implicit seq_cst fails to compile here (and is also rejected by
+// scripts/lint.sh).
+//
+// compare_exchange_weak is allowed to fail spuriously: the engine's
+// random strategy occasionally forces a failure (drawn from the same
+// seeded stream as the scheduling decisions, so replays stay exact).
+// This catches code that wrongly assumes weak CAS only fails on value
+// change.
+#pragma once
+
+#include <atomic>
+
+#include "src/check/scheduler.h"
+
+namespace hyperalloc::check {
+
+template <typename T>
+class Atomic {
+ public:
+  using value_type = T;
+
+  Atomic() noexcept : v_{} {}
+  constexpr Atomic(T desired) noexcept : v_(desired) {}  // NOLINT(google-explicit-constructor): mirrors std::atomic
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order order) const {
+    SchedulePoint();
+    return v_.load(order);
+  }
+
+  void store(T desired, std::memory_order order) {
+    SchedulePoint();
+    v_.store(desired, order);
+  }
+
+  T exchange(T desired, std::memory_order order) {
+    SchedulePoint();
+    return v_.exchange(desired, order);
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order success,
+                               std::memory_order failure) {
+    SchedulePoint();
+    return v_.compare_exchange_strong(expected, desired, success, failure);
+  }
+
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order success,
+                             std::memory_order failure) {
+    SchedulePoint();
+    if (SpuriousCasFailure()) {
+      expected = v_.load(failure);
+      return false;
+    }
+    return v_.compare_exchange_strong(expected, desired, success, failure);
+  }
+
+  T fetch_add(T arg, std::memory_order order) {
+    SchedulePoint();
+    return v_.fetch_add(arg, order);
+  }
+
+  T fetch_sub(T arg, std::memory_order order) {
+    SchedulePoint();
+    return v_.fetch_sub(arg, order);
+  }
+
+  T fetch_or(T arg, std::memory_order order) {
+    SchedulePoint();
+    return v_.fetch_or(arg, order);
+  }
+
+  T fetch_and(T arg, std::memory_order order) {
+    SchedulePoint();
+    return v_.fetch_and(arg, order);
+  }
+
+ private:
+  std::atomic<T> v_;
+};
+
+// Lowercase alias for call sites that spell it like the standard library.
+template <typename T>
+using atomic = Atomic<T>;  // NOLINT(readability-identifier-naming)
+
+}  // namespace hyperalloc::check

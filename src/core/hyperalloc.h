@@ -19,8 +19,7 @@
 //  * Automatic (soft) reclamation — every 5 s the monitor scans R and the
 //    shared area index (18 cache lines per GiB) and soft-reclaims free,
 //    installed, host-backed huge frames.
-#ifndef HYPERALLOC_SRC_CORE_HYPERALLOC_H_
-#define HYPERALLOC_SRC_CORE_HYPERALLOC_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -139,5 +138,3 @@ class HyperAllocMonitor : public hv::Deflator {
 };
 
 }  // namespace hyperalloc::core
-
-#endif  // HYPERALLOC_SRC_CORE_HYPERALLOC_H_

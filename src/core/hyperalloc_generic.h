@@ -16,8 +16,7 @@
 // slower, but still DMA-safe and batched. This asymmetry is the measured
 // cost of not co-designing the allocator (see bench_inflate's
 // "HyperAlloc-generic" rows and the ablation discussion).
-#ifndef HYPERALLOC_SRC_CORE_HYPERALLOC_GENERIC_H_
-#define HYPERALLOC_SRC_CORE_HYPERALLOC_GENERIC_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -93,5 +92,3 @@ class GenericHyperAllocMonitor : public hv::Deflator {
 };
 
 }  // namespace hyperalloc::core
-
-#endif  // HYPERALLOC_SRC_CORE_HYPERALLOC_GENERIC_H_

@@ -6,8 +6,7 @@
 // paper's scan-cost analysis (§3.3): together with the 16-bit guest area
 // entries, scanning 1 GiB of guest memory touches
 // 2*512/(8*64) + 16*512/(8*64) = 18 consecutive cache lines.
-#ifndef HYPERALLOC_SRC_CORE_RECLAIM_STATES_H_
-#define HYPERALLOC_SRC_CORE_RECLAIM_STATES_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -25,6 +24,17 @@ enum class ReclaimState : uint8_t {
   kHard = 2,       // H: reclaimed, not available to the guest
 };
 
+// Legal edges of the paper's Fig. 2 state machine (self-loops are no-op
+// re-stores and always fine): I->S (soft/auto reclaim), I->H (direct hard
+// reclaim), S->I (install), S->H (reclaim untouched), H->S (return).
+// H->I is not an edge: hard-reclaimed memory is outside the guest's hard
+// limit and must be returned (H->S) before it can be installed. The
+// model-checking oracle (src/check/invariants.h) and a debug check in
+// Set() enforce this.
+constexpr bool IsLegalTransition(ReclaimState from, ReclaimState to) {
+  return !(from == ReclaimState::kHard && to == ReclaimState::kInstalled);
+}
+
 class ReclaimStateArray {
  public:
   explicit ReclaimStateArray(uint64_t num_huge)
@@ -40,6 +50,7 @@ class ReclaimStateArray {
 
   void Set(HugeId huge, ReclaimState state) {
     HA_DCHECK(huge < num_huge_);
+    HA_DCHECK(IsLegalTransition(Get(huge), state));
 #if HYPERALLOC_TRACE
     const ReclaimState old = Get(huge);
     if (old != state) {
@@ -111,5 +122,3 @@ class ReclaimStateArray {
 };
 
 }  // namespace hyperalloc::core
-
-#endif  // HYPERALLOC_SRC_CORE_RECLAIM_STATES_H_

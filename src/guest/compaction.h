@@ -8,8 +8,7 @@
 // making active compaction *less* necessary (§4.2). This model performs
 // block-granular compaction over the same migration machinery virtio-mem
 // uses, with migration costs charged to virtual time.
-#ifndef HYPERALLOC_SRC_GUEST_COMPACTION_H_
-#define HYPERALLOC_SRC_GUEST_COMPACTION_H_
+#pragma once
 
 #include <cstdint>
 
@@ -61,5 +60,3 @@ class Compactor {
 };
 
 }  // namespace hyperalloc::guest
-
-#endif  // HYPERALLOC_SRC_GUEST_COMPACTION_H_

@@ -13,8 +13,7 @@
 //    huge pages); otherwise individual 4 KiB pages fault in. This is why
 //    LLFree's contiguous allocations halve the guest's EPT faults (§5.5),
 //  * an optional VFIO IOMMU for device passthrough.
-#ifndef HYPERALLOC_SRC_GUEST_GUEST_VM_H_
-#define HYPERALLOC_SRC_GUEST_GUEST_VM_H_
+#pragma once
 
 #include <deque>
 #include <functional>
@@ -282,5 +281,3 @@ class GuestVm {
 };
 
 }  // namespace hyperalloc::guest
-
-#endif  // HYPERALLOC_SRC_GUEST_GUEST_VM_H_

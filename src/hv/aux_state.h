@@ -14,8 +14,7 @@
 //
 // Layout: 2 bits per huge frame packed in atomic 64-bit words
 // (bit 0: A, bit 1: E) — offset-addressable, lock-free, no pointers.
-#ifndef HYPERALLOC_SRC_HV_AUX_STATE_H_
-#define HYPERALLOC_SRC_HV_AUX_STATE_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -105,5 +104,3 @@ class AuxState {
 };
 
 }  // namespace hyperalloc::hv
-
-#endif  // HYPERALLOC_SRC_HV_AUX_STATE_H_

@@ -11,8 +11,7 @@
 //   info stats         RSS, free guest memory, reclamation CPU time
 //   auto on|off        start/stop automatic reclamation
 //   help               command list
-#ifndef HYPERALLOC_SRC_HV_CONSOLE_H_
-#define HYPERALLOC_SRC_HV_CONSOLE_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -49,5 +48,3 @@ class Console {
 uint64_t ParseSize(std::string_view text);
 
 }  // namespace hyperalloc::hv
-
-#endif  // HYPERALLOC_SRC_HV_CONSOLE_H_

@@ -6,8 +6,7 @@
 // ratios (e.g. HyperAlloc 362× faster than virtio-balloon at shrinking)
 // are NOT encoded anywhere; they emerge from operation counts ×
 // granularity × batching on the different code paths.
-#ifndef HYPERALLOC_SRC_HV_COST_MODEL_H_
-#define HYPERALLOC_SRC_HV_COST_MODEL_H_
+#pragma once
 
 #include <cstdint>
 
@@ -104,5 +103,3 @@ inline uint64_t ChargeTraced(sim::Simulation* sim, const char* name,
 }
 
 }  // namespace hyperalloc::hv
-
-#endif  // HYPERALLOC_SRC_HV_COST_MODEL_H_

@@ -7,8 +7,7 @@
 // exactly as a real driver kthread interleaves with the workload. `done`
 // fires in virtual time when the request completes (possibly partially —
 // check limit_bytes()).
-#ifndef HYPERALLOC_SRC_HV_DEFLATOR_H_
-#define HYPERALLOC_SRC_HV_DEFLATOR_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -50,5 +49,3 @@ class Deflator {
 };
 
 }  // namespace hyperalloc::hv
-
-#endif  // HYPERALLOC_SRC_HV_DEFLATOR_H_

@@ -65,6 +65,7 @@ uint64_t Ept::Unmap(FrameId first, uint64_t count) {
   for (FrameId frame = first; frame < first + count; ++frame) {
     bitmap_[frame / 64] &= ~(1ull << (frame % 64));
   }
+  HA_DCHECK(mapped_ >= present);  // underflow = bitmap/counter divergence
   mapped_ -= present;
   if (host_ != nullptr) {
     host_->Release(present);

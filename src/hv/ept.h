@@ -5,8 +5,7 @@
 // madvise(DONTNEED) path in the paper's QEMU prototype) releases them.
 // The VM's resident-set size — the metric all footprint experiments
 // sample — is exactly the number of mapped frames.
-#ifndef HYPERALLOC_SRC_HV_EPT_H_
-#define HYPERALLOC_SRC_HV_EPT_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -56,5 +55,3 @@ class Ept {
 };
 
 }  // namespace hyperalloc::hv
-
-#endif  // HYPERALLOC_SRC_HV_EPT_H_

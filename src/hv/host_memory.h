@@ -2,8 +2,7 @@
 // pool when guest-physical memory is populated and release them when the
 // hypervisor reclaims it. The multi-VM experiment (Fig. 11) reads the
 // aggregate usage here.
-#ifndef HYPERALLOC_SRC_HV_HOST_MEMORY_H_
-#define HYPERALLOC_SRC_HV_HOST_MEMORY_H_
+#pragma once
 
 #include <cstdint>
 
@@ -47,5 +46,3 @@ class HostMemory {
 };
 
 }  // namespace hyperalloc::hv
-
-#endif  // HYPERALLOC_SRC_HV_HOST_MEMORY_H_

@@ -3,8 +3,7 @@
 // traffic (population, migration), and TLB-shootdown IPIs. The STREAM/FTQ
 // harnesses implement this to translate reclamation activity into workload
 // slowdowns; batch benchmarks use the default no-op implementation.
-#ifndef HYPERALLOC_SRC_HV_INTERFERENCE_H_
-#define HYPERALLOC_SRC_HV_INTERFERENCE_H_
+#pragma once
 
 #include "src/sim/simulation.h"
 
@@ -44,5 +43,3 @@ class InterferenceSink {
 InterferenceSink& NullInterference();
 
 }  // namespace hyperalloc::hv
-
-#endif  // HYPERALLOC_SRC_HV_INTERFERENCE_H_

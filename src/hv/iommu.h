@@ -6,8 +6,7 @@
 // 2 MiB granularity (HyperAlloc maps/unmaps huge frames; virtio-mem
 // pre-populates whole blocks). DmaAccessOk() is the DMA-safety oracle the
 // tests and the device-passthrough example use.
-#ifndef HYPERALLOC_SRC_HV_IOMMU_H_
-#define HYPERALLOC_SRC_HV_IOMMU_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -79,5 +78,3 @@ class Iommu {
 };
 
 }  // namespace hyperalloc::hv
-
-#endif  // HYPERALLOC_SRC_HV_IOMMU_H_

@@ -14,8 +14,7 @@
 //   limit_i      = clamp(min(demand_i, affordable_i))
 // and every tenant is billed limit_i * price * dt (GiB-seconds pricing,
 // like AWS Lambda).
-#ifndef HYPERALLOC_SRC_HV_MARKET_H_
-#define HYPERALLOC_SRC_HV_MARKET_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -80,5 +79,3 @@ class MemoryMarket {
 };
 
 }  // namespace hyperalloc::hv
-
-#endif  // HYPERALLOC_SRC_HV_MARKET_H_

@@ -9,8 +9,7 @@
 // swapped page, which then pays a swap-in surcharge on top of the normal
 // fault. This is precisely the "viscous" behaviour (§8) that HyperAlloc's
 // cooperative reclamation avoids — compare bench/bench_overcommit.
-#ifndef HYPERALLOC_SRC_HV_SWAP_H_
-#define HYPERALLOC_SRC_HV_SWAP_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -75,5 +74,3 @@ class SwapManager {
 };
 
 }  // namespace hyperalloc::hv
-
-#endif  // HYPERALLOC_SRC_HV_SWAP_H_

@@ -17,7 +17,7 @@ std::optional<unsigned> AreaBits::Set(unsigned order, unsigned start_hint) {
 
   for (unsigned i = 0; i < kWordsPerArea; ++i) {
     const unsigned w = (first_word + i) % kWordsPerArea;
-    std::atomic<uint64_t>& word = words_[w];
+    Atomic<uint64_t>& word = words_[w];
     uint64_t current = word.load(std::memory_order_acquire);
     for (;;) {
       // Find an aligned zero run in `current`.
@@ -75,16 +75,30 @@ bool AreaBits::Clear(unsigned offset, unsigned order) {
   HA_CHECK(offset % run == 0);
   HA_CHECK(offset + run <= kFramesPerHuge);
   if (order > kMaxSingleWordOrder) {
-    // Verify the whole run is set, then release word-by-word.
+    // Reject plainly-invalid frees first (some word not fully set), then
+    // claim the free via CAS on the first word so that two racing frees
+    // of the same run cannot both succeed (the previous load-check +
+    // plain stores let both pass the check and double-credit the
+    // counters). Whoever wins the first-word CAS owns the whole run: no
+    // other allocation can exist inside it, so the remaining words must
+    // still be ~0 when released.
     const unsigned words_per_run = run / 64;
     const unsigned base = offset / 64;
     for (unsigned w = 0; w < words_per_run; ++w) {
       if (words_[base + w].load(std::memory_order_acquire) != ~0ull) {
-        return false;  // double free
+        return false;  // not an allocated run of this order
       }
     }
-    for (unsigned w = 0; w < words_per_run; ++w) {
-      words_[base + w].store(0, std::memory_order_release);
+    uint64_t expected = ~0ull;
+    if (!words_[base].compare_exchange_strong(expected, 0,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+      return false;  // double free
+    }
+    for (unsigned w = 1; w < words_per_run; ++w) {
+      const uint64_t word = words_[base + w].exchange(
+          0, std::memory_order_acq_rel);
+      HA_CHECK(word == ~0ull);  // run owner: words cannot change under us
     }
     return true;
   }
@@ -92,7 +106,7 @@ bool AreaBits::Clear(unsigned offset, unsigned order) {
   const unsigned w = offset / 64;
   const unsigned shift = offset % 64;
 
-  std::atomic<uint64_t>& word = words_[w];
+  Atomic<uint64_t>& word = words_[w];
   uint64_t current = word.load(std::memory_order_acquire);
   for (;;) {
     if ((current & (mask << shift)) != (mask << shift)) {

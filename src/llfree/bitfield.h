@@ -2,13 +2,12 @@
 // 64-bit words = one cache line). Bit = 1 means the base frame is
 // allocated. Allocations of order 0..6 are naturally aligned runs within
 // a single word and therefore single-CAS transactions.
-#ifndef HYPERALLOC_SRC_LLFREE_BITFIELD_H_
-#define HYPERALLOC_SRC_LLFREE_BITFIELD_H_
+#pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <optional>
 
+#include "src/base/atomic.h"
 #include "src/base/types.h"
 
 namespace hyperalloc::llfree {
@@ -24,7 +23,7 @@ inline constexpr unsigned kMaxSingleWordOrder = 6;
 // A view over the 8 words of one area within the global bitfield array.
 class AreaBits {
  public:
-  explicit AreaBits(std::atomic<uint64_t>* words) : words_(words) {}
+  explicit AreaBits(Atomic<uint64_t>* words) : words_(words) {}
 
   // Finds and claims a naturally aligned run of 2^order zero bits.
   // `start_hint` is a frame offset within the area (0..511) biasing where
@@ -48,9 +47,7 @@ class AreaBits {
  private:
   std::optional<unsigned> SetMultiWord(unsigned order);
 
-  std::atomic<uint64_t>* words_;
+  Atomic<uint64_t>* words_;
 };
 
 }  // namespace hyperalloc::llfree
-
-#endif  // HYPERALLOC_SRC_LLFREE_BITFIELD_H_

@@ -19,13 +19,13 @@
 // Both entry kinds live in densely packed atomic arrays so that the
 // hypervisor can locate any entry with offset arithmetic alone and induce
 // guest state transitions with a single CAS (paper §4.2 "State Mapping").
-#ifndef HYPERALLOC_SRC_LLFREE_ENTRIES_H_
-#define HYPERALLOC_SRC_LLFREE_ENTRIES_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <optional>
 
+#include "src/base/atomic.h"
 #include "src/base/check.h"
 #include "src/base/types.h"
 
@@ -126,7 +126,7 @@ struct Reservation {
 // value; `f` returns std::nullopt to abort (value no longer eligible).
 // Returns the value that was successfully replaced, or nullopt.
 template <typename Raw, typename F>
-std::optional<Raw> AtomicUpdate(std::atomic<Raw>& atom, F&& f) {
+std::optional<Raw> AtomicUpdate(Atomic<Raw>& atom, F&& f) {
   Raw current = atom.load(std::memory_order_acquire);
   for (;;) {
     std::optional<Raw> next = f(current);
@@ -142,5 +142,3 @@ std::optional<Raw> AtomicUpdate(std::atomic<Raw>& atom, F&& f) {
 }
 
 }  // namespace hyperalloc::llfree
-
-#endif  // HYPERALLOC_SRC_LLFREE_ENTRIES_H_

@@ -25,19 +25,19 @@ SharedState::SharedState(uint64_t frames, const Config& config)
   num_trees_ = (num_areas_ + config.areas_per_tree - 1) / config.areas_per_tree;
 
   const uint64_t bitfield_words = frames / 64;
-  bitfield_ = std::make_unique<std::atomic<uint64_t>[]>(bitfield_words);
+  bitfield_ = std::make_unique<Atomic<uint64_t>[]>(bitfield_words);
   for (uint64_t i = 0; i < bitfield_words; ++i) {
     bitfield_[i].store(0, std::memory_order_relaxed);
   }
 
-  areas_ = std::make_unique<std::atomic<uint16_t>[]>(num_areas_);
+  areas_ = std::make_unique<Atomic<uint16_t>[]>(num_areas_);
   AreaEntry fresh_area;
   fresh_area.free = kFramesPerHuge;
   for (uint64_t i = 0; i < num_areas_; ++i) {
     areas_[i].store(fresh_area.Pack(), std::memory_order_relaxed);
   }
 
-  trees_ = std::make_unique<std::atomic<uint32_t>[]>(num_trees_);
+  trees_ = std::make_unique<Atomic<uint32_t>[]>(num_trees_);
   for (uint64_t t = 0; t < num_trees_; ++t) {
     const uint64_t first = t * config.areas_per_tree;
     const uint64_t count = std::min<uint64_t>(config.areas_per_tree,
@@ -49,8 +49,8 @@ SharedState::SharedState(uint64_t frames, const Config& config)
   }
 
   const unsigned slots = config.NumSlots();
-  reservations_ = std::make_unique<std::atomic<uint64_t>[]>(slots);
-  tree_hints_ = std::make_unique<std::atomic<uint64_t>[]>(slots);
+  reservations_ = std::make_unique<Atomic<uint64_t>[]>(slots);
+  tree_hints_ = std::make_unique<Atomic<uint64_t>[]>(slots);
   for (unsigned s = 0; s < slots; ++s) {
     reservations_[s].store(Reservation{}.Pack(), std::memory_order_relaxed);
     // Spread initial search positions so slots start in different trees.
@@ -93,7 +93,7 @@ uint64_t LLFree::TreeCapacity(uint64_t tree) const {
 
 std::optional<uint64_t> LLFree::TakeFromReservation(unsigned slot,
                                                     unsigned need) {
-  std::atomic<uint64_t>& slot_atom = state_->reservations_[slot];
+  Atomic<uint64_t>& slot_atom = state_->reservations_[slot];
   for (;;) {
     uint64_t raw = slot_atom.load(std::memory_order_acquire);
     const Reservation r = Reservation::Unpack(raw);
@@ -146,7 +146,7 @@ std::optional<uint64_t> LLFree::TakeFromReservation(unsigned slot,
 }
 
 void LLFree::GiveBack(unsigned slot, uint64_t tree, unsigned need) {
-  std::atomic<uint64_t>& slot_atom = state_->reservations_[slot];
+  Atomic<uint64_t>& slot_atom = state_->reservations_[slot];
   for (;;) {
     uint64_t raw = slot_atom.load(std::memory_order_acquire);
     const Reservation r = Reservation::Unpack(raw);
@@ -240,7 +240,7 @@ bool LLFree::ReserveNewTree(unsigned slot, AllocType type, unsigned need,
       }
 
       // Publish the new reservation; release the old one.
-      std::atomic<uint64_t>& slot_atom = state_->reservations_[slot];
+      Atomic<uint64_t>& slot_atom = state_->reservations_[slot];
       Reservation next;
       next.active = true;
       next.tree = static_cast<uint32_t>(t);
@@ -277,7 +277,7 @@ bool LLFree::ReserveNewTree(unsigned slot, AllocType type, unsigned need,
 void LLFree::DrainReservations() {
   const unsigned slots = config().NumSlots();
   for (unsigned s = 0; s < slots; ++s) {
-    std::atomic<uint64_t>& slot_atom = state_->reservations_[s];
+    Atomic<uint64_t>& slot_atom = state_->reservations_[s];
     uint64_t raw = slot_atom.load(std::memory_order_acquire);
     for (;;) {
       const Reservation r = Reservation::Unpack(raw);

@@ -9,16 +9,15 @@
 // same SharedState) can locate and modify any entry via offset arithmetic,
 // exactly as the QEMU monitor maps the guest's allocator state in the
 // paper ("Locating the Allocator State", §4.2).
-#ifndef HYPERALLOC_SRC_LLFREE_LLFREE_H_
-#define HYPERALLOC_SRC_LLFREE_LLFREE_H_
+#pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "src/base/atomic.h"
 #include "src/base/result.h"
 #include "src/base/types.h"
 #include "src/llfree/bitfield.h"
@@ -65,16 +64,21 @@ class SharedState {
   const Config& config() const { return config_; }
 
   // Raw state arrays. The auto-reclamation scan (src/core) reads the area
-  // array directly to count touched cache lines (paper §3.3).
-  std::atomic<uint16_t>* areas() { return areas_.get(); }
-  std::atomic<uint32_t>* trees() { return trees_.get(); }
-  std::atomic<uint64_t>* bitfield() { return bitfield_.get(); }
-  std::atomic<uint64_t>* reservations() { return reservations_.get(); }
+  // array directly to count touched cache lines (paper §3.3); the
+  // invariant oracle (src/check) uses the const views.
+  Atomic<uint16_t>* areas() { return areas_.get(); }
+  Atomic<uint32_t>* trees() { return trees_.get(); }
+  Atomic<uint64_t>* bitfield() { return bitfield_.get(); }
+  Atomic<uint64_t>* reservations() { return reservations_.get(); }
+  const Atomic<uint16_t>* areas() const { return areas_.get(); }
+  const Atomic<uint32_t>* trees() const { return trees_.get(); }
+  const Atomic<uint64_t>* bitfield() const { return bitfield_.get(); }
+  const Atomic<uint64_t>* reservations() const { return reservations_.get(); }
   // Per-slot tree search hints. Values may legitimately exceed num_trees()
   // when a view over a *larger* previous state wrote them (tree-count
   // shrink); every reader clamps with % num_trees() and every store
   // re-clamps, so stale hints only bias the search start.
-  std::atomic<uint64_t>* tree_hints() { return tree_hints_.get(); }
+  Atomic<uint64_t>* tree_hints() { return tree_hints_.get(); }
 
   // Size in bytes of the hypervisor-shared portion (bit field + indexes),
   // for the scan-cost analysis.
@@ -88,12 +92,12 @@ class SharedState {
   uint64_t num_trees_;
   Config config_;
 
-  std::unique_ptr<std::atomic<uint64_t>[]> bitfield_;
-  std::unique_ptr<std::atomic<uint16_t>[]> areas_;
-  std::unique_ptr<std::atomic<uint32_t>[]> trees_;
-  std::unique_ptr<std::atomic<uint64_t>[]> reservations_;
+  std::unique_ptr<Atomic<uint64_t>[]> bitfield_;
+  std::unique_ptr<Atomic<uint16_t>[]> areas_;
+  std::unique_ptr<Atomic<uint32_t>[]> trees_;
+  std::unique_ptr<Atomic<uint64_t>[]> reservations_;
   // Per-slot search hints (not part of the shared protocol state).
-  std::unique_ptr<std::atomic<uint64_t>[]> tree_hints_;
+  std::unique_ptr<Atomic<uint64_t>[]> tree_hints_;
 };
 
 // A view over a SharedState. Guest and monitor each construct their own
@@ -266,5 +270,3 @@ class LLFree {
 };
 
 }  // namespace hyperalloc::llfree
-
-#endif  // HYPERALLOC_SRC_LLFREE_LLFREE_H_

@@ -4,8 +4,7 @@
 // process's resident-set size at 1 Hz and integrate it into a GiB·min
 // footprint ("similar metrics are also used by cloud providers (e.g., AWS
 // Lambda) to price memory usage").
-#ifndef HYPERALLOC_SRC_METRICS_TIMESERIES_H_
-#define HYPERALLOC_SRC_METRICS_TIMESERIES_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -73,5 +72,3 @@ class Sampler {
 };
 
 }  // namespace hyperalloc::metrics
-
-#endif  // HYPERALLOC_SRC_METRICS_TIMESERIES_H_

@@ -6,8 +6,7 @@
 // activity (balloon-driver inflation, virtio-mem migration, host page
 // population) competes for the resource. STREAM iterations and FTQ samples
 // integrate over this timeline to compute slowdowns.
-#ifndef HYPERALLOC_SRC_SIM_CAPACITY_TIMELINE_H_
-#define HYPERALLOC_SRC_SIM_CAPACITY_TIMELINE_H_
+#pragma once
 
 #include <map>
 
@@ -53,5 +52,3 @@ class CapacityTimeline {
 };
 
 }  // namespace hyperalloc::sim
-
-#endif  // HYPERALLOC_SRC_SIM_CAPACITY_TIMELINE_H_

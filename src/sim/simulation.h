@@ -5,8 +5,7 @@
 // nanosecond costs (src/hv/cost_model.h) to this clock, which makes results
 // reproducible and independent of the build machine. Real data-structure
 // work (LLFree/buddy) still executes for real; only its *cost* is virtual.
-#ifndef HYPERALLOC_SRC_SIM_SIMULATION_H_
-#define HYPERALLOC_SRC_SIM_SIMULATION_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -105,5 +104,3 @@ class Simulation {
 };
 
 }  // namespace hyperalloc::sim
-
-#endif  // HYPERALLOC_SRC_SIM_SIMULATION_H_

@@ -5,8 +5,7 @@
 // virtio-mem migration, LLFree install paths) "steal" capacity by adding
 // loads. TLB shootdown IPIs are modelled as short full-capacity steals on
 // every vCPU.
-#ifndef HYPERALLOC_SRC_SIM_VCPU_H_
-#define HYPERALLOC_SRC_SIM_VCPU_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -41,5 +40,3 @@ class VcpuSet {
 };
 
 }  // namespace hyperalloc::sim
-
-#endif  // HYPERALLOC_SRC_SIM_VCPU_H_

@@ -1,8 +1,7 @@
 // Exporters for the observability layer: serialize the global counter
 // registry and the drained event trace to JSON or CSV artifacts that the
 // bench harness emits via --trace-out (see bench/trace_io.h).
-#ifndef HYPERALLOC_SRC_TRACE_EXPORT_H_
-#define HYPERALLOC_SRC_TRACE_EXPORT_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -30,5 +29,3 @@ void WriteEventsCsv(const std::string& path,
 void WriteTraceArtifact(const std::string& path);
 
 }  // namespace hyperalloc::trace
-
-#endif  // HYPERALLOC_SRC_TRACE_EXPORT_H_

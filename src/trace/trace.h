@@ -21,8 +21,7 @@
 // "monitor.install_ns". Counter/histogram names passed to HA_COUNT /
 // HA_HIST must be string literals: the macros cache the registry lookup
 // in a function-local static, keyed by the expansion site.
-#ifndef HYPERALLOC_SRC_TRACE_TRACE_H_
-#define HYPERALLOC_SRC_TRACE_TRACE_H_
+#pragma once
 
 #include <array>
 #include <atomic>
@@ -341,5 +340,3 @@ class Tracer {
   } while (0)
 
 #endif  // HYPERALLOC_TRACE
-
-#endif  // HYPERALLOC_SRC_TRACE_TRACE_H_

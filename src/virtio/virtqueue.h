@@ -4,8 +4,7 @@
 // aggregated (up to 256 pages per hypercall) ...", paper §5.3). Costs are
 // charged to the simulation clock: one descriptor-processing cost per
 // element and one hypercall per kick.
-#ifndef HYPERALLOC_SRC_VIRTIO_VIRTQUEUE_H_
-#define HYPERALLOC_SRC_VIRTIO_VIRTQUEUE_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -48,5 +47,3 @@ class Virtqueue {
 };
 
 }  // namespace hyperalloc::virtio
-
-#endif  // HYPERALLOC_SRC_VIRTIO_VIRTQUEUE_H_

@@ -16,8 +16,7 @@
 // virtio-mem itself has no automatic reclamation; the paper *simulates*
 // one by tracking the guest's free huge pages and (un)plugging at 1 GiB
 // granularity every second (§5.5) — implemented here the same way.
-#ifndef HYPERALLOC_SRC_VMEM_VIRTIO_MEM_H_
-#define HYPERALLOC_SRC_VMEM_VIRTIO_MEM_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -91,5 +90,3 @@ class VirtioMem : public hv::Deflator {
 };
 
 }  // namespace hyperalloc::vmem
-
-#endif  // HYPERALLOC_SRC_VMEM_VIRTIO_MEM_H_

@@ -7,8 +7,7 @@
 // scatter across the physical address space and strand partially used
 // huge frames, which is what makes the post-run reclaim gap between
 // buddy-based reporting and HyperAlloc (Fig. 10).
-#ifndef HYPERALLOC_SRC_WORKLOADS_BLENDER_H_
-#define HYPERALLOC_SRC_WORKLOADS_BLENDER_H_
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -64,5 +63,3 @@ class BlenderWorkload {
 };
 
 }  // namespace hyperalloc::workloads
-
-#endif  // HYPERALLOC_SRC_WORKLOADS_BLENDER_H_

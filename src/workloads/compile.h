@@ -7,8 +7,7 @@
 // memory on top of a monotonically growing page cache, peaking near the
 // VM's memory limit during linking — is what makes this the paper's
 // elasticity stress test (Figs. 7–9, 11).
-#ifndef HYPERALLOC_SRC_WORKLOADS_COMPILE_H_
-#define HYPERALLOC_SRC_WORKLOADS_COMPILE_H_
+#pragma once
 
 #include <deque>
 #include <functional>
@@ -106,5 +105,3 @@ class CompileWorkload {
 };
 
 }  // namespace hyperalloc::workloads
-
-#endif  // HYPERALLOC_SRC_WORKLOADS_COMPILE_H_

@@ -4,8 +4,7 @@
 // quanta (2^28 cycles ≈ 128 ms at 2.1 GHz). Work scales with the vCPU
 // capacity left over by reclamation activity. Samples are aggregated
 // across threads, as in the paper's Fig. 6.
-#ifndef HYPERALLOC_SRC_WORKLOADS_FTQ_H_
-#define HYPERALLOC_SRC_WORKLOADS_FTQ_H_
+#pragma once
 
 #include <functional>
 
@@ -47,5 +46,3 @@ class FtqWorkload {
 };
 
 }  // namespace hyperalloc::workloads
-
-#endif  // HYPERALLOC_SRC_WORKLOADS_FTQ_H_

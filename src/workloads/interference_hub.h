@@ -1,7 +1,6 @@
 // Routes protocol interference (vCPU steals, TLB-shootdown IPIs, memory
 // traffic) into the resource timelines the workloads integrate over.
-#ifndef HYPERALLOC_SRC_WORKLOADS_INTERFERENCE_HUB_H_
-#define HYPERALLOC_SRC_WORKLOADS_INTERFERENCE_HUB_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -78,5 +77,3 @@ class InterferenceHub : public hv::InterferenceSink {
 };
 
 }  // namespace hyperalloc::workloads
-
-#endif  // HYPERALLOC_SRC_WORKLOADS_INTERFERENCE_HUB_H_

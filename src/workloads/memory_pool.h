@@ -4,8 +4,7 @@
 // the guest allocator, touch them, and free them later. The pool keeps a
 // frame index so that virtio-mem's page migration can relocate frames
 // without the workload losing track of them.
-#ifndef HYPERALLOC_SRC_WORKLOADS_MEMORY_POOL_H_
-#define HYPERALLOC_SRC_WORKLOADS_MEMORY_POOL_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -67,5 +66,3 @@ class MemoryPool : public guest::MigrationListener {
 };
 
 }  // namespace hyperalloc::workloads
-
-#endif  // HYPERALLOC_SRC_WORKLOADS_MEMORY_POOL_H_

@@ -2,8 +2,7 @@
 // before the STREAM/FTQ runs, memory-intensive benchmark instances grow
 // the VM to its maximum size and randomize the allocator state. We model
 // this with a randomized allocate/touch/free churn plus page-cache fill.
-#ifndef HYPERALLOC_SRC_WORKLOADS_SPEC_PREP_H_
-#define HYPERALLOC_SRC_WORKLOADS_SPEC_PREP_H_
+#pragma once
 
 #include <cstdint>
 
@@ -30,5 +29,3 @@ uint64_t SpecPrep(guest::GuestVm* vm, MemoryPool* pool,
                   const SpecPrepConfig& config);
 
 }  // namespace hyperalloc::workloads
-
-#endif  // HYPERALLOC_SRC_WORKLOADS_SPEC_PREP_H_

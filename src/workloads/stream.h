@@ -5,8 +5,7 @@
 // is obtained by integrating the thread's bandwidth timeline (reduced by
 // reclamation traffic) and dividing by the thread's vCPU availability
 // (reduced by driver kthreads and shootdown IPIs).
-#ifndef HYPERALLOC_SRC_WORKLOADS_STREAM_H_
-#define HYPERALLOC_SRC_WORKLOADS_STREAM_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -62,5 +61,3 @@ class StreamWorkload {
 };
 
 }  // namespace hyperalloc::workloads
-
-#endif  // HYPERALLOC_SRC_WORKLOADS_STREAM_H_

@@ -3,6 +3,11 @@
 // operate on the shared state concurrently — the property the paper's
 // whole design rests on ("all operations are implemented by atomic memory
 // transactions", §3).
+//
+// The model-check oracles (src/check/invariants.h) are reused here at
+// quiescent points: they are build-agnostic, so the same invariants that
+// gate every interleaving in tests/model_check_test.cc also gate the
+// end state of each real-thread stress run.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -11,12 +16,25 @@
 #include <vector>
 
 #include "src/base/rng.h"
+#include "src/check/invariants.h"
 #include "src/llfree/llfree.h"
 
 namespace hyperalloc::llfree {
 namespace {
 
 constexpr uint64_t kFrames = 32768;  // 128 MiB, 64 areas, 8 trees
+
+// The oracles throw check::CheckFailure with the violation message; at
+// quiescence (all worker threads joined) both the step inequalities and
+// the exact cross-level equalities must hold.
+void ExpectInvariantsHold(const SharedState& state, const LLFree& alloc) {
+  try {
+    check::CheckStepInvariants(state);
+    check::CheckQuiescent(alloc);
+  } catch (const check::CheckFailure& failure) {
+    FAIL() << failure.what();
+  }
+}
 
 TEST(LLFreeConcurrent, ParallelAllocFreeNoOverlap) {
   Config config;
@@ -65,12 +83,12 @@ TEST(LLFreeConcurrent, ParallelAllocFreeNoOverlap) {
   EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
       << "the same frame was handed to two threads";
 
-  EXPECT_TRUE(alloc.Validate());
+  ExpectInvariantsHold(state, alloc);
   for (const FrameId f : all) {
     ASSERT_FALSE(alloc.Put(f, 0).has_value());
   }
   EXPECT_EQ(alloc.FreeFrames(), kFrames);
-  EXPECT_TRUE(alloc.Validate());
+  ExpectInvariantsHold(state, alloc);
 }
 
 TEST(LLFreeConcurrent, MixedOrdersUnderContention) {
@@ -111,7 +129,7 @@ TEST(LLFreeConcurrent, MixedOrdersUnderContention) {
     thread.join();
   }
   ASSERT_FALSE(failed);
-  EXPECT_TRUE(alloc.Validate());
+  ExpectInvariantsHold(state, alloc);
 
   uint64_t live_frames = 0;
   for (const auto& frames : owned) {
@@ -201,7 +219,7 @@ TEST(LLFreeConcurrent, GuestVsHypervisorRace) {
   for (HugeId h = 0; h < guest.num_areas(); ++h) {
     guest.ClearEvicted(h);
   }
-  EXPECT_TRUE(guest.Validate());
+  ExpectInvariantsHold(state, guest);
   EXPECT_EQ(guest.FreeFrames(), kFrames);
 }
 
@@ -241,6 +259,7 @@ TEST(LLFreeConcurrent, InstallHandlerRunsOnEvictedAllocation) {
     thread.join();
   }
   EXPECT_GT(installs.load(), 0u);
+  ExpectInvariantsHold(state, guest);
   // Every allocated area must have been installed (no evicted area holds
   // allocations).
   for (HugeId h = 0; h < guest.num_areas(); ++h) {

@@ -1,0 +1,507 @@
+// Model-check scenarios for the lock-free core (src/check harness).
+//
+// This binary links ha_llfree_mc: the LLFree sources recompiled with
+// hyperalloc::Atomic = check::Atomic, so every shared-memory access is a
+// schedule point and the engine can explore thread interleavings
+// systematically. The four core scenarios correspond to the races the
+// HyperAlloc design must survive (paper §3.2/§4.2): concurrent get/put
+// on one tree, put vs the hypervisor's reclaim scan, reservation steal
+// vs drain, and balloon deflate racing guest allocation.
+//
+// Set HYPERALLOC_MC_ITERS to cap the per-scenario execution counts (used
+// by scripts/check.sh for the sanitizer runs); the coverage test skips
+// itself when capped below its target.
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/types.h"
+#include "src/check/invariants.h"
+#include "src/check/scheduler.h"
+#include "src/check/shim.h"
+#include "src/core/reclaim_states.h"
+#include "src/llfree/llfree.h"
+
+namespace hyperalloc::check {
+namespace {
+
+using core::ReclaimState;
+using llfree::Config;
+using llfree::LLFree;
+using llfree::SharedState;
+
+uint64_t ScaledIters(uint64_t def) {
+  if (const char* env = std::getenv("HYPERALLOC_MC_ITERS")) {
+    const uint64_t cap = std::strtoull(env, nullptr, 10);
+    if (cap > 0 && cap < def) {
+      return cap;
+    }
+  }
+  return def;
+}
+
+// Shared context of one execution: the allocator state, a guest and a
+// monitor view, and the oracles. Built fresh per explored schedule.
+struct Ctx {
+  SharedState state;
+  LLFree guest;
+  LLFree monitor;
+  OwnershipOracle owner;
+  core::ReclaimStateArray states;
+  PinModel pins;
+  // Scenario-local counters (model threads are sequentialized, so plain
+  // ints are safe).
+  int reclaimed = 0;
+  int put_ok = 0;
+
+  Ctx(uint64_t frames, const Config& cfg)
+      : state(frames, cfg),
+        guest(&state),
+        monitor(&state),
+        owner(state),
+        states(frames / kFramesPerHuge),
+        pins(frames / kFramesPerHuge) {}
+};
+
+void GetAndHold(const std::shared_ptr<Ctx>& c, unsigned core,
+                unsigned order, AllocType type,
+                std::vector<std::pair<FrameId, unsigned>>* held) {
+  const Result<FrameId> r = c->guest.Get(core, order, type);
+  if (r.ok()) {
+    c->owner.Acquire(*r, order);
+    held->emplace_back(*r, order);
+  }
+}
+
+void PutAll(const std::shared_ptr<Ctx>& c,
+            std::vector<std::pair<FrameId, unsigned>>* held) {
+  for (const auto& [frame, order] : *held) {
+    c->owner.Release(frame, order);
+    Require(!c->guest.Put(frame, order).has_value(),
+            "put of an owned frame failed");
+  }
+  held->clear();
+}
+
+// --------------------------------------------------------------------
+// Scenario 1: two guest threads get/put on a single tree, contending on
+// the same reservation slot, the tree counter, and the bit field.
+// --------------------------------------------------------------------
+Scenario GetPutOneTree() {
+  return [](Execution& exec) {
+    Config cfg;
+    cfg.mode = Config::ReservationMode::kPerCore;
+    cfg.cores = 1;
+    cfg.areas_per_tree = 4;
+    auto c = std::make_shared<Ctx>(2048, cfg);
+    for (int t = 0; t < 2; ++t) {
+      exec.Spawn([c, t] {
+        std::vector<std::pair<FrameId, unsigned>> held;
+        GetAndHold(c, 0, 0, AllocType::kMovable, &held);
+        GetAndHold(c, 0, t == 0 ? 1u : 2u, AllocType::kMovable, &held);
+        PutAll(c, &held);
+      });
+    }
+    exec.OnStep([c] {
+      CheckStepInvariants(c->state);
+      c->owner();
+    });
+    exec.OnEnd([c] {
+      CheckQuiescent(c->guest);
+      Require(c->guest.FreeFrames() == 2048,
+              "frames leaked after all puts");
+    });
+  };
+}
+
+// --------------------------------------------------------------------
+// Scenario 2: a guest put races the monitor's hard-reclaim scan. The
+// scan may only take fully free huge frames, and every R transition it
+// induces must be a legal edge of the Fig. 2 state machine.
+// --------------------------------------------------------------------
+Scenario PutVsReclaimScan() {
+  return [](Execution& exec) {
+    Config cfg;
+    cfg.mode = Config::ReservationMode::kPerType;
+    cfg.areas_per_tree = 2;
+    auto c = std::make_shared<Ctx>(1024, cfg);
+    // Prefill: one base frame pins area 0 as partially used.
+    const Result<FrameId> pre = c->guest.Get(0, 0, AllocType::kMovable);
+    Require(pre.ok(), "prefill get failed");
+    c->owner.Acquire(*pre, 0);
+    auto oracle = std::make_shared<ReclaimTransitionOracle>(&c->states);
+
+    exec.Spawn([c, frame = *pre] {
+      c->owner.Release(frame, 0);
+      Require(!c->guest.Put(frame, 0).has_value(), "put failed");
+      std::vector<std::pair<FrameId, unsigned>> held;
+      GetAndHold(c, 0, 0, AllocType::kMovable, &held);
+      PutAll(c, &held);
+    });
+    exec.Spawn([c] {
+      for (HugeId h = 0; h < c->state.num_areas(); ++h) {
+        if (c->monitor.TryHardReclaim(h, /*allow_reserved=*/true)) {
+          c->states.Set(h, ReclaimState::kHard);
+          ++c->reclaimed;
+        }
+      }
+    });
+    exec.OnStep([c, oracle] {
+      CheckStepInvariants(c->state);
+      c->owner();
+      (*oracle)();
+    });
+    exec.OnEnd([c] {
+      CheckQuiescent(c->guest);
+      Require(c->guest.FreeFrames() ==
+                  1024 - static_cast<uint64_t>(c->reclaimed) *
+                             kFramesPerHuge,
+              "reclaimed-frame accounting drifted");
+    });
+  };
+}
+
+// --------------------------------------------------------------------
+// Scenario 3: the guest's reservation is attacked from two sides at
+// once — a drain (the cache-purge reaction, §3.3) and the monitor
+// stealing parked frames via hard reclaim — while the owner allocates.
+// --------------------------------------------------------------------
+Scenario StealVsDrain() {
+  return [](Execution& exec) {
+    Config cfg;
+    cfg.mode = Config::ReservationMode::kPerType;
+    cfg.areas_per_tree = 2;
+    auto c = std::make_shared<Ctx>(2048, cfg);
+    // Establish an active reservation with a large local counter.
+    const Result<FrameId> pre = c->guest.Get(0, 0, AllocType::kMovable);
+    Require(pre.ok(), "prefill get failed");
+    c->owner.Acquire(*pre, 0);
+
+    exec.Spawn([c, frame = *pre] {
+      std::vector<std::pair<FrameId, unsigned>> held;
+      GetAndHold(c, 0, 0, AllocType::kMovable, &held);
+      c->owner.Release(frame, 0);
+      Require(!c->guest.Put(frame, 0).has_value(), "put failed");
+      PutAll(c, &held);
+    });
+    exec.Spawn([c] { c->guest.DrainReservations(); });
+    exec.Spawn([c] {
+      for (HugeId h = c->state.num_areas(); h-- > 0;) {
+        if (c->monitor.TryHardReclaim(h, /*allow_reserved=*/true)) {
+          ++c->reclaimed;
+        }
+      }
+    });
+    exec.OnStep([c] {
+      CheckStepInvariants(c->state);
+      c->owner();
+    });
+    exec.OnEnd([c] {
+      CheckQuiescent(c->guest);
+      Require(c->guest.FreeFrames() ==
+                  2048 - static_cast<uint64_t>(c->reclaimed) *
+                             kFramesPerHuge,
+              "steal/drain accounting drifted");
+    });
+  };
+}
+
+// --------------------------------------------------------------------
+// Scenario 4: balloon deflate (monitor returns hard-reclaimed frames,
+// H -> S) racing guest allocation of those same frames. The install
+// handshake must pin the backing before the guest's Get returns, and
+// pin counts must never underflow.
+// --------------------------------------------------------------------
+Scenario DeflateVsGuestAlloc() {
+  return [](Execution& exec) {
+    Config cfg;
+    cfg.mode = Config::ReservationMode::kPerType;
+    cfg.areas_per_tree = 2;
+    auto c = std::make_shared<Ctx>(2048, cfg);
+    // Setup (not model-checked): everything installed, then hard-reclaim
+    // areas 1..3 — the inflated balloon.
+    for (HugeId h = 0; h < c->state.num_areas(); ++h) {
+      c->pins.Pin(h);
+    }
+    for (HugeId h = 1; h < c->state.num_areas(); ++h) {
+      Require(c->monitor.TryHardReclaim(h), "setup hard reclaim failed");
+      c->states.Set(h, ReclaimState::kHard);
+      c->pins.Unpin(h);
+    }
+    auto oracle = std::make_shared<ReclaimTransitionOracle>(&c->states);
+    // Raw capture: the handler is stored inside the Ctx itself, so a
+    // shared_ptr capture would be a reference cycle (and a leak).
+    c->guest.SetInstallHandler([ctx = c.get()](HugeId huge) {
+      // Host-side install: back the frame, flip R, clear the hint.
+      ctx->pins.Pin(huge);
+      ctx->states.Set(huge, ReclaimState::kInstalled);
+      Require(ctx->monitor.ClearEvicted(huge),
+              "install: evicted hint already clear");
+    });
+
+    exec.Spawn([c] {  // Monitor: deflate two huge frames.
+      for (HugeId h = 1; h <= 2; ++h) {
+        Require(c->monitor.MarkReturned(h), "deflate return failed");
+        c->states.Set(h, ReclaimState::kSoft);
+      }
+    });
+    exec.Spawn([c] {  // Guest: grab huge frames as they appear.
+      std::vector<HugeId> taken;
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        const Result<FrameId> r =
+            c->guest.Get(0, kHugeOrder, AllocType::kHuge);
+        if (!r.ok()) {
+          continue;
+        }
+        const HugeId huge = FrameToHuge(*r);
+        c->owner.AcquireHuge(huge);
+        // DMA safety: memory handed to the guest must be host-backed.
+        Require(c->pins.IsPinned(huge),
+                "guest allocated an unbacked (unpinned) huge frame");
+        taken.push_back(huge);
+      }
+      for (const HugeId huge : taken) {
+        c->owner.ReleaseHuge(huge);
+        Require(!c->guest.Put(HugeToFrame(huge), kHugeOrder).has_value(),
+                "huge put failed");
+      }
+    });
+    exec.OnStep([c, oracle] {
+      CheckStepInvariants(c->state);
+      c->owner();
+      (*oracle)();
+    });
+    exec.OnEnd([c] { CheckQuiescent(c->guest); });
+  };
+}
+
+RunResult ExploreRandom(const Scenario& scenario, uint64_t iterations,
+                        uint64_t seed = 1) {
+  Options opt;
+  opt.mode = Options::Mode::kRandom;
+  opt.iterations = iterations;
+  opt.seed = seed;
+  return Explore(opt, scenario);
+}
+
+void ExpectClean(const RunResult& r) {
+  EXPECT_FALSE(r.failed) << r.message << " (failing seed "
+                         << r.failing_seed << ")";
+}
+
+TEST(ModelCheckScenarios, GetPutOneTree) {
+  ExpectClean(ExploreRandom(GetPutOneTree(), ScaledIters(1500)));
+}
+
+TEST(ModelCheckScenarios, PutVsReclaimScan) {
+  ExpectClean(ExploreRandom(PutVsReclaimScan(), ScaledIters(1500)));
+}
+
+TEST(ModelCheckScenarios, StealVsDrain) {
+  ExpectClean(ExploreRandom(StealVsDrain(), ScaledIters(1500)));
+}
+
+TEST(ModelCheckScenarios, DeflateVsGuestAlloc) {
+  ExpectClean(ExploreRandom(DeflateVsGuestAlloc(), ScaledIters(1500)));
+}
+
+// Regression for a real race the harness flagged: the multi-word Clear
+// path (orders 7–8) used to check-then-store, letting two racing frees
+// of the same run both succeed and double-credit the counters. Exactly
+// one of two concurrent puts of the same order-7 run may succeed.
+TEST(ModelCheckScenarios, ConcurrentDoubleFreeMultiword) {
+  Scenario scenario = [](Execution& exec) {
+    Config cfg;
+    cfg.mode = Config::ReservationMode::kPerType;
+    cfg.areas_per_tree = 1;
+    auto c = std::make_shared<Ctx>(512, cfg);
+    const Result<FrameId> pre = c->guest.Get(0, 7, AllocType::kMovable);
+    Require(pre.ok(), "prefill order-7 get failed");
+    for (int t = 0; t < 2; ++t) {
+      exec.Spawn([c, frame = *pre] {
+        if (!c->guest.Put(frame, 7).has_value()) {
+          ++c->put_ok;
+        }
+      });
+    }
+    exec.OnStep([c] { CheckStepInvariants(c->state); });
+    exec.OnEnd([c] {
+      Require(c->put_ok == 1, "double free: both concurrent puts of the "
+                              "same order-7 run succeeded");
+      CheckQuiescent(c->guest);
+    });
+  };
+  ExpectClean(ExploreRandom(scenario, ScaledIters(1000)));
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult r = Explore(opt, scenario);
+  ExpectClean(r);
+  EXPECT_TRUE(r.complete) << "exhaustive exploration was time-boxed";
+}
+
+// --------------------------------------------------------------------
+// Mutant detection: a deliberately broken load/check/store decrement
+// (the bug a relaxed CAS-free counter update would have). The harness
+// must find the lost-update interleaving in both modes.
+// --------------------------------------------------------------------
+struct BrokenCounter {
+  Atomic<int> tickets{1};
+  int taken = 0;
+};
+
+Scenario BrokenDecrement() {
+  return [](Execution& exec) {
+    auto c = std::make_shared<BrokenCounter>();
+    for (int t = 0; t < 2; ++t) {
+      exec.Spawn([c] {
+        const int v = c->tickets.load(std::memory_order_acquire);
+        if (v > 0) {
+          // BUG (deliberate): not a CAS — another thread can take the
+          // same ticket between the load and the store.
+          c->tickets.store(v - 1, std::memory_order_release);
+          ++c->taken;
+        }
+      });
+    }
+    exec.OnEnd([c] {
+      Require(c->taken <= 1, "lost update: the single ticket was taken " +
+                                 std::to_string(c->taken) + " times");
+    });
+  };
+}
+
+TEST(ModelCheckMutant, RandomWalkFindsLostUpdate) {
+  const RunResult r = ExploreRandom(BrokenDecrement(), 2000);
+  ASSERT_TRUE(r.failed)
+      << "random exploration missed the seeded lost-update mutant";
+  EXPECT_NE(r.message.find("lost update"), std::string::npos) << r.message;
+}
+
+TEST(ModelCheckMutant, ExhaustiveFindsLostUpdate) {
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult r = Explore(opt, BrokenDecrement());
+  ASSERT_TRUE(r.failed)
+      << "exhaustive exploration missed the seeded lost-update mutant";
+  EXPECT_NE(r.message.find("lost update"), std::string::npos) << r.message;
+}
+
+// The fixed version of the same counter must survive *complete*
+// exhaustive exploration — demonstrating the completeness flag.
+TEST(ModelCheckMutant, FixedCounterSurvivesExhaustively) {
+  Scenario fixed = [](Execution& exec) {
+    auto c = std::make_shared<BrokenCounter>();
+    for (int t = 0; t < 2; ++t) {
+      exec.Spawn([c] {
+        int v = c->tickets.load(std::memory_order_acquire);
+        while (v > 0 &&
+               !c->tickets.compare_exchange_weak(
+                   v, v - 1, std::memory_order_acq_rel,
+                   std::memory_order_acquire)) {
+        }
+        if (v > 0) {
+          ++c->taken;
+        }
+      });
+    }
+    exec.OnEnd([c] {
+      Require(c->taken == 1, "ticket taken " + std::to_string(c->taken) +
+                                 " times (expected exactly once)");
+    });
+  };
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult r = Explore(opt, fixed);
+  ExpectClean(r);
+  EXPECT_TRUE(r.complete);
+  EXPECT_GE(r.executions, 6u);  // at least the distinct 2x2-op orders
+}
+
+// --------------------------------------------------------------------
+// Determinism: replaying a recorded failing seed reproduces the exact
+// same schedule (trace) and the same failure, twice in a row.
+// --------------------------------------------------------------------
+TEST(ModelCheckDeterminism, FailingSeedReplaysIdentically) {
+  Options opt;
+  opt.iterations = 2000;
+  const RunResult first = Explore(opt, BrokenDecrement());
+  ASSERT_TRUE(first.failed);
+
+  const RunResult r1 = ReplaySeed(opt, first.failing_seed, BrokenDecrement());
+  const RunResult r2 = ReplaySeed(opt, first.failing_seed, BrokenDecrement());
+  ASSERT_TRUE(r1.failed);
+  ASSERT_TRUE(r2.failed);
+  EXPECT_EQ(r1.trace, first.trace);
+  EXPECT_EQ(r1.trace, r2.trace);
+  EXPECT_EQ(r1.message, first.message);
+  EXPECT_EQ(r2.message, first.message);
+}
+
+TEST(ModelCheckDeterminism, FailingTraceReplays) {
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult found = Explore(opt, BrokenDecrement());
+  ASSERT_TRUE(found.failed);
+
+  const RunResult replay = ReplayTrace(opt, found.trace, BrokenDecrement());
+  ASSERT_TRUE(replay.failed);
+  EXPECT_EQ(replay.message, found.message);
+  EXPECT_EQ(replay.trace, found.trace);
+}
+
+// A failing LLFree-state seed also replays identically: re-check the
+// double-free regression scenario with a *broken* oracle expectation to
+// manufacture a failure, then replay it.
+TEST(ModelCheckDeterminism, ScenarioSeedReplaysIdentically) {
+  // An oracle that trips as soon as any put succeeds gives us a failing
+  // schedule on real allocator state.
+  Scenario tripwire = [](Execution& exec) {
+    Config cfg;
+    cfg.mode = Config::ReservationMode::kPerType;
+    cfg.areas_per_tree = 1;
+    auto c = std::make_shared<Ctx>(512, cfg);
+    const Result<FrameId> pre = c->guest.Get(0, 0, AllocType::kMovable);
+    Require(pre.ok(), "prefill get failed");
+    exec.Spawn([c, frame = *pre] {
+      (void)c->guest.Put(frame, 0);
+      ++c->put_ok;
+    });
+    exec.Spawn([c] { (void)c->guest.Get(0, 0, AllocType::kMovable); });
+    exec.OnStep([c] { Require(c->put_ok == 0, "tripwire"); });
+  };
+  Options opt;
+  opt.iterations = 100;
+  const RunResult first = Explore(opt, tripwire);
+  ASSERT_TRUE(first.failed);
+  const RunResult replay = ReplaySeed(opt, first.failing_seed, tripwire);
+  ASSERT_TRUE(replay.failed);
+  EXPECT_EQ(replay.trace, first.trace);
+  EXPECT_EQ(replay.message, first.message);
+}
+
+// --------------------------------------------------------------------
+// Coverage: the four core scenarios together must explore >= 10k
+// interleavings with the invariant oracle enabled.
+// --------------------------------------------------------------------
+TEST(ModelCheckCoverage, ExploresTenThousandInterleavings) {
+  if (ScaledIters(2500) < 2500) {
+    GTEST_SKIP() << "HYPERALLOC_MC_ITERS caps exploration below the "
+                    "coverage target";
+  }
+  uint64_t total = 0;
+  for (const Scenario& s :
+       {GetPutOneTree(), PutVsReclaimScan(), StealVsDrain(),
+        DeflateVsGuestAlloc()}) {
+    const RunResult r = ExploreRandom(s, 2500, /*seed=*/77);
+    ExpectClean(r);
+    total += r.executions;
+  }
+  EXPECT_GE(total, 10000u);
+}
+
+}  // namespace
+}  // namespace hyperalloc::check
