@@ -175,7 +175,7 @@ int Main() {
 
     auto set_limit = [&](uint64_t bytes) {
       bool done = false;
-      monitor.RequestLimit(bytes, [&] { done = true; });
+      monitor.Request({.target_bytes = bytes, .done = [&] { done = true; }});
       while (!done) {
         sim.Step();
       }

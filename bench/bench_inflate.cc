@@ -81,10 +81,11 @@ void PrintMatrix() {
   };
   for (const Row& row : rows) {
     Setup setup = MakeSetup(row.candidate, {.memory_bytes = 4 * kGiB});
+    const hv::DeflatorCaps caps = setup.deflator->caps();
     std::printf("%-22s %-12s %-7s %-6s %-9s\n", Name(row.candidate),
-                FormatBytes(setup.deflator->granularity_bytes()).c_str(),
+                FormatBytes(caps.granularity_bytes).c_str(),
                 row.manual ? "yes" : "no", row.auto_mode ? "yes" : "no",
-                setup.deflator->dma_safe() ? "yes" : "no");
+                caps.dma_safe ? "yes" : "no");
   }
   std::printf("(VProbe omitted: implementation unavailable, as in the "
               "paper)\n\n");

@@ -1,0 +1,313 @@
+// Machine-readable performance runner for the paths this repo's perf
+// trajectory tracks: LLFree get/put, the sharded host frame pool, and
+// the threaded multi-VM experiment. Emits one JSON document
+// (default BENCH_PR3.json; schema checked by scripts/check_bench_json.py)
+// so runs are comparable across commits.
+//
+//   --smoke       small sizes for CI (seconds, not minutes)
+//   --out=PATH    output path (default BENCH_PR3.json)
+//   --threads=N   host threads for the pool and multi-VM benches
+//                 (default 4; the multi-VM determinism check always also
+//                 runs single-threaded and compares series)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/multivm_harness.h"
+#include "src/llfree/llfree.h"
+
+namespace hyperalloc::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct OpsResult {
+  uint64_t ops = 0;
+  double wall_ms = 0.0;
+  double ops_per_sec = 0.0;
+
+  void Finish(Clock::time_point start) {
+    wall_ms = MsSince(start);
+    ops_per_sec = wall_ms > 0.0 ? static_cast<double>(ops) / wall_ms * 1e3
+                                : 0.0;
+  }
+};
+
+// Single-threaded LLFree get/put throughput: batches of base-frame and
+// huge-frame allocations, freed in order (the allocator hot path every
+// guest operation rides on).
+OpsResult BenchLLFreeAllocFree(bool smoke) {
+  const uint64_t frames = 1ull << (smoke ? 16 : 20);
+  llfree::Config config;
+  config.cores = 4;
+  llfree::SharedState state(frames, config);
+  llfree::LLFree alloc(&state);
+
+  const int rounds = smoke ? 200 : 4000;
+  constexpr int kBatch = 512;
+  std::vector<FrameId> held;
+  held.reserve(kBatch);
+
+  OpsResult result;
+  const Clock::time_point start = Clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    const unsigned core = static_cast<unsigned>(round % 4);
+    const unsigned order = round % 8 == 0 ? kHugeOrder : 0;
+    for (int i = 0; i < kBatch; ++i) {
+      const Result<FrameId> r = alloc.Get(core, order, AllocType::kMovable);
+      if (!r.ok()) {
+        break;
+      }
+      held.push_back(*r);
+    }
+    for (const FrameId frame : held) {
+      alloc.Put(frame, order);
+    }
+    result.ops += 2 * held.size();
+    held.clear();
+  }
+  result.Finish(start);
+  return result;
+}
+
+// Multi-threaded TryReserve/Release storm on one pool. Mixed batch sizes
+// exercise the shard fast path, the batched global refill/drain, and —
+// because the pool is sized near the demand — the cross-shard
+// rebalancer. The quiescent invariant (credits == total - used, used ==
+// 0) is validated after the threads join.
+OpsResult BenchHostPool(unsigned threads, bool smoke, bool* invariant_ok,
+                        uint64_t* refills, uint64_t* drains,
+                        uint64_t* rebalances) {
+  // 32 MiB worth of frames — smaller than even one thread's outstanding
+  // window (64 batches averaging 256 frames), so admission runs at the
+  // capacity limit where it has to raid other shards' credits (the
+  // rebalancer path) and reservations legitimately fail, however the OS
+  // schedules the threads.
+  hv::HostMemory pool(1ull << 13);
+  const int iters = smoke ? 40000 : 800000;
+
+  auto worker = [&pool, iters](uint64_t* ops) {
+    std::vector<uint64_t> outstanding;
+    outstanding.reserve(64);
+    uint64_t local_ops = 0;
+    for (int i = 0; i < iters; ++i) {
+      const uint64_t batch = static_cast<uint64_t>(i % 7 + 1) * 64;
+      if (outstanding.size() < 64 && pool.TryReserve(batch)) {
+        outstanding.push_back(batch);
+      } else if (!outstanding.empty()) {
+        pool.Release(outstanding.back());
+        outstanding.pop_back();
+      }
+      ++local_ops;
+    }
+    for (const uint64_t batch : outstanding) {
+      pool.Release(batch);
+    }
+    *ops = local_ops;
+  };
+
+  std::vector<uint64_t> ops(threads, 0);
+  OpsResult result;
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> pool_threads;
+  pool_threads.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool_threads.emplace_back(worker, &ops[t]);
+  }
+  for (std::thread& t : pool_threads) {
+    t.join();
+  }
+  for (const uint64_t n : ops) {
+    result.ops += n;
+  }
+  result.Finish(start);
+  *invariant_ok = pool.used_frames() == 0 &&
+                  pool.DebugFreeCredits() == pool.total_frames();
+  *refills = pool.refills();
+  *drains = pool.drains();
+  *rebalances = pool.rebalances();
+  return result;
+}
+
+MultiVmConfig MultiVmBenchConfig(bool smoke, unsigned threads) {
+  MultiVmConfig config;
+  config.vms = 8;
+  config.threads = threads;
+  config.candidate = Candidate::kHyperAlloc;
+  config.offset = true;
+  config.builds_per_vm = 1;
+  config.gap = sim::kMin;
+  config.offset_step = 30 * sim::kSec;
+  config.vm_bytes = kGiB;
+  config.host_slack_bytes = 2 * kGiB;
+  config.compile.seed = 100;
+  config.compile.workers = 4;
+  config.compile.compile_units = smoke ? 12 : 120;
+  config.compile.link_jobs = 2;
+  config.compile.max_parallel_links = 1;
+  config.compile.unit_ws_min = 8 * kMiB;
+  config.compile.unit_ws_max = 32 * kMiB;
+  config.compile.link_ws_min = 64 * kMiB;
+  config.compile.link_ws_max = 96 * kMiB;
+  config.compile.cache_read_per_unit = kMiB;
+  config.compile.artifact_per_unit = kMiB;
+  config.compile.slab_per_job = kMiB;
+  return config;
+}
+
+struct MultiVmBench {
+  int vms = 0;
+  unsigned threads = 0;
+  double wall_ms_single = 0.0;
+  double wall_ms_parallel = 0.0;
+  bool deterministic = false;
+  double footprint_gib_min = 0.0;
+  double peak_gib = 0.0;
+};
+
+MultiVmBench BenchMultiVm(bool smoke, unsigned threads) {
+  MultiVmConfig config = MultiVmBenchConfig(smoke, 1);
+  const MultiVmResult single = RunMultiVm(config);
+  config.threads = threads;
+  const MultiVmResult parallel = RunMultiVm(config);
+
+  MultiVmBench result;
+  result.vms = config.vms;
+  result.threads = threads;
+  result.wall_ms_single = single.wall_ms;
+  result.wall_ms_parallel = parallel.wall_ms;
+  result.footprint_gib_min = single.footprint_gib_min;
+  result.peak_gib = single.peak_gib;
+  result.deterministic =
+      single.per_vm_rss.size() == parallel.per_vm_rss.size();
+  for (size_t i = 0; result.deterministic && i < single.per_vm_rss.size();
+       ++i) {
+    result.deterministic =
+        SeriesEqual(single.per_vm_rss[i], parallel.per_vm_rss[i]);
+  }
+  return result;
+}
+
+std::string Num(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  return buffer;
+}
+
+std::string Num(uint64_t value) {
+  return std::to_string(value);
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_PR3.json";
+  unsigned threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    }
+  }
+  if (threads == 0) {
+    threads = 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::fprintf(stderr, "[1/3] llfree_alloc_free...\n");
+  const OpsResult llfree_result = BenchLLFreeAllocFree(smoke);
+
+  std::fprintf(stderr, "[2/3] host_reserve_release (%u threads)...\n",
+               threads);
+  bool invariant_ok = false;
+  uint64_t refills = 0;
+  uint64_t drains = 0;
+  uint64_t rebalances = 0;
+  const OpsResult pool_result = BenchHostPool(
+      threads, smoke, &invariant_ok, &refills, &drains, &rebalances);
+
+  std::fprintf(stderr, "[3/3] multivm (8 VMs, 1 vs %u threads)...\n",
+               threads);
+  const MultiVmBench multivm = BenchMultiVm(smoke, threads);
+
+  std::string json;
+  json += "{\n";
+  json += "  \"schema\": \"hyperalloc-bench-v1\",\n";
+  json += "  \"pr\": \"PR3\",\n";
+  json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
+  json += "  \"hardware_concurrency\": " + Num(uint64_t{hw}) + ",\n";
+  json += "  \"note\": \"virtual-time results are deterministic; wall-clock"
+          " numbers depend on the host (a single-core host serializes the"
+          " multi-VM workers, so parallel wall time only drops with >1"
+          " cores)\",\n";
+  json += "  \"benches\": {\n";
+  json += "    \"llfree_alloc_free\": {\n";
+  json += "      \"ops\": " + Num(llfree_result.ops) + ",\n";
+  json += "      \"wall_ms\": " + Num(llfree_result.wall_ms) + ",\n";
+  json += "      \"ops_per_sec\": " + Num(llfree_result.ops_per_sec) + "\n";
+  json += "    },\n";
+  json += "    \"host_reserve_release\": {\n";
+  json += "      \"threads\": " + Num(uint64_t{threads}) + ",\n";
+  json += "      \"ops\": " + Num(pool_result.ops) + ",\n";
+  json += "      \"wall_ms\": " + Num(pool_result.wall_ms) + ",\n";
+  json += "      \"ops_per_sec\": " + Num(pool_result.ops_per_sec) + ",\n";
+  json += "      \"invariant_ok\": " +
+          std::string(invariant_ok ? "true" : "false") + ",\n";
+  json += "      \"refills\": " + Num(refills) + ",\n";
+  json += "      \"drains\": " + Num(drains) + ",\n";
+  json += "      \"rebalances\": " + Num(rebalances) + "\n";
+  json += "    },\n";
+  json += "    \"multivm\": {\n";
+  json += "      \"vms\": " + Num(uint64_t{static_cast<uint64_t>(
+                                  multivm.vms)}) + ",\n";
+  json += "      \"threads\": " + Num(uint64_t{multivm.threads}) + ",\n";
+  json += "      \"wall_ms_single\": " + Num(multivm.wall_ms_single) + ",\n";
+  json += "      \"wall_ms_parallel\": " + Num(multivm.wall_ms_parallel) +
+          ",\n";
+  json += "      \"deterministic\": " +
+          std::string(multivm.deterministic ? "true" : "false") + ",\n";
+  json += "      \"footprint_gib_min\": " + Num(multivm.footprint_gib_min) +
+          ",\n";
+  json += "      \"peak_gib\": " + Num(multivm.peak_gib) + "\n";
+  json += "    }\n";
+  json += "  }\n";
+  json += "}\n";
+
+  std::FILE* file = std::fopen(out.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  std::printf("%s", json.c_str());
+  std::fprintf(stderr, "wrote %s\n", out.c_str());
+
+  // The runner doubles as a correctness gate: a non-deterministic
+  // multi-VM run or a pool imbalance is a regression, not a slow run.
+  if (!invariant_ok || !multivm.deterministic) {
+    std::fprintf(stderr, "FAILED: %s%s\n",
+                 invariant_ok ? "" : "pool invariant violated ",
+                 multivm.deterministic ? "" : "multivm non-deterministic");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hyperalloc::bench
+
+int main(int argc, char** argv) {
+  return hyperalloc::bench::Main(argc, argv);
+}

@@ -54,7 +54,7 @@ sim::Time Setup::SetLimit(uint64_t bytes) {
   HA_CHECK(deflator != nullptr);
   const sim::Time start = sim->now();
   bool done = false;
-  deflator->RequestLimit(bytes, [&] { done = true; });
+  deflator->Request({.target_bytes = bytes, .done = [&] { done = true; }});
   while (!done) {
     HA_CHECK(sim->Step());
   }

@@ -1,0 +1,255 @@
+// Threaded multi-VM harness (§5.6 scaling): N guest VMs, each with its
+// own virtual-time simulation, share one sharded host frame pool and run
+// a staggered compile schedule on a configurable number of host threads.
+//
+// Determinism contract: a VM's event stream depends only on its own
+// simulation plus the *boolean* outcomes of HostMemory::TryReserve. The
+// harness provisions the pool so that admission never fails
+// (vms x vm_bytes + slack), which makes every per-VM time series
+// byte-identical no matter how many host threads drive the simulations —
+// `threads=1` and `threads=8` produce the same CSVs, only the wall clock
+// changes. The aggregate footprint is therefore computed by merging the
+// per-VM series on the virtual clock (deterministic), not by sampling
+// the pool under real-time interleaving (which is not).
+#ifndef HYPERALLOC_BENCH_MULTIVM_HARNESS_H_
+#define HYPERALLOC_BENCH_MULTIVM_HARNESS_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/candidates.h"
+#include "src/metrics/timeseries.h"
+#include "src/workloads/compile.h"
+#include "src/workloads/interference_hub.h"
+#include "src/workloads/memory_pool.h"
+
+namespace hyperalloc::bench {
+
+struct MultiVmConfig {
+  int vms = 3;
+  // Host threads driving the per-VM simulations. 0 = one per VM.
+  unsigned threads = 1;
+  Candidate candidate = Candidate::kHyperAlloc;
+  bool offset = false;  // stagger build starts by `offset_step` per VM
+  sim::Time gap = 35 * sim::kMin;
+  sim::Time offset_step = 12 * sim::kMin;
+  int builds_per_vm = 3;
+  uint64_t vm_bytes = 16 * kGiB;
+  // Pool beyond vms x vm_bytes; keeps TryReserve always-admitting, which
+  // the determinism contract above depends on.
+  uint64_t host_slack_bytes = 16 * kGiB;
+  sim::Time sample_period = sim::kSec;
+  // Per-build template; build i of every VM runs with seed
+  // `compile.seed + i` (VMs are identical tenants, as in Fig. 11).
+  workloads::CompileConfig compile;
+};
+
+struct MultiVmResult {
+  // Per-VM RSS in GiB, sampled every `sample_period` of the VM's own
+  // virtual clock. Identical across `threads` settings.
+  std::vector<metrics::TimeSeries> per_vm_rss;
+  // Sum across VMs on the common sample grid (finished VMs extend with
+  // their last value — an idle VM still holds its memory).
+  metrics::TimeSeries merged;
+  double footprint_gib_min = 0.0;  // integral of `merged`
+  double peak_gib = 0.0;           // max of `merged` (virtual-time aligned)
+  // Real pool high-water mark. Depends on the host-thread interleaving
+  // (reported for the pool's sake, not for cross-run comparison).
+  uint64_t pool_peak_frames = 0;
+  double wall_ms = 0.0;
+};
+
+// Sums sample index k across all series; series that ended keep
+// contributing their last value.
+inline metrics::TimeSeries MergeSum(
+    const std::vector<metrics::TimeSeries>& series, sim::Time period) {
+  metrics::TimeSeries merged;
+  size_t longest = 0;
+  for (const metrics::TimeSeries& s : series) {
+    longest = std::max(longest, s.points().size());
+  }
+  for (size_t k = 0; k < longest; ++k) {
+    double sum = 0.0;
+    for (const metrics::TimeSeries& s : series) {
+      if (s.empty()) {
+        continue;
+      }
+      sum += k < s.points().size() ? s.points()[k].value
+                                   : s.points().back().value;
+    }
+    merged.Sample(static_cast<sim::Time>(k) * period, sum);
+  }
+  return merged;
+}
+
+inline bool SeriesEqual(const metrics::TimeSeries& a,
+                        const metrics::TimeSeries& b) {
+  if (a.points().size() != b.points().size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.points().size(); ++i) {
+    if (a.points()[i].at != b.points()[i].at ||
+        a.points()[i].value != b.points()[i].value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace internal {
+
+// One VM's world: a private simulation plus everything that lives in it.
+// Constructed on the caller's thread; Run() is called from exactly one
+// worker thread. The only cross-world state is the shared HostMemory.
+struct VmWorld {
+  MultiVmConfig config;
+  int index = 0;
+  sim::Simulation sim;
+  VmBundle bundle;
+  std::unique_ptr<workloads::MemoryPool> pool;
+  std::unique_ptr<sim::VcpuSet> vcpus;
+  std::unique_ptr<workloads::InterferenceHub> hub;
+  std::unique_ptr<workloads::CompileWorkload> compile;
+  metrics::TimeSeries rss_gib;
+  int builds_done = 0;
+  bool finished = false;
+
+  void Init(hv::HostMemory* host, const MultiVmConfig& cfg, int i) {
+    config = cfg;
+    index = i;
+    SetupOptions options;
+    options.memory_bytes = cfg.vm_bytes;
+    options.balloon.reporting_order = kHugeOrder;  // kernel default o=9
+    bundle = MakeVmBundle(&sim, host, cfg.candidate, options,
+                          "vm" + std::to_string(i));
+    pool = std::make_unique<workloads::MemoryPool>(bundle.vm.get());
+    pool->DisableMigrationTracking();
+    vcpus = std::make_unique<sim::VcpuSet>(12);
+    hub = std::make_unique<workloads::InterferenceHub>(
+        vcpus.get(), std::vector<sim::CapacityTimeline*>{});
+    bundle.vm->SetInterferenceSink(hub.get());
+    if (bundle.deflator != nullptr) {
+      bundle.deflator->StartAuto();
+    } else {
+      bundle.vm->Touch(0, bundle.vm->total_frames());
+    }
+  }
+
+  void StartBuild(int build) {
+    workloads::CompileConfig cc = config.compile;
+    cc.seed = config.compile.seed + static_cast<uint64_t>(build);
+    compile = std::make_unique<workloads::CompileWorkload>(
+        bundle.vm.get(), pool.get(), vcpus.get(), cc);
+    compile->Start([this] {
+      compile->MakeClean();  // artifacts are rebuilt next time
+      if (++builds_done >= config.builds_per_vm) {
+        finished = true;
+        return;
+      }
+      sim.After(config.gap, [this] { StartBuild(builds_done); });
+    });
+  }
+
+  void Run() {
+    // 1 Hz RSS sampling on this VM's virtual clock, as the paper samples
+    // each QEMU process.
+    std::function<void()> tick = [this, &tick] {
+      if (finished) {
+        return;
+      }
+      rss_gib.Sample(sim.now(), static_cast<double>(bundle.vm->rss_bytes()) /
+                                    static_cast<double>(kGiB));
+      sim.After(config.sample_period, tick);
+    };
+    tick();
+    const sim::Time start = sim.now();
+    const sim::Time at =
+        start + (config.offset ? static_cast<sim::Time>(index) *
+                                     config.offset_step
+                               : 0);
+    sim.At(at, [this] { StartBuild(0); });
+    while (!finished) {
+      HA_CHECK(sim.Step());
+    }
+  }
+};
+
+}  // namespace internal
+
+inline MultiVmResult RunMultiVm(const MultiVmConfig& config) {
+  auto host = std::make_unique<hv::HostMemory>(FramesForBytes(
+      static_cast<uint64_t>(config.vms) * config.vm_bytes +
+      config.host_slack_bytes));
+
+  // Worlds are built sequentially on this thread (pre-populating
+  // candidates charge the pool during construction) and then handed to
+  // the workers; std::thread creation/join provides the ordering.
+  std::vector<std::unique_ptr<internal::VmWorld>> worlds;
+  worlds.reserve(static_cast<size_t>(config.vms));
+  for (int i = 0; i < config.vms; ++i) {
+    auto world = std::make_unique<internal::VmWorld>();
+    world->Init(host.get(), config, i);
+    worlds.push_back(std::move(world));
+  }
+
+  unsigned threads = config.threads == 0
+                         ? static_cast<unsigned>(config.vms)
+                         : config.threads;
+  threads = std::min(threads, static_cast<unsigned>(config.vms));
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::atomic<int> next{0};
+  auto worker = [&worlds, &next] {
+    for (int i = next.fetch_add(1, std::memory_order_relaxed);
+         i < static_cast<int>(worlds.size());
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      worlds[static_cast<size_t>(i)]->Run();
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) {
+    workers.emplace_back(worker);
+  }
+  worker();
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  MultiVmResult result;
+  result.per_vm_rss.reserve(worlds.size());
+  for (const auto& world : worlds) {
+    result.per_vm_rss.push_back(world->rss_gib);
+  }
+  result.merged = MergeSum(result.per_vm_rss, config.sample_period);
+  result.footprint_gib_min = result.merged.IntegralPerMinute();
+  result.peak_gib = result.merged.Max();
+  result.pool_peak_frames = host->peak_frames();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start)
+          .count();
+  return result;
+}
+
+// Writes bench_out/multivm_<tag>_vm<i>.csv plus the merged series.
+inline void WriteMultiVmCsvs(const MultiVmResult& result,
+                             const std::string& tag) {
+  for (size_t i = 0; i < result.per_vm_rss.size(); ++i) {
+    result.per_vm_rss[i].WriteCsv(std::string("bench_out/multivm_") + tag +
+                                      "_vm" + std::to_string(i) + ".csv",
+                                  "vm_rss_gib");
+  }
+  result.merged.WriteCsv(std::string("bench_out/multivm_") + tag + ".csv",
+                         "host_used_gib");
+}
+
+}  // namespace hyperalloc::bench
+
+#endif  // HYPERALLOC_BENCH_MULTIVM_HARNESS_H_

@@ -32,10 +32,12 @@ inline void ScheduleResize(Setup* setup, sim::Time start) {
   }
   hv::Deflator* deflator = setup->deflator.get();
   const uint64_t full = setup->vm->config().memory_bytes;
-  setup->sim->At(start + kShrinkAt,
-                 [deflator] { deflator->RequestLimit(kResizeTarget, {}); });
-  setup->sim->At(start + kGrowAt,
-                 [deflator, full] { deflator->RequestLimit(full, {}); });
+  setup->sim->At(start + kShrinkAt, [deflator] {
+    deflator->Request({.target_bytes = kResizeTarget, .done = {}});
+  });
+  setup->sim->At(start + kGrowAt, [deflator, full] {
+    deflator->Request({.target_bytes = full, .done = {}});
+  });
 }
 
 }  // namespace hyperalloc::bench

@@ -104,8 +104,8 @@ void VirtioMemCase() {
               vm.DmaWrite(*buffer, kFramesPerHuge) ? "OK" : "FAILED");
 
   bool done = false;
-  vmem_dev.RequestLimit(vm.config().memory_bytes - 512 * kMiB,
-                        [&] { done = true; });
+  vmem_dev.Request({.target_bytes = vm.config().memory_bytes - 512 * kMiB,
+                    .done = [&] { done = true; }});
   while (!done) {
     sim.Step();
   }

@@ -74,14 +74,14 @@ int main() {
   // Shrink the hard limit to 512 MiB (the memory is gone for the guest)
   // and grow it back (lazily; installs happen on future allocations).
   bool done = false;
-  monitor.RequestLimit(512 * kMiB, [&] { done = true; });
+  monitor.Request({.target_bytes = 512 * kMiB, .done = [&] { done = true; }});
   while (!done) {
     sim.Step();
   }
   Show("hard limit shrunk to 512 MiB", vm, monitor);
 
   done = false;
-  monitor.RequestLimit(2 * kGiB, [&] { done = true; });
+  monitor.Request({.target_bytes = 2 * kGiB, .done = [&] { done = true; }});
   while (!done) {
     sim.Step();
   }

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Performance snapshot: builds the default preset, runs bench_runner, and
+# validates the emitted JSON against the hyperalloc-bench-v1 schema.
+#
+#   scripts/bench.sh              full run, writes BENCH_PR3.json
+#   scripts/bench.sh --smoke      CI-sized run (seconds), same schema
+#
+# Extra flags are passed through to bench_runner (e.g. --threads=8,
+# --out=PATH). The JSON at the repo root is the committed perf baseline;
+# compare against it before and after a perf-relevant change.
+set -e
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_PR3.json
+for arg in "$@"; do
+  case "$arg" in
+    --out=*) OUT="${arg#--out=}" ;;
+  esac
+done
+
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc)" >/dev/null
+
+./build/bench/bench_runner "$@"
+
+python3 scripts/check_bench_json.py "$OUT"
+echo "bench OK: $OUT"

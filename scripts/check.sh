@@ -4,9 +4,10 @@
 #   2. static gates (scripts/lint.sh),
 #   3. full ctest under ASan+UBSan (asan-ubsan preset, no recovery),
 #   4. ThreadSanitizer on the lock-free paths (tsan preset): the LLFree
-#      concurrent stress test, the trace-layer counter/ring tests, and a
-#      capped model-check run (the model checker is deterministic, so a
-#      small TSan run only needs to cover the harness machinery itself).
+#      concurrent stress test, the sharded host frame pool stress test,
+#      the trace-layer counter/ring tests, and a capped model-check run
+#      (the model checker is deterministic, so a small TSan run only
+#      needs to cover the harness machinery itself).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -26,8 +27,10 @@ ctest --preset asan-ubsan -j "$(nproc)"
 echo "== tsan: lock-free paths (preset: tsan) =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j \
-  --target llfree_concurrent_test trace_test model_check_test
+  --target llfree_concurrent_test host_memory_test trace_test \
+  model_check_test
 ./build-tsan/tests/llfree_concurrent_test
+./build-tsan/tests/host_memory_test
 ./build-tsan/tests/trace_test
 HYPERALLOC_MC_ITERS=50 ./build-tsan/tests/model_check_test
 

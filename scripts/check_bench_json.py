@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Validates a bench_runner JSON document (hyperalloc-bench-v1 schema).
+
+Stdlib-only on purpose: runs in CI containers with no extra packages.
+Checks structure and types, plus the semantic gates the runner itself
+enforces (pool invariant, multi-VM determinism).
+"""
+import json
+import numbers
+import sys
+
+
+def fail(message):
+    print(f"check_bench_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(doc, key, kind, ctx):
+    if key not in doc:
+        fail(f"{ctx}: missing key '{key}'")
+    value = doc[key]
+    if kind is numbers.Real:
+        ok = isinstance(value, numbers.Real) and not isinstance(value, bool)
+    else:
+        ok = isinstance(value, kind)
+    if not ok:
+        fail(f"{ctx}.{key}: expected {kind}, got {type(value).__name__}")
+    return value
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_json.py BENCH.json")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    if require(doc, "schema", str, "$") != "hyperalloc-bench-v1":
+        fail(f"unknown schema '{doc['schema']}'")
+    require(doc, "pr", str, "$")
+    require(doc, "smoke", bool, "$")
+    require(doc, "hardware_concurrency", numbers.Real, "$")
+    benches = require(doc, "benches", dict, "$")
+
+    llfree = require(benches, "llfree_alloc_free", dict, "benches")
+    for key in ("ops", "wall_ms", "ops_per_sec"):
+        require(llfree, key, numbers.Real, "llfree_alloc_free")
+    if llfree["ops"] <= 0 or llfree["ops_per_sec"] <= 0:
+        fail("llfree_alloc_free: no work recorded")
+
+    pool = require(benches, "host_reserve_release", dict, "benches")
+    for key in ("threads", "ops", "wall_ms", "ops_per_sec", "refills",
+                "drains", "rebalances"):
+        require(pool, key, numbers.Real, "host_reserve_release")
+    if not require(pool, "invariant_ok", bool, "host_reserve_release"):
+        fail("host_reserve_release: pool invariant violated")
+    if pool["ops"] <= 0:
+        fail("host_reserve_release: no work recorded")
+
+    multivm = require(benches, "multivm", dict, "benches")
+    for key in ("vms", "threads", "wall_ms_single", "wall_ms_parallel",
+                "footprint_gib_min", "peak_gib"):
+        require(multivm, key, numbers.Real, "multivm")
+    if not require(multivm, "deterministic", bool, "multivm"):
+        fail("multivm: per-VM series differ between thread counts")
+    if multivm["vms"] < 2:
+        fail("multivm: needs at least 2 VMs to mean anything")
+
+    print(f"check_bench_json: OK ({sys.argv[1]})")
+
+
+if __name__ == "__main__":
+    main()

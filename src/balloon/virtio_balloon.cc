@@ -50,14 +50,13 @@ uint64_t VirtioBalloon::limit_bytes() const {
   return vm_->config().memory_bytes - ballooned_bytes();
 }
 
-void VirtioBalloon::RequestLimit(uint64_t bytes,
-                                 std::function<void()> done) {
+void VirtioBalloon::Request(const hv::ResizeRequest& request) {
   HA_CHECK(!busy_);
   busy_ = true;
   const uint64_t total = vm_->config().memory_bytes;
-  HA_CHECK(bytes <= total);
-  const uint64_t target_frames = (total - bytes) / kFrameSize;
-  auto finish = [this, done = std::move(done)] {
+  HA_CHECK(request.target_bytes <= total);
+  const uint64_t target_frames = (total - request.target_bytes) / kFrameSize;
+  auto finish = [this, done = request.done] {
     busy_ = false;
     if (done) {
       done();

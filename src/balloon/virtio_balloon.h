@@ -50,16 +50,14 @@ class VirtioBalloon : public hv::Deflator {
  public:
   VirtioBalloon(guest::GuestVm* vm, const BalloonConfig& config);
 
-  const char* name() const override {
-    return config_.huge ? "virtio-balloon-huge" : "virtio-balloon";
-  }
-  bool dma_safe() const override { return false; }
-  bool supports_auto() const override { return true; }
-  uint64_t granularity_bytes() const override {
-    return config_.huge ? kHugeSize : kFrameSize;
+  hv::DeflatorCaps caps() const override {
+    return {.name = config_.huge ? "virtio-balloon-huge" : "virtio-balloon",
+            .dma_safe = false,
+            .supports_auto = true,
+            .granularity_bytes = config_.huge ? kHugeSize : kFrameSize};
   }
 
-  void RequestLimit(uint64_t bytes, std::function<void()> done) override;
+  void Request(const hv::ResizeRequest& request) override;
   uint64_t limit_bytes() const override;
   bool busy() const override { return busy_; }
 

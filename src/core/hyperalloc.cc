@@ -176,17 +176,18 @@ void HyperAllocMonitor::UnmapBatch(const std::vector<HugeId>& global_huge) {
                        sorted[i], mapped_huge);
       }
     }
-    i = j;
-  }
-
-  if (vm_->config().vfio) {
-    for (const HugeId huge : sorted) {
-      if (vm_->iommu()->IsPinned(huge)) {
-        vm_->iommu()->Unpin(huge);
-        sys_ns +=
-            vm_->costs().iommu_unmap_2m_ns + vm_->costs().iotlb_flush_ns;
+    if (vm_->config().vfio) {
+      // Coalesced IOTLB invalidation: unpin the whole contiguous run and
+      // pay ONE ranged flush for it, not one flush per huge frame —
+      // the same batching the madvise path above gets from contiguity.
+      const uint64_t unpinned =
+          vm_->iommu()->UnpinRange(sorted[i], j - i);
+      if (unpinned > 0) {
+        sys_ns += unpinned * vm_->costs().iommu_unmap_2m_ns +
+                  vm_->costs().iotlb_flush_ns;
       }
     }
+    i = j;
   }
 
   cpu_.host_sys_ns += hv::ChargeTraced(sim_, "monitor.unmap_ns", sys_ns);
@@ -200,14 +201,13 @@ void HyperAllocMonitor::UnmapBatch(const std::vector<HugeId>& global_huge) {
   }
 }
 
-void HyperAllocMonitor::RequestLimit(uint64_t bytes,
-                                     std::function<void()> done) {
+void HyperAllocMonitor::Request(const hv::ResizeRequest& request) {
   HA_CHECK(!busy_);
   busy_ = true;
-  HA_CHECK(bytes <= vm_->config().memory_bytes);
+  HA_CHECK(request.target_bytes <= vm_->config().memory_bytes);
   const uint64_t target_hard =
-      (vm_->config().memory_bytes - bytes) / kHugeSize;
-  auto finish = [this, done = std::move(done)] {
+      (vm_->config().memory_bytes - request.target_bytes) / kHugeSize;
+  auto finish = [this, done = request.done] {
     busy_ = false;
     if (done) {
       done();

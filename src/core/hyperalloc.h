@@ -58,12 +58,14 @@ class HyperAllocMonitor : public hv::Deflator {
   // allocation installs its huge frame.
   HyperAllocMonitor(guest::GuestVm* vm, const HyperAllocConfig& config);
 
-  const char* name() const override { return "HyperAlloc"; }
-  bool dma_safe() const override { return true; }
-  bool supports_auto() const override { return true; }
-  uint64_t granularity_bytes() const override { return kHugeSize; }
+  hv::DeflatorCaps caps() const override {
+    return {.name = "HyperAlloc",
+            .dma_safe = true,
+            .supports_auto = true,
+            .granularity_bytes = kHugeSize};
+  }
 
-  void RequestLimit(uint64_t bytes, std::function<void()> done) override;
+  void Request(const hv::ResizeRequest& request) override;
   uint64_t limit_bytes() const override;
   bool busy() const override { return busy_; }
 

@@ -85,16 +85,17 @@ void GenericHyperAllocMonitor::UnmapBatch(
       sys_ns +=
           vm_->costs().madvise_syscall_ns + vm_->costs().tlb_shootdown_ns;
     }
-    i = j;
-  }
-  if (vm_->config().vfio) {
-    for (const HugeId huge : sorted) {
-      if (vm_->iommu()->IsPinned(huge)) {
-        vm_->iommu()->Unpin(huge);
-        sys_ns +=
-            vm_->costs().iommu_unmap_2m_ns + vm_->costs().iotlb_flush_ns;
+    if (vm_->config().vfio) {
+      // One ranged IOTLB invalidation per contiguous run (see
+      // HyperAllocMonitor::UnmapBatch).
+      const uint64_t unpinned =
+          vm_->iommu()->UnpinRange(sorted[i], j - i);
+      if (unpinned > 0) {
+        sys_ns += unpinned * vm_->costs().iommu_unmap_2m_ns +
+                  vm_->costs().iotlb_flush_ns;
       }
     }
+    i = j;
   }
   sim_->AdvanceClock(sys_ns);
   cpu_.host_sys_ns += sys_ns;
@@ -132,14 +133,13 @@ uint64_t GenericHyperAllocMonitor::AutoReclaimPass() {
   return batch.size();
 }
 
-void GenericHyperAllocMonitor::RequestLimit(uint64_t bytes,
-                                            std::function<void()> done) {
+void GenericHyperAllocMonitor::Request(const hv::ResizeRequest& request) {
   HA_CHECK(!busy_);
   busy_ = true;
-  HA_CHECK(bytes <= vm_->config().memory_bytes);
+  HA_CHECK(request.target_bytes <= vm_->config().memory_bytes);
   const uint64_t target_hard =
-      (vm_->config().memory_bytes - bytes) / kHugeSize;
-  auto finish = [this, done = std::move(done)] {
+      (vm_->config().memory_bytes - request.target_bytes) / kHugeSize;
+  auto finish = [this, done = request.done] {
     busy_ = false;
     if (done) {
       done();

@@ -105,8 +105,9 @@ std::string Console::Execute(std::string_view line) {
   if (command == "auto") {
     const std::string_view mode = NextWord(&rest);
     if (mode == "on") {
-      if (!deflator_->supports_auto()) {
-        return "error: " + std::string(deflator_->name()) +
+      const hv::DeflatorCaps caps = deflator_->caps();
+      if (!caps.supports_auto) {
+        return "error: " + std::string(caps.name) +
                " has no automatic mode";
       }
       deflator_->StartAuto();
@@ -138,7 +139,8 @@ std::string Console::Balloon(std::string_view argument) {
     return "error: a resize is already in progress";
   }
   busy_ = true;
-  deflator_->RequestLimit(target, [this] { busy_ = false; });
+  deflator_->Request(
+      {.target_bytes = target, .done = [this] { busy_ = false; }});
   return "resizing to " + FormatBytes(target);
 }
 

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/base/types.h"
+
 namespace hyperalloc::hv {
 
 // CPU-time bookkeeping for the footprint experiments (Fig. 7's user/system
@@ -25,19 +27,39 @@ struct CpuAccounting {
   uint64_t total() const { return guest_ns + host_user_ns + host_sys_ns; }
 };
 
+// Static capabilities of one de/inflation technique (Table 1 columns),
+// returned as a value so call sites take one consistent reading instead
+// of four virtual calls.
+struct DeflatorCaps {
+  const char* name = "?";
+  bool dma_safe = false;
+  bool supports_auto = false;
+  uint64_t granularity_bytes = kFrameSize;
+};
+
+// One asynchronous limit-change request. A plain struct rather than a
+// parameter list so future orchestration policies can attach deadlines,
+// priority classes, or partial-progress callbacks without touching every
+// backend again.
+struct ResizeRequest {
+  // The (hard) memory limit to move toward.
+  uint64_t target_bytes = 0;
+  // Fires in virtual time when the operation has gone as far as it can
+  // (possibly partially — check limit_bytes()). May be empty.
+  std::function<void()> done;
+};
+
 class Deflator {
  public:
   virtual ~Deflator() = default;
 
-  virtual const char* name() const = 0;
-  virtual bool dma_safe() const = 0;
-  virtual bool supports_auto() const = 0;
-  virtual uint64_t granularity_bytes() const = 0;
+  // Static capability matrix entry for this technique.
+  virtual DeflatorCaps caps() const = 0;
 
-  // Moves the VM's (hard) memory limit toward `bytes`; `done` fires when
-  // the operation has gone as far as it can. Must not be called while a
-  // previous request is still in flight (check busy()).
-  virtual void RequestLimit(uint64_t bytes, std::function<void()> done) = 0;
+  // Starts moving the VM's memory limit toward `request.target_bytes`.
+  // Must not be called while a previous request is still in flight
+  // (check busy()).
+  virtual void Request(const ResizeRequest& request) = 0;
   virtual uint64_t limit_bytes() const = 0;
   virtual bool busy() const = 0;
 

@@ -42,7 +42,7 @@ uint64_t Ept::Map(FrameId first, uint64_t count) {
   if (missing == 0) {
     return 0;
   }
-  if (host_ != nullptr && !host_->Reserve(missing)) {
+  if (host_ != nullptr && !host_->TryReserve(missing)) {
     return kNoHostMemory;
   }
   for (FrameId frame = first; frame < first + count; ++frame) {
@@ -71,8 +71,13 @@ uint64_t Ept::Unmap(FrameId first, uint64_t count) {
     host_->Release(present);
   }
   ++total_unmap_ops_;
+  // One ranged TLB flush covers the whole batch (vs `present` single-page
+  // flushes under per-page unmapping).
+  ++tlb_range_flushes_;
+  tlb_flushed_frames_ += present;
   HA_COUNT("ept.unmap_ops");
   HA_COUNT_N("ept.unmap_frames", present);
+  HA_COUNT("ept.tlb_range_flush");
   HA_TRACE_EVENT(trace::Category::kEpt, trace::Op::kUnmap, first, count);
   return present;
 }

@@ -43,6 +43,14 @@ class Ept {
   uint64_t total_mapped_ops() const { return total_map_ops_; }
   uint64_t total_unmapped_ops() const { return total_unmap_ops_; }
 
+  // TLB shootdown accounting, coalesced: each Unmap call that removes at
+  // least one present frame issues exactly ONE ranged flush for the whole
+  // [first, first+count) batch — mirroring the batched-madvise design —
+  // instead of one single-page flush per frame. `tlb_flushed_frames()`
+  // counts what per-page flushing would have cost for comparison.
+  uint64_t tlb_range_flushes() const { return tlb_range_flushes_; }
+  uint64_t tlb_flushed_frames() const { return tlb_flushed_frames_; }
+
   static constexpr uint64_t kNoHostMemory = ~0ull;
 
  private:
@@ -52,6 +60,8 @@ class Ept {
   uint64_t mapped_ = 0;
   uint64_t total_map_ops_ = 0;
   uint64_t total_unmap_ops_ = 0;
+  uint64_t tlb_range_flushes_ = 0;
+  uint64_t tlb_flushed_frames_ = 0;
 };
 
 }  // namespace hyperalloc::hv

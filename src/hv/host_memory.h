@@ -1,48 +1,307 @@
-// Host physical memory pool. VMs (their EPTs) reserve frames from this
-// pool when guest-physical memory is populated and release them when the
-// hypervisor reclaims it. The multi-VM experiment (Fig. 11) reads the
-// aggregate usage here.
+// Host physical memory pool — the one data structure every VM on the
+// host touches on its hot path. VMs (their EPTs) reserve frames when
+// guest-physical memory is populated and release them when the hypervisor
+// reclaims it; the multi-VM experiment (Fig. 11) reads aggregate usage.
+//
+// Scalability design (multi-VM scaling, one simulation thread per VM):
+// admission control is *sharded*. The pool's free frames live in
+// cache-line-padded per-shard credit lines plus one global reserve.
+// TryReserve/Release on the hot path touch only the calling thread's
+// shard; the global reserve is visited in kCreditBatch-sized refills and
+// drains, and a slow-path rebalancer raids other shards' credits when the
+// global reserve runs dry near the limit. Because every reserved frame is
+// debited from a credit chain rooted at the construction-time total, the
+// pool can never overcommit, no matter the interleaving.
+//
+// Statistics are exact: `used` is a single relaxed fetch_add/fetch_sub
+// (wait-free; the *conditional* admission check is what the shards
+// de-contend) and the peak high-water mark (Fig. 11 "peak memory
+// demand") is maintained with a CAS-max loop.
+//
+// All state is hyperalloc::Atomic (src/base/atomic.h), so model-check
+// builds can explore interleavings of this pool like the LLFree core.
+// Mid-operation, frames "in hand" between two credit buckets are counted
+// in neither: credits + used transiently *under*-promise, never
+// over-promise (same argument as the LLFree step invariants); exact
+// equality credits == total - used holds at quiescence
+// (src/check/invariants.h: CheckHostMemoryQuiescent).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 
+#include "src/base/atomic.h"
 #include "src/base/check.h"
 #include "src/base/types.h"
 
 namespace hyperalloc::hv {
 
+// One consistent view of the pool, in frames. `used + free == total`
+// holds by construction; `peak >= used`.
+struct MemorySnapshot {
+  uint64_t total = 0;
+  uint64_t used = 0;
+  uint64_t free = 0;
+  uint64_t peak = 0;
+};
+
 class HostMemory {
  public:
-  explicit HostMemory(uint64_t total_frames) : total_(total_frames) {}
+  // Frames moved between the global reserve and a shard per refill/drain
+  // (512 frames = one 2 MiB huge frame's worth).
+  static constexpr uint64_t kCreditBatch = 512;
+  static constexpr unsigned kDefaultShards = 8;
+
+  explicit HostMemory(uint64_t total_frames,
+                      unsigned shards = kDefaultShards)
+      : total_(total_frames),
+        num_shards_(shards == 0 ? 1 : shards),
+        shards_(std::make_unique<Shard[]>(num_shards_)) {
+    global_free_.store(total_frames, std::memory_order_relaxed);
+  }
 
   uint64_t total_frames() const { return total_; }
-  uint64_t used_frames() const { return used_; }
-  uint64_t free_frames() const { return total_ - used_; }
-  uint64_t used_bytes() const { return used_ * kFrameSize; }
+  uint64_t used_frames() const {
+    return used_.load(std::memory_order_acquire);
+  }
+  uint64_t free_frames() const { return total_ - used_frames(); }
+  uint64_t used_bytes() const { return used_frames() * kFrameSize; }
+  uint64_t peak_frames() const {
+    return peak_.load(std::memory_order_acquire);
+  }
+  unsigned shards() const { return num_shards_; }
 
-  // Peak usage high-water mark (Fig. 11 "peak memory demand").
-  uint64_t peak_frames() const { return peak_; }
+  // One consistent {total, used, free, peak} read instead of racy
+  // multi-getter sampling. `peak` is clamped to >= `used` (the CAS-max
+  // update trails the `used` increment by a few instructions).
+  MemorySnapshot snapshot() const {
+    MemorySnapshot s;
+    s.total = total_;
+    s.used = used_.load(std::memory_order_acquire);
+    s.free = total_ - s.used;
+    s.peak = peak_.load(std::memory_order_acquire);
+    if (s.peak < s.used) {
+      s.peak = s.used;
+    }
+    return s;
+  }
 
-  bool Reserve(uint64_t frames) {
-    if (used_ + frames > total_) {
+  // Reserves `frames` from the calling thread's shard (batched refill
+  // from the global reserve; cross-shard rebalance when that is dry).
+  // Returns false — with nothing changed — iff fewer than `frames` are
+  // free across the whole pool at some instant during the attempt.
+  bool TryReserve(uint64_t frames) {
+    return TryReserve(frames, ThisThreadShard());
+  }
+
+  // Explicit-shard variant (model-check scenarios and tests; also lets a
+  // VM pin itself to a shard regardless of which thread runs it).
+  bool TryReserve(uint64_t frames, unsigned shard) {
+    if (frames == 0) {
+      return true;
+    }
+    Shard& s = shards_[shard % num_shards_];
+    if (!TakeCredit(s, frames)) {
       return false;
     }
-    used_ += frames;
-    if (used_ > peak_) {
-      peak_ = used_;
+    const uint64_t now =
+        used_.fetch_add(frames, std::memory_order_acq_rel) + frames;
+    // CAS-max high-water loop: lost races only ever lose to a *larger*
+    // observed usage, so the peak is never under-reported.
+    uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (peak < now && !peak_.compare_exchange_weak(
+                             peak, now, std::memory_order_acq_rel,
+                             std::memory_order_relaxed)) {
     }
     return true;
   }
 
-  void Release(uint64_t frames) {
-    HA_CHECK(frames <= used_);
-    used_ -= frames;
+  void Release(uint64_t frames) { Release(frames, ThisThreadShard()); }
+
+  void Release(uint64_t frames, unsigned shard) {
+    if (frames == 0) {
+      return;
+    }
+    const uint64_t before =
+        used_.fetch_sub(frames, std::memory_order_acq_rel);
+    HA_CHECK(before >= frames);
+    Shard& s = shards_[shard % num_shards_];
+    const uint64_t credit =
+        s.credit.fetch_add(frames, std::memory_order_acq_rel) + frames;
+    // Keep shards lean: drain everything beyond one batch back to the
+    // global reserve so an idle shard cannot strand free memory.
+    if (credit > 2 * kCreditBatch) {
+      DrainShard(s, credit - kCreditBatch);
+    }
+  }
+
+  // --- slow-path observability (tests, bench_runner) -------------------
+  uint64_t refills() const {
+    return refills_.load(std::memory_order_relaxed);
+  }
+  uint64_t drains() const { return drains_.load(std::memory_order_relaxed); }
+  uint64_t rebalances() const {
+    return rebalances_.load(std::memory_order_relaxed);
+  }
+
+  // Free frames currently parked in shard credit lines + the global
+  // reserve. Quiescent (no in-flight reserve/release): exactly
+  // total - used. Mid-operation: may transiently read low, never high.
+  uint64_t DebugFreeCredits() const {
+    uint64_t sum = global_free_.load(std::memory_order_acquire);
+    for (unsigned i = 0; i < num_shards_; ++i) {
+      sum += shards_[i].credit.load(std::memory_order_acquire);
+    }
+    return sum;
+  }
+
+  uint64_t DebugShardCredit(unsigned shard) const {
+    return shards_[shard % num_shards_].credit.load(
+        std::memory_order_acquire);
+  }
+
+  uint64_t DebugGlobalFree() const {
+    return global_free_.load(std::memory_order_acquire);
   }
 
  private:
+  struct alignas(64) Shard {
+    Atomic<uint64_t> credit{0};  // free frames owned by this shard
+  };
+
+  // Debits `frames` from the shard's credit line, refilling from the
+  // global reserve (and, failing that, raiding other shards) as needed.
+  // On failure every partially-taken credit is returned to `s`.
+  bool TakeCredit(Shard& s, uint64_t frames) {
+    uint64_t credit = s.credit.load(std::memory_order_acquire);
+    while (credit >= frames) {
+      if (s.credit.compare_exchange_weak(credit, credit - frames,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+        return true;  // fast path: shard-local, no shared lines touched
+      }
+    }
+    // Take what the shard has, then refill the shortfall.
+    while (credit > 0 && !s.credit.compare_exchange_weak(
+                             credit, 0, std::memory_order_acq_rel,
+                             std::memory_order_acquire)) {
+    }
+    uint64_t have = credit;
+    if (have >= frames) {
+      // A concurrent Release refilled the shard while we were zeroing it.
+      if (have > frames) {
+        s.credit.fetch_add(have - frames, std::memory_order_acq_rel);
+      }
+      return true;
+    }
+    uint64_t need = frames - have;
+
+    // Batched refill: pull the shortfall plus one credit batch so the
+    // next reservations stay shard-local.
+    const uint64_t take = TakeGlobal(need + kCreditBatch, need);
+    if (take >= need) {
+      refills_.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t extra = take - need;
+      if (extra > 0) {
+        s.credit.fetch_add(extra, std::memory_order_acq_rel);
+      }
+      return true;
+    }
+    have += take;
+    need = frames - have;
+
+    // Rebalance: the global reserve is dry; raid other shards' credit
+    // lines. Near the capacity limit all free memory may be parked in
+    // credits, and a reservation must still succeed if the *sum* covers
+    // it.
+    rebalances_.fetch_add(1, std::memory_order_relaxed);
+    for (unsigned i = 0; i < num_shards_ && need > 0; ++i) {
+      Shard& other = shards_[i];
+      if (&other == &s) {
+        continue;
+      }
+      uint64_t c = other.credit.load(std::memory_order_acquire);
+      while (c > 0) {
+        const uint64_t grab = c < need ? c : need;
+        if (other.credit.compare_exchange_weak(
+                c, c - grab, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+          have += grab;
+          need -= grab;
+          break;
+        }
+      }
+    }
+    if (need == 0) {
+      return true;
+    }
+    // One last look at the global reserve: a concurrent Release may have
+    // drained credits there while we raided the shards.
+    const uint64_t last = TakeGlobal(need, need);
+    have += last;
+    if (have >= frames) {
+      const uint64_t extra = have - frames;
+      if (extra > 0) {
+        s.credit.fetch_add(extra, std::memory_order_acq_rel);
+      }
+      return true;
+    }
+    // Exhausted: give everything back to our shard (it stays free and
+    // counted; nothing was reserved).
+    if (have > 0) {
+      s.credit.fetch_add(have, std::memory_order_acq_rel);
+    }
+    return false;
+  }
+
+  // Takes up to `want` frames from the global reserve, but only if at
+  // least `min` are available; returns the number taken (0 or >= min).
+  uint64_t TakeGlobal(uint64_t want, uint64_t min) {
+    uint64_t free = global_free_.load(std::memory_order_acquire);
+    while (free >= min && min > 0) {
+      const uint64_t take = free < want ? free : want;
+      if (global_free_.compare_exchange_weak(free, free - take,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        return take;
+      }
+    }
+    return 0;
+  }
+
+  void DrainShard(Shard& s, uint64_t excess) {
+    uint64_t credit = s.credit.load(std::memory_order_acquire);
+    while (credit >= excess) {
+      if (s.credit.compare_exchange_weak(credit, credit - excess,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+        global_free_.fetch_add(excess, std::memory_order_acq_rel);
+        drains_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  unsigned ThisThreadShard() const {
+    // Round-robin shard assignment per OS thread. Plain std::atomic (not
+    // the model-check seam): thread registration is not part of the
+    // state under verification, and scenarios pass explicit shards.
+    static std::atomic<unsigned> next_thread{0};
+    thread_local const unsigned assigned =
+        next_thread.fetch_add(1, std::memory_order_relaxed);
+    return assigned % num_shards_;
+  }
+
   uint64_t total_;
-  uint64_t used_ = 0;
-  uint64_t peak_ = 0;
+  unsigned num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+  alignas(64) Atomic<uint64_t> global_free_{0};
+  alignas(64) Atomic<uint64_t> used_{0};
+  alignas(64) Atomic<uint64_t> peak_{0};
+  Atomic<uint64_t> refills_{0};
+  Atomic<uint64_t> drains_{0};
+  Atomic<uint64_t> rebalances_{0};
 };
 
 }  // namespace hyperalloc::hv

@@ -37,9 +37,10 @@ void MemoryMarket::Tick() {
       static_cast<double>(now - last_tick_) / static_cast<double>(sim::kSec);
   last_tick_ = now;
 
-  // Spot price from host scarcity.
-  price_ = PriceForUtilization(static_cast<double>(host_->used_frames()) /
-                               static_cast<double>(host_->total_frames()));
+  // Spot price from host scarcity (one consistent pool reading).
+  const MemorySnapshot pool = host_->snapshot();
+  price_ = PriceForUtilization(static_cast<double>(pool.used) /
+                               static_cast<double>(pool.total));
 
   for (Tenant& tenant : tenants_) {
     // Bill the elapsed interval at the *previous* limit (GiB-seconds).
@@ -67,7 +68,7 @@ void MemoryMarket::Tick() {
     const uint64_t delta =
         target > current ? target - current : current - target;
     if (delta >= 256 * kMiB && !tenant.deflator->busy()) {
-      tenant.deflator->RequestLimit(target, nullptr);
+      tenant.deflator->Request({.target_bytes = target, .done = {}});
     }
   }
 }

@@ -21,9 +21,7 @@ VirtioMem::VirtioMem(guest::GuestVm* vm, const VmemConfig& config)
     // — this is part of VM start-up, outside every benchmark window.
     HA_CHECK(vm_->ept().Map(0, vm_->total_frames()) !=
              hv::Ept::kNoHostMemory);
-    for (HugeId h = 0; h < HugesForFrames(vm_->total_frames()); ++h) {
-      vm_->iommu()->Pin(h);
-    }
+    vm_->iommu()->PinRange(0, HugesForFrames(vm_->total_frames()));
   }
 }
 
@@ -47,16 +45,18 @@ uint64_t VirtioMem::limit_bytes() const {
   return vm_->config().memory_bytes - unplugged * kHugeSize;
 }
 
-void VirtioMem::RequestLimit(uint64_t bytes, std::function<void()> done) {
+void VirtioMem::Request(const hv::ResizeRequest& request) {
   HA_CHECK(!busy_);
   busy_ = true;
   const uint64_t static_bytes =
       vm_->config().memory_bytes - num_blocks_ * kHugeSize;
   const uint64_t want_plugged_bytes =
-      bytes > static_bytes ? bytes - static_bytes : 0;
+      request.target_bytes > static_bytes
+          ? request.target_bytes - static_bytes
+          : 0;
   const uint64_t target_blocks =
       std::min<uint64_t>(num_blocks_, want_plugged_bytes / kHugeSize);
-  auto finish = [this, done = std::move(done)] {
+  auto finish = [this, done = request.done] {
     busy_ = false;
     if (done) {
       done();
@@ -227,12 +227,14 @@ void VirtioMem::AutoTick() {
     const uint64_t free_huge_bytes = vm_->FreeHugeFrames() * kHugeSize;
     if (free_bytes < config_.auto_low_bytes &&
         plugged_blocks_ < num_blocks_) {
-      RequestLimit(std::min(limit_bytes() + config_.auto_granularity,
+      Request({.target_bytes =
+                   std::min(limit_bytes() + config_.auto_granularity,
                             vm_->config().memory_bytes),
-                   nullptr);
+               .done = {}});
     } else if (free_huge_bytes >
                config_.auto_high_bytes + config_.auto_granularity) {
-      RequestLimit(limit_bytes() - config_.auto_granularity, nullptr);
+      Request({.target_bytes = limit_bytes() - config_.auto_granularity,
+               .done = {}});
     }
   }
   sim_->After(config_.auto_period, [this] { AutoTick(); });

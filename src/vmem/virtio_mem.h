@@ -47,12 +47,14 @@ class VirtioMem : public hv::Deflator {
   // the buddy allocator. All hotpluggable memory starts plugged.
   VirtioMem(guest::GuestVm* vm, const VmemConfig& config);
 
-  const char* name() const override { return "virtio-mem"; }
-  bool dma_safe() const override { return true; }
-  bool supports_auto() const override { return false; }  // simulated only
-  uint64_t granularity_bytes() const override { return kHugeSize; }
+  hv::DeflatorCaps caps() const override {
+    return {.name = "virtio-mem",
+            .dma_safe = true,
+            .supports_auto = false,  // simulated only
+            .granularity_bytes = kHugeSize};
+  }
 
-  void RequestLimit(uint64_t bytes, std::function<void()> done) override;
+  void Request(const hv::ResizeRequest& request) override;
   uint64_t limit_bytes() const override;
   bool busy() const override { return busy_; }
 

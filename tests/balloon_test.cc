@@ -25,7 +25,7 @@ class BalloonTest : public ::testing::Test {
 
   void SetLimit(uint64_t bytes) {
     bool done = false;
-    balloon_->RequestLimit(bytes, [&] { done = true; });
+    balloon_->Request({.target_bytes = bytes, .done = [&] { done = true; }});
     while (!done) {
       ASSERT_TRUE(sim_->Step());
     }
@@ -258,15 +258,17 @@ TEST_F(BalloonTest, NotDmaSafeRejectsVfio) {
 
 TEST_F(BalloonTest, CandidateProperties) {
   Init();
-  EXPECT_STREQ(balloon_->name(), "virtio-balloon");
-  EXPECT_FALSE(balloon_->dma_safe());
-  EXPECT_TRUE(balloon_->supports_auto());
-  EXPECT_EQ(balloon_->granularity_bytes(), kFrameSize);
+  hv::DeflatorCaps caps = balloon_->caps();
+  EXPECT_STREQ(caps.name, "virtio-balloon");
+  EXPECT_FALSE(caps.dma_safe);
+  EXPECT_TRUE(caps.supports_auto);
+  EXPECT_EQ(caps.granularity_bytes, kFrameSize);
   BalloonConfig config;
   config.huge = true;
   Init(config);
-  EXPECT_STREQ(balloon_->name(), "virtio-balloon-huge");
-  EXPECT_EQ(balloon_->granularity_bytes(), kHugeSize);
+  caps = balloon_->caps();
+  EXPECT_STREQ(caps.name, "virtio-balloon-huge");
+  EXPECT_EQ(caps.granularity_bytes, kHugeSize);
 }
 
 }  // namespace

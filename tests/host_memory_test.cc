@@ -1,0 +1,220 @@
+// Sharded host frame pool: credit-chain conservation, batched
+// refill/drain, the cross-shard rebalancer, and (under TSan) the
+// concurrent admission / peak-tracking paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/hv/host_memory.h"
+
+namespace hyperalloc {
+namespace {
+
+using hv::HostMemory;
+
+constexpr uint64_t kBatch = HostMemory::kCreditBatch;  // 512
+
+// Every free frame is parked in exactly one credit bucket when no
+// operation is in flight.
+void ExpectQuiescent(const HostMemory& pool) {
+  EXPECT_EQ(pool.DebugFreeCredits() + pool.used_frames(),
+            pool.total_frames())
+      << "credit chain leaked or double-counted frames";
+  EXPECT_GE(pool.peak_frames(), pool.used_frames());
+  EXPECT_LE(pool.peak_frames(), pool.total_frames());
+}
+
+TEST(HostMemorySharded, FirstReserveRefillsShardFromGlobal) {
+  HostMemory pool(4 * kBatch, /*shards=*/2);
+  EXPECT_TRUE(pool.TryReserve(100, /*shard=*/0));
+  // The refill pulled the shortfall plus one credit batch, so the next
+  // reservations stay shard-local.
+  EXPECT_EQ(pool.DebugShardCredit(0), kBatch);
+  EXPECT_EQ(pool.DebugGlobalFree(), 4 * kBatch - 100 - kBatch);
+  EXPECT_EQ(pool.refills(), 1u);
+
+  // Exactly the banked credit line: the fast path drains it to zero
+  // without touching the global reserve again.
+  EXPECT_TRUE(pool.TryReserve(kBatch, /*shard=*/0));
+  EXPECT_EQ(pool.refills(), 1u);
+  EXPECT_EQ(pool.DebugShardCredit(0), 0u);
+  ExpectQuiescent(pool);
+}
+
+TEST(HostMemorySharded, ShardLocalFastPathLeavesGlobalAlone) {
+  HostMemory pool(4 * kBatch, /*shards=*/2);
+  EXPECT_TRUE(pool.TryReserve(8, 0));  // refill: credit line now 512
+  const uint64_t global_before = pool.DebugGlobalFree();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(pool.TryReserve(8, 0));
+  }
+  EXPECT_EQ(pool.DebugGlobalFree(), global_before)
+      << "512 frames of credit must absorb 64 x 8 frames shard-locally";
+  EXPECT_EQ(pool.refills(), 1u);
+  ExpectQuiescent(pool);
+}
+
+TEST(HostMemorySharded, RebalanceRaidsOtherShardsNearTheLimit) {
+  HostMemory pool(2 * kBatch, /*shards=*/2);
+  // Shard 0 takes half the pool and banks a full credit batch.
+  EXPECT_TRUE(pool.TryReserve(kBatch, 0));
+  EXPECT_EQ(pool.DebugShardCredit(0), kBatch);
+  EXPECT_EQ(pool.DebugGlobalFree(), 0u);
+
+  // Shard 1 wants the other half: the global reserve is dry, so the
+  // remaining free memory has to come out of shard 0's credit line.
+  EXPECT_TRUE(pool.TryReserve(kBatch, 1));
+  EXPECT_EQ(pool.rebalances(), 1u);
+  EXPECT_EQ(pool.used_frames(), 2 * kBatch);
+  EXPECT_EQ(pool.DebugFreeCredits(), 0u);
+
+  // Fully committed: nothing more to admit, nothing changed by asking.
+  EXPECT_FALSE(pool.TryReserve(1, 0));
+  EXPECT_FALSE(pool.TryReserve(1, 1));
+  ExpectQuiescent(pool);
+}
+
+TEST(HostMemorySharded, FailedReserveReturnsPartialCredit) {
+  HostMemory pool(kBatch, /*shards=*/2);
+  EXPECT_TRUE(pool.TryReserve(kBatch / 2, 0));
+  // Asking for more than the whole pool still has: must fail and leave
+  // every remaining frame findable (no stranded in-hand credit).
+  EXPECT_FALSE(pool.TryReserve(kBatch, 1));
+  EXPECT_EQ(pool.used_frames(), kBatch / 2);
+  EXPECT_EQ(pool.DebugFreeCredits(), kBatch / 2);
+  EXPECT_TRUE(pool.TryReserve(kBatch / 2, 1));
+  ExpectQuiescent(pool);
+}
+
+TEST(HostMemorySharded, ReleaseDrainsExcessCreditBackToGlobal) {
+  HostMemory pool(8 * kBatch, /*shards=*/2);
+  EXPECT_TRUE(pool.TryReserve(4 * kBatch, 0));
+  pool.Release(4 * kBatch, 0);
+  // The shard keeps one batch; the rest went back to the reserve, so an
+  // idle shard cannot strand free memory.
+  EXPECT_LE(pool.DebugShardCredit(0), 2 * kBatch);
+  EXPECT_GE(pool.drains(), 1u);
+  EXPECT_EQ(pool.used_frames(), 0u);
+  ExpectQuiescent(pool);
+
+  // The drained frames are admissible from the *other* shard.
+  EXPECT_TRUE(pool.TryReserve(6 * kBatch, 1));
+  ExpectQuiescent(pool);
+}
+
+TEST(HostMemorySharded, RandomOpsConserveCredits) {
+  HostMemory pool(16 * kBatch, /*shards=*/4);
+  Rng rng(7);
+  std::vector<std::pair<uint64_t, unsigned>> held;  // {frames, shard}
+  for (int i = 0; i < 20000; ++i) {
+    const unsigned shard = static_cast<unsigned>(rng.Below(4));
+    if (rng.Chance(0.55)) {
+      const uint64_t frames = 1 + rng.Below(3 * kBatch);
+      if (pool.TryReserve(frames, shard)) {
+        held.emplace_back(frames, shard);
+      }
+    } else if (!held.empty()) {
+      const size_t idx = rng.Below(held.size());
+      pool.Release(held[idx].first, held[idx].second);
+      held[idx] = held.back();
+      held.pop_back();
+    }
+    ASSERT_LE(pool.used_frames(), pool.total_frames()) << "overcommit";
+  }
+  for (const auto& [frames, shard] : held) {
+    pool.Release(frames, shard);
+  }
+  EXPECT_EQ(pool.used_frames(), 0u);
+  ExpectQuiescent(pool);
+}
+
+// The TSan target for scripts/check.sh: concurrent admission against one
+// pool sized at half the aggregate demand, so every thread constantly
+// crosses shard boundaries (refill, drain, rebalance, failure). The
+// credit-conservation check afterwards catches lost or duplicated
+// frames; TSan catches ordering bugs on the way.
+TEST(HostMemorySharded, ConcurrentStressConservesFrames) {
+  constexpr unsigned kThreads = 4;
+  constexpr int kIters = 20000;
+  HostMemory pool(8 * kBatch, kThreads);
+  std::atomic<uint64_t> observed_peak{0};
+
+  auto worker = [&pool, &observed_peak](unsigned seed) {
+    Rng rng(seed);
+    std::vector<uint64_t> held;
+    for (int i = 0; i < kIters; ++i) {
+      if (rng.Chance(0.6)) {
+        const uint64_t frames = 1 + rng.Below(kBatch);
+        if (pool.TryReserve(frames)) {
+          held.push_back(frames);
+          // Witness a lower bound for the high-water mark.
+          const uint64_t used = pool.used_frames();
+          uint64_t seen = observed_peak.load(std::memory_order_relaxed);
+          while (seen < used &&
+                 !observed_peak.compare_exchange_weak(
+                     seen, used, std::memory_order_relaxed)) {
+          }
+        }
+      } else if (!held.empty()) {
+        pool.Release(held.back());
+        held.pop_back();
+      }
+    }
+    for (const uint64_t frames : held) {
+      pool.Release(frames);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back(worker, 100 + t);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  EXPECT_EQ(pool.used_frames(), 0u);
+  ExpectQuiescent(pool);
+  // The CAS-max loop must never lose to a smaller value: the final peak
+  // is at least any usage any thread ever observed.
+  EXPECT_GE(pool.peak_frames(), observed_peak.load());
+}
+
+TEST(HostMemorySharded, ConcurrentSnapshotsStayInBounds) {
+  HostMemory pool(4 * kBatch, 2);
+  std::atomic<bool> stop{false};
+  std::thread reader([&pool, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const hv::MemorySnapshot s = pool.snapshot();
+      EXPECT_EQ(s.total, s.used + s.free);
+      EXPECT_GE(s.peak, s.used);
+      EXPECT_LE(s.used, s.total);
+    }
+  });
+  Rng rng(3);
+  std::vector<uint64_t> held;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.Chance(0.6)) {
+      const uint64_t frames = 1 + rng.Below(kBatch / 2);
+      if (pool.TryReserve(frames)) {
+        held.push_back(frames);
+      }
+    } else if (!held.empty()) {
+      pool.Release(held.back());
+      held.pop_back();
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  for (const uint64_t frames : held) {
+    pool.Release(frames);
+  }
+  ExpectQuiescent(pool);
+}
+
+}  // namespace
+}  // namespace hyperalloc

@@ -13,24 +13,34 @@ namespace {
 
 TEST(HostMemory, ReserveRelease) {
   hv::HostMemory host(1000);
-  EXPECT_TRUE(host.Reserve(600));
+  EXPECT_TRUE(host.TryReserve(600));
   EXPECT_EQ(host.used_frames(), 600u);
   EXPECT_EQ(host.free_frames(), 400u);
-  EXPECT_FALSE(host.Reserve(500)) << "overcommit must be rejected";
+  EXPECT_FALSE(host.TryReserve(500)) << "overcommit must be rejected";
   EXPECT_EQ(host.used_frames(), 600u);
   host.Release(100);
-  EXPECT_TRUE(host.Reserve(500));
+  EXPECT_TRUE(host.TryReserve(500));
   EXPECT_EQ(host.used_frames(), 1000u);
 }
 
 TEST(HostMemory, PeakTracking) {
   hv::HostMemory host(1000);
-  host.Reserve(700);
+  host.TryReserve(700);
   host.Release(600);
-  host.Reserve(200);
+  host.TryReserve(200);
   EXPECT_EQ(host.peak_frames(), 700u);
-  host.Reserve(600);
+  host.TryReserve(600);
   EXPECT_EQ(host.peak_frames(), 900u);
+}
+
+TEST(HostMemory, SnapshotIsConsistent) {
+  hv::HostMemory host(1000);
+  host.TryReserve(300);
+  const hv::MemorySnapshot snap = host.snapshot();
+  EXPECT_EQ(snap.total, 1000u);
+  EXPECT_EQ(snap.used, 300u);
+  EXPECT_EQ(snap.free, 700u);
+  EXPECT_GE(snap.peak, snap.used);
 }
 
 TEST(Ept, MapUnmapAndRss) {
@@ -88,6 +98,32 @@ TEST(Iommu, PinUnpinAndDma) {
   EXPECT_FALSE(iommu.Unpin(0));
   EXPECT_EQ(iommu.iotlb_flushes(), 1u);
   EXPECT_EQ(iommu.pinned_huge(), 0u);
+}
+
+TEST(Iommu, RangeUnpinCoalescesFlushes) {
+  hv::Iommu iommu(8 * 512);  // 8 huge frames
+  EXPECT_EQ(iommu.PinRange(0, 8), 8u);
+  // A contiguous 8-huge unpin costs one IOTLB invalidation, not eight.
+  EXPECT_EQ(iommu.UnpinRange(0, 8), 8u);
+  EXPECT_EQ(iommu.iotlb_flushes(), 1u);
+  EXPECT_EQ(iommu.iotlb_flushed_huge(), 8u);
+  EXPECT_EQ(iommu.pinned_huge(), 0u);
+  // Unpinning an already-unpinned range changes nothing and flushes
+  // nothing.
+  EXPECT_EQ(iommu.UnpinRange(0, 8), 0u);
+  EXPECT_EQ(iommu.iotlb_flushes(), 1u);
+}
+
+TEST(Ept, RangeUnmapCoalescesTlbFlushes) {
+  hv::HostMemory host(10000);
+  hv::Ept ept(8192, &host);
+  ept.Map(0, 512);
+  EXPECT_EQ(ept.Unmap(0, 512), 512u);
+  EXPECT_EQ(ept.tlb_range_flushes(), 1u);
+  EXPECT_EQ(ept.tlb_flushed_frames(), 512u);
+  // Unmapping absent ranges does not flush.
+  EXPECT_EQ(ept.Unmap(0, 512), 0u);
+  EXPECT_EQ(ept.tlb_range_flushes(), 1u);
 }
 
 TEST(ReclaimStates, PackedTwoBitStorage) {

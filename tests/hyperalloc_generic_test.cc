@@ -29,7 +29,7 @@ class GenericHyperAllocTest : public ::testing::Test {
 
   void SetLimit(uint64_t bytes) {
     bool done = false;
-    monitor_->RequestLimit(bytes, [&] { done = true; });
+    monitor_->Request({.target_bytes = bytes, .done = [&] { done = true; }});
     while (!done) {
       ASSERT_TRUE(sim_->Step());
     }

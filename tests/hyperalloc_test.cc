@@ -30,7 +30,7 @@ class HyperAllocTest : public ::testing::Test {
   // Synchronously runs a limit change to completion.
   void SetLimit(uint64_t bytes) {
     bool done = false;
-    monitor_->RequestLimit(bytes, [&] { done = true; });
+    monitor_->Request({.target_bytes = bytes, .done = [&] { done = true; }});
     while (!done) {
       ASSERT_TRUE(sim_->Step());
     }

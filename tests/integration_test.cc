@@ -27,7 +27,7 @@ struct Rig {
   sim::Time SetLimit(uint64_t bytes) {
     const sim::Time start = sim->now();
     bool done = false;
-    deflator->RequestLimit(bytes, [&] { done = true; });
+    deflator->Request({.target_bytes = bytes, .done = [&] { done = true; }});
     while (!done) {
       EXPECT_TRUE(sim->Step());
     }
@@ -159,7 +159,8 @@ TEST(Integration, GuestSurvivesResizeUnderLoad) {
     LiveSetListener listener(&live);
     rig.vm->AddMigrationListener(&listener);  // virtio-mem may migrate
     bool resize_done = false;
-    rig.deflator->RequestLimit(kShrunk, [&] { resize_done = true; });
+    rig.deflator->Request(
+        {.target_bytes = kShrunk, .done = [&] { resize_done = true; }});
     int guard = 0;
     while ((!resize_done || guard < 4000) && ++guard < 40000) {
       rig.sim->Step();
@@ -252,10 +253,10 @@ TEST(Integration, DmaSafetyMatrix) {
       deflator =
           std::make_unique<vmem::VirtioMem>(&vm, vmem::VmemConfig{});
     }
-    EXPECT_TRUE(deflator->dma_safe());
+    EXPECT_TRUE(deflator->caps().dma_safe);
 
     bool done = false;
-    deflator->RequestLimit(2 * kGiB, [&] { done = true; });
+    deflator->Request({.target_bytes = 2 * kGiB, .done = [&] { done = true; }});
     while (!done) {
       sim.Step();
     }

@@ -24,6 +24,7 @@
 #include "src/check/scheduler.h"
 #include "src/check/shim.h"
 #include "src/core/reclaim_states.h"
+#include "src/hv/host_memory.h"
 #include "src/llfree/llfree.h"
 
 namespace hyperalloc::check {
@@ -279,6 +280,51 @@ Scenario DeflateVsGuestAlloc() {
   };
 }
 
+// --------------------------------------------------------------------
+// Scenario 5: the sharded host frame pool under concurrent admission.
+// Two VMs (threads, each pinned to its shard) reserve and release
+// against a pool that only fits both if the cross-shard rebalancer
+// works; the credit-chain under-promise invariant is checked at every
+// schedule point and exact conservation plus the CAS-max peak at the
+// end. HostMemory is header-only, so this binary's check::Atomic shim
+// instruments it just like the LLFree core.
+// --------------------------------------------------------------------
+Scenario HostPoolReserveRelease() {
+  return [](Execution& exec) {
+    constexpr uint64_t kBatch = hv::HostMemory::kCreditBatch;
+    struct PoolCtx {
+      hv::HostMemory pool{2 * kBatch, /*shards=*/2};
+      uint64_t max_used = 0;  // model threads are sequentialized
+    };
+    auto c = std::make_shared<PoolCtx>();
+    for (unsigned t = 0; t < 2; ++t) {
+      exec.Spawn([c, t] {
+        // Half the pool each: the second thread's refill finds the
+        // global reserve dry and must raid the first shard's credit.
+        if (c->pool.TryReserve(kBatch, t)) {
+          c->max_used = std::max(c->max_used, c->pool.used_frames());
+          c->pool.Release(kBatch, t);
+        }
+        // Sub-batch round: exercises the banked-credit fast path and the
+        // drain-back-to-global on release.
+        if (c->pool.TryReserve(kBatch / 2 + 1, t)) {
+          c->max_used = std::max(c->max_used, c->pool.used_frames());
+          c->pool.Release(kBatch / 2 + 1, t);
+        }
+      });
+    }
+    exec.OnStep([c] { CheckHostMemoryStep(c->pool); });
+    exec.OnEnd([c] {
+      CheckHostMemoryQuiescent(c->pool);
+      Require(c->pool.used_frames() == 0,
+              "everything released but used != 0");
+      Require(c->pool.peak_frames() >= c->max_used,
+              "peak below a usage level a thread observed (lost CAS-max "
+              "update)");
+    });
+  };
+}
+
 RunResult ExploreRandom(const Scenario& scenario, uint64_t iterations,
                         uint64_t seed = 1) {
   Options opt;
@@ -307,6 +353,10 @@ TEST(ModelCheckScenarios, StealVsDrain) {
 
 TEST(ModelCheckScenarios, DeflateVsGuestAlloc) {
   ExpectClean(ExploreRandom(DeflateVsGuestAlloc(), ScaledIters(1500)));
+}
+
+TEST(ModelCheckScenarios, HostPoolReserveRelease) {
+  ExpectClean(ExploreRandom(HostPoolReserveRelease(), ScaledIters(1500)));
 }
 
 // Regression for a real race the harness flagged: the multi-word Clear
@@ -419,6 +469,57 @@ TEST(ModelCheckMutant, FixedCounterSurvivesExhaustively) {
   ExpectClean(r);
   EXPECT_TRUE(r.complete);
   EXPECT_GE(r.executions, 6u);  // at least the distinct 2x2-op orders
+}
+
+// --------------------------------------------------------------------
+// Mutant: the peak update HostMemory would have had without the CAS-max
+// loop — check-then-store lets a delayed smaller writer overwrite a
+// concurrent larger one, leaving the high-water mark below final usage.
+// --------------------------------------------------------------------
+struct NaivePeak {
+  Atomic<uint64_t> used{0};
+  Atomic<uint64_t> peak{0};
+};
+
+Scenario NaivePeakUpdate() {
+  return [](Execution& exec) {
+    auto c = std::make_shared<NaivePeak>();
+    for (int t = 0; t < 2; ++t) {
+      exec.Spawn([c] {
+        const uint64_t now =
+            c->used.fetch_add(256, std::memory_order_acq_rel) + 256;
+        // BUG (deliberate): not a CAS-max loop — between this load and
+        // the store, a larger concurrent `now` can land and be
+        // overwritten by our smaller one.
+        if (c->peak.load(std::memory_order_acquire) < now) {
+          c->peak.store(now, std::memory_order_release);
+        }
+      });
+    }
+    exec.OnEnd([c] {
+      Require(c->peak.load(std::memory_order_acquire) >=
+                  c->used.load(std::memory_order_acquire),
+              "lost peak update: high-water mark below final usage");
+    });
+  };
+}
+
+TEST(ModelCheckMutant, RandomWalkFindsLostPeakUpdate) {
+  const RunResult r = ExploreRandom(NaivePeakUpdate(), 2000);
+  ASSERT_TRUE(r.failed)
+      << "random exploration missed the naive-peak mutant";
+  EXPECT_NE(r.message.find("lost peak update"), std::string::npos)
+      << r.message;
+}
+
+TEST(ModelCheckMutant, ExhaustiveFindsLostPeakUpdate) {
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult r = Explore(opt, NaivePeakUpdate());
+  ASSERT_TRUE(r.failed)
+      << "exhaustive exploration missed the naive-peak mutant";
+  EXPECT_NE(r.message.find("lost peak update"), std::string::npos)
+      << r.message;
 }
 
 // --------------------------------------------------------------------

@@ -29,7 +29,7 @@ class VmemTest : public ::testing::Test {
 
   void SetLimit(uint64_t bytes) {
     bool done = false;
-    vmem_->RequestLimit(bytes, [&] { done = true; });
+    vmem_->Request({.target_bytes = bytes, .done = [&] { done = true; }});
     while (!done) {
       ASSERT_TRUE(sim_->Step());
     }
@@ -215,10 +215,11 @@ TEST_F(VmemTest, AutoResizerUnplugsIdleMemory) {
 
 TEST_F(VmemTest, CandidateProperties) {
   Init();
-  EXPECT_STREQ(vmem_->name(), "virtio-mem");
-  EXPECT_TRUE(vmem_->dma_safe());
-  EXPECT_FALSE(vmem_->supports_auto());  // only the simulated resizer
-  EXPECT_EQ(vmem_->granularity_bytes(), kHugeSize);
+  const hv::DeflatorCaps caps = vmem_->caps();
+  EXPECT_STREQ(caps.name, "virtio-mem");
+  EXPECT_TRUE(caps.dma_safe);
+  EXPECT_FALSE(caps.supports_auto);  // only the simulated resizer
+  EXPECT_EQ(caps.granularity_bytes, kHugeSize);
 }
 
 }  // namespace
