@@ -1,14 +1,19 @@
 // Machine-readable performance runner for the paths this repo's perf
-// trajectory tracks: LLFree get/put, the sharded host frame pool, and
-// the threaded multi-VM experiment. Emits one JSON document
-// (default BENCH_PR3.json; schema checked by scripts/check_bench_json.py)
-// so runs are comparable across commits.
+// trajectory tracks: LLFree get/put, the sharded host frame pool, the
+// span-attribution closure of a HyperAlloc resize, and the threaded
+// multi-VM experiment. Emits one JSON document (default BENCH_PR4.json;
+// schema checked by scripts/check_bench_json.py, regressions gated by
+// scripts/perf_gate.py) so runs are comparable across commits.
 //
-//   --smoke       small sizes for CI (seconds, not minutes)
-//   --out=PATH    output path (default BENCH_PR3.json)
-//   --threads=N   host threads for the pool and multi-VM benches
-//                 (default 4; the multi-VM determinism check always also
-//                 runs single-threaded and compares series)
+//   --smoke          small sizes for CI (seconds, not minutes)
+//   --out=PATH       output path (default BENCH_PR4.json)
+//   --threads=N      host threads for the pool and multi-VM benches
+//                    (default 4; the multi-VM determinism check always
+//                    also runs single-threaded and compares series)
+//   --trace-out=PATH writes the attribution run's span tree as a
+//                    Perfetto/Chrome trace (PATH itself when it ends in
+//                    .json), plus PATH.spans.csv (the ha_trace_tool
+//                    input) and PATH.prom (Prometheus exposition)
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -19,6 +24,9 @@
 
 #include "bench/multivm_harness.h"
 #include "src/llfree/llfree.h"
+#include "src/trace/export.h"
+#include "src/trace/span.h"
+#include "src/workloads/memory_pool.h"
 
 namespace hyperalloc::bench {
 namespace {
@@ -138,6 +146,176 @@ OpsResult BenchHostPool(unsigned threads, bool smoke, bool* invariant_ok,
   return result;
 }
 
+// ----------------------------------------------------------------------
+// Span attribution: one HyperAlloc shrink+grow cycle with the span
+// tracer on. The closure property under test: every cost-model charge of
+// a request lands in exactly one span of that request's trace, so the
+// per-trace sum of charge_ns equals the root span's virtual duration.
+// ----------------------------------------------------------------------
+
+struct PhaseAttribution {
+  bool found = false;          // the request root span was located
+  uint64_t total_vns = 0;      // root span virtual duration
+  uint64_t charged_ns = 0;     // sum of charge_ns over the trace
+  bool charge_closed = false;  // charged_ns == total_vns
+  double wall_ms = 0.0;
+  double virtual_wall_skew = 0.0;  // virtual ns per wall ns
+  uint64_t layer_ns[trace::kNumLayers] = {};
+};
+
+struct AttributionBench {
+  bool enabled = false;  // false when built with HYPERALLOC_TRACE=0
+  PhaseAttribution inflate;  // shrink (hard reclamation)
+  PhaseAttribution deflate;  // grow (return)
+  uint64_t dropped_spans = 0;
+  double traced_wall_ms = 0.0;
+  double untraced_wall_ms = 0.0;
+  double trace_overhead_pct = 0.0;
+  std::vector<trace::SpanRecord> spans;  // both phases, for --trace-out
+};
+
+#if HYPERALLOC_TRACE
+
+PhaseAttribution AttributePhase(const std::vector<trace::SpanRecord>& spans,
+                                const char* root_name, double wall_ms) {
+  PhaseAttribution phase;
+  phase.wall_ms = wall_ms;
+  const trace::SpanRecord* root = nullptr;
+  for (const trace::SpanRecord& span : spans) {
+    if (span.layer == trace::Layer::kRequest &&
+        std::strcmp(span.name, root_name) == 0) {
+      root = &span;
+      break;
+    }
+  }
+  if (root == nullptr) {
+    return phase;
+  }
+  phase.found = true;
+  phase.total_vns = root->virtual_ns();
+  for (const trace::SpanRecord& span : spans) {
+    if (span.trace_id != root->trace_id) {
+      continue;
+    }
+    phase.charged_ns += span.charge_ns;
+    phase.layer_ns[static_cast<unsigned>(span.layer)] += span.charge_ns;
+  }
+  phase.charge_closed = phase.charged_ns == phase.total_vns;
+  if (wall_ms > 0.0) {
+    phase.virtual_wall_skew =
+        static_cast<double>(phase.total_vns) / (wall_ms * 1e6);
+  }
+  return phase;
+}
+
+AttributionBench BenchAttribution() {
+  AttributionBench result;
+  result.enabled = true;
+  trace::SpanTracer& spans = trace::SpanTracer::Global();
+  spans.SetCapacity(size_t{1} << 18);
+  const uint64_t dropped_before = spans.dropped_spans();
+
+  // One cycle: prepare 6 GiB of touched-then-freed guest memory, shrink
+  // the limit to 2 GiB (inflate), grow it back (deflate). With `traced`
+  // off this measures the span machinery's wall overhead (arming checks
+  // only — the same binary, tracer disabled).
+  auto cycle = [&spans](bool traced, AttributionBench* out) {
+    spans.SetEnabled(traced);
+    SetupOptions options;
+    options.memory_bytes = 8 * kGiB;
+    options.host_bytes = 16 * kGiB;
+    Setup setup = MakeSetup(Candidate::kHyperAlloc, options);
+    workloads::MemoryPool pool(setup.vm.get());
+    const uint64_t prep = pool.AllocRegion(6 * kGiB, /*thp_fraction=*/0.95, 0);
+    pool.FreeRegion(prep, 0);
+    setup.vm->PurgeAllocatorCaches();
+    (void)spans.Drain();  // prep-phase install traces are not under test
+
+    const Clock::time_point t_shrink = Clock::now();
+    setup.SetLimit(2 * kGiB);
+    const double shrink_ms = MsSince(t_shrink);
+    if (traced && out != nullptr) {
+      std::vector<trace::SpanRecord> shrink_spans = spans.Drain();
+      out->inflate = AttributePhase(shrink_spans, "request.inflate",
+                                    shrink_ms);
+      out->spans.insert(out->spans.end(), shrink_spans.begin(),
+                        shrink_spans.end());
+    }
+
+    const Clock::time_point t_grow = Clock::now();
+    setup.SetLimit(8 * kGiB);
+    const double grow_ms = MsSince(t_grow);
+    if (traced && out != nullptr) {
+      std::vector<trace::SpanRecord> grow_spans = spans.Drain();
+      out->deflate = AttributePhase(grow_spans, "request.deflate", grow_ms);
+      out->spans.insert(out->spans.end(), grow_spans.begin(),
+                        grow_spans.end());
+    }
+    spans.SetEnabled(false);
+    return shrink_ms + grow_ms;
+  };
+
+  result.traced_wall_ms = cycle(true, &result);
+  result.dropped_spans = spans.dropped_spans() - dropped_before;
+  result.untraced_wall_ms = cycle(false, nullptr);
+  if (result.untraced_wall_ms > 0.0) {
+    result.trace_overhead_pct = (result.traced_wall_ms -
+                                 result.untraced_wall_ms) /
+                                result.untraced_wall_ms * 100.0;
+  }
+  return result;
+}
+
+// ----------------------------------------------------------------------
+// Span determinism across thread counts: canonicalized per-VM span
+// streams (virtual-time fields only, host-pool slow paths excluded —
+// refills/rebalances depend on the OS interleaving by design) must be
+// identical between the 1-thread and N-thread multi-VM runs.
+// ----------------------------------------------------------------------
+
+std::vector<std::vector<trace::SpanRecord>> CanonicalPerVmStreams(
+    std::vector<trace::SpanRecord> spans, int vms) {
+  std::vector<std::vector<trace::SpanRecord>> streams(
+      static_cast<size_t>(vms));
+  // seq is assigned by one global counter at emission; each VM's spans
+  // are emitted in program order on whichever thread runs it, so sorting
+  // a VM's spans by seq restores that VM's deterministic program order.
+  std::sort(spans.begin(), spans.end(),
+            [](const trace::SpanRecord& a, const trace::SpanRecord& b) {
+              return a.seq < b.seq;
+            });
+  for (const trace::SpanRecord& span : spans) {
+    if (span.layer == trace::Layer::kHostPool) {
+      continue;
+    }
+    if (span.vm < static_cast<uint32_t>(vms)) {
+      streams[span.vm].push_back(span);
+    }
+  }
+  return streams;
+}
+
+bool SpanStreamsEqual(const std::vector<trace::SpanRecord>& a,
+                      const std::vector<trace::SpanRecord>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].layer != b[i].layer || std::strcmp(a[i].name, b[i].name) != 0 ||
+        a[i].begin_vns != b[i].begin_vns || a[i].end_vns != b[i].end_vns ||
+        a[i].charge_ns != b[i].charge_ns || a[i].frames != b[i].frames) {
+      return false;
+    }
+  }
+  return true;
+}
+
+#else  // !HYPERALLOC_TRACE
+
+AttributionBench BenchAttribution() { return {}; }
+
+#endif  // HYPERALLOC_TRACE
+
 MultiVmConfig MultiVmBenchConfig(bool smoke, unsigned threads) {
   MultiVmConfig config;
   config.vms = 8;
@@ -172,13 +350,33 @@ struct MultiVmBench {
   bool deterministic = false;
   double footprint_gib_min = 0.0;
   double peak_gib = 0.0;
+  // Span-stream determinism guard (satellite of the RSS-series one):
+  // checked only when spans are compiled in and no ring overflowed.
+  bool spans_checked = false;
+  bool spans_deterministic = false;
+  uint64_t spans_single = 0;
+  uint64_t spans_dropped = 0;
 };
 
 MultiVmBench BenchMultiVm(bool smoke, unsigned threads) {
   MultiVmConfig config = MultiVmBenchConfig(smoke, 1);
+#if HYPERALLOC_TRACE
+  trace::SpanTracer& spans = trace::SpanTracer::Global();
+  spans.SetCapacity(size_t{1} << 19);
+  const uint64_t dropped_before = spans.dropped_spans();
+  (void)spans.Drain();
+  spans.SetEnabled(true);
+#endif
   const MultiVmResult single = RunMultiVm(config);
+#if HYPERALLOC_TRACE
+  const std::vector<trace::SpanRecord> single_spans = spans.Drain();
+#endif
   config.threads = threads;
   const MultiVmResult parallel = RunMultiVm(config);
+#if HYPERALLOC_TRACE
+  const std::vector<trace::SpanRecord> parallel_spans = spans.Drain();
+  spans.SetEnabled(false);
+#endif
 
   MultiVmBench result;
   result.vms = config.vms;
@@ -194,6 +392,23 @@ MultiVmBench BenchMultiVm(bool smoke, unsigned threads) {
     result.deterministic =
         SeriesEqual(single.per_vm_rss[i], parallel.per_vm_rss[i]);
   }
+#if HYPERALLOC_TRACE
+  result.spans_single = single_spans.size();
+  result.spans_dropped = spans.dropped_spans() - dropped_before;
+  result.spans_checked = result.spans_dropped == 0;
+  if (result.spans_checked) {
+    const auto a = CanonicalPerVmStreams(single_spans, config.vms);
+    const auto b = CanonicalPerVmStreams(parallel_spans, config.vms);
+    result.spans_deterministic = true;
+    for (int i = 0; i < config.vms; ++i) {
+      if (!SpanStreamsEqual(a[static_cast<size_t>(i)],
+                            b[static_cast<size_t>(i)])) {
+        result.spans_deterministic = false;
+        break;
+      }
+    }
+  }
+#endif
   return result;
 }
 
@@ -207,9 +422,45 @@ std::string Num(uint64_t value) {
   return std::to_string(value);
 }
 
+// Serializes one attribution phase, including per-layer ns + share of
+// the root's virtual time (only layers that received charges).
+std::string PhaseJson(const PhaseAttribution& phase) {
+  std::string json;
+  json += "{\n";
+  json += "        \"found\": " + std::string(phase.found ? "true" : "false") +
+          ",\n";
+  json += "        \"total_vns\": " + Num(phase.total_vns) + ",\n";
+  json += "        \"charged_ns\": " + Num(phase.charged_ns) + ",\n";
+  json += "        \"charge_closed\": " +
+          std::string(phase.charge_closed ? "true" : "false") + ",\n";
+  json += "        \"wall_ms\": " + Num(phase.wall_ms) + ",\n";
+  json += "        \"virtual_wall_skew\": " + Num(phase.virtual_wall_skew) +
+          ",\n";
+  json += "        \"layers\": {";
+  bool first = true;
+  for (unsigned layer = 0; layer < trace::kNumLayers; ++layer) {
+    if (phase.layer_ns[layer] == 0) {
+      continue;
+    }
+    const double share =
+        phase.total_vns > 0
+            ? static_cast<double>(phase.layer_ns[layer]) /
+                  static_cast<double>(phase.total_vns)
+            : 0.0;
+    json += std::string(first ? "" : ",") + "\n          \"" +
+            trace::Name(static_cast<trace::Layer>(layer)) +
+            "\": {\"ns\": " + Num(phase.layer_ns[layer]) +
+            ", \"share\": " + Num(share) + "}";
+    first = false;
+  }
+  json += "\n        }\n      }";
+  return json;
+}
+
 int Main(int argc, char** argv) {
   bool smoke = false;
-  std::string out = "BENCH_PR3.json";
+  std::string out = "BENCH_PR4.json";
+  std::string trace_out;
   unsigned threads = 4;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -218,6 +469,8 @@ int Main(int argc, char** argv) {
       out = argv[i] + 6;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
     }
   }
   if (threads == 0) {
@@ -225,10 +478,10 @@ int Main(int argc, char** argv) {
   }
   const unsigned hw = std::thread::hardware_concurrency();
 
-  std::fprintf(stderr, "[1/3] llfree_alloc_free...\n");
+  std::fprintf(stderr, "[1/4] llfree_alloc_free...\n");
   const OpsResult llfree_result = BenchLLFreeAllocFree(smoke);
 
-  std::fprintf(stderr, "[2/3] host_reserve_release (%u threads)...\n",
+  std::fprintf(stderr, "[2/4] host_reserve_release (%u threads)...\n",
                threads);
   bool invariant_ok = false;
   uint64_t refills = 0;
@@ -237,14 +490,37 @@ int Main(int argc, char** argv) {
   const OpsResult pool_result = BenchHostPool(
       threads, smoke, &invariant_ok, &refills, &drains, &rebalances);
 
-  std::fprintf(stderr, "[3/3] multivm (8 VMs, 1 vs %u threads)...\n",
+  std::fprintf(stderr, "[3/4] attribution (HyperAlloc shrink+grow)...\n");
+  const AttributionBench attribution = BenchAttribution();
+
+  std::fprintf(stderr, "[4/4] multivm (8 VMs, 1 vs %u threads)...\n",
                threads);
   const MultiVmBench multivm = BenchMultiVm(smoke, threads);
 
+#if HYPERALLOC_TRACE
+  if (!trace_out.empty()) {
+    const bool json_ext = trace_out.size() >= 5 &&
+                          trace_out.compare(trace_out.size() - 5, 5,
+                                            ".json") == 0;
+    trace::WritePerfettoJson(json_ext ? trace_out
+                                      : trace_out + ".perfetto.json",
+                             attribution.spans);
+    trace::WriteSpansCsv(trace_out + ".spans.csv", attribution.spans);
+    trace::WritePrometheus(trace_out + ".prom");
+    std::fprintf(stderr, "trace written to %s{,.spans.csv,.prom}\n",
+                 trace_out.c_str());
+  }
+#else
+  if (!trace_out.empty()) {
+    std::fprintf(stderr, "warning: --trace-out ignored (built with "
+                         "HYPERALLOC_TRACE=0)\n");
+  }
+#endif
+
   std::string json;
   json += "{\n";
-  json += "  \"schema\": \"hyperalloc-bench-v1\",\n";
-  json += "  \"pr\": \"PR3\",\n";
+  json += "  \"schema\": \"hyperalloc-bench-v2\",\n";
+  json += "  \"pr\": \"PR4\",\n";
   json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
   json += "  \"hardware_concurrency\": " + Num(uint64_t{hw}) + ",\n";
   json += "  \"note\": \"virtual-time results are deterministic; wall-clock"
@@ -268,6 +544,27 @@ int Main(int argc, char** argv) {
   json += "      \"drains\": " + Num(drains) + ",\n";
   json += "      \"rebalances\": " + Num(rebalances) + "\n";
   json += "    },\n";
+  json += "    \"attribution\": {\n";
+  json += "      \"enabled\": " +
+          std::string(attribution.enabled ? "true" : "false") + ",\n";
+  if (attribution.enabled) {
+    json += "      \"candidate\": \"HyperAlloc\",\n";
+    json += "      \"dropped_spans\": " + Num(attribution.dropped_spans) +
+            ",\n";
+    json += "      \"inflate\": " + PhaseJson(attribution.inflate) + ",\n";
+    json += "      \"deflate\": " + PhaseJson(attribution.deflate) + ",\n";
+    json += "      \"trace_overhead\": {\n";
+    json += "        \"traced_wall_ms\": " + Num(attribution.traced_wall_ms) +
+            ",\n";
+    json += "        \"untraced_wall_ms\": " +
+            Num(attribution.untraced_wall_ms) + ",\n";
+    json += "        \"overhead_pct\": " +
+            Num(attribution.trace_overhead_pct) + "\n";
+    json += "      }\n";
+  } else {
+    json += "      \"note\": \"built with HYPERALLOC_TRACE=0\"\n";
+  }
+  json += "    },\n";
   json += "    \"multivm\": {\n";
   json += "      \"vms\": " + Num(uint64_t{static_cast<uint64_t>(
                                   multivm.vms)}) + ",\n";
@@ -277,6 +574,13 @@ int Main(int argc, char** argv) {
           ",\n";
   json += "      \"deterministic\": " +
           std::string(multivm.deterministic ? "true" : "false") + ",\n";
+  json += "      \"spans_checked\": " +
+          std::string(multivm.spans_checked ? "true" : "false") + ",\n";
+  json += "      \"spans_deterministic\": " +
+          std::string(multivm.spans_deterministic ? "true" : "false") +
+          ",\n";
+  json += "      \"spans_single\": " + Num(multivm.spans_single) + ",\n";
+  json += "      \"spans_dropped\": " + Num(multivm.spans_dropped) + ",\n";
   json += "      \"footprint_gib_min\": " + Num(multivm.footprint_gib_min) +
           ",\n";
   json += "      \"peak_gib\": " + Num(multivm.peak_gib) + "\n";
@@ -295,11 +599,20 @@ int Main(int argc, char** argv) {
   std::fprintf(stderr, "wrote %s\n", out.c_str());
 
   // The runner doubles as a correctness gate: a non-deterministic
-  // multi-VM run or a pool imbalance is a regression, not a slow run.
-  if (!invariant_ok || !multivm.deterministic) {
-    std::fprintf(stderr, "FAILED: %s%s\n",
+  // multi-VM run, a pool imbalance, or a broken span-charge closure is a
+  // regression, not a slow run.
+  const bool attribution_ok =
+      !attribution.enabled ||
+      (attribution.inflate.found && attribution.inflate.charge_closed &&
+       attribution.deflate.found && attribution.deflate.charge_closed);
+  const bool spans_ok = !multivm.spans_checked || multivm.spans_deterministic;
+  if (!invariant_ok || !multivm.deterministic || !attribution_ok ||
+      !spans_ok) {
+    std::fprintf(stderr, "FAILED: %s%s%s%s\n",
                  invariant_ok ? "" : "pool invariant violated ",
-                 multivm.deterministic ? "" : "multivm non-deterministic");
+                 multivm.deterministic ? "" : "multivm non-deterministic ",
+                 attribution_ok ? "" : "span charge closure broken ",
+                 spans_ok ? "" : "span streams differ across thread counts");
     return 1;
   }
   return 0;

@@ -25,6 +25,7 @@
 
 #include "bench/candidates.h"
 #include "src/metrics/timeseries.h"
+#include "src/trace/span.h"
 #include "src/workloads/compile.h"
 #include "src/workloads/interference_hub.h"
 #include "src/workloads/memory_pool.h"
@@ -157,6 +158,15 @@ struct VmWorld {
   }
 
   void Run() {
+#if HYPERALLOC_TRACE
+    // Seed the span context with this VM's id and virtual clock so spans
+    // opened while this world runs are tagged and timestamped correctly
+    // regardless of which worker thread picked the world up.
+    trace::SpanContext vm_context;
+    vm_context.vm = static_cast<uint32_t>(index);
+    vm_context.clock = &sim;
+    trace::ScopedContext scoped_vm_context(vm_context);
+#endif
     // 1 Hz RSS sampling on this VM's virtual clock, as the paper samples
     // each QEMU process.
     std::function<void()> tick = [this, &tick] {

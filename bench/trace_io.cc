@@ -26,6 +26,8 @@ TraceOutput::TraceOutput(int argc, char** argv) {
   // Benches emit from a single thread; one big ring keeps whole runs.
   trace::Tracer::Global().SetCapacity(size_t{1} << 20);
   trace::Tracer::Global().SetEnabled(true);
+  trace::SpanTracer::Global().SetCapacity(size_t{1} << 20);
+  trace::SpanTracer::Global().SetEnabled(true);
 #else
   std::fprintf(stderr,
                "warning: --trace-out ignored (built with "
@@ -41,6 +43,7 @@ TraceOutput::~TraceOutput() {
   }
   trace::Tracer::Global().SetEnabled(false);
   trace::Tracer::Global().SetTimeSource(nullptr);
+  trace::SpanTracer::Global().SetEnabled(false);
   trace::WriteTraceArtifact(path_);
   std::fprintf(stderr, "trace written to %s\n", path_.c_str());
 #endif

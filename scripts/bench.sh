@@ -2,16 +2,17 @@
 # Performance snapshot: builds the default preset, runs bench_runner, and
 # validates the emitted JSON against the hyperalloc-bench-v1 schema.
 #
-#   scripts/bench.sh              full run, writes BENCH_PR3.json
+#   scripts/bench.sh              full run, writes BENCH_PR4.json
 #   scripts/bench.sh --smoke      CI-sized run (seconds), same schema
 #
 # Extra flags are passed through to bench_runner (e.g. --threads=8,
-# --out=PATH). The JSON at the repo root is the committed perf baseline;
-# compare against it before and after a perf-relevant change.
+# --out=PATH, --trace-out=PATH). The JSON at the repo root is the
+# committed perf baseline; scripts/perf_gate.py compares a fresh run
+# against the previous PR's baseline.
 set -e
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_PR3.json
+OUT=BENCH_PR4.json
 for arg in "$@"; do
   case "$arg" in
     --out=*) OUT="${arg#--out=}" ;;

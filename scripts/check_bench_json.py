@@ -1,9 +1,15 @@
 #!/usr/bin/env python3
-"""Validates a bench_runner JSON document (hyperalloc-bench-v1 schema).
+"""Validates a bench_runner JSON document.
+
+Accepts both schema revisions:
+  hyperalloc-bench-v1  (PR3: llfree / pool / multivm)
+  hyperalloc-bench-v2  (PR4: adds the `attribution` section and the
+                        multivm span-determinism fields)
 
 Stdlib-only on purpose: runs in CI containers with no extra packages.
 Checks structure and types, plus the semantic gates the runner itself
-enforces (pool invariant, multi-VM determinism).
+enforces (pool invariant, multi-VM determinism, charge closure, span
+stream determinism).
 """
 import json
 import numbers
@@ -28,6 +34,27 @@ def require(doc, key, kind, ctx):
     return value
 
 
+def check_phase(phase, ctx):
+    """One attribution phase (inflate/deflate): totals plus charge closure."""
+    if not require(phase, "found", bool, ctx):
+        fail(f"{ctx}: request root span not found in trace")
+    for key in ("total_vns", "charged_ns", "wall_ms", "virtual_wall_skew"):
+        require(phase, key, numbers.Real, ctx)
+    if not require(phase, "charge_closed", bool, ctx):
+        fail(f"{ctx}: span charges do not sum to the root's virtual "
+             f"duration ({phase['charged_ns']} != {phase['total_vns']})")
+    layers = require(phase, "layers", dict, ctx)
+    if not layers:
+        fail(f"{ctx}: no per-layer attribution recorded")
+    share_sum = 0.0
+    for layer, entry in layers.items():
+        require(entry, "ns", numbers.Real, f"{ctx}.layers.{layer}")
+        share_sum += require(entry, "share", numbers.Real,
+                             f"{ctx}.layers.{layer}")
+    if not 0.98 <= share_sum <= 1.02:
+        fail(f"{ctx}: layer shares sum to {share_sum:.3f}, expected ~1")
+
+
 def main():
     if len(sys.argv) != 2:
         fail("usage: check_bench_json.py BENCH.json")
@@ -37,8 +64,10 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot parse {sys.argv[1]}: {e}")
 
-    if require(doc, "schema", str, "$") != "hyperalloc-bench-v1":
-        fail(f"unknown schema '{doc['schema']}'")
+    schema = require(doc, "schema", str, "$")
+    if schema not in ("hyperalloc-bench-v1", "hyperalloc-bench-v2"):
+        fail(f"unknown schema '{schema}'")
+    v2 = schema == "hyperalloc-bench-v2"
     require(doc, "pr", str, "$")
     require(doc, "smoke", bool, "$")
     require(doc, "hardware_concurrency", numbers.Real, "$")
@@ -68,7 +97,34 @@ def main():
     if multivm["vms"] < 2:
         fail("multivm: needs at least 2 VMs to mean anything")
 
-    print(f"check_bench_json: OK ({sys.argv[1]})")
+    if v2:
+        attribution = require(benches, "attribution", dict, "benches")
+        if require(attribution, "enabled", bool, "attribution"):
+            require(attribution, "candidate", str, "attribution")
+            require(attribution, "dropped_spans", numbers.Real, "attribution")
+            if attribution["dropped_spans"] != 0:
+                fail("attribution: span ring dropped events; raise capacity")
+            check_phase(require(attribution, "inflate", dict, "attribution"),
+                        "attribution.inflate")
+            check_phase(require(attribution, "deflate", dict, "attribution"),
+                        "attribution.deflate")
+            overhead = require(attribution, "trace_overhead", dict,
+                               "attribution")
+            for key in ("traced_wall_ms", "untraced_wall_ms", "overhead_pct"):
+                require(overhead, key, numbers.Real,
+                        "attribution.trace_overhead")
+        # enabled=false is legal (HYPERALLOC_TRACE=0 build): the section
+        # must exist and say so, nothing more to check.
+
+        require(multivm, "spans_checked", bool, "multivm")
+        require(multivm, "spans_single", numbers.Real, "multivm")
+        require(multivm, "spans_dropped", numbers.Real, "multivm")
+        if multivm["spans_checked"]:
+            if not require(multivm, "spans_deterministic", bool, "multivm"):
+                fail("multivm: canonical span streams differ between "
+                     "thread counts")
+
+    print(f"check_bench_json: OK ({sys.argv[1]}, {schema})")
 
 
 if __name__ == "__main__":

@@ -8,7 +8,9 @@
 #      call site and survives the check::Atomic shim (which has no
 #      defaulted-order overloads at all),
 #   3. clang-tidy bugprone-* / concurrency-* findings (skipped with a
-#      note when clang-tidy is not installed; CI installs it).
+#      note when clang-tidy is not installed; CI installs it),
+#   4. ha_trace_tool --self-check (the offline trace analyzer validates
+#      its own percentile / parsing / attribution math).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -83,6 +85,11 @@ if command -v clang-tidy >/dev/null 2>&1; then
 else
   echo "clang-tidy not installed; skipping (CI runs this gate)"
 fi
+
+echo "-- gate 4: ha_trace_tool --self-check"
+cmake --preset default >/dev/null
+cmake --build build --target ha_trace_tool >/dev/null
+./build/tools/ha_trace_tool --self-check || status=1
 
 if [ "$status" -ne 0 ]; then
   echo "lint: FAILED"

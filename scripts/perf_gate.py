@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compares a bench_runner JSON against a baseline.
+
+    perf_gate.py BASELINE.json CURRENT.json [--threshold=0.25] [--wall]
+
+Fails (exit 1) when a guarded metric regresses by more than the
+threshold (default 25%). Two classes of metric:
+
+  * deterministic — virtual-time results (multivm footprint/peak,
+    attribution totals and per-layer shares) and op counts. These are
+    identical across machines, so any drift is a real behavior change
+    and is always gated.
+  * wall-clock — ops_per_sec, wall_ms. Noisy on shared CI runners, so
+    they are only gated under --wall (for dedicated perf hardware);
+    otherwise they are reported informationally.
+
+Sections or keys missing from the BASELINE are skipped with a note —
+that is how a new schema revision lands: the first run after adding a
+section has nothing to compare against (e.g. BENCH_PR3.json predates
+the `attribution` section). Keys missing from CURRENT fail: a metric
+that existed must not silently disappear.
+
+Stdlib-only; runs in CI containers with no extra packages.
+"""
+import json
+import sys
+
+# metric path -> (direction, kind). direction "higher"/"lower" is the
+# good direction; kind "det" is always gated, "wall" only under --wall.
+METRICS = {
+    ("benches", "llfree_alloc_free", "ops"): ("higher", "det"),
+    ("benches", "llfree_alloc_free", "ops_per_sec"): ("higher", "wall"),
+    ("benches", "host_reserve_release", "ops"): ("higher", "det"),
+    ("benches", "host_reserve_release", "ops_per_sec"): ("higher", "wall"),
+    ("benches", "multivm", "footprint_gib_min"): ("lower", "det"),
+    ("benches", "multivm", "peak_gib"): ("lower", "det"),
+    ("benches", "multivm", "wall_ms_single"): ("lower", "wall"),
+    ("benches", "multivm", "wall_ms_parallel"): ("lower", "wall"),
+    ("benches", "attribution", "inflate", "total_vns"): ("lower", "det"),
+    ("benches", "attribution", "deflate", "total_vns"): ("lower", "det"),
+    ("benches", "attribution", "trace_overhead", "overhead_pct"):
+        ("lower", "wall"),
+}
+
+
+def fail(message):
+    print(f"perf_gate: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def lookup(doc, path):
+    """Returns the value at `path` or None if any component is missing."""
+    node = doc
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    flags = [a for a in sys.argv[1:] if a.startswith("--")]
+    if len(args) != 2:
+        fail("usage: perf_gate.py BASELINE.json CURRENT.json "
+             "[--threshold=0.25] [--wall]")
+    threshold = 0.25
+    gate_wall = False
+    for flag in flags:
+        if flag.startswith("--threshold="):
+            threshold = float(flag.split("=", 1)[1])
+        elif flag == "--wall":
+            gate_wall = True
+        else:
+            fail(f"unknown flag {flag}")
+
+    baseline = load(args[0])
+    current = load(args[1])
+    if current.get("smoke") and not baseline.get("smoke"):
+        print("perf_gate: note: comparing a --smoke run against a full "
+              "baseline; only scale-independent metrics are meaningful")
+
+    failures = []
+    for path, (direction, kind) in sorted(METRICS.items()):
+        name = ".".join(path)
+        before = lookup(baseline, path)
+        after = lookup(current, path)
+        if before is None:
+            print(f"perf_gate: skip  {name}: not in baseline")
+            continue
+        if after is None:
+            failures.append(f"{name}: present in baseline but missing "
+                            f"from current")
+            continue
+        if before == 0:
+            print(f"perf_gate: skip  {name}: baseline is zero")
+            continue
+        # Regression = movement in the bad direction, as a fraction of
+        # the baseline.
+        change = (after - before) / before
+        regression = -change if direction == "higher" else change
+        gated = kind == "det" or gate_wall
+        status = "ok   "
+        if regression > threshold:
+            if gated:
+                status = "FAIL "
+                failures.append(
+                    f"{name}: {before} -> {after} "
+                    f"({regression:+.1%} regression, threshold "
+                    f"{threshold:.0%})")
+            else:
+                status = "info "
+        print(f"perf_gate: {status} {name}: {before} -> {after} "
+              f"({change:+.1%}{'' if gated else ', wall-clock, not gated'})")
+
+    # Attribution layer shares: a layer silently absorbing a much larger
+    # share of the request is a perf smell even when totals move little.
+    for phase in ("inflate", "deflate"):
+        base_layers = lookup(baseline, ("benches", "attribution", phase,
+                                        "layers"))
+        cur_layers = lookup(current, ("benches", "attribution", phase,
+                                      "layers"))
+        if base_layers is None or cur_layers is None:
+            if base_layers is None:
+                print(f"perf_gate: skip  attribution.{phase}.layers: "
+                      f"not in baseline")
+            continue
+        for layer, entry in sorted(base_layers.items()):
+            before = entry.get("share", 0.0)
+            after = cur_layers.get(layer, {}).get("share", 0.0)
+            delta = after - before
+            status = "ok   "
+            if abs(delta) > threshold:
+                status = "FAIL "
+                failures.append(
+                    f"attribution.{phase}.layers.{layer}.share: "
+                    f"{before} -> {after} (moved {delta:+.2f}, threshold "
+                    f"{threshold:.2f})")
+            print(f"perf_gate: {status} attribution.{phase}.layers."
+                  f"{layer}.share: {before} -> {after}")
+
+    if failures:
+        print(f"perf_gate: FAILED ({len(failures)} regression(s) vs "
+              f"{args[0]}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        sys.exit(1)
+    print(f"perf_gate: OK ({args[1]} vs {args[0]}, "
+          f"threshold {threshold:.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,12 +25,14 @@ VirtioBalloon::VirtioBalloon(guest::GuestVm* vm, const BalloonConfig& config)
                              config_.deflate_on_oom_bytes / kFrameSize);
       ++oom_deflations_;
       HA_COUNT("balloon.oom_deflate");
+      trace::Span span(trace::Layer::kBackend, "balloon.oom_deflate");
       while (ballooned_frames_ > target_frames && !pages_.empty()) {
         const Ballooned b = pages_.back();
         pages_.pop_back();
-        sim_->AdvanceClock(b.order == kHugeOrder
-                               ? vm_->costs().balloon_deflate_2m_ns
-                               : vm_->costs().balloon_deflate_4k_ns);
+        span.AddFrames(1ull << b.order);
+        hv::Charge(sim_, b.order == kHugeOrder
+                             ? vm_->costs().balloon_deflate_2m_ns
+                             : vm_->costs().balloon_deflate_4k_ns);
         vm_->Free(b.frame, b.order, config_.driver_cpu);
         ballooned_frames_ -= 1ull << b.order;
         HA_COUNT_N("balloon.deflate_frames", 1ull << b.order);
@@ -56,13 +58,18 @@ void VirtioBalloon::Request(const hv::ResizeRequest& request) {
   const uint64_t total = vm_->config().memory_bytes;
   HA_CHECK(request.target_bytes <= total);
   const uint64_t target_frames = (total - request.target_bytes) / kFrameSize;
+  const bool inflate = target_frames > ballooned_frames_;
+  request_span_.Start(inflate ? "request.inflate" : "request.deflate");
+  request_span_.AddFrames(inflate ? target_frames - ballooned_frames_
+                                  : ballooned_frames_ - target_frames);
   auto finish = [this, done = request.done] {
+    request_span_.Finish();
     busy_ = false;
     if (done) {
       done();
     }
   };
-  if (target_frames > ballooned_frames_) {
+  if (inflate) {
     InflateSlice(target_frames, std::move(finish));
   } else {
     DeflateSlice(target_frames, std::move(finish));
@@ -71,38 +78,45 @@ void VirtioBalloon::Request(const hv::ResizeRequest& request) {
 
 void VirtioBalloon::InflateSlice(uint64_t target_frames,
                                  std::function<void()> done) {
+  trace::ScopedContext request_context(request_span_.context());
+  trace::Span slice(trace::Layer::kBackend, "balloon.inflate_slice");
   const sim::Time t0 = sim_->now();
   std::vector<Ballooned> batch;
   const sim::Time guest_start = sim_->now();
 
   // Guest driver: allocate pages and queue their PFNs (one virtqueue
   // batch per slice).
-  while (batch.size() < config_.vq_capacity &&
-         ballooned_frames_ < target_frames) {
-    unsigned order = config_.huge ? kHugeOrder : 0;
-    if (config_.huge &&
-        target_frames - ballooned_frames_ < kFramesPerHuge) {
-      order = 0;  // tail smaller than one huge frame
-    }
-    Result<FrameId> r = vm_->Alloc(order, AllocType::kMovable,
-                                   config_.driver_cpu,
-                                   /*allow_oom_notify=*/false);
-    if (!r.ok() && order == kHugeOrder) {
-      // Fragmentation fallback (Hu et al. split path): 4 KiB pages.
-      order = 0;
-      r = vm_->Alloc(order, AllocType::kMovable, config_.driver_cpu,
-                     /*allow_oom_notify=*/false);
-    }
-    if (!r.ok()) {
-      break;  // guest out of reclaimable memory; stop inflating
-    }
-    sim_->AdvanceClock(order == kHugeOrder ? vm_->costs().guest_alloc_2m_ns
+  {
+    trace::Span guest(trace::Layer::kGuest, "balloon.guest_alloc");
+    while (batch.size() < config_.vq_capacity &&
+           ballooned_frames_ < target_frames) {
+      unsigned order = config_.huge ? kHugeOrder : 0;
+      if (config_.huge &&
+          target_frames - ballooned_frames_ < kFramesPerHuge) {
+        order = 0;  // tail smaller than one huge frame
+      }
+      Result<FrameId> r = vm_->Alloc(order, AllocType::kMovable,
+                                     config_.driver_cpu,
+                                     /*allow_oom_notify=*/false);
+      if (!r.ok() && order == kHugeOrder) {
+        // Fragmentation fallback (Hu et al. split path): 4 KiB pages.
+        order = 0;
+        r = vm_->Alloc(order, AllocType::kMovable, config_.driver_cpu,
+                       /*allow_oom_notify=*/false);
+      }
+      if (!r.ok()) {
+        break;  // guest out of reclaimable memory; stop inflating
+      }
+      hv::Charge(sim_, order == kHugeOrder ? vm_->costs().guest_alloc_2m_ns
                                            : vm_->costs().guest_alloc_4k_ns);
-    sim_->AdvanceClock(vm_->costs().virtqueue_element_ns);
-    batch.push_back({*r, order});
-    ballooned_frames_ += 1ull << order;
-    HA_COUNT_N("balloon.inflate_frames", 1ull << order);
-    HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kInflate, *r, order);
+      hv::Charge(sim_, vm_->costs().virtqueue_element_ns);
+      batch.push_back({*r, order});
+      ballooned_frames_ += 1ull << order;
+      HA_COUNT_N("balloon.inflate_frames", 1ull << order);
+      HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kInflate, *r,
+                     order);
+      guest.AddFrames(1ull << order);
+    }
   }
   cpu_.guest_ns += sim_->now() - guest_start;
 
@@ -134,11 +148,15 @@ void VirtioBalloon::InflateSlice(uint64_t target_frames,
 }
 
 void VirtioBalloon::HostDiscard(const std::vector<Ballooned>& batch) {
+  // The host-side half of a batch is one EPT-layer span: per-entry
+  // madvise syscalls plus the unmap of whatever was still mapped.
+  trace::Span span(trace::Layer::kEpt, "balloon.host_discard");
   const sim::Time t0 = sim_->now();
   uint64_t sys_ns = 0;
   uint64_t shootdown_allcpu_ns = 0;
   for (const Ballooned& b : batch) {
     const uint64_t frames = 1ull << b.order;
+    span.AddFrames(frames);
     const uint64_t mapped = vm_->ept().CountMapped(b.frame, frames);
     // QEMU issues one madvise(DONTNEED) per entry, mapped or not.
     sys_ns += vm_->costs().madvise_syscall_ns;
@@ -158,8 +176,7 @@ void VirtioBalloon::HostDiscard(const std::vector<Ballooned>& batch) {
       vm_->ept().Unmap(b.frame, frames);
     }
   }
-  sim_->AdvanceClock(sys_ns);
-  cpu_.host_sys_ns += sys_ns;
+  cpu_.host_sys_ns += hv::Charge(sim_, sys_ns);
   const sim::Time t1 = sim_->now();
   if (shootdown_allcpu_ns > 0 && t1 > t0) {
     vm_->sink().OnAllCpusSteal(
@@ -171,6 +188,12 @@ void VirtioBalloon::HostDiscard(const std::vector<Ballooned>& batch) {
 
 void VirtioBalloon::DeflateSlice(uint64_t target_frames,
                                  std::function<void()> done) {
+  trace::ScopedContext request_context(request_span_.context());
+  // Device processing and guest frees alternate per element; rather than
+  // a span per element, two slice-length spans take the charges of their
+  // layer (ChargeSpan targets them explicitly).
+  trace::Span slice(trace::Layer::kBackend, "balloon.deflate_slice");
+  trace::Span guest(trace::Layer::kGuest, "balloon.guest_free");
   const sim::Time t0 = sim_->now();
   unsigned elems = 0;
   while (elems < config_.vq_capacity && ballooned_frames_ > target_frames &&
@@ -181,17 +204,16 @@ void VirtioBalloon::DeflateSlice(uint64_t target_frames,
     const uint64_t deflate_ns = b.order == kHugeOrder
                                     ? vm_->costs().balloon_deflate_2m_ns
                                     : vm_->costs().balloon_deflate_4k_ns;
-    sim_->AdvanceClock(deflate_ns);
-    cpu_.host_user_ns += deflate_ns;
+    cpu_.host_user_ns += hv::ChargeSpan(sim_, &slice, deflate_ns);
     // ... and the guest returning the page to its allocator. The memory
     // itself is repopulated lazily on the next EPT fault.
     const uint64_t free_ns = b.order == kHugeOrder
                                  ? vm_->costs().guest_free_2m_ns
                                  : vm_->costs().guest_free_4k_ns;
-    sim_->AdvanceClock(free_ns);
-    cpu_.guest_ns += free_ns;
+    cpu_.guest_ns += hv::ChargeSpan(sim_, &guest, free_ns);
     vm_->Free(b.frame, b.order, config_.driver_cpu);
     ballooned_frames_ -= 1ull << b.order;
+    guest.AddFrames(1ull << b.order);
     HA_COUNT_N("balloon.deflate_frames", 1ull << b.order);
     HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kDeflate, b.frame,
                    b.order);
@@ -222,6 +244,8 @@ void VirtioBalloon::ReportCycle() {
   if (!auto_running_) {
     return;
   }
+  trace::ScopedRoot report_root;
+  trace::Span span(trace::Layer::kBackend, "balloon.report_cycle");
   const sim::Time t0 = sim_->now();
   const unsigned order = config_.reporting_order;
   const uint64_t block_frames = 1ull << order;
@@ -238,12 +262,11 @@ void VirtioBalloon::ReportCycle() {
       if (!local.has_value()) {
         break;
       }
-      sim_->AdvanceClock(vm_->costs().guest_alloc_4k_ns);  // isolation
-      sim_->AdvanceClock(vm_->costs().virtqueue_element_ns);
-      cpu_.guest_ns +=
-          vm_->costs().guest_alloc_4k_ns + vm_->costs().virtqueue_element_ns;
+      cpu_.guest_ns += hv::Charge(sim_, vm_->costs().guest_alloc_4k_ns +
+                                            vm_->costs().virtqueue_element_ns);
       batch.push_back({zone.start + *local, order});
       zone_of.push_back(&zone);
+      span.AddFrames(block_frames);
     }
     if (batch.size() >= config_.reporting_capacity) {
       break;
@@ -271,8 +294,7 @@ void VirtioBalloon::ReportCycle() {
     zone.buddy->MarkReported(local, order);
     const auto err = zone.buddy->Free(config_.driver_cpu, local, order);
     HA_CHECK(!err.has_value());
-    sim_->AdvanceClock(vm_->costs().guest_free_4k_ns);
-    cpu_.guest_ns += vm_->costs().guest_free_4k_ns;
+    cpu_.guest_ns += hv::Charge(sim_, vm_->costs().guest_free_4k_ns);
     reported_bytes_ += block_frames * kFrameSize;
   }
   vm_->sink().OnCpuSteal(config_.driver_cpu, t0, sim_->now(), 1.0);

@@ -27,6 +27,7 @@
 #include "src/guest/guest_vm.h"
 #include "src/hv/deflator.h"
 #include "src/sim/simulation.h"
+#include "src/trace/span.h"
 
 namespace hyperalloc::balloon {
 
@@ -95,6 +96,7 @@ class VirtioBalloon : public hv::Deflator {
   bool auto_running_ = false;
 
   hv::CpuAccounting cpu_;
+  trace::RequestSpan request_span_;
   uint64_t oom_deflations_ = 0;
   uint64_t hypercalls_ = 0;
   uint64_t madvise_calls_ = 0;

@@ -105,6 +105,11 @@ void HyperAllocMonitor::Install(ZoneView& view, HugeId local_huge) {
   // safety).
   HA_DCHECK(view.states.Get(local_huge) == ReclaimState::kSoft);
   const sim::Time t0 = sim_->now();
+  // Installs are their own causal roots: they are triggered by guest
+  // allocations, not by a resize request.
+  trace::ScopedRoot root;
+  trace::Span span(trace::Layer::kMonitor, "monitor.install");
+  span.AddFrames(kFramesPerHuge);
   // In-kernel integration (§5.3 ablation): no KVM->QEMU context switch —
   // the install costs no more than the EPT fault it replaces.
   const uint64_t entry_ns = config_.in_kernel
@@ -117,13 +122,21 @@ void HyperAllocMonitor::Install(ZoneView& view, HugeId local_huge) {
   }
 
   const FrameId global_first = view.zone->start + HugeToFrame(local_huge);
-  HA_CHECK(vm_->PopulateFrames(global_first, kFramesPerHuge));
-  uint64_t sys_ns = kFramesPerHuge * vm_->costs().populate_4k_ns;
-  if (vm_->config().vfio) {
-    vm_->iommu()->Pin(FrameToHuge(global_first));
-    sys_ns += vm_->costs().iommu_map_2m_ns;
+  {
+    trace::Span populate(trace::Layer::kEpt, "ept.populate");
+    populate.AddFrames(kFramesPerHuge);
+    HA_CHECK(vm_->PopulateFrames(global_first, kFramesPerHuge));
+    cpu_.host_sys_ns += hv::ChargeTraced(
+        sim_, "monitor.install_ns",
+        kFramesPerHuge * vm_->costs().populate_4k_ns);
   }
-  cpu_.host_sys_ns += hv::ChargeTraced(sim_, "monitor.install_ns", sys_ns);
+  if (vm_->config().vfio) {
+    trace::Span pin(trace::Layer::kIommu, "iommu.pin");
+    pin.AddFrames(kFramesPerHuge);
+    vm_->iommu()->Pin(FrameToHuge(global_first));
+    cpu_.host_sys_ns += hv::ChargeTraced(sim_, "monitor.install_pin_ns",
+                                         vm_->costs().iommu_map_2m_ns);
+  }
   HA_COUNT("monitor.install");
   HA_TRACE_EVENT(trace::Category::kMonitor, trace::Op::kInstall,
                  FrameToHuge(global_first), 0);
@@ -144,12 +157,14 @@ void HyperAllocMonitor::UnmapBatch(const std::vector<HugeId>& global_huge) {
   std::sort(sorted.begin(), sorted.end());
 
   const sim::Time t0 = sim_->now();
-  uint64_t sys_ns = 0;
   uint64_t shootdown_allcpu_ns = 0;
 
   // Contiguous runs are unmapped with a single madvise syscall — the
   // aggregation that LLFree's compact allocation behaviour makes
-  // effective (§4.2 "KVM/QEMU Integration").
+  // effective (§4.2 "KVM/QEMU Integration"). Each run's madvise/TLB cost
+  // is charged inside an EPT-layer span and each run's coalesced unpin
+  // inside an IOMMU-layer span, so request traces attribute the flush
+  // work to the layer that incurs it (total charge is unchanged).
   size_t i = 0;
   while (i < sorted.size()) {
     size_t j = i + 1;
@@ -157,24 +172,30 @@ void HyperAllocMonitor::UnmapBatch(const std::vector<HugeId>& global_huge) {
       ++j;
     }
     uint64_t mapped_huge = 0;
+    uint64_t run_sys_ns = 0;
     for (size_t k = i; k < j; ++k) {
       const FrameId first = HugeToFrame(sorted[k]);
       if (vm_->ept().CountMapped(first, kFramesPerHuge) > 0) {
         ++mapped_huge;
-        sys_ns += vm_->costs().madvise_per_2m_ns;
+        run_sys_ns += vm_->costs().madvise_per_2m_ns;
         shootdown_allcpu_ns += vm_->costs().shootdown_allcpu_2m_ns;
         vm_->ept().Unmap(first, kFramesPerHuge);
       }
     }
     if (mapped_huge > 0) {
       // In-kernel: direct EPT zap, no madvise syscall per run.
-      sys_ns += (config_.in_kernel ? 0 : vm_->costs().madvise_syscall_ns) +
-                vm_->costs().tlb_shootdown_ns;
+      run_sys_ns += (config_.in_kernel ? 0
+                                       : vm_->costs().madvise_syscall_ns) +
+                    vm_->costs().tlb_shootdown_ns;
       if (!config_.in_kernel) {
         HA_COUNT("monitor.madvise");
         HA_TRACE_EVENT(trace::Category::kMonitor, trace::Op::kMadvise,
                        sorted[i], mapped_huge);
       }
+      trace::Span unmap(trace::Layer::kEpt, "ept.unmap_run");
+      unmap.AddFrames(mapped_huge * kFramesPerHuge);
+      cpu_.host_sys_ns +=
+          hv::ChargeTraced(sim_, "monitor.unmap_ns", run_sys_ns);
     }
     if (vm_->config().vfio) {
       // Coalesced IOTLB invalidation: unpin the whole contiguous run and
@@ -183,14 +204,17 @@ void HyperAllocMonitor::UnmapBatch(const std::vector<HugeId>& global_huge) {
       const uint64_t unpinned =
           vm_->iommu()->UnpinRange(sorted[i], j - i);
       if (unpinned > 0) {
-        sys_ns += unpinned * vm_->costs().iommu_unmap_2m_ns +
-                  vm_->costs().iotlb_flush_ns;
+        trace::Span unpin(trace::Layer::kIommu, "iommu.unpin_range");
+        unpin.AddFrames(unpinned * kFramesPerHuge);
+        cpu_.host_sys_ns += hv::ChargeTraced(
+            sim_, "monitor.unmap_iommu_ns",
+            unpinned * vm_->costs().iommu_unmap_2m_ns +
+                vm_->costs().iotlb_flush_ns);
       }
     }
     i = j;
   }
 
-  cpu_.host_sys_ns += hv::ChargeTraced(sim_, "monitor.unmap_ns", sys_ns);
   HA_HIST("monitor.unmap_batch_huge", sorted.size());
   const sim::Time t1 = sim_->now();
   if (shootdown_allcpu_ns > 0 && t1 > t0) {
@@ -207,13 +231,20 @@ void HyperAllocMonitor::Request(const hv::ResizeRequest& request) {
   HA_CHECK(request.target_bytes <= vm_->config().memory_bytes);
   const uint64_t target_hard =
       (vm_->config().memory_bytes - request.target_bytes) / kHugeSize;
+  const bool shrink = target_hard > hard_reclaimed_huge_;
+  request_span_.Start(shrink ? "request.inflate" : "request.deflate");
+  request_span_.AddFrames(
+      (shrink ? target_hard - hard_reclaimed_huge_
+              : hard_reclaimed_huge_ - target_hard) *
+      kFramesPerHuge);
   auto finish = [this, done = request.done] {
+    request_span_.Finish();
     busy_ = false;
     if (done) {
       done();
     }
   };
-  if (target_hard > hard_reclaimed_huge_) {
+  if (shrink) {
     ShrinkSlice(target_hard, /*escalation=*/0, std::move(finish));
   } else {
     GrowSlice(target_hard, std::move(finish));
@@ -222,6 +253,10 @@ void HyperAllocMonitor::Request(const hv::ResizeRequest& request) {
 
 void HyperAllocMonitor::ShrinkSlice(uint64_t target_huge, int escalation,
                                     std::function<void()> done) {
+  // Re-enter the request's trace (slices run as separate event-loop
+  // callbacks, so the thread context must be restored each time).
+  trace::ScopedContext request_context(request_span_.context());
+  trace::Span slice(trace::Layer::kMonitor, "monitor.shrink_slice");
   std::vector<HugeId> batch;
   const std::vector<ZoneView*> order = ReclaimOrder();
 
@@ -229,24 +264,28 @@ void HyperAllocMonitor::ShrinkSlice(uint64_t target_huge, int escalation,
   // DMA32 (§4.2). The hint makes repeated shrink/grow cycles naturally
   // re-take the previously reclaimed (still evicted) region first — the
   // "reclaim untouched" fast path of §5.3, which needs no unmapping.
-  for (ZoneView* view : order) {
-    while (hard_reclaimed_huge_ < target_huge &&
-           batch.size() < config_.hugepages_per_slice) {
-      const std::optional<HugeId> huge = view->monitor_view->ReclaimHuge(
-          view->hint, /*hard=*/true, /*allow_reserved=*/escalation >= 1);
-      if (!huge.has_value()) {
-        break;  // zone exhausted; try the next one
+  {
+    trace::Span reclaim(trace::Layer::kLLFree, "llfree.reclaim_huge");
+    for (ZoneView* view : order) {
+      while (hard_reclaimed_huge_ < target_huge &&
+             batch.size() < config_.hugepages_per_slice) {
+        const std::optional<HugeId> huge = view->monitor_view->ReclaimHuge(
+            view->hint, /*hard=*/true, /*allow_reserved=*/escalation >= 1);
+        if (!huge.has_value()) {
+          break;  // zone exhausted; try the next one
+        }
+        view->hint = (*huge + 1) % view->states.size();
+        cpu_.host_user_ns += hv::ChargeTraced(
+            sim_, "monitor.reclaim_ns", vm_->costs().ha_reclaim_state_2m_ns);
+        view->states.Set(*huge, ReclaimState::kHard);
+        batch.push_back(FrameToHuge(view->zone->start) + *huge);
+        HA_COUNT("monitor.reclaim_hard");
+        HA_TRACE_EVENT(trace::Category::kMonitor, trace::Op::kReclaimHard,
+                       batch.back(), escalation);
+        ++hard_reclaimed_huge_;
       }
-      view->hint = (*huge + 1) % view->states.size();
-      cpu_.host_user_ns += hv::ChargeTraced(
-          sim_, "monitor.reclaim_ns", vm_->costs().ha_reclaim_state_2m_ns);
-      view->states.Set(*huge, ReclaimState::kHard);
-      batch.push_back(FrameToHuge(view->zone->start) + *huge);
-      HA_COUNT("monitor.reclaim_hard");
-      HA_TRACE_EVENT(trace::Category::kMonitor, trace::Op::kReclaimHard,
-                     batch.back(), escalation);
-      ++hard_reclaimed_huge_;
     }
+    reclaim.AddFrames(batch.size() * kFramesPerHuge);
   }
   UnmapBatch(batch);
 
@@ -276,25 +315,31 @@ void HyperAllocMonitor::ShrinkSlice(uint64_t target_huge, int escalation,
 
 void HyperAllocMonitor::GrowSlice(uint64_t target_huge,
                                   std::function<void()> done) {
+  trace::ScopedContext request_context(request_span_.context());
+  trace::Span slice(trace::Layer::kMonitor, "monitor.grow_slice");
   unsigned returned = 0;
-  for (const auto& view : zones_) {
-    for (HugeId h = 0; h < view->states.size() &&
-                       hard_reclaimed_huge_ > target_huge &&
-                       returned < config_.hugepages_per_slice;
-         ++h) {
-      if (view->states.Get(h) != ReclaimState::kHard) {
-        continue;
+  {
+    trace::Span mark(trace::Layer::kLLFree, "llfree.mark_returned");
+    for (const auto& view : zones_) {
+      for (HugeId h = 0; h < view->states.size() &&
+                         hard_reclaimed_huge_ > target_huge &&
+                         returned < config_.hugepages_per_slice;
+           ++h) {
+        if (view->states.Get(h) != ReclaimState::kHard) {
+          continue;
+        }
+        HA_CHECK(view->monitor_view->MarkReturned(h));
+        view->states.Set(h, ReclaimState::kSoft);
+        cpu_.host_user_ns += hv::ChargeTraced(
+            sim_, "monitor.return_ns", vm_->costs().ha_return_state_2m_ns);
+        HA_COUNT("monitor.return");
+        HA_TRACE_EVENT(trace::Category::kMonitor, trace::Op::kReturn,
+                       FrameToHuge(view->zone->start) + h, 0);
+        --hard_reclaimed_huge_;
+        ++returned;
       }
-      HA_CHECK(view->monitor_view->MarkReturned(h));
-      view->states.Set(h, ReclaimState::kSoft);
-      cpu_.host_user_ns += hv::ChargeTraced(
-          sim_, "monitor.return_ns", vm_->costs().ha_return_state_2m_ns);
-      HA_COUNT("monitor.return");
-      HA_TRACE_EVENT(trace::Category::kMonitor, trace::Op::kReturn,
-                     FrameToHuge(view->zone->start) + h, 0);
-      --hard_reclaimed_huge_;
-      ++returned;
     }
+    mark.AddFrames(static_cast<uint64_t>(returned) * kFramesPerHuge);
   }
   if (hard_reclaimed_huge_ <= target_huge || returned == 0) {
     done();
@@ -317,6 +362,10 @@ bool HyperAllocMonitor::IsHot(HugeId global_huge) const {
 }
 
 uint64_t HyperAllocMonitor::AutoReclaimPass() {
+  // Auto-reclamation is its own causal root (a periodic scan, not part
+  // of any resize request).
+  trace::ScopedRoot root;
+  trace::Span pass(trace::Layer::kMonitor, "monitor.auto_reclaim_pass");
   std::vector<HugeId> batch;
   for (ZoneView* view : ReclaimOrder()) {
     // Linear scan over the R array (2 bit/huge) and the shared area index
@@ -355,6 +404,7 @@ uint64_t HyperAllocMonitor::AutoReclaimPass() {
     }
   }
   UnmapBatch(batch);
+  pass.AddFrames(batch.size() * kFramesPerHuge);
   soft_reclaims_ += batch.size();
   return batch.size();
 }

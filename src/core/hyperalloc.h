@@ -29,6 +29,7 @@
 #include "src/guest/guest_vm.h"
 #include "src/hv/deflator.h"
 #include "src/sim/simulation.h"
+#include "src/trace/span.h"
 
 namespace hyperalloc::core {
 
@@ -134,6 +135,7 @@ class HyperAllocMonitor : public hv::Deflator {
   bool auto_running_ = false;
 
   hv::CpuAccounting cpu_;
+  trace::RequestSpan request_span_;
   uint64_t installs_ = 0;
   uint64_t soft_reclaims_ = 0;
   uint64_t scan_cache_lines_ = 0;

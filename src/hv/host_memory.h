@@ -34,6 +34,7 @@
 #include "src/base/atomic.h"
 #include "src/base/check.h"
 #include "src/base/types.h"
+#include "src/trace/span.h"
 
 namespace hyperalloc::hv {
 
@@ -202,6 +203,11 @@ class HostMemory {
     const uint64_t take = TakeGlobal(need + kCreditBatch, need);
     if (take >= need) {
       refills_.fetch_add(1, std::memory_order_relaxed);
+      // Slow paths only carry spans (the shard-local fast path above
+      // stays span-free); they arm only inside a traced request, so
+      // model-check scenarios and idle threads never pay for them.
+      trace::Span refill_span(trace::Layer::kHostPool, "hostpool.refill");
+      refill_span.AddFrames(take);
       const uint64_t extra = take - need;
       if (extra > 0) {
         s.credit.fetch_add(extra, std::memory_order_acq_rel);
@@ -216,6 +222,8 @@ class HostMemory {
     // credits, and a reservation must still succeed if the *sum* covers
     // it.
     rebalances_.fetch_add(1, std::memory_order_relaxed);
+    trace::Span rebalance_span(trace::Layer::kHostPool,
+                               "hostpool.rebalance");
     for (unsigned i = 0; i < num_shards_ && need > 0; ++i) {
       Shard& other = shards_[i];
       if (&other == &s) {
@@ -229,6 +237,7 @@ class HostMemory {
                 std::memory_order_acquire)) {
           have += grab;
           need -= grab;
+          rebalance_span.AddFrames(grab);
           break;
         }
       }
@@ -278,6 +287,8 @@ class HostMemory {
                                          std::memory_order_acquire)) {
         global_free_.fetch_add(excess, std::memory_order_acq_rel);
         drains_.fetch_add(1, std::memory_order_relaxed);
+        trace::Span drain_span(trace::Layer::kHostPool, "hostpool.drain");
+        drain_span.AddFrames(excess);
         return;
       }
     }

@@ -26,6 +26,18 @@ void PrintJsonString(std::FILE* file, const std::string& s) {
   std::fputc('"', file);
 }
 
+// Prometheus metric names: dotted lowercase -> underscore-separated with
+// the hyperalloc_ namespace prefix.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "hyperalloc_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
 void PrintHistogramJson(std::FILE* file, const Histogram::Snapshot& snap) {
   std::fprintf(file, "{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
                      ",\"mean\":%.3f,\"buckets\":[",
@@ -87,6 +99,26 @@ void WriteJson(const std::string& path) {
                  Name(event.op), event.arg0, event.arg1);
     first = false;
   }
+  std::fprintf(file, "\n  ],\n");
+
+  // Spans as compact [trace_id, span_id, parent_id, vm, "layer", "name",
+  // begin_vns, end_vns, charge_ns, frames] rows.
+  const uint64_t dropped_spans = SpanTracer::Global().dropped_spans();
+  const std::vector<SpanRecord> spans = SpanTracer::Global().Drain();
+  std::fprintf(file, "  \"dropped_spans\": %" PRIu64 ",\n", dropped_spans);
+  std::fprintf(file, "  \"spans\": [");
+  first = true;
+  for (const SpanRecord& span : spans) {
+    std::fprintf(file,
+                 "%s\n    [%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%u,\"%s\",",
+                 first ? "" : ",", span.trace_id, span.span_id,
+                 span.parent_id, span.vm, Name(span.layer));
+    PrintJsonString(file, span.name);
+    std::fprintf(file,
+                 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 "]",
+                 span.begin_vns, span.end_vns, span.charge_ns, span.frames);
+    first = false;
+  }
   std::fprintf(file, "\n  ]\n}\n");
   std::fclose(file);
 }
@@ -119,7 +151,122 @@ void WriteEventsCsv(const std::string& path,
   std::fclose(file);
 }
 
+void WritePerfettoJson(const std::string& path,
+                       const std::vector<SpanRecord>& spans) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  HA_CHECK(file != nullptr);
+  std::fprintf(file, "{\"traceEvents\":[");
+  bool first = true;
+
+  // Name the tracks: one "process" per VM, one "thread" per layer.
+  // seen[vm] is a bitmask of layers with at least one span.
+  std::vector<uint32_t> seen;
+  for (const SpanRecord& span : spans) {
+    if (span.vm >= seen.size()) {
+      seen.resize(span.vm + 1, 0);
+    }
+    seen[span.vm] |= 1u << static_cast<unsigned>(span.layer);
+  }
+  for (uint32_t vm = 0; vm < seen.size(); ++vm) {
+    if (seen[vm] == 0) {
+      continue;
+    }
+    std::fprintf(file,
+                 "%s\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                 "\"args\":{\"name\":\"vm%u\"}}",
+                 first ? "" : ",", vm, vm);
+    first = false;
+    for (unsigned layer = 0; layer < kNumLayers; ++layer) {
+      if ((seen[vm] & (1u << layer)) == 0) {
+        continue;
+      }
+      std::fprintf(file,
+                   "%s\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
+                   "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                   first ? "" : ",", vm, layer,
+                   Name(static_cast<Layer>(layer)));
+    }
+  }
+
+  // Spans as ph:"X" complete events; ts/dur are µs of virtual time.
+  for (const SpanRecord& span : spans) {
+    std::fprintf(file,
+                 "%s\n{\"name\":", first ? "" : ",");
+    PrintJsonString(file, span.name);
+    std::fprintf(
+        file,
+        ",\"ph\":\"X\",\"pid\":%u,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
+        "\"args\":{\"trace_id\":%" PRIu64 ",\"span_id\":%" PRIu64
+        ",\"parent_id\":%" PRIu64 ",\"charge_ns\":%" PRIu64
+        ",\"frames\":%" PRIu64 ",\"wall_ns\":%" PRIu64 "}}",
+        span.vm, static_cast<unsigned>(span.layer),
+        static_cast<double>(span.begin_vns) / 1000.0,
+        static_cast<double>(span.virtual_ns()) / 1000.0, span.trace_id,
+        span.span_id, span.parent_id, span.charge_ns, span.frames,
+        span.wall_ns());
+    first = false;
+  }
+  std::fprintf(file, "\n],\"displayTimeUnit\":\"ns\"}\n");
+  std::fclose(file);
+}
+
+void WriteSpansCsv(const std::string& path,
+                   const std::vector<SpanRecord>& spans) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  HA_CHECK(file != nullptr);
+  std::fprintf(file,
+               "trace_id,span_id,parent_id,vm,layer,name,begin_vns,"
+               "end_vns,charge_ns,frames,begin_wall_ns,end_wall_ns\n");
+  for (const SpanRecord& span : spans) {
+    std::fprintf(file,
+                 "%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%u,%s,%s,%" PRIu64
+                 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                 "\n",
+                 span.trace_id, span.span_id, span.parent_id, span.vm,
+                 Name(span.layer), span.name, span.begin_vns, span.end_vns,
+                 span.charge_ns, span.frames, span.begin_wall_ns,
+                 span.end_wall_ns);
+  }
+  std::fclose(file);
+}
+
+void WritePrometheus(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  HA_CHECK(file != nullptr);
+  for (const auto& [name, value] : CounterRegistry::Global().Counters()) {
+    const std::string metric = PrometheusName(name);
+    std::fprintf(file, "# TYPE %s counter\n", metric.c_str());
+    std::fprintf(file, "%s %" PRIu64 "\n", metric.c_str(), value);
+  }
+  for (const auto& [name, snap] : CounterRegistry::Global().Histograms()) {
+    const std::string metric = PrometheusName(name);
+    std::fprintf(file, "# TYPE %s histogram\n", metric.c_str());
+    // Cumulative buckets; bucket b spans [BucketLowerBound(b),
+    // BucketLowerBound(b+1)), so its inclusive upper bound `le` is the
+    // next bucket's lower bound minus one.
+    uint64_t cumulative = 0;
+    for (unsigned b = 0; b + 1 < Histogram::kBuckets; ++b) {
+      cumulative += snap.buckets[b];
+      if (snap.buckets[b] == 0 && b != 0) {
+        continue;  // keep the exposition sparse (le="0" anchors it)
+      }
+      std::fprintf(file, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                   metric.c_str(), Histogram::BucketLowerBound(b + 1) - 1,
+                   cumulative);
+    }
+    std::fprintf(file, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", metric.c_str(),
+                 snap.count);
+    std::fprintf(file, "%s_sum %" PRIu64 "\n", metric.c_str(), snap.sum);
+    std::fprintf(file, "%s_count %" PRIu64 "\n", metric.c_str(), snap.count);
+  }
+  std::fclose(file);
+}
+
 void WriteTraceArtifact(const std::string& path) {
+  const std::vector<SpanRecord> spans = SpanTracer::Global().Drain();
+  WriteSpansCsv(path + ".spans.csv", spans);
+  WritePerfettoJson(path + ".perfetto.json", spans);
+  WritePrometheus(path + ".prom");
   const bool json =
       path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
   if (json) {

@@ -1,11 +1,13 @@
 // Exporters for the observability layer: serialize the global counter
-// registry and the drained event trace to JSON or CSV artifacts that the
-// bench harness emits via --trace-out (see bench/trace_io.h).
+// registry, the drained event trace, and the drained span trace to JSON,
+// CSV, Chrome-trace/Perfetto, or Prometheus artifacts that the bench
+// harness emits via --trace-out (see bench/trace_io.h).
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "src/trace/span.h"
 #include "src/trace/trace.h"
 
 namespace hyperalloc::trace {
@@ -23,9 +25,30 @@ void WriteCountersCsv(const std::string& path);
 void WriteEventsCsv(const std::string& path,
                     const std::vector<TraceEvent>& events);
 
+// Chrome trace-event / Perfetto JSON (https://ui.perfetto.dev loads it
+// directly): every span becomes a ph:"X" complete event on the
+// pid = VM id, tid = layer track, with ts/dur in µs of *virtual* time
+// and trace_id/charge_ns/frames in args. Metadata events name the
+// process ("vm<N>") and thread (layer) tracks.
+void WritePerfettoJson(const std::string& path,
+                       const std::vector<SpanRecord>& spans);
+
+// Spans as CSV ("trace_id,span_id,parent_id,vm,layer,name,begin_vns,
+// end_vns,charge_ns,frames,begin_wall_ns,end_wall_ns" — the format
+// tools/ha_trace_tool reads).
+void WriteSpansCsv(const std::string& path,
+                   const std::vector<SpanRecord>& spans);
+
+// Prometheus text exposition: counters as `hyperalloc_<name>` counter
+// samples, histograms as cumulative `_bucket{le=...}` series (power-of-2
+// bounds) plus `_sum`/`_count`. Dots in names become underscores.
+void WritePrometheus(const std::string& path);
+
 // Dispatches on the extension: "*.json" produces one JSON artifact;
 // anything else writes the event trace as CSV to `path` plus the counters
-// to `path + ".counters.csv"`. Drains the global tracer either way.
+// to `path + ".counters.csv"`. Either way, sibling artifacts carry the
+// span trace (`path + ".spans.csv"`, `path + ".perfetto.json"`) and the
+// Prometheus exposition (`path + ".prom"`). Drains the global tracers.
 void WriteTraceArtifact(const std::string& path);
 
 }  // namespace hyperalloc::trace

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/base/check.h"
+#include "src/hv/cost_model.h"
+#include "src/trace/span.h"
 
 namespace hyperalloc::vmem {
 
@@ -56,7 +58,14 @@ void VirtioMem::Request(const hv::ResizeRequest& request) {
           : 0;
   const uint64_t target_blocks =
       std::min<uint64_t>(num_blocks_, want_plugged_bytes / kHugeSize);
+  // Host-side naming: unplugging guest memory inflates the host's pool.
+  const bool inflate = target_blocks < plugged_blocks_;
+  request_span_.Start(inflate ? "request.inflate" : "request.deflate");
+  request_span_.AddFrames((inflate ? plugged_blocks_ - target_blocks
+                                   : target_blocks - plugged_blocks_) *
+                          kFramesPerHuge);
   auto finish = [this, done = request.done] {
+    request_span_.Finish();
     busy_ = false;
     if (done) {
       done();
@@ -85,44 +94,59 @@ bool VirtioMem::UnplugOneBlock() {
   const FrameId local_first = global_first - zone.start;
 
   // Offline the block: isolate its free frames, migrate the used ones.
+  // Migration and purging advance the clock internally, so the guest span
+  // is charged the measured elapsed time rather than via hv::Charge.
   const sim::Time guest_start = sim_->now();
-  vm_->PurgeAllocatorCaches();  // PCP pages cannot be isolated
-  zone.buddy->ClaimFreeInRange(local_first, kFramesPerHuge);
-  if (!vm_->MigrateRange(global_first, kFramesPerHuge, config_.driver_cpu)) {
-    // Migration failed (no free destination or pinned kernel memory):
-    // the block stays online; release everything we isolated.
-    vm_->ReleaseIsolatedRange(global_first, kFramesPerHuge);
-    ++unpluggable_failures_;
+  {
+    trace::Span offline(trace::Layer::kGuest, "vmem.offline_block");
+    vm_->PurgeAllocatorCaches();  // PCP pages cannot be isolated
+    zone.buddy->ClaimFreeInRange(local_first, kFramesPerHuge);
+    if (!vm_->MigrateRange(global_first, kFramesPerHuge,
+                           config_.driver_cpu)) {
+      // Migration failed (no free destination or pinned kernel memory):
+      // the block stays online; release everything we isolated.
+      vm_->ReleaseIsolatedRange(global_first, kFramesPerHuge);
+      ++unpluggable_failures_;
+      cpu_.guest_ns += sim_->now() - guest_start;
+      offline.AddCharge(sim_->now() - guest_start);
+      return false;
+    }
+    // Hot-unplug bookkeeping (memmap, notifier chains, resource tree).
+    sim_->AdvanceClock(vm_->costs().vmem_unplug_block_ns);
     cpu_.guest_ns += sim_->now() - guest_start;
-    return false;
+    offline.AddCharge(sim_->now() - guest_start);
+    offline.AddFrames(kFramesPerHuge);
   }
-  // Hot-unplug bookkeeping (memmap, notifier chains, resource tree).
-  sim_->AdvanceClock(vm_->costs().vmem_unplug_block_ns);
-  cpu_.guest_ns += sim_->now() - guest_start;
 
   // Notify the device (one request per block) and discard host memory.
-  sim_->AdvanceClock(vm_->costs().hypercall_ns);
-  cpu_.host_user_ns += vm_->costs().hypercall_ns;
+  {
+    trace::Span hypercall(trace::Layer::kBackend, "vmem.unplug_hypercall");
+    cpu_.host_user_ns += hv::Charge(sim_, vm_->costs().hypercall_ns);
+  }
   const uint64_t mapped = vm_->ept().CountMapped(global_first,
                                                  kFramesPerHuge);
-  uint64_t sys_ns = 0;
   if (mapped > 0) {
-    sys_ns += vm_->costs().madvise_syscall_ns +
-              vm_->costs().tlb_shootdown_ns + vm_->costs().madvise_per_2m_ns;
+    const uint64_t ept_ns = vm_->costs().madvise_syscall_ns +
+                            vm_->costs().tlb_shootdown_ns +
+                            vm_->costs().madvise_per_2m_ns;
     vm_->ept().Unmap(global_first, kFramesPerHuge);
     const sim::Time t = sim_->now();
     vm_->sink().OnAllCpusSteal(
-        t, t + sys_ns,
+        t, t + ept_ns,
         static_cast<double>(vm_->costs().shootdown_allcpu_2m_ns) /
-            static_cast<double>(sys_ns));
+            static_cast<double>(ept_ns));
+    trace::Span unmap(trace::Layer::kEpt, "ept.unmap_run");
+    unmap.AddFrames(kFramesPerHuge);
+    cpu_.host_sys_ns += hv::Charge(sim_, ept_ns);
   }
   if (vm_->config().vfio) {
     // VFIO: unpin + IOTLB flush, even for untouched memory (§5.3).
+    trace::Span unpin(trace::Layer::kIommu, "iommu.unpin_range");
+    unpin.AddFrames(kFramesPerHuge);
     vm_->iommu()->Unpin(FrameToHuge(global_first));
-    sys_ns += vm_->costs().iommu_unmap_2m_ns + vm_->costs().iotlb_flush_ns;
+    cpu_.host_sys_ns += hv::Charge(
+        sim_, vm_->costs().iommu_unmap_2m_ns + vm_->costs().iotlb_flush_ns);
   }
-  sim_->AdvanceClock(sys_ns);
-  cpu_.host_sys_ns += sys_ns;
 
   plugged_[block] = false;
   --plugged_blocks_;
@@ -131,6 +155,8 @@ bool VirtioMem::UnplugOneBlock() {
 
 void VirtioMem::UnplugSlice(uint64_t target_blocks,
                             std::function<void()> done) {
+  trace::ScopedContext request_context(request_span_.context());
+  trace::Span slice(trace::Layer::kBackend, "vmem.unplug_slice");
   const sim::Time t0 = sim_->now();
   for (unsigned i = 0;
        i < config_.blocks_per_slice && plugged_blocks_ > target_blocks;
@@ -159,11 +185,16 @@ void VirtioMem::PlugOneBlock(uint64_t block) {
   const FrameId local_first = global_first - zone.start;
 
   // One request per plugged block.
-  sim_->AdvanceClock(vm_->costs().hypercall_ns);
-  cpu_.host_user_ns += vm_->costs().hypercall_ns;
+  {
+    trace::Span hypercall(trace::Layer::kBackend, "vmem.plug_hypercall");
+    cpu_.host_user_ns += hv::Charge(sim_, vm_->costs().hypercall_ns);
+  }
   // Guest onlining (memmap init, buddy release).
-  sim_->AdvanceClock(vm_->costs().vmem_plug_block_ns);
-  cpu_.guest_ns += vm_->costs().vmem_plug_block_ns;
+  {
+    trace::Span online(trace::Layer::kGuest, "vmem.online_block");
+    online.AddFrames(kFramesPerHuge);
+    cpu_.guest_ns += hv::Charge(sim_, vm_->costs().vmem_plug_block_ns);
+  }
   zone.buddy->ReleaseRange(local_first, kFramesPerHuge);
 
   if (vm_->config().vfio) {
@@ -172,11 +203,18 @@ void VirtioMem::PlugOneBlock(uint64_t block) {
     // pre-populate the memory").
     const sim::Time t0 = sim_->now();
     HA_CHECK(vm_->PopulateFrames(global_first, kFramesPerHuge));
-    const uint64_t sys_ns = kFramesPerHuge * vm_->costs().populate_4k_ns +
-                            vm_->costs().iommu_map_2m_ns;
-    vm_->iommu()->Pin(FrameToHuge(global_first));
-    sim_->AdvanceClock(sys_ns);
-    cpu_.host_sys_ns += sys_ns;
+    {
+      trace::Span populate(trace::Layer::kEpt, "ept.populate");
+      populate.AddFrames(kFramesPerHuge);
+      cpu_.host_sys_ns +=
+          hv::Charge(sim_, kFramesPerHuge * vm_->costs().populate_4k_ns);
+    }
+    {
+      trace::Span pin(trace::Layer::kIommu, "iommu.pin");
+      pin.AddFrames(kFramesPerHuge);
+      vm_->iommu()->Pin(FrameToHuge(global_first));
+      cpu_.host_sys_ns += hv::Charge(sim_, vm_->costs().iommu_map_2m_ns);
+    }
     vm_->sink().OnBandwidth(t0, sim_->now(),
                             static_cast<double>(kHugeSize) /
                                 static_cast<double>(sim_->now() - t0));
@@ -188,6 +226,8 @@ void VirtioMem::PlugOneBlock(uint64_t block) {
 
 void VirtioMem::PlugSlice(uint64_t target_blocks,
                           std::function<void()> done) {
+  trace::ScopedContext request_context(request_span_.context());
+  trace::Span slice(trace::Layer::kBackend, "vmem.plug_slice");
   const sim::Time t0 = sim_->now();
   unsigned plugged_now = 0;
   for (uint64_t b = 0; b < num_blocks_ && plugged_blocks_ < target_blocks &&

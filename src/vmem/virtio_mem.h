@@ -25,6 +25,7 @@
 #include "src/guest/guest_vm.h"
 #include "src/hv/deflator.h"
 #include "src/sim/simulation.h"
+#include "src/trace/span.h"
 
 namespace hyperalloc::vmem {
 
@@ -88,6 +89,7 @@ class VirtioMem : public hv::Deflator {
   bool auto_running_ = false;
 
   hv::CpuAccounting cpu_;
+  trace::RequestSpan request_span_;
   uint64_t unpluggable_failures_ = 0;
 };
 

@@ -26,6 +26,7 @@
 #include "src/core/reclaim_states.h"
 #include "src/hv/host_memory.h"
 #include "src/llfree/llfree.h"
+#include "src/trace/span_ring.h"
 
 namespace hyperalloc::check {
 namespace {
@@ -325,6 +326,98 @@ Scenario HostPoolReserveRelease() {
   };
 }
 
+// --------------------------------------------------------------------
+// Scenario 6: the span ring (src/trace/span_ring.h) under preemption —
+// a writer emitting spans into a deliberately tiny ring while a drainer
+// streams them out mid-flight. RingCore is instantiated with
+// check::Atomic (a distinct type from the production
+// RingCore<SpanRecord, std::atomic>, so no ODR hazard), making every
+// head/tail access a schedule point. Oracle: every value the writer
+// successfully pushed is drained exactly once, in order, and
+// accepted + dropped == attempted.
+// --------------------------------------------------------------------
+struct SpanRingCtx {
+  trace::RingCore<uint64_t, Atomic> ring{2};
+  std::vector<uint64_t> accepted;  // model threads are sequentialized
+  std::vector<uint64_t> drained;
+};
+
+Scenario SpanRingWriterVsDrainer() {
+  return [](Execution& exec) {
+    auto c = std::make_shared<SpanRingCtx>();
+    exec.Spawn([c] {  // writer: 3 spans against capacity 2 (forces the
+                      // full-ring drop-newest path in some schedules)
+      for (uint64_t value = 1; value <= 3; ++value) {
+        if (c->ring.Push(value)) {
+          c->accepted.push_back(value);
+        }
+      }
+    });
+    exec.Spawn([c] { c->ring.Drain(&c->drained); });
+    exec.OnStep([c] {
+      Require(c->ring.size() <= c->ring.capacity(),
+              "ring published more events than its capacity");
+    });
+    exec.OnEnd([c] {
+      c->ring.Drain(&c->drained);  // final sweep at quiescence
+      Require(c->accepted.size() + c->ring.dropped() == 3,
+              "accepted + dropped != attempted pushes");
+      Require(c->drained == c->accepted,
+              "lost span: drained events differ from the accepted "
+              "sequence");
+    });
+  };
+}
+
+// --------------------------------------------------------------------
+// Mutant: a drain that re-reads `head` AFTER the copy loop and stores
+// *that* as the new tail — spans published between the copy and the
+// re-read are marked consumed without ever being copied out. This is
+// the lost-event bug the release/acquire protocol exists to prevent;
+// the harness must find the interleaving in both modes. RingCore's
+// members are protected precisely so this subclass can exist.
+// --------------------------------------------------------------------
+struct BrokenDrainRing : trace::RingCore<uint64_t, Atomic> {
+  using RingCore::RingCore;
+
+  void DrainBroken(std::vector<uint64_t>* out) {
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    for (; tail != head; ++tail) {
+      out->push_back(ring_[tail % ring_.size()]);
+    }
+    // BUG (deliberate): acknowledging the *current* head instead of the
+    // position the copy loop stopped at skips concurrent pushes.
+    tail_.store(head_.load(std::memory_order_acquire),
+                std::memory_order_release);
+  }
+};
+
+Scenario SpanRingLostEventMutant() {
+  return [](Execution& exec) {
+    struct MutantCtx {
+      BrokenDrainRing ring{4};
+      std::vector<uint64_t> accepted;
+      std::vector<uint64_t> drained;
+    };
+    auto c = std::make_shared<MutantCtx>();
+    exec.Spawn([c] {
+      for (uint64_t value = 1; value <= 2; ++value) {
+        if (c->ring.Push(value)) {
+          c->accepted.push_back(value);
+        }
+      }
+    });
+    exec.Spawn([c] { c->ring.DrainBroken(&c->drained); });
+    exec.OnEnd([c] {
+      c->ring.Drain(&c->drained);  // correct final sweep at quiescence
+      Require(c->drained == c->accepted,
+              "lost span: drained events differ from the accepted "
+              "sequence");
+    });
+  };
+}
+
 RunResult ExploreRandom(const Scenario& scenario, uint64_t iterations,
                         uint64_t seed = 1) {
   Options opt;
@@ -357,6 +450,31 @@ TEST(ModelCheckScenarios, DeflateVsGuestAlloc) {
 
 TEST(ModelCheckScenarios, HostPoolReserveRelease) {
   ExpectClean(ExploreRandom(HostPoolReserveRelease(), ScaledIters(1500)));
+}
+
+TEST(ModelCheckScenarios, SpanRingWriterVsDrainer) {
+  ExpectClean(ExploreRandom(SpanRingWriterVsDrainer(), ScaledIters(1500)));
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult r = Explore(opt, SpanRingWriterVsDrainer());
+  ExpectClean(r);
+  EXPECT_TRUE(r.complete) << "exhaustive exploration was time-boxed";
+}
+
+TEST(ModelCheckMutant, RandomWalkFindsLostSpan) {
+  const RunResult r = ExploreRandom(SpanRingLostEventMutant(), 2000);
+  ASSERT_TRUE(r.failed)
+      << "random exploration missed the broken-drain mutant";
+  EXPECT_NE(r.message.find("lost span"), std::string::npos) << r.message;
+}
+
+TEST(ModelCheckMutant, ExhaustiveFindsLostSpan) {
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult r = Explore(opt, SpanRingLostEventMutant());
+  ASSERT_TRUE(r.failed)
+      << "exhaustive exploration missed the broken-drain mutant";
+  EXPECT_NE(r.message.find("lost span"), std::string::npos) << r.message;
 }
 
 // Regression for a real race the harness flagged: the multi-word Clear
