@@ -71,6 +71,14 @@ Setup MakeSetup(Candidate candidate, const SetupOptions& options) {
       MakeVmBundle(setup.sim.get(), setup.host.get(), candidate, options);
   setup.vm = std::move(bundle.vm);
   setup.deflator = std::move(bundle.deflator);
+  if (options.fault_plan.enabled()) {
+    // Arm the injector only now: the VM (and, for virtio-mem+VFIO, its
+    // boot-time pre-population) is fully constructed, so every fault
+    // lands on a recoverable boundary.
+    setup.fault = std::make_unique<fault::Injector>(options.fault_plan);
+    setup.vm->SetFaultInjector(setup.fault.get());
+    setup.host->SetFaultInjector(setup.fault.get());
+  }
   return setup;
 }
 

@@ -14,6 +14,7 @@
 #include "src/balloon/virtio_balloon.h"
 #include "src/core/hyperalloc.h"
 #include "src/core/hyperalloc_generic.h"
+#include "src/fault/fault.h"
 #include "src/guest/guest_vm.h"
 #include "src/hv/deflator.h"
 #include "src/hv/host_memory.h"
@@ -48,6 +49,10 @@ struct SetupOptions {
   balloon::BalloonConfig balloon;
   vmem::VmemConfig vmem;
   core::HyperAllocConfig hyperalloc;
+  // Deterministic fault injection (DESIGN.md §4.9). An enabled plan is
+  // armed on the VM *after* boot-time population, so VM construction
+  // itself never faults.
+  fault::Plan fault_plan;
 };
 
 struct Setup {
@@ -56,6 +61,7 @@ struct Setup {
   std::unique_ptr<hv::HostMemory> host;
   std::unique_ptr<guest::GuestVm> vm;
   std::unique_ptr<hv::Deflator> deflator;  // null for the baselines
+  std::unique_ptr<fault::Injector> fault;  // null when the plan is empty
 
   // Synchronously drives a limit change to completion; returns the
   // virtual time it took.

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Validates a bench_runner JSON document.
+"""Validates a bench JSON document.
 
-Accepts both schema revisions:
-  hyperalloc-bench-v1  (PR3: llfree / pool / multivm)
-  hyperalloc-bench-v2  (PR4: adds the `attribution` section and the
-                        multivm span-determinism fields)
+Accepts all schema revisions:
+  hyperalloc-bench-v1       (PR3: llfree / pool / multivm)
+  hyperalloc-bench-v2       (PR4: adds the `attribution` section and the
+                             multivm span-determinism fields)
+  hyperalloc-bench-faults-v1 (PR5: bench_faults degraded-mode reclaim
+                             sweep; the zero-rate baseline must be clean)
 
 Stdlib-only on purpose: runs in CI containers with no extra packages.
 Checks structure and types, plus the semantic gates the runner itself
@@ -55,6 +57,46 @@ def check_phase(phase, ctx):
         fail(f"{ctx}: layer shares sum to {share_sum:.3f}, expected ~1")
 
 
+def check_faults(doc):
+    """hyperalloc-bench-faults-v1: degraded-mode reclaim sweep."""
+    require(doc, "pr", str, "$")
+    require(doc, "smoke", bool, "$")
+    require(doc, "seed", numbers.Real, "$")
+    candidates = require(doc, "candidates", list, "$")
+    if not candidates:
+        fail("candidates: empty")
+    for candidate in candidates:
+        name = require(candidate, "name", str, "candidates[]")
+        ctx = f"candidates[{name}]"
+        sweep = require(candidate, "sweep", list, ctx)
+        if not sweep:
+            fail(f"{ctx}: empty sweep")
+        baseline = None
+        for point in sweep:
+            pctx = f"{ctx}.sweep[{point.get('rate')}]"
+            for key in ("rate", "reclaim_gibps", "virtual_ms",
+                        "start_bytes", "target_bytes", "achieved_bytes",
+                        "faults", "retries", "rollbacks", "injected_total"):
+                require(point, key, numbers.Real, pctx)
+            for key in ("complete", "timed_out", "quarantined"):
+                require(point, key, bool, pctx)
+            require(point, "plan", str, pctx)
+            if point["rate"] == 0:
+                baseline = point
+        # The zero-rate baseline is the injection-off determinism anchor:
+        # no faults may be observed and the request must fully complete.
+        if baseline is None:
+            fail(f"{ctx}: no zero-rate baseline in sweep")
+        if baseline["faults"] != 0 or baseline["injected_total"] != 0:
+            fail(f"{ctx}: zero-rate run observed faults "
+                 f"({baseline['faults']} on spans, "
+                 f"{baseline['injected_total']} injected)")
+        if not baseline["complete"]:
+            fail(f"{ctx}: zero-rate run did not complete its reclaim")
+        if baseline["reclaim_gibps"] <= 0:
+            fail(f"{ctx}: zero-rate run reclaimed nothing")
+
+
 def main():
     if len(sys.argv) != 2:
         fail("usage: check_bench_json.py BENCH.json")
@@ -65,6 +107,10 @@ def main():
         fail(f"cannot parse {sys.argv[1]}: {e}")
 
     schema = require(doc, "schema", str, "$")
+    if schema == "hyperalloc-bench-faults-v1":
+        check_faults(doc)
+        print(f"check_bench_json: OK ({sys.argv[1]}, {schema})")
+        return
     if schema not in ("hyperalloc-bench-v1", "hyperalloc-bench-v2"):
         fail(f"unknown schema '{schema}'")
     v2 = schema == "hyperalloc-bench-v2"

@@ -10,7 +10,11 @@
 #   3. clang-tidy bugprone-* / concurrency-* findings (skipped with a
 #      note when clang-tidy is not installed; CI installs it),
 #   4. ha_trace_tool --self-check (the offline trace analyzer validates
-#      its own percentile / parsing / attribution math).
+#      its own percentile / parsing / attribution math),
+#   5. docs consistency — every --flag mentioned in README / EXPERIMENTS /
+#      DESIGN / ROADMAP must exist in the sources (or be a known external
+#      tool's flag), and every "DESIGN.md §N.M" cross-reference must point
+#      at a real DESIGN.md section heading.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -90,6 +94,67 @@ echo "-- gate 4: ha_trace_tool --self-check"
 cmake --preset default >/dev/null
 cmake --build build --target ha_trace_tool >/dev/null
 ./build/tools/ha_trace_tool --self-check || status=1
+
+echo "-- gate 5: docs consistency (flags and DESIGN.md section references)"
+python3 - <<'EOF' || status=1
+import re
+import sys
+from pathlib import Path
+
+DOCS = ["README.md", "EXPERIMENTS.md", "DESIGN.md", "ROADMAP.md"]
+
+# Flags owned by external tools that the docs legitimately mention but
+# no repo source defines.
+EXTERNAL_FLAGS = {
+    "--build", "--preset", "--test-dir", "--target", "--parallel",
+    "--output-on-failure", "--gtest_filter", "--version",
+}
+
+flag_re = re.compile(r"--[a-z][a-z0-9-]*")
+
+# Every flag string that appears in a source file counts as defined —
+# bench/tool argv parsers, scripts, and example binaries.
+defined = set(EXTERNAL_FLAGS)
+for root, patterns in (("bench", ["*.cc", "*.h"]), ("tools", ["*.cc"]),
+                       ("examples", ["*.cpp", "*.cc"]),
+                       ("scripts", ["*.sh", "*.py"])):
+    for pattern in patterns:
+        for path in Path(root).rglob(pattern):
+            defined.update(flag_re.findall(path.read_text()))
+
+# DESIGN.md section numbers: "## 4. Key design decisions",
+# "### 4.2b Hotness hints", ...
+sections = set()
+for line in Path("DESIGN.md").read_text().splitlines():
+    m = re.match(r"#{2,}\s+(\d+(?:\.\d+)*[a-z]?)\.?\s", line)
+    if m:
+        number = m.group(1)
+        sections.add(number)
+        # §4.2 is a valid way to cite §4.2b-style subsections' parent.
+        while "." in number:
+            number = number.rsplit(".", 1)[0]
+            sections.add(number)
+
+ref_re = re.compile(r"DESIGN\.md\s+§\s*(\d+(?:\.\d+)*[a-z]?)")
+
+failures = []
+for doc in DOCS:
+    text = Path(doc).read_text()
+    for line_number, line in enumerate(text.splitlines(), 1):
+        for flag in flag_re.findall(line):
+            if flag not in defined:
+                failures.append(f"{doc}:{line_number}: {flag} is not "
+                                f"defined by any bench/tool/script")
+        for ref in ref_re.findall(line):
+            if ref not in sections:
+                failures.append(f"{doc}:{line_number}: DESIGN.md §{ref} "
+                                f"does not match any DESIGN.md heading")
+
+if failures:
+    print("docs drifted from the sources:")
+    print("\n".join(failures))
+    sys.exit(1)
+EOF
 
 if [ "$status" -ne 0 ]; then
   echo "lint: FAILED"

@@ -52,19 +52,92 @@ uint64_t VirtioBalloon::limit_bytes() const {
   return vm_->config().memory_bytes - ballooned_bytes();
 }
 
+void VirtioBalloon::ChargeBackoff(unsigned retry) {
+  const uint64_t ns = config_.retry.BackoffNs(retry);
+  ++fault_retries_;
+  if (trace::Span* span = trace::Span::Current()) {
+    span->AddRetry();
+  }
+  if (busy_) {
+    ++outcome_.retries;
+    request_span_.AddRetry();
+  }
+  HA_COUNT("balloon.fault_retry");
+  HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kRetry, retry, ns);
+  cpu_.host_user_ns +=
+      hv::ChargeTraced(sim_, "balloon.fault_backoff_ns", ns);
+}
+
+void VirtioBalloon::NoteFault() {
+  ++faults_;
+  if (trace::Span* span = trace::Span::Current()) {
+    span->AddFault();
+  }
+  if (busy_) {
+    ++outcome_.faults;
+    request_span_.AddFault();
+  }
+  HA_COUNT("balloon.fault");
+}
+
+bool VirtioBalloon::RequestTimedOut() const {
+  return request_deadline_ != 0 && sim_->now() >= request_deadline_;
+}
+
+bool VirtioBalloon::TryHypercall(uint64_t batch_size) {
+  fault::Injector* injector = vm_->fault_injector();
+  const unsigned max_attempts = std::max(1u, config_.retry.max_attempts);
+  for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ChargeBackoff(attempt - 1);
+    }
+    if (const auto kind =
+            fault::Poll(injector, fault::Site::kBalloonHypercall)) {
+      NoteFault();
+      HA_COUNT("fault.balloon_hypercall");
+      HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kInject, batch_size,
+                     0);
+      if (*kind == fault::Kind::kPermanent) {
+        return false;
+      }
+      continue;
+    }
+    cpu_.host_user_ns += hv::ChargeTraced(sim_, "balloon.hypercall_ns",
+                                          vm_->costs().hypercall_ns);
+    HA_COUNT("balloon.hypercall");
+    HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kHypercall,
+                   batch_size, 0);
+    return true;
+  }
+  return false;
+}
+
 void VirtioBalloon::Request(const hv::ResizeRequest& request) {
   HA_CHECK(!busy_);
   busy_ = true;
   const uint64_t total = vm_->config().memory_bytes;
   HA_CHECK(request.target_bytes <= total);
+  outcome_ = hv::ResizeOutcome{};
+  outcome_.target_bytes = request.target_bytes;
+  request_deadline_ = config_.retry.request_timeout_ns > 0
+                          ? sim_->now() + config_.retry.request_timeout_ns
+                          : 0;
   const uint64_t target_frames = (total - request.target_bytes) / kFrameSize;
   const bool inflate = target_frames > ballooned_frames_;
   request_span_.Start(inflate ? "request.inflate" : "request.deflate");
   request_span_.AddFrames(inflate ? target_frames - ballooned_frames_
                                   : ballooned_frames_ - target_frames);
-  auto finish = [this, done = request.done] {
+  auto finish = [this, done = request.done, on_outcome = request.on_outcome,
+                 inflate, target = request.target_bytes] {
+    outcome_.achieved_bytes = limit_bytes();
+    outcome_.complete = inflate ? outcome_.achieved_bytes <= target
+                                : outcome_.achieved_bytes >= target;
     request_span_.Finish();
     busy_ = false;
+    request_deadline_ = 0;
+    if (on_outcome) {
+      on_outcome(outcome_);
+    }
     if (done) {
       done();
     }
@@ -80,6 +153,14 @@ void VirtioBalloon::InflateSlice(uint64_t target_frames,
                                  std::function<void()> done) {
   trace::ScopedContext request_context(request_span_.context());
   trace::Span slice(trace::Layer::kBackend, "balloon.inflate_slice");
+  if (RequestTimedOut()) {
+    outcome_.timed_out = true;
+    HA_COUNT("balloon.request_timeout");
+    HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kTimeout,
+                   target_frames, ballooned_frames_);
+    done();  // partial inflate: the balloon simply stays smaller
+    return;
+  }
   const sim::Time t0 = sim_->now();
   std::vector<Ballooned> batch;
   const sim::Time guest_start = sim_->now();
@@ -126,11 +207,25 @@ void VirtioBalloon::InflateSlice(uint64_t target_frames,
   }
 
   // One hypercall delivers the batch; QEMU discards each entry.
-  cpu_.host_user_ns +=
-      hv::ChargeTraced(sim_, "balloon.hypercall_ns", vm_->costs().hypercall_ns);
-  HA_COUNT("balloon.hypercall");
-  HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kHypercall,
-                 batch.size(), 0);
+  if (!TryHypercall(batch.size())) {
+    // Hypercall retries exhausted: the guest driver frees the batch back
+    // (the normal deflate path) and the request finishes partial — the
+    // balloon holds exactly the pages of the prior slices.
+    for (const Ballooned& b : batch) {
+      cpu_.guest_ns += hv::Charge(sim_, b.order == kHugeOrder
+                                            ? vm_->costs().guest_free_2m_ns
+                                            : vm_->costs().guest_free_4k_ns);
+      vm_->Free(b.frame, b.order, config_.driver_cpu);
+      ballooned_frames_ -= 1ull << b.order;
+    }
+    ++outcome_.rollbacks;
+    HA_COUNT("balloon.fault_rollback");
+    HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kRollback,
+                   batch.size(), 0);
+    vm_->sink().OnCpuSteal(config_.driver_cpu, t0, sim_->now(), 1.0);
+    done();
+    return;
+  }
   HostDiscard(batch);
   pages_.insert(pages_.end(), batch.begin(), batch.end());
 
@@ -165,15 +260,34 @@ void VirtioBalloon::HostDiscard(const std::vector<Ballooned>& batch) {
     HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kMadvise, b.frame,
                    frames);
     if (mapped > 0) {
-      if (b.order == kHugeOrder) {
-        sys_ns += vm_->costs().madvise_per_2m_ns +
-                  vm_->costs().tlb_shootdown_ns;
-        shootdown_allcpu_ns += vm_->costs().shootdown_allcpu_2m_ns;
-      } else {
-        sys_ns += vm_->costs().madvise_per_4k_ns;
-        shootdown_allcpu_ns += vm_->costs().shootdown_allcpu_4k_ns;
+      bool unmapped = false;
+      const unsigned max_attempts = std::max(1u, config_.retry.max_attempts);
+      for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        if (attempt > 0) {
+          ChargeBackoff(attempt - 1);
+        }
+        if (vm_->ept().Unmap(b.frame, frames) != hv::Ept::kFaultInjected) {
+          unmapped = true;
+          break;
+        }
+        NoteFault();
+        if (vm_->ept().last_injected_kind() == fault::Kind::kPermanent) {
+          break;
+        }
       }
-      vm_->ept().Unmap(b.frame, frames);
+      if (unmapped) {
+        if (b.order == kHugeOrder) {
+          sys_ns += vm_->costs().madvise_per_2m_ns +
+                    vm_->costs().tlb_shootdown_ns;
+          shootdown_allcpu_ns += vm_->costs().shootdown_allcpu_2m_ns;
+        } else {
+          sys_ns += vm_->costs().madvise_per_4k_ns;
+          shootdown_allcpu_ns += vm_->costs().shootdown_allcpu_4k_ns;
+        }
+      }
+      // else: the madvise never took effect — the entry stays ballooned
+      // but host-backed (no host memory is freed for it). Nothing to
+      // roll back: deflating hands the still-mapped frame straight back.
     }
   }
   cpu_.host_sys_ns += hv::Charge(sim_, sys_ns);
@@ -194,6 +308,14 @@ void VirtioBalloon::DeflateSlice(uint64_t target_frames,
   // layer (ChargeSpan targets them explicitly).
   trace::Span slice(trace::Layer::kBackend, "balloon.deflate_slice");
   trace::Span guest(trace::Layer::kGuest, "balloon.guest_free");
+  if (RequestTimedOut()) {
+    outcome_.timed_out = true;
+    HA_COUNT("balloon.request_timeout");
+    HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kTimeout,
+                   target_frames, ballooned_frames_);
+    done();
+    return;
+  }
   const sim::Time t0 = sim_->now();
   unsigned elems = 0;
   while (elems < config_.vq_capacity && ballooned_frames_ > target_frames &&
@@ -279,12 +401,24 @@ void VirtioBalloon::ReportCycle() {
     return;
   }
 
-  cpu_.host_user_ns +=
-      hv::ChargeTraced(sim_, "balloon.hypercall_ns", vm_->costs().hypercall_ns);
+  if (!TryHypercall(batch.size())) {
+    // Reporting hypercall failed: free the blocks back *unreported* so
+    // the next cycle naturally retries them.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      guest::Zone& zone = *zone_of[i];
+      const auto err = zone.buddy->Free(config_.driver_cpu,
+                                        batch[i].frame - zone.start, order);
+      HA_CHECK(!err.has_value());
+      cpu_.guest_ns += hv::Charge(sim_, vm_->costs().guest_free_4k_ns);
+    }
+    HA_COUNT("balloon.fault_rollback");
+    HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kRollback,
+                   batch.size(), order);
+    vm_->sink().OnCpuSteal(config_.driver_cpu, t0, sim_->now(), 1.0);
+    sim_->After(config_.reporting_delay, [this] { ReportCycle(); });
+    return;
+  }
   ++hypercalls_;
-  HA_COUNT("balloon.hypercall");
-  HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kHypercall,
-                 batch.size(), 0);
   HostDiscard(batch);
 
   // Hand the blocks back to the allocator, remembering they are reported.

@@ -24,6 +24,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/fault/fault.h"
 #include "src/guest/guest_vm.h"
 #include "src/hv/deflator.h"
 #include "src/sim/simulation.h"
@@ -45,6 +46,10 @@ struct BalloonConfig {
   // Deflate-on-OOM: when the guest is about to run out of memory, the
   // balloon releases this many bytes instead (0 disables the feature).
   uint64_t deflate_on_oom_bytes = 64 * kMiB;
+  // Fault recovery (DESIGN.md §4.9): bounded retry with virtual-time
+  // exponential backoff for the balloon hypercall and host madvise, plus
+  // the optional per-request deadline.
+  fault::RetryPolicy retry;
 };
 
 class VirtioBalloon : public hv::Deflator {
@@ -73,6 +78,10 @@ class VirtioBalloon : public hv::Deflator {
   uint64_t total_madvise_calls() const { return madvise_calls_; }
   uint64_t reported_bytes_total() const { return reported_bytes_; }
 
+  // Fault-recovery statistics (DESIGN.md §4.9).
+  uint64_t faults_seen() const { return faults_; }
+  uint64_t fault_retries() const { return fault_retries_; }
+
  private:
   struct Ballooned {
     FrameId frame;
@@ -85,6 +94,15 @@ class VirtioBalloon : public hv::Deflator {
 
   // Host-side processing of one batch of reclaimed blocks.
   void HostDiscard(const std::vector<Ballooned>& batch);
+
+  // Issues the balloon hypercall (charge + counter + trace event),
+  // retrying injected transient faults with backoff. Returns false when
+  // retries are exhausted or the fault is permanent — the caller rolls
+  // its batch back.
+  bool TryHypercall(uint64_t batch_size);
+  void ChargeBackoff(unsigned retry);
+  void NoteFault();
+  bool RequestTimedOut() const;
 
   guest::GuestVm* vm_;
   BalloonConfig config_;
@@ -101,6 +119,9 @@ class VirtioBalloon : public hv::Deflator {
   uint64_t hypercalls_ = 0;
   uint64_t madvise_calls_ = 0;
   uint64_t reported_bytes_ = 0;
+  sim::Time request_deadline_ = 0;  // 0 = no deadline
+  uint64_t faults_ = 0;
+  uint64_t fault_retries_ = 0;
 };
 
 }  // namespace hyperalloc::balloon

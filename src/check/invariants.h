@@ -148,8 +148,10 @@ inline void CheckHostMemoryQuiescent(const hv::HostMemory& pool) {
 }
 
 // Watches a ReclaimStateArray for illegal transitions of the paper's
-// Fig. 2 state machine (only Hard -> Installed is illegal: hard-reclaimed
-// memory must be returned H -> S before it can be installed). Register
+// Fig. 2 state machine extended with the fault-quarantine state
+// (Hard -> Installed is illegal — hard-reclaimed memory must be returned
+// H -> S before it can be installed — and Quarantined is absorbing: no
+// Q -> {I,S,H} edge exists, see src/core/reclaim_states.h). Register
 // via Execution::OnStep. Every R transition in the code under test is
 // separated from the next by instrumented LLFree operations, so the
 // oracle observes each edge individually.
@@ -167,8 +169,10 @@ class ReclaimTransitionOracle {
       const core::ReclaimState cur = states_->Get(h);
       Require(core::IsLegalTransition(prev_[h], cur),
               "huge frame " + std::to_string(h) +
-                  ": illegal reclaim-state transition Hard -> Installed "
-                  "(must return H -> S first)");
+                  ": illegal reclaim-state transition " +
+                  std::to_string(static_cast<unsigned>(prev_[h])) +
+                  " -> " + std::to_string(static_cast<unsigned>(cur)) +
+                  " (H->I needs a return first; Q is absorbing)");
       prev_[h] = cur;
     }
   }

@@ -84,7 +84,117 @@ std::vector<HyperAllocMonitor::ZoneView*> HyperAllocMonitor::ReclaimOrder() {
 }
 
 uint64_t HyperAllocMonitor::limit_bytes() const {
-  return vm_->config().memory_bytes - hard_reclaimed_bytes();
+  // Quarantined frames are lost to the guest just like hard-reclaimed
+  // ones: the monitor claimed them in the shared allocator so the guest
+  // can never allocate (and thus install) a poisoned frame.
+  return vm_->config().memory_bytes -
+         (hard_reclaimed_huge_ + quarantined_huge_) * kHugeSize;
+}
+
+HyperAllocMonitor::ZoneView* HyperAllocMonitor::FindView(HugeId global_huge,
+                                                         HugeId* local_huge) {
+  for (const auto& view : zones_) {
+    const HugeId first = FrameToHuge(view->zone->start);
+    if (global_huge >= first && global_huge < first + view->states.size()) {
+      *local_huge = global_huge - first;
+      return view.get();
+    }
+  }
+  HA_CHECK(false && "huge frame outside every zone");
+  __builtin_unreachable();
+}
+
+void HyperAllocMonitor::ChargeBackoff(unsigned retry) {
+  const uint64_t ns = config_.retry.BackoffNs(retry);
+  ++fault_retries_;
+  if (trace::Span* span = trace::Span::Current()) {
+    span->AddRetry();
+  }
+  if (busy_) {
+    ++outcome_.retries;
+    request_span_.AddRetry();
+  }
+  HA_COUNT("monitor.fault_retry");
+  HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kRetry, retry, ns);
+  cpu_.host_user_ns +=
+      hv::ChargeTraced(sim_, "monitor.fault_backoff_ns", ns);
+}
+
+void HyperAllocMonitor::NoteFault() {
+  ++faults_seen_;
+  if (trace::Span* span = trace::Span::Current()) {
+    span->AddFault();
+  }
+  if (busy_) {
+    ++outcome_.faults;
+    request_span_.AddFault();
+  }
+  HA_COUNT("monitor.fault");
+}
+
+void HyperAllocMonitor::RollbackFrame(ZoneView& view, HugeId local_huge,
+                                      HugeId global_huge) {
+  ++fault_rollbacks_;
+  if (busy_) {
+    ++outcome_.rollbacks;
+  }
+  const ReclaimState prior = view.states.Get(local_huge);
+  if (prior == ReclaimState::kHard) {
+    // Hard reclaim could not unmap: return the frame (A<-0, R<-S) as if
+    // it had never been hard-reclaimed. A later slice may retry it.
+    HA_CHECK(view.monitor_view->MarkReturned(local_huge));
+    view.states.Set(local_huge, ReclaimState::kSoft);
+    HA_CHECK(hard_reclaimed_huge_ > 0);
+    --hard_reclaimed_huge_;
+  } else if (prior == ReclaimState::kSoft) {
+    // Soft reclaim could not unmap: clear E again; the frame stays
+    // installed and host-backed.
+    view.monitor_view->ClearEvicted(local_huge);
+    view.states.Set(local_huge, ReclaimState::kInstalled);
+  }
+  HA_COUNT("monitor.fault_rollback");
+  HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kRollback, global_huge,
+                 static_cast<uint64_t>(prior));
+}
+
+void HyperAllocMonitor::QuarantineFrame(ZoneView& view, HugeId local_huge,
+                                        HugeId global_huge) {
+  const ReclaimState prior = view.states.Get(local_huge);
+  if (prior == ReclaimState::kHard) {
+    HA_CHECK(hard_reclaimed_huge_ > 0);
+    --hard_reclaimed_huge_;
+  } else if (prior == ReclaimState::kSoft) {
+    // Claim the frame in the shared allocator (A<-1) so the guest can
+    // never allocate — and thus never install — the poisoned frame. The
+    // frame is free (soft-reclaimed), so this cannot fail.
+    HA_CHECK(view.monitor_view->TryHardReclaim(local_huge,
+                                               /*allow_reserved=*/true));
+  }
+  view.states.Set(local_huge, ReclaimState::kQuarantined);
+  ++quarantined_huge_;
+  HA_COUNT("monitor.quarantine_frame");
+  HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kQuarantine, global_huge,
+                 static_cast<uint64_t>(prior));
+  if (quarantined_huge_ >= config_.quarantine_frame_limit) {
+    QuarantineVm();
+  }
+}
+
+void HyperAllocMonitor::QuarantineVm() {
+  if (vm_quarantined_) {
+    return;
+  }
+  vm_quarantined_ = true;
+  StopAuto();
+  if (busy_) {
+    outcome_.quarantined = true;
+  }
+  HA_COUNT("monitor.quarantine_vm");
+  HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kQuarantine, ~0ull, 1);
+}
+
+bool HyperAllocMonitor::RequestTimedOut() const {
+  return request_deadline_ != 0 && sim_->now() >= request_deadline_;
 }
 
 ReclaimState HyperAllocMonitor::StateOf(HugeId global_huge) const {
@@ -115,49 +225,97 @@ void HyperAllocMonitor::Install(ZoneView& view, HugeId local_huge) {
   const uint64_t entry_ns = config_.in_kernel
                                 ? vm_->costs().ept_fault_2m_ns
                                 : vm_->costs().install_hypercall_2m_ns;
-  cpu_.host_user_ns +=
-      hv::ChargeTraced(sim_, "monitor.install_entry_ns", entry_ns);
-  if (!config_.in_kernel) {
-    HA_COUNT("monitor.hypercall");
-  }
-
   const FrameId global_first = view.zone->start + HugeToFrame(local_huge);
-  {
-    trace::Span populate(trace::Layer::kEpt, "ept.populate");
-    populate.AddFrames(kFramesPerHuge);
-    HA_CHECK(vm_->PopulateFrames(global_first, kFramesPerHuge));
-    cpu_.host_sys_ns += hv::ChargeTraced(
-        sim_, "monitor.install_ns",
-        kFramesPerHuge * vm_->costs().populate_4k_ns);
+  fault::Injector* injector = vm_->fault_injector();
+  const unsigned max_attempts = std::max(1u, config_.retry.max_attempts);
+
+  bool ok = false;
+  for (unsigned attempt = 0; attempt < max_attempts && !ok; ++attempt) {
+    if (attempt > 0) {
+      ChargeBackoff(attempt - 1);
+    }
+    if (const auto kind =
+            fault::Poll(injector, fault::Site::kInstallHypercall)) {
+      NoteFault();
+      HA_COUNT("fault.install_hypercall");
+      HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kInject,
+                     global_first, 0);
+      if (*kind == fault::Kind::kPermanent) {
+        break;
+      }
+      continue;
+    }
+    cpu_.host_user_ns +=
+        hv::ChargeTraced(sim_, "monitor.install_entry_ns", entry_ns);
+    if (!config_.in_kernel) {
+      HA_COUNT("monitor.hypercall");
+    }
+    {
+      trace::Span populate(trace::Layer::kEpt, "ept.populate");
+      populate.AddFrames(kFramesPerHuge);
+      const uint64_t ept_faults = vm_->ept().injected_faults();
+      if (!vm_->PopulateFrames(global_first, kFramesPerHuge)) {
+        NoteFault();
+        if (vm_->ept().injected_faults() > ept_faults &&
+            vm_->ept().last_injected_kind() == fault::Kind::kPermanent) {
+          break;
+        }
+        continue;  // injected map failure or host exhaustion: retry
+      }
+      cpu_.host_sys_ns += hv::ChargeTraced(
+          sim_, "monitor.install_ns",
+          kFramesPerHuge * vm_->costs().populate_4k_ns);
+    }
+    if (vm_->config().vfio) {
+      trace::Span pin(trace::Layer::kIommu, "iommu.pin");
+      pin.AddFrames(kFramesPerHuge);
+      vm_->iommu()->Pin(FrameToHuge(global_first));
+      if (!vm_->iommu()->IsPinned(FrameToHuge(global_first))) {
+        NoteFault();
+        if (vm_->iommu()->last_injected_kind() == fault::Kind::kPermanent) {
+          break;
+        }
+        continue;
+      }
+      cpu_.host_sys_ns += hv::ChargeTraced(sim_, "monitor.install_pin_ns",
+                                           vm_->costs().iommu_map_2m_ns);
+    }
+    ok = true;
   }
-  if (vm_->config().vfio) {
-    trace::Span pin(trace::Layer::kIommu, "iommu.pin");
-    pin.AddFrames(kFramesPerHuge);
-    vm_->iommu()->Pin(FrameToHuge(global_first));
-    cpu_.host_sys_ns += hv::ChargeTraced(sim_, "monitor.install_pin_ns",
-                                         vm_->costs().iommu_map_2m_ns);
+  if (!ok) {
+    // Retries exhausted (or a permanent fault): the guest allocation has
+    // already claimed the frame, so hand it over anyway — it populates
+    // lazily on first touch — and poison the VM, because the install's
+    // DMA-safety guarantee ("populated and pinned before the allocation
+    // returns") no longer holds.
+    QuarantineVm();
   }
   HA_COUNT("monitor.install");
   HA_TRACE_EVENT(trace::Category::kMonitor, trace::Op::kInstall,
                  FrameToHuge(global_first), 0);
-  vm_->sink().OnBandwidth(t0, sim_->now(),
-                          static_cast<double>(kHugeSize) /
-                              static_cast<double>(sim_->now() - t0));
+  if (sim_->now() > t0) {
+    vm_->sink().OnBandwidth(t0, sim_->now(),
+                            static_cast<double>(kHugeSize) /
+                                static_cast<double>(sim_->now() - t0));
+  }
 
   view.states.Set(local_huge, ReclaimState::kInstalled);
   view.monitor_view->ClearEvicted(local_huge);
   ++installs_;
 }
 
-void HyperAllocMonitor::UnmapBatch(const std::vector<HugeId>& global_huge) {
+uint64_t HyperAllocMonitor::UnmapBatch(
+    const std::vector<HugeId>& global_huge) {
   if (global_huge.empty()) {
-    return;
+    return 0;
   }
   std::vector<HugeId> sorted = global_huge;
   std::sort(sorted.begin(), sorted.end());
 
   const sim::Time t0 = sim_->now();
   uint64_t shootdown_allcpu_ns = 0;
+  uint64_t completed = 0;
+  const unsigned max_attempts = std::max(1u, config_.retry.max_attempts);
 
   // Contiguous runs are unmapped with a single madvise syscall — the
   // aggregation that LLFree's compact allocation behaviour makes
@@ -173,13 +331,49 @@ void HyperAllocMonitor::UnmapBatch(const std::vector<HugeId>& global_huge) {
     }
     uint64_t mapped_huge = 0;
     uint64_t run_sys_ns = 0;
+    // Frames whose unmap completed (or that had nothing mapped) move on
+    // to the unpin phase; failed frames are rolled back or quarantined
+    // and must keep their pin (a rolled-back frame stays mapped).
+    std::vector<bool> unmapped(j - i, false);
+    uint64_t run_ok = 0;
     for (size_t k = i; k < j; ++k) {
       const FrameId first = HugeToFrame(sorted[k]);
-      if (vm_->ept().CountMapped(first, kFramesPerHuge) > 0) {
+      if (vm_->ept().CountMapped(first, kFramesPerHuge) == 0) {
+        unmapped[k - i] = true;  // §5.3 "reclaim untouched" fast path
+        ++run_ok;
+        continue;
+      }
+      bool ok = false;
+      bool permanent = false;
+      for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        if (attempt > 0) {
+          ChargeBackoff(attempt - 1);
+        }
+        if (vm_->ept().Unmap(first, kFramesPerHuge) !=
+            hv::Ept::kFaultInjected) {
+          ok = true;
+          break;
+        }
+        NoteFault();
+        if (vm_->ept().last_injected_kind() == fault::Kind::kPermanent) {
+          permanent = true;
+          break;
+        }
+      }
+      if (ok) {
+        unmapped[k - i] = true;
+        ++run_ok;
         ++mapped_huge;
         run_sys_ns += vm_->costs().madvise_per_2m_ns;
         shootdown_allcpu_ns += vm_->costs().shootdown_allcpu_2m_ns;
-        vm_->ept().Unmap(first, kFramesPerHuge);
+        continue;
+      }
+      HugeId local = 0;
+      ZoneView* view = FindView(sorted[k], &local);
+      if (permanent) {
+        QuarantineFrame(*view, local, sorted[k]);
+      } else {
+        RollbackFrame(*view, local, sorted[k]);
       }
     }
     if (mapped_huge > 0) {
@@ -197,19 +391,94 @@ void HyperAllocMonitor::UnmapBatch(const std::vector<HugeId>& global_huge) {
       cpu_.host_sys_ns +=
           hv::ChargeTraced(sim_, "monitor.unmap_ns", run_sys_ns);
     }
-    if (vm_->config().vfio) {
-      // Coalesced IOTLB invalidation: unpin the whole contiguous run and
-      // pay ONE ranged flush for it, not one flush per huge frame —
-      // the same batching the madvise path above gets from contiguity.
-      const uint64_t unpinned =
-          vm_->iommu()->UnpinRange(sorted[i], j - i);
-      if (unpinned > 0) {
-        trace::Span unpin(trace::Layer::kIommu, "iommu.unpin_range");
-        unpin.AddFrames(unpinned * kFramesPerHuge);
-        cpu_.host_sys_ns += hv::ChargeTraced(
-            sim_, "monitor.unmap_iommu_ns",
-            unpinned * vm_->costs().iommu_unmap_2m_ns +
-                vm_->costs().iotlb_flush_ns);
+    if (!vm_->config().vfio) {
+      completed += run_ok;
+    } else if (run_ok == j - i) {
+      // Clean run (the only path with injection off): coalesced IOTLB
+      // invalidation — unpin the whole contiguous run and pay ONE ranged
+      // flush for it, not one flush per huge frame — the same batching
+      // the madvise path above gets from contiguity.
+      uint64_t unpinned = 0;
+      bool pin_ok = false;
+      for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        if (attempt > 0) {
+          ChargeBackoff(attempt - 1);
+        }
+        const uint64_t faults = vm_->iommu()->injected_faults();
+        unpinned = vm_->iommu()->UnpinRange(sorted[i], j - i);
+        if (vm_->iommu()->injected_faults() == faults) {
+          pin_ok = true;
+          break;
+        }
+        NoteFault();
+        if (vm_->iommu()->last_injected_kind() == fault::Kind::kPermanent) {
+          break;
+        }
+      }
+      if (pin_ok) {
+        if (unpinned > 0) {
+          trace::Span unpin(trace::Layer::kIommu, "iommu.unpin_range");
+          unpin.AddFrames(unpinned * kFramesPerHuge);
+          cpu_.host_sys_ns += hv::ChargeTraced(
+              sim_, "monitor.unmap_iommu_ns",
+              unpinned * vm_->costs().iommu_unmap_2m_ns +
+                  vm_->costs().iotlb_flush_ns);
+        }
+        completed += run_ok;
+      } else {
+        // Unpin retries exhausted: the run is already unmapped but may
+        // still be pinned — poison every still-pinned frame.
+        for (size_t k = i; k < j; ++k) {
+          if (!vm_->iommu()->IsPinned(sorted[k])) {
+            ++completed;
+            continue;
+          }
+          HugeId local = 0;
+          ZoneView* view = FindView(sorted[k], &local);
+          QuarantineFrame(*view, local, sorted[k]);
+        }
+      }
+    } else {
+      // Degraded run: unpin only the frames that actually unmapped, one
+      // flush each (rolled-back frames stay mapped and keep their pin).
+      for (size_t k = i; k < j; ++k) {
+        if (!unmapped[k - i]) {
+          continue;
+        }
+        if (!vm_->iommu()->IsPinned(sorted[k])) {
+          ++completed;
+          continue;
+        }
+        bool pin_ok = false;
+        for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+          if (attempt > 0) {
+            ChargeBackoff(attempt - 1);
+          }
+          const uint64_t faults = vm_->iommu()->injected_faults();
+          if (vm_->iommu()->UnpinRange(sorted[k], 1) == 1) {
+            pin_ok = true;
+            break;
+          }
+          if (vm_->iommu()->injected_faults() > faults) {
+            NoteFault();
+            if (vm_->iommu()->last_injected_kind() ==
+                fault::Kind::kPermanent) {
+              break;
+            }
+          }
+        }
+        if (pin_ok) {
+          trace::Span unpin(trace::Layer::kIommu, "iommu.unpin_range");
+          unpin.AddFrames(kFramesPerHuge);
+          cpu_.host_sys_ns += hv::ChargeTraced(
+              sim_, "monitor.unmap_iommu_ns",
+              vm_->costs().iommu_unmap_2m_ns + vm_->costs().iotlb_flush_ns);
+          ++completed;
+        } else {
+          HugeId local = 0;
+          ZoneView* view = FindView(sorted[k], &local);
+          QuarantineFrame(*view, local, sorted[k]);
+        }
       }
     }
     i = j;
@@ -223,27 +492,52 @@ void HyperAllocMonitor::UnmapBatch(const std::vector<HugeId>& global_huge) {
         static_cast<double>(shootdown_allcpu_ns) /
             static_cast<double>(t1 - t0));
   }
+  return completed;
 }
 
 void HyperAllocMonitor::Request(const hv::ResizeRequest& request) {
   HA_CHECK(!busy_);
   busy_ = true;
   HA_CHECK(request.target_bytes <= vm_->config().memory_bytes);
+  outcome_ = hv::ResizeOutcome{};
+  outcome_.target_bytes = request.target_bytes;
+  stalled_slices_ = 0;
+  request_deadline_ = config_.retry.request_timeout_ns > 0
+                          ? sim_->now() + config_.retry.request_timeout_ns
+                          : 0;
   const uint64_t target_hard =
       (vm_->config().memory_bytes - request.target_bytes) / kHugeSize;
-  const bool shrink = target_hard > hard_reclaimed_huge_;
+  // Quarantined frames already count against the limit, so the request
+  // only has to move the remainder.
+  const uint64_t held = hard_reclaimed_huge_ + quarantined_huge_;
+  const bool shrink = target_hard > held;
   request_span_.Start(shrink ? "request.inflate" : "request.deflate");
   request_span_.AddFrames(
-      (shrink ? target_hard - hard_reclaimed_huge_
-              : hard_reclaimed_huge_ - target_hard) *
-      kFramesPerHuge);
-  auto finish = [this, done = request.done] {
+      (shrink ? target_hard - held : held - target_hard) * kFramesPerHuge);
+  auto finish = [this, done = request.done, on_outcome = request.on_outcome,
+                 shrink, target = request.target_bytes] {
+    outcome_.achieved_bytes = limit_bytes();
+    outcome_.quarantined = vm_quarantined_;
+    // A quarantined VM may still hit its numeric target (quarantined
+    // frames count against the limit) but the host memory behind them
+    // was never actually freed — that is degradation, not completion.
+    outcome_.complete = !outcome_.quarantined &&
+                        (shrink ? outcome_.achieved_bytes <= target
+                                : outcome_.achieved_bytes >= target);
     request_span_.Finish();
     busy_ = false;
+    request_deadline_ = 0;
+    if (on_outcome) {
+      on_outcome(outcome_);
+    }
     if (done) {
       done();
     }
   };
+  if (vm_quarantined_) {
+    finish();  // a poisoned VM refuses resizes: report and complete
+    return;
+  }
   if (shrink) {
     ShrinkSlice(target_hard, /*escalation=*/0, std::move(finish));
   } else {
@@ -257,6 +551,19 @@ void HyperAllocMonitor::ShrinkSlice(uint64_t target_huge, int escalation,
   // callbacks, so the thread context must be restored each time).
   trace::ScopedContext request_context(request_span_.context());
   trace::Span slice(trace::Layer::kMonitor, "monitor.shrink_slice");
+  if (vm_quarantined_) {
+    done();  // poisoned mid-request: stop with a partial reclaim
+    return;
+  }
+  if (RequestTimedOut()) {
+    ++fault_timeouts_;
+    outcome_.timed_out = true;
+    HA_COUNT("monitor.request_timeout");
+    HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kTimeout, target_huge,
+                   hard_reclaimed_huge_);
+    done();  // partial reclaim: every frame is in a legal state as-is
+    return;
+  }
   std::vector<HugeId> batch;
   const std::vector<ZoneView*> order = ReclaimOrder();
 
@@ -267,7 +574,7 @@ void HyperAllocMonitor::ShrinkSlice(uint64_t target_huge, int escalation,
   {
     trace::Span reclaim(trace::Layer::kLLFree, "llfree.reclaim_huge");
     for (ZoneView* view : order) {
-      while (hard_reclaimed_huge_ < target_huge &&
+      while (hard_reclaimed_huge_ + quarantined_huge_ < target_huge &&
              batch.size() < config_.hugepages_per_slice) {
         const std::optional<HugeId> huge = view->monitor_view->ReclaimHuge(
             view->hint, /*hard=*/true, /*allow_reserved=*/escalation >= 1);
@@ -287,10 +594,15 @@ void HyperAllocMonitor::ShrinkSlice(uint64_t target_huge, int escalation,
     }
     reclaim.AddFrames(batch.size() * kFramesPerHuge);
   }
-  UnmapBatch(batch);
+  const uint64_t quarantined_before = quarantined_huge_;
+  const uint64_t completed = UnmapBatch(batch);
 
-  if (hard_reclaimed_huge_ >= target_huge) {
+  if (hard_reclaimed_huge_ + quarantined_huge_ >= target_huge) {
     done();
+    return;
+  }
+  if (vm_quarantined_) {
+    done();  // quarantine tripped mid-batch: stop with a partial reclaim
     return;
   }
   if (batch.empty()) {
@@ -306,6 +618,17 @@ void HyperAllocMonitor::ShrinkSlice(uint64_t target_huge, int escalation,
       done();  // nothing left to reclaim at huge granularity
       return;
     }
+  } else if (completed == 0 && quarantined_huge_ == quarantined_before) {
+    // Every reclaimed frame was rolled back by transient faults: no net
+    // progress. A few stalled slices in a row mean the fault rate is too
+    // high to ever finish — give up with a partial reclaim instead of
+    // spinning (the hint would re-find the same frames forever).
+    if (++stalled_slices_ >= 3) {
+      done();
+      return;
+    }
+  } else {
+    stalled_slices_ = 0;
   }
   sim_->After(0, [this, target_huge, escalation,
                   done = std::move(done)]() mutable {
@@ -321,9 +644,10 @@ void HyperAllocMonitor::GrowSlice(uint64_t target_huge,
   {
     trace::Span mark(trace::Layer::kLLFree, "llfree.mark_returned");
     for (const auto& view : zones_) {
-      for (HugeId h = 0; h < view->states.size() &&
-                         hard_reclaimed_huge_ > target_huge &&
-                         returned < config_.hugepages_per_slice;
+      for (HugeId h = 0;
+           h < view->states.size() &&
+           hard_reclaimed_huge_ + quarantined_huge_ > target_huge &&
+           returned < config_.hugepages_per_slice;
            ++h) {
         if (view->states.Get(h) != ReclaimState::kHard) {
           continue;
@@ -341,7 +665,11 @@ void HyperAllocMonitor::GrowSlice(uint64_t target_huge,
     }
     mark.AddFrames(static_cast<uint64_t>(returned) * kFramesPerHuge);
   }
-  if (hard_reclaimed_huge_ <= target_huge || returned == 0) {
+  // Quarantined frames cannot be returned: a grow request against a VM
+  // with quarantined memory finishes partial (returned == 0 once only
+  // quarantined frames remain above the target).
+  if (hard_reclaimed_huge_ + quarantined_huge_ <= target_huge ||
+      returned == 0) {
     done();
     return;
   }
@@ -362,6 +690,9 @@ bool HyperAllocMonitor::IsHot(HugeId global_huge) const {
 }
 
 uint64_t HyperAllocMonitor::AutoReclaimPass() {
+  if (vm_quarantined_) {
+    return 0;  // a poisoned VM stops background reclamation
+  }
   // Auto-reclamation is its own causal root (a periodic scan, not part
   // of any resize request).
   trace::ScopedRoot root;
@@ -403,10 +734,12 @@ uint64_t HyperAllocMonitor::AutoReclaimPass() {
                      batch.back(), 0);
     }
   }
-  UnmapBatch(batch);
+  // Rolled-back frames do not count: only frames that actually unmapped
+  // (or were already unmapped) are net soft reclaims.
+  const uint64_t completed = UnmapBatch(batch);
   pass.AddFrames(batch.size() * kFramesPerHuge);
-  soft_reclaims_ += batch.size();
-  return batch.size();
+  soft_reclaims_ += completed;
+  return completed;
 }
 
 void HyperAllocMonitor::StartAuto() {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/core/reclaim_states.h"
+#include "src/fault/fault.h"
 #include "src/guest/guest_vm.h"
 #include "src/hv/deflator.h"
 #include "src/sim/simulation.h"
@@ -48,6 +49,13 @@ struct HyperAllocConfig {
   // drops to a plain EPT fault) and unmapping manipulates the EPT
   // directly instead of going through madvise syscalls.
   bool in_kernel = false;
+  // Fault recovery (DESIGN.md §4.9): bounded retry with virtual-time
+  // exponential backoff for every fallible monitor operation, plus the
+  // optional per-request deadline.
+  fault::RetryPolicy retry;
+  // The VM is poisoned (quarantined) once this many huge frames had to
+  // be quarantined by unrecoverable faults.
+  unsigned quarantine_frame_limit = 16;
 };
 
 class HyperAllocMonitor : public hv::Deflator {
@@ -81,6 +89,14 @@ class HyperAllocMonitor : public hv::Deflator {
   }
   uint64_t installs() const { return installs_; }
   uint64_t soft_reclaims() const { return soft_reclaims_; }
+
+  // Fault-recovery statistics (DESIGN.md §4.9).
+  uint64_t faults_seen() const { return faults_seen_; }
+  uint64_t fault_retries() const { return fault_retries_; }
+  uint64_t fault_rollbacks() const { return fault_rollbacks_; }
+  uint64_t fault_timeouts() const { return fault_timeouts_; }
+  uint64_t quarantined_huge() const { return quarantined_huge_; }
+  bool vm_quarantined() const { return vm_quarantined_; }
 
   // §6 swap-strategy hook: the shared tree index carries each tree's
   // allocation type, so the host can prefer (e.g.) swapping movable user
@@ -119,10 +135,33 @@ class HyperAllocMonitor : public hv::Deflator {
   void GrowSlice(uint64_t target_huge, std::function<void()> done);
 
   // Unmaps a batch of (globally addressed) reclaimed huge frames,
-  // batching contiguous runs into single madvise calls.
-  void UnmapBatch(const std::vector<HugeId>& global_huge);
+  // batching contiguous runs into single madvise calls. Under fault
+  // injection an unmap or unpin may fail: transient failures retry with
+  // backoff, then roll the frame back to its pre-reclaim state; permanent
+  // failures (or unpin-retry exhaustion after the frame was unmapped)
+  // quarantine the frame. Returns the number of frames that completed.
+  uint64_t UnmapBatch(const std::vector<HugeId>& global_huge);
 
   void AutoTick();
+
+  // --- Fault recovery (DESIGN.md §4.9) -------------------------------
+  // Maps a global huge id back to its zone view + local id.
+  ZoneView* FindView(HugeId global_huge, HugeId* local_huge);
+  // Charges the exponential backoff before retry number `retry` (0-based)
+  // and bumps the retry accounting (innermost span + request span).
+  void ChargeBackoff(unsigned retry);
+  // Records an observed injected fault (innermost span + request span).
+  void NoteFault();
+  // Reverts a huge frame whose unmap failed transiently to its
+  // pre-reclaim state (H -> S via return, S -> I via E-bit clear).
+  void RollbackFrame(ZoneView& view, HugeId local_huge, HugeId global_huge);
+  // Poisons a single huge frame (absorbing Q state); trips VM quarantine
+  // at config_.quarantine_frame_limit.
+  void QuarantineFrame(ZoneView& view, HugeId local_huge,
+                       HugeId global_huge);
+  void QuarantineVm();
+  // True once the current request's deadline has passed.
+  bool RequestTimedOut() const;
 
   guest::GuestVm* vm_;
   HyperAllocConfig config_;
@@ -133,6 +172,16 @@ class HyperAllocMonitor : public hv::Deflator {
   uint64_t hard_reclaimed_huge_ = 0;
   bool busy_ = false;
   bool auto_running_ = false;
+
+  // Fault recovery (DESIGN.md §4.9).
+  uint64_t quarantined_huge_ = 0;
+  bool vm_quarantined_ = false;
+  sim::Time request_deadline_ = 0;  // 0 = no deadline
+  unsigned stalled_slices_ = 0;     // consecutive zero-progress slices
+  uint64_t faults_seen_ = 0;
+  uint64_t fault_retries_ = 0;
+  uint64_t fault_rollbacks_ = 0;
+  uint64_t fault_timeouts_ = 0;
 
   hv::CpuAccounting cpu_;
   trace::RequestSpan request_span_;

@@ -19,19 +19,35 @@
 namespace hyperalloc::core {
 
 enum class ReclaimState : uint8_t {
-  kInstalled = 0,  // I: backed by host memory (M=1)
-  kSoft = 1,       // S: reclaimed, repopulated on guest install
-  kHard = 2,       // H: reclaimed, not available to the guest
+  kInstalled = 0,    // I: backed by host memory (M=1)
+  kSoft = 1,         // S: reclaimed, repopulated on guest install
+  kHard = 2,         // H: reclaimed, not available to the guest
+  kQuarantined = 3,  // Q: poisoned by an unrecoverable fault (absorbing)
 };
 
 // Legal edges of the paper's Fig. 2 state machine (self-loops are no-op
 // re-stores and always fine): I->S (soft/auto reclaim), I->H (direct hard
 // reclaim), S->I (install), S->H (reclaim untouched), H->S (return).
 // H->I is not an edge: hard-reclaimed memory is outside the guest's hard
-// limit and must be returned (H->S) before it can be installed. The
-// model-checking oracle (src/check/invariants.h) and a debug check in
-// Set() enforce this.
+// limit and must be returned (H->S) before it can be installed.
+//
+// Fault extension (DESIGN.md §4.9): any state may transition to Q when a
+// permanent fault (or retry exhaustion on an unpin) leaves the frame's
+// host-side mapping in doubt; Q is absorbing — a quarantined frame is
+// withheld from the guest and from every future reclaim pass, so no
+// Q->{I,S,H} edge exists. The model-checking oracle
+// (src/check/invariants.h) and a debug check in Set() enforce all of
+// this.
 constexpr bool IsLegalTransition(ReclaimState from, ReclaimState to) {
+  if (from == to) {
+    return true;
+  }
+  if (from == ReclaimState::kQuarantined) {
+    return false;  // absorbing
+  }
+  if (to == ReclaimState::kQuarantined) {
+    return true;  // any state may be poisoned
+  }
   return !(from == ReclaimState::kHard && to == ReclaimState::kInstalled);
 }
 
@@ -85,20 +101,27 @@ class ReclaimStateArray {
   // process; arg1 packs (from << 4) | to for the exporters.
   static void CountTransition(ReclaimState from, ReclaimState to,
                               HugeId huge) {
-    static const std::array<trace::Counter*, 9> counters = [] {
-      constexpr const char* kNames[9] = {
-          nullptr,                      // I -> I
-          "state.installed_to_soft",    // I -> S (auto/soft reclaim)
-          "state.installed_to_hard",    // I -> H (direct hard reclaim)
-          "state.soft_to_installed",    // S -> I (install)
-          nullptr,                      // S -> S
-          "state.soft_to_hard",         // S -> H (reclaim untouched)
-          "state.hard_to_installed",    // H -> I
-          "state.hard_to_soft",         // H -> S (return)
-          nullptr,                      // H -> H
+    static const std::array<trace::Counter*, 16> counters = [] {
+      constexpr const char* kNames[16] = {
+          nullptr,                           // I -> I
+          "state.installed_to_soft",         // I -> S (auto/soft reclaim)
+          "state.installed_to_hard",         // I -> H (direct hard reclaim)
+          "state.installed_to_quarantined",  // I -> Q (poisoned)
+          "state.soft_to_installed",         // S -> I (install)
+          nullptr,                           // S -> S
+          "state.soft_to_hard",              // S -> H (reclaim untouched)
+          "state.soft_to_quarantined",       // S -> Q (poisoned)
+          "state.hard_to_installed",         // H -> I
+          "state.hard_to_soft",              // H -> S (return)
+          nullptr,                           // H -> H
+          "state.hard_to_quarantined",       // H -> Q (poisoned)
+          nullptr,                           // Q -> I (illegal)
+          nullptr,                           // Q -> S (illegal)
+          nullptr,                           // Q -> H (illegal)
+          nullptr,                           // Q -> Q
       };
-      std::array<trace::Counter*, 9> out{};
-      for (unsigned i = 0; i < 9; ++i) {
+      std::array<trace::Counter*, 16> out{};
+      for (unsigned i = 0; i < 16; ++i) {
         out[i] = kNames[i] == nullptr
                      ? nullptr
                      : &trace::CounterRegistry::Global().FindOrCreate(
@@ -107,7 +130,7 @@ class ReclaimStateArray {
       return out;
     }();
     trace::Counter* counter =
-        counters[static_cast<unsigned>(from) * 3 + static_cast<unsigned>(to)];
+        counters[static_cast<unsigned>(from) * 4 + static_cast<unsigned>(to)];
     if (counter != nullptr) {
       counter->Add(1);
     }

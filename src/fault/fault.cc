@@ -1,0 +1,150 @@
+#include "src/fault/fault.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace hyperalloc::fault {
+
+namespace {
+
+constexpr const char* kSiteNames[kNumSites] = {
+    "install",      "ept_map",   "ept_unmap",   "iommu_pin", "iommu_unpin",
+    "balloon_vq",   "vmem_plug", "vmem_unplug", "host_reserve",
+};
+
+}  // namespace
+
+const char* Name(Site site) {
+  return kSiteNames[static_cast<unsigned>(site)];
+}
+
+const char* Name(Kind kind) {
+  return kind == Kind::kTransient ? "transient" : "permanent";
+}
+
+bool SiteFromName(std::string_view name, Site* site) {
+  for (unsigned i = 0; i < kNumSites; ++i) {
+    if (name == kSiteNames[i]) {
+      *site = static_cast<Site>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Plan::Parse(const std::string& spec, Plan* plan, std::string* error) {
+  for (SiteSpec& s : plan->sites) {
+    s = SiteSpec{};
+  }
+  std::stringstream stream(spec);
+  std::string entry;
+  while (std::getline(stream, entry, ',')) {
+    if (entry.empty()) {
+      continue;
+    }
+    bool permanent = false;
+    if (entry.back() == '!') {
+      permanent = true;
+      entry.pop_back();
+    }
+    const size_t colon = entry.find(':');
+    const size_t at = entry.find('@');
+    if (colon == std::string::npos && at == std::string::npos) {
+      if (error != nullptr) {
+        *error = "entry '" + entry + "' has neither ':prob' nor '@step'";
+      }
+      return false;
+    }
+    const size_t sep = colon != std::string::npos ? colon : at;
+    const std::string site_name = entry.substr(0, sep);
+
+    std::vector<Site> targets;
+    Site one;
+    if (site_name == "all") {
+      for (unsigned i = 0; i < kNumSites; ++i) {
+        targets.push_back(static_cast<Site>(i));
+      }
+    } else if (SiteFromName(site_name, &one)) {
+      targets.push_back(one);
+    } else {
+      if (error != nullptr) {
+        *error = "unknown fault site '" + site_name + "'";
+      }
+      return false;
+    }
+
+    if (colon != std::string::npos) {
+      char* end = nullptr;
+      const std::string value = entry.substr(colon + 1);
+      const double p = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+        if (error != nullptr) {
+          *error = "bad probability '" + value + "' (want [0,1])";
+        }
+        return false;
+      }
+      for (const Site target : targets) {
+        SiteSpec& s = plan->spec(target);
+        s.probability = p;
+        s.kind = permanent ? Kind::kPermanent : Kind::kTransient;
+      }
+    } else {
+      std::vector<uint64_t> steps;
+      std::stringstream step_stream(entry.substr(at + 1));
+      std::string step;
+      while (std::getline(step_stream, step, '@')) {
+        char* end = nullptr;
+        const uint64_t index = std::strtoull(step.c_str(), &end, 10);
+        if (end == step.c_str() || *end != '\0') {
+          if (error != nullptr) {
+            *error = "bad step index '" + step + "'";
+          }
+          return false;
+        }
+        steps.push_back(index);
+      }
+      for (size_t i = 1; i < steps.size(); ++i) {
+        if (steps[i - 1] >= steps[i]) {
+          if (error != nullptr) {
+            *error = "step schedule must be strictly increasing";
+          }
+          return false;
+        }
+      }
+      for (const Site target : targets) {
+        SiteSpec& s = plan->spec(target);
+        s.steps = steps;
+        s.kind = permanent ? Kind::kPermanent : Kind::kTransient;
+      }
+    }
+  }
+  return true;
+}
+
+std::string Plan::ToString() const {
+  std::ostringstream out;
+  out << "seed=" << seed;
+  bool first = true;
+  for (unsigned i = 0; i < kNumSites; ++i) {
+    const SiteSpec& s = sites[i];
+    if (!s.active()) {
+      continue;
+    }
+    // One space after the seed, then comma-separated entries: everything
+    // after the space is a valid --fault-plan spec again.
+    out << (first ? ' ' : ',') << kSiteNames[i];
+    first = false;
+    if (s.probability > 0.0) {
+      out << ':' << s.probability;
+    }
+    for (const uint64_t step : s.steps) {
+      out << '@' << step;
+    }
+    if (s.kind == Kind::kPermanent) {
+      out << '!';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace hyperalloc::fault

@@ -276,12 +276,23 @@ bool GuestVm::PopulateFrames(FrameId first, uint64_t count) {
     if (missing == 0) {
       return true;
     }
-    if (ept_.Map(first, count) != hv::Ept::kNoHostMemory) {
+    const uint64_t mapped = ept_.Map(first, count);
+    if (mapped == hv::Ept::kFaultInjected) {
+      // Injected map fault: pressure handling cannot help; the caller's
+      // recovery layer (bounded retry with backoff) owns this failure.
+      return false;
+    }
+    if (mapped != hv::Ept::kNoHostMemory) {
       return true;
     }
     if (!host_pressure_ || !host_pressure_(missing)) {
       break;
     }
+  }
+  if (host_pressure_ == nullptr && fault_ != nullptr && fault_->enabled()) {
+    // Injected pool exhaustion with no swap attached: recoverable by the
+    // caller's retry path rather than fatal.
+    return false;
   }
   HA_CHECK(host_pressure_ != nullptr);  // without swap, exhaustion is fatal
   return false;

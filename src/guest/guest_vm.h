@@ -25,6 +25,7 @@
 #include "src/base/result.h"
 #include "src/base/types.h"
 #include "src/buddy/buddy.h"
+#include "src/fault/fault.h"
 #include "src/hv/aux_state.h"
 #include "src/hv/cost_model.h"
 #include "src/hv/ept.h"
@@ -97,6 +98,19 @@ class GuestVm {
   hv::Ept& ept() { return ept_; }
   hv::Iommu* iommu() { return iommu_.get(); }
   hv::HostMemory* host() { return host_; }
+
+  // Arms deterministic fault injection on this VM's EPT and IOMMU (and
+  // remembers the injector so deflators can consult their own sites).
+  // Arm *after* boot-time population so start-up cannot fault; the host
+  // pool is shared and gets its injector separately. Null disarms.
+  void SetFaultInjector(fault::Injector* injector) {
+    fault_ = injector;
+    ept_.SetFaultInjector(injector);
+    if (iommu_ != nullptr) {
+      iommu_->SetFaultInjector(injector);
+    }
+  }
+  fault::Injector* fault_injector() { return fault_; }
 
   void SetInterferenceSink(hv::InterferenceSink* sink) { sink_ = sink; }
   hv::InterferenceSink& sink() { return *sink_; }
@@ -269,6 +283,7 @@ class GuestVm {
   std::function<bool()> oom_notifier_;
   bool in_oom_notifier_ = false;
   hv::AuxState* aux_ = nullptr;
+  fault::Injector* fault_ = nullptr;
   std::function<void(HugeId)> aux_install_;
   std::function<bool(uint64_t)> host_pressure_;
   std::function<uint64_t(FrameId, uint64_t)> fault_surcharge_;

@@ -37,6 +37,27 @@ struct DeflatorCaps {
   uint64_t granularity_bytes = kFrameSize;
 };
 
+// How far a resize request got and what it cost in recovery work — the
+// partial-reclaim degradation contract (DESIGN.md §4.9): a request that
+// cannot complete still leaves the backend's state machine legal and
+// reports its progress here instead of pretending success.
+struct ResizeOutcome {
+  uint64_t target_bytes = 0;
+  // The limit actually reached when the request finished.
+  uint64_t achieved_bytes = 0;
+  // achieved == target (no degradation).
+  bool complete = false;
+  // The per-request deadline expired before completion.
+  bool timed_out = false;
+  // The VM entered (or already was in) fault quarantine.
+  bool quarantined = false;
+  // Injected faults observed, retries spent, and rollbacks performed
+  // while serving this request.
+  uint64_t faults = 0;
+  uint64_t retries = 0;
+  uint64_t rollbacks = 0;
+};
+
 // One asynchronous limit-change request. A plain struct rather than a
 // parameter list so future orchestration policies can attach deadlines,
 // priority classes, or partial-progress callbacks without touching every
@@ -47,6 +68,9 @@ struct ResizeRequest {
   // Fires in virtual time when the operation has gone as far as it can
   // (possibly partially — check limit_bytes()). May be empty.
   std::function<void()> done;
+  // Optional partial-progress callback: fires just before `done` with
+  // how far the request got (also readable via last_outcome()).
+  std::function<void(const ResizeOutcome&)> on_outcome;
 };
 
 class Deflator {
@@ -68,6 +92,14 @@ class Deflator {
   virtual void StopAuto() {}
 
   virtual const CpuAccounting& cpu() const = 0;
+
+  // The outcome of the most recently finished request (all-zero before
+  // the first request completes). Backends fill `outcome_` as they
+  // finish; the base class only stores it.
+  const ResizeOutcome& last_outcome() const { return outcome_; }
+
+ protected:
+  ResizeOutcome outcome_;
 };
 
 }  // namespace hyperalloc::hv

@@ -42,6 +42,14 @@ uint64_t Ept::Map(FrameId first, uint64_t count) {
   if (missing == 0) {
     return 0;
   }
+  if (const auto kind = fault::Poll(fault_, fault::Site::kEptMap)) {
+    last_injected_kind_ = *kind;
+    ++injected_faults_;
+    HA_COUNT("fault.ept_map");
+    HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kInject, first,
+                   count);
+    return kFaultInjected;
+  }
   if (host_ != nullptr && !host_->TryReserve(missing)) {
     return kNoHostMemory;
   }
@@ -61,6 +69,14 @@ uint64_t Ept::Unmap(FrameId first, uint64_t count) {
   const uint64_t present = CountMapped(first, count);
   if (present == 0) {
     return 0;
+  }
+  if (const auto kind = fault::Poll(fault_, fault::Site::kEptUnmap)) {
+    last_injected_kind_ = *kind;
+    ++injected_faults_;
+    HA_COUNT("fault.ept_unmap");
+    HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kInject, first,
+                   count);
+    return kFaultInjected;
   }
   for (FrameId frame = first; frame < first + count; ++frame) {
     bitmap_[frame / 64] &= ~(1ull << (frame % 64));

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/base/types.h"
+#include "src/fault/fault.h"
 #include "src/hv/host_memory.h"
 
 namespace hyperalloc::hv {
@@ -20,6 +21,14 @@ class Ept {
   // `host` may be null for standalone tests (no capacity accounting).
   Ept(uint64_t frames, HostMemory* host);
 
+  // Arms deterministic fault injection (fault::Site::kEptMap /
+  // kEptUnmap). Null disarms; the injector is not owned.
+  void SetFaultInjector(fault::Injector* injector) { fault_ = injector; }
+  // The Kind of the most recent injected fault (meaningful right after a
+  // kFaultInjected return; recovery layers branch on it).
+  fault::Kind last_injected_kind() const { return last_injected_kind_; }
+  uint64_t injected_faults() const { return injected_faults_; }
+
   uint64_t frames() const { return frames_; }
   uint64_t mapped_frames() const { return mapped_; }
   uint64_t rss_bytes() const { return mapped_ * kFrameSize; }
@@ -27,12 +36,16 @@ class Ept {
   bool IsMapped(FrameId frame) const;
 
   // Maps [first, first+count). Returns the number of frames that were
-  // not already mapped (those reserve host memory). Returns UINT64_MAX
-  // if the host pool is exhausted (nothing is changed in that case).
+  // not already mapped (those reserve host memory). Returns kNoHostMemory
+  // if the host pool is exhausted, or kFaultInjected when an injected
+  // kEptMap fault fails the operation — nothing is changed in either
+  // case.
   uint64_t Map(FrameId first, uint64_t count);
 
   // Unmaps [first, first+count). Returns the number of frames that were
-  // mapped (those are released back to the host pool).
+  // mapped (those are released back to the host pool), or kFaultInjected
+  // when an injected kEptUnmap fault fails the operation (nothing is
+  // changed: the range stays mapped).
   uint64_t Unmap(FrameId first, uint64_t count);
 
   // Number of mapped frames in [first, first+count) without changing
@@ -52,6 +65,7 @@ class Ept {
   uint64_t tlb_flushed_frames() const { return tlb_flushed_frames_; }
 
   static constexpr uint64_t kNoHostMemory = ~0ull;
+  static constexpr uint64_t kFaultInjected = ~0ull - 1;
 
  private:
   uint64_t frames_;
@@ -62,6 +76,9 @@ class Ept {
   uint64_t total_unmap_ops_ = 0;
   uint64_t tlb_range_flushes_ = 0;
   uint64_t tlb_flushed_frames_ = 0;
+  fault::Injector* fault_ = nullptr;
+  fault::Kind last_injected_kind_ = fault::Kind::kTransient;
+  uint64_t injected_faults_ = 0;
 };
 
 }  // namespace hyperalloc::hv

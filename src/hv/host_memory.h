@@ -34,6 +34,7 @@
 #include "src/base/atomic.h"
 #include "src/base/check.h"
 #include "src/base/types.h"
+#include "src/fault/fault.h"
 #include "src/trace/span.h"
 
 namespace hyperalloc::hv {
@@ -102,6 +103,12 @@ class HostMemory {
     if (frames == 0) {
       return true;
     }
+    if (fault::Poll(fault_, fault::Site::kHostReserve).has_value()) {
+      // Injected admission failure: indistinguishable from real
+      // exhaustion by design (callers exercise their pressure paths).
+      fault_injected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     Shard& s = shards_[shard % num_shards_];
     if (!TakeCredit(s, frames)) {
       return false;
@@ -135,6 +142,15 @@ class HostMemory {
     if (credit > 2 * kCreditBatch) {
       DrainShard(s, credit - kCreditBatch);
     }
+  }
+
+  // Arms deterministic fault injection on the admission path
+  // (fault::Site::kHostReserve): a scheduled fault makes TryReserve
+  // return false with nothing changed, as if the pool were exhausted.
+  // Null disarms; the injector is not owned.
+  void SetFaultInjector(fault::Injector* injector) { fault_ = injector; }
+  uint64_t injected_faults() const {
+    return fault_injected_.load(std::memory_order_relaxed);
   }
 
   // --- slow-path observability (tests, bench_runner) -------------------
@@ -313,6 +329,8 @@ class HostMemory {
   Atomic<uint64_t> refills_{0};
   Atomic<uint64_t> drains_{0};
   Atomic<uint64_t> rebalances_{0};
+  Atomic<uint64_t> fault_injected_{0};
+  fault::Injector* fault_ = nullptr;
 };
 
 }  // namespace hyperalloc::hv

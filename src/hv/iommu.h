@@ -13,6 +13,7 @@
 
 #include "src/base/check.h"
 #include "src/base/types.h"
+#include "src/fault/fault.h"
 #include "src/trace/trace.h"
 
 namespace hyperalloc::hv {
@@ -26,6 +27,14 @@ class Iommu {
   uint64_t num_huge() const { return num_huge_; }
   uint64_t pinned_huge() const { return pinned_count_; }
 
+  // Arms deterministic fault injection (fault::Site::kIommuPin /
+  // kIommuUnpin). An injected fault fails the whole call atomically —
+  // nothing is (un)pinned — so callers detect it by postcondition
+  // (IsPinned) and can retry or quarantine. Null disarms.
+  void SetFaultInjector(fault::Injector* injector) { fault_ = injector; }
+  fault::Kind last_injected_kind() const { return last_injected_kind_; }
+  uint64_t injected_faults() const { return injected_faults_; }
+
   bool IsPinned(HugeId huge) const {
     HA_CHECK(huge < num_huge_);
     return (pinned_[huge / 64] >> (huge % 64)) & 1;
@@ -36,6 +45,9 @@ class Iommu {
     HA_CHECK(huge < num_huge_);
     if (IsPinned(huge)) {
       return false;
+    }
+    if (InjectFault(fault::Site::kIommuPin, huge, 1)) {
+      return false;  // not pinned — caller checks IsPinned to tell apart
     }
     pinned_[huge / 64] |= 1ull << (huge % 64);
     ++pinned_count_;
@@ -51,6 +63,9 @@ class Iommu {
   // state changed (map operations issued).
   uint64_t PinRange(HugeId first, uint64_t count) {
     HA_CHECK(first + count <= num_huge_);
+    if (InjectFault(fault::Site::kIommuPin, first, count)) {
+      return 0;  // whole-range failure, nothing pinned
+    }
     uint64_t changed = 0;
     for (HugeId huge = first; huge < first + count; ++huge) {
       if (IsPinned(huge)) {
@@ -73,6 +88,9 @@ class Iommu {
   // frames whose state changed.
   uint64_t UnpinRange(HugeId first, uint64_t count) {
     HA_CHECK(first + count <= num_huge_);
+    if (InjectFault(fault::Site::kIommuUnpin, first, count)) {
+      return 0;  // whole-range failure, nothing unpinned, no flush
+    }
     uint64_t changed = 0;
     for (HugeId huge = first; huge < first + count; ++huge) {
       if (!IsPinned(huge)) {
@@ -106,6 +124,19 @@ class Iommu {
   uint64_t iotlb_flushed_huge() const { return iotlb_flushed_huge_; }
 
  private:
+  bool InjectFault(fault::Site site, HugeId first, uint64_t count) {
+    const auto kind = fault::Poll(fault_, site);
+    if (!kind.has_value()) {
+      return false;
+    }
+    last_injected_kind_ = *kind;
+    ++injected_faults_;
+    HA_COUNT("fault.iommu");
+    HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kInject, first,
+                   count);
+    return true;
+  }
+
   uint64_t num_huge_;
   std::vector<uint64_t> pinned_;
   uint64_t pinned_count_ = 0;
@@ -113,6 +144,9 @@ class Iommu {
   uint64_t unmap_ops_ = 0;
   uint64_t iotlb_flushes_ = 0;
   uint64_t iotlb_flushed_huge_ = 0;
+  fault::Injector* fault_ = nullptr;
+  fault::Kind last_injected_kind_ = fault::Kind::kTransient;
+  uint64_t injected_faults_ = 0;
 };
 
 }  // namespace hyperalloc::hv

@@ -65,6 +65,8 @@ struct SpanRecord {
   uint64_t end_wall_ns = 0;
   uint64_t charge_ns = 0;  // cost-model ns attributed to this span
   uint64_t frames = 0;     // frames this span operated on
+  uint64_t faults = 0;     // injected faults observed under this span
+  uint64_t retries = 0;    // retries (after backoff) under this span
   uint64_t seq = 0;        // global emission order (tie-break)
   uint32_t vm = 0;
   Layer layer = Layer::kRequest;
@@ -224,6 +226,8 @@ class Span {
 
   void AddFrames(uint64_t frames) { record_.frames += frames; }
   void AddCharge(uint64_t ns) { record_.charge_ns += ns; }
+  void AddFault(uint64_t n = 1) { record_.faults += n; }
+  void AddRetry(uint64_t n = 1) { record_.retries += n; }
 
   // Ends the span (idempotent; the destructor calls it). Spans must
   // close LIFO — guaranteed by scoping.
@@ -297,6 +301,18 @@ class RequestSpan {
     }
   }
 
+  void AddFault(uint64_t n = 1) {
+    if (active_) {
+      record_.faults += n;
+    }
+  }
+
+  void AddRetry(uint64_t n = 1) {
+    if (active_) {
+      record_.retries += n;
+    }
+  }
+
   void Finish() {
     if (!active_) {
       return;
@@ -350,6 +366,8 @@ class Span {
   uint64_t id() const { return 0; }
   void AddFrames(uint64_t) {}
   void AddCharge(uint64_t) {}
+  void AddFault(uint64_t = 1) {}
+  void AddRetry(uint64_t = 1) {}
   void Close() {}
   static Span* Current() { return nullptr; }
 };
@@ -360,6 +378,8 @@ class RequestSpan {
  public:
   void Start(const char*) {}
   void AddFrames(uint64_t) {}
+  void AddFault(uint64_t = 1) {}
+  void AddRetry(uint64_t = 1) {}
   void Finish() {}
   bool active() const { return false; }
   SpanContext context() const { return {}; }

@@ -122,6 +122,8 @@ const char* Name(Category category) {
       return "monitor";
     case Category::kState:
       return "state";
+    case Category::kFault:
+      return "fault";
   }
   return "?";
 }
@@ -172,6 +174,16 @@ const char* Name(Op op) {
       return "transition";
     case Op::kScan:
       return "scan";
+    case Op::kInject:
+      return "inject";
+    case Op::kRetry:
+      return "retry";
+    case Op::kRollback:
+      return "rollback";
+    case Op::kQuarantine:
+      return "quarantine";
+    case Op::kTimeout:
+      return "timeout";
   }
   return "?";
 }

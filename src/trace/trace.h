@@ -179,6 +179,7 @@ enum class Category : uint8_t {
   kVmem,     // virtio-mem block (un)plug
   kMonitor,  // HyperAlloc monitor reclaim/return/install
   kState,    // reclaim-state (R array) transitions
+  kFault,    // injected faults and their recovery (retry/rollback/...)
 };
 
 enum class Op : uint8_t {
@@ -204,6 +205,11 @@ enum class Op : uint8_t {
   kHypercall,
   kTransition,
   kScan,
+  kInject,      // a fault fired at an injection site
+  kRetry,       // a failed operation is retried after backoff
+  kRollback,    // partial work undone to restore a legal state
+  kQuarantine,  // a frame (or the VM) entered fault quarantine
+  kTimeout,     // a resize request hit its deadline
 };
 
 const char* Name(Category category);

@@ -22,6 +22,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/fault/fault.h"
 #include "src/guest/guest_vm.h"
 #include "src/hv/deflator.h"
 #include "src/sim/simulation.h"
@@ -40,6 +41,10 @@ struct VmemConfig {
   uint64_t auto_low_bytes = 768 * kMiB;
   // ... unplug (1 GiB) when huge-page-backed free memory exceeds this.
   uint64_t auto_high_bytes = 1792 * kMiB;
+  // Fault recovery (DESIGN.md §4.9): bounded retry with virtual-time
+  // exponential backoff for the per-block hypercalls, IOMMU ops and
+  // unmaps, plus the optional per-request deadline.
+  fault::RetryPolicy retry;
 };
 
 class VirtioMem : public hv::Deflator {
@@ -68,14 +73,30 @@ class VirtioMem : public hv::Deflator {
   uint64_t plugged_blocks() const { return plugged_blocks_; }
   uint64_t unpluggable_failures() const { return unpluggable_failures_; }
 
+  // Fault-recovery statistics (DESIGN.md §4.9).
+  uint64_t faults_seen() const { return faults_; }
+  uint64_t fault_retries() const { return fault_retries_; }
+  // Blocks unplugged whose EPT unmap never succeeded: the guest gave the
+  // block up, but its host backing stays allocated until it is replugged.
+  uint64_t leaked_backing_blocks() const { return leaked_backing_blocks_; }
+
  private:
   guest::Zone& movable_zone();
 
   void PlugSlice(uint64_t target_blocks, std::function<void()> done);
   void UnplugSlice(uint64_t target_blocks, std::function<void()> done);
   bool UnplugOneBlock();
-  void PlugOneBlock(uint64_t block);
+  // Returns false when the plug aborted on an unrecoverable fault — the
+  // block stays unplugged and the slice finishes partial.
+  bool PlugOneBlock(uint64_t block);
   void AutoTick();
+
+  // Polls a hypercall fault site with bounded retries; returns false on
+  // retry exhaustion or a permanent fault.
+  bool PollSite(fault::Site site, uint64_t arg);
+  void ChargeBackoff(unsigned retry);
+  void NoteFault();
+  bool RequestTimedOut() const;
 
   FrameId BlockFirstFrame(uint64_t block) const;
 
@@ -91,6 +112,10 @@ class VirtioMem : public hv::Deflator {
   hv::CpuAccounting cpu_;
   trace::RequestSpan request_span_;
   uint64_t unpluggable_failures_ = 0;
+  sim::Time request_deadline_ = 0;  // 0 = no deadline
+  uint64_t faults_ = 0;
+  uint64_t fault_retries_ = 0;
+  uint64_t leaked_backing_blocks_ = 0;
 };
 
 }  // namespace hyperalloc::vmem

@@ -24,6 +24,7 @@
 #include "src/check/scheduler.h"
 #include "src/check/shim.h"
 #include "src/core/reclaim_states.h"
+#include "src/fault/fault.h"
 #include "src/hv/host_memory.h"
 #include "src/llfree/llfree.h"
 #include "src/trace/span_ring.h"
@@ -418,6 +419,175 @@ Scenario SpanRingLostEventMutant() {
   };
 }
 
+// --------------------------------------------------------------------
+// Scenario 7 (fault schedule): the monitor's hard-reclaim scan runs
+// under an injected EPT-unmap failure schedule (DESIGN.md §4.9). Every
+// failed unmap is rolled back H -> S exactly as
+// HyperAllocMonitor::RollbackFrame does, while a guest thread allocates
+// concurrently. Oracle: whatever subset of unmaps the schedule fails,
+// no frame is lost or double-freed — free-frame accounting balances at
+// quiescence and every R transition stays legal.
+// --------------------------------------------------------------------
+Scenario FaultedReclaimRollsBack() {
+  return [](Execution& exec) {
+    Config cfg;
+    cfg.mode = Config::ReservationMode::kPerType;
+    cfg.areas_per_tree = 2;
+    auto c = std::make_shared<Ctx>(1024, cfg);
+    fault::Plan plan;
+    plan.seed = 42;
+    plan.spec(fault::Site::kEptUnmap).steps = {0};  // first unmap fails
+    auto injector = std::make_shared<fault::Injector>(plan);
+    // Prefill: one base frame keeps area 0 partially used, so the guest
+    // thread stays out of the reclaim scan's way.
+    const Result<FrameId> pre = c->guest.Get(0, 0, AllocType::kMovable);
+    Require(pre.ok(), "prefill get failed");
+    c->owner.Acquire(*pre, 0);
+    auto oracle = std::make_shared<ReclaimTransitionOracle>(&c->states);
+
+    exec.Spawn([c, frame = *pre] {
+      c->owner.Release(frame, 0);
+      Require(!c->guest.Put(frame, 0).has_value(), "put failed");
+      std::vector<std::pair<FrameId, unsigned>> held;
+      GetAndHold(c, 0, 0, AllocType::kMovable, &held);
+      PutAll(c, &held);
+    });
+    exec.Spawn([c, injector] {  // monitor: reclaim scan + fault recovery
+      for (HugeId h = 0; h < c->state.num_areas(); ++h) {
+        if (!c->monitor.TryHardReclaim(h, /*allow_reserved=*/true)) {
+          continue;
+        }
+        c->states.Set(h, ReclaimState::kHard);
+        ++c->reclaimed;
+        if (injector->Poll(fault::Site::kEptUnmap).has_value()) {
+          // The unmap failed: roll the frame back to soft-reclaimed
+          // (HyperAllocMonitor::RollbackFrame's H -> S edge) and give
+          // its accounting back.
+          Require(c->monitor.MarkReturned(h), "rollback return failed");
+          c->states.Set(h, ReclaimState::kSoft);
+          --c->reclaimed;
+        }
+      }
+    });
+    exec.OnStep([c, oracle] {
+      CheckStepInvariants(c->state);
+      c->owner();
+      (*oracle)();
+    });
+    exec.OnEnd([c] {
+      CheckQuiescent(c->guest);
+      Require(c->guest.FreeFrames() ==
+                  1024 - static_cast<uint64_t>(c->reclaimed) *
+                             kFramesPerHuge,
+              "fault-rollback accounting drifted: frame lost or "
+              "double-freed");
+    });
+  };
+}
+
+// --------------------------------------------------------------------
+// Scenario 8 (fault schedule): balloon-deflate-vs-alloc (scenario 4)
+// with a failing EPT map inside the install handshake. The correct
+// handler retries the map until it succeeds, so the DMA-safety oracle
+// (only pinned frames reach the guest) must hold across every injected
+// failure and interleaving.
+// --------------------------------------------------------------------
+std::shared_ptr<Ctx> DeflateSetup(Execution& exec,
+                                  std::shared_ptr<fault::Injector>* out) {
+  Config cfg;
+  cfg.mode = Config::ReservationMode::kPerType;
+  cfg.areas_per_tree = 2;
+  auto c = std::make_shared<Ctx>(2048, cfg);
+  for (HugeId h = 0; h < c->state.num_areas(); ++h) {
+    c->pins.Pin(h);
+  }
+  for (HugeId h = 1; h < c->state.num_areas(); ++h) {
+    Require(c->monitor.TryHardReclaim(h), "setup hard reclaim failed");
+    c->states.Set(h, ReclaimState::kHard);
+    c->pins.Unpin(h);
+  }
+  fault::Plan plan;
+  plan.seed = 7;
+  plan.spec(fault::Site::kEptMap).steps = {0};  // first install map fails
+  *out = std::make_shared<fault::Injector>(plan);
+
+  exec.Spawn([c] {  // monitor: deflate two huge frames
+    for (HugeId h = 1; h <= 2; ++h) {
+      Require(c->monitor.MarkReturned(h), "deflate return failed");
+      c->states.Set(h, ReclaimState::kSoft);
+    }
+  });
+  exec.Spawn([c] {  // guest: grab huge frames as they appear
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const Result<FrameId> r = c->guest.Get(0, kHugeOrder, AllocType::kHuge);
+      if (!r.ok()) {
+        continue;
+      }
+      const HugeId huge = FrameToHuge(*r);
+      c->owner.AcquireHuge(huge);
+      Require(c->pins.IsPinned(huge),
+              "guest allocated an unbacked (unpinned) huge frame");
+      c->owner.ReleaseHuge(huge);
+      Require(!c->guest.Put(HugeToFrame(huge), kHugeOrder).has_value(),
+              "huge put failed");
+    }
+  });
+  exec.OnStep([c] {
+    CheckStepInvariants(c->state);
+    c->owner();
+  });
+  exec.OnEnd([c] { CheckQuiescent(c->guest); });
+  return c;
+}
+
+Scenario FaultedInstallRetries() {
+  return [](Execution& exec) {
+    std::shared_ptr<fault::Injector> injector;
+    auto c = DeflateSetup(exec, &injector);
+    c->guest.SetInstallHandler([ctx = c.get(), injector](HugeId huge) {
+      // Bounded retry, as the real install path does: the map only
+      // counts once it stops faulting, and the frame is pinned before
+      // the allocation returns.
+      unsigned attempts = 0;
+      while (injector->Poll(fault::Site::kEptMap).has_value()) {
+        Require(++attempts < 8, "install retries exhausted in model");
+      }
+      ctx->pins.Pin(huge);
+      ctx->states.Set(huge, ReclaimState::kInstalled);
+      Require(ctx->monitor.ClearEvicted(huge),
+              "install: evicted hint already clear");
+    });
+  };
+}
+
+// --------------------------------------------------------------------
+// Mutant: dropped rollback on a failed EPT map. The install handler
+// sees the map fault but neither retries nor rolls the frame back — it
+// clears the evicted hint and reports success, handing the guest a
+// frame with no host backing. The DMA-safety oracle must catch this in
+// both random and exhaustive modes.
+// --------------------------------------------------------------------
+Scenario DroppedRollbackOnFailedMapMutant() {
+  return [](Execution& exec) {
+    std::shared_ptr<fault::Injector> injector;
+    auto c = DeflateSetup(exec, &injector);
+    c->guest.SetInstallHandler([ctx = c.get(), injector](HugeId huge) {
+      if (injector->Poll(fault::Site::kEptMap).has_value()) {
+        // BUG (deliberate): the map failed, but the handler finishes the
+        // install anyway instead of retrying or rolling back — the
+        // frame is never pinned.
+        ctx->states.Set(huge, ReclaimState::kInstalled);
+        (void)ctx->monitor.ClearEvicted(huge);
+        return;
+      }
+      ctx->pins.Pin(huge);
+      ctx->states.Set(huge, ReclaimState::kInstalled);
+      Require(ctx->monitor.ClearEvicted(huge),
+              "install: evicted hint already clear");
+    });
+  };
+}
+
 RunResult ExploreRandom(const Scenario& scenario, uint64_t iterations,
                         uint64_t seed = 1) {
   Options opt;
@@ -450,6 +620,31 @@ TEST(ModelCheckScenarios, DeflateVsGuestAlloc) {
 
 TEST(ModelCheckScenarios, HostPoolReserveRelease) {
   ExpectClean(ExploreRandom(HostPoolReserveRelease(), ScaledIters(1500)));
+}
+
+TEST(ModelCheckScenarios, FaultedReclaimRollsBack) {
+  ExpectClean(ExploreRandom(FaultedReclaimRollsBack(), ScaledIters(1500)));
+}
+
+TEST(ModelCheckScenarios, FaultedInstallRetries) {
+  ExpectClean(ExploreRandom(FaultedInstallRetries(), ScaledIters(1500)));
+}
+
+TEST(ModelCheckMutant, RandomWalkFindsDroppedRollback) {
+  const RunResult r =
+      ExploreRandom(DroppedRollbackOnFailedMapMutant(), 2000);
+  ASSERT_TRUE(r.failed)
+      << "random exploration missed the dropped-rollback mutant";
+  EXPECT_NE(r.message.find("unbacked"), std::string::npos) << r.message;
+}
+
+TEST(ModelCheckMutant, ExhaustiveFindsDroppedRollback) {
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult r = Explore(opt, DroppedRollbackOnFailedMapMutant());
+  ASSERT_TRUE(r.failed)
+      << "exhaustive exploration missed the dropped-rollback mutant";
+  EXPECT_NE(r.message.find("unbacked"), std::string::npos) << r.message;
 }
 
 TEST(ModelCheckScenarios, SpanRingWriterVsDrainer) {

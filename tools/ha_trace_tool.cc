@@ -36,12 +36,16 @@ struct Row {
   uint64_t end_vns = 0;
   uint64_t charge_ns = 0;
   uint64_t frames = 0;
+  uint64_t faults = 0;
+  uint64_t retries = 0;
   uint64_t begin_wall_ns = 0;
   uint64_t end_wall_ns = 0;
 
   uint64_t virtual_ns() const { return end_vns - begin_vns; }
 };
 
+// Accepts both the current 14-column format (with faults/retries) and the
+// pre-fault-injection 12-column format, so old traces stay analyzable.
 bool ParseRow(const std::string& line, Row* row) {
   std::vector<std::string> fields;
   std::stringstream stream(line);
@@ -49,7 +53,7 @@ bool ParseRow(const std::string& line, Row* row) {
   while (std::getline(stream, field, ',')) {
     fields.push_back(field);
   }
-  if (fields.size() != 12) {
+  if (fields.size() != 12 && fields.size() != 14) {
     return false;
   }
   try {
@@ -63,8 +67,14 @@ bool ParseRow(const std::string& line, Row* row) {
     row->end_vns = std::stoull(fields[7]);
     row->charge_ns = std::stoull(fields[8]);
     row->frames = std::stoull(fields[9]);
-    row->begin_wall_ns = std::stoull(fields[10]);
-    row->end_wall_ns = std::stoull(fields[11]);
+    size_t next = 10;
+    if (fields.size() == 14) {
+      row->faults = std::stoull(fields[10]);
+      row->retries = std::stoull(fields[11]);
+      next = 12;
+    }
+    row->begin_wall_ns = std::stoull(fields[next]);
+    row->end_wall_ns = std::stoull(fields[next + 1]);
   } catch (...) {
     return false;
   }
@@ -153,6 +163,34 @@ void PrintPercentiles(const std::vector<Row>& rows) {
   std::printf("\n");
 }
 
+// Fault-injection annotations (DESIGN.md §4.9): which operations took
+// injected faults, and how many retries it cost to get past them.
+void PrintFaults(const std::vector<Row>& rows) {
+  std::map<std::string, std::pair<uint64_t, uint64_t>> by_name;
+  uint64_t total_faults = 0;
+  uint64_t total_retries = 0;
+  for (const Row& row : rows) {
+    if (row.faults == 0 && row.retries == 0) {
+      continue;
+    }
+    by_name[row.name].first += row.faults;
+    by_name[row.name].second += row.retries;
+    total_faults += row.faults;
+    total_retries += row.retries;
+  }
+  if (by_name.empty()) {
+    return;  // clean trace: keep the report unchanged
+  }
+  std::printf("Fault annotations (injected faults / retries per op):\n");
+  std::printf("  %-26s %10s %10s\n", "op", "faults", "retries");
+  for (const auto& [name, counts] : by_name) {
+    std::printf("  %-26s %10" PRIu64 " %10" PRIu64 "\n", name.c_str(),
+                counts.first, counts.second);
+  }
+  std::printf("  %-26s %10" PRIu64 " %10" PRIu64 "\n\n", "total",
+              total_faults, total_retries);
+}
+
 // The slowest root span's chain of heaviest children — where one request
 // actually spent its virtual time, level by level.
 void PrintCriticalPath(const std::vector<Row>& rows) {
@@ -173,9 +211,14 @@ void PrintCriticalPath(const std::vector<Row>& rows) {
   int depth = 0;
   while (current != nullptr) {
     std::printf("  %*s%-26s %-10s %12" PRIu64 " ns  (charge %" PRIu64
-                " ns, %" PRIu64 " frames)\n",
+                " ns, %" PRIu64 " frames)",
                 2 * depth, "", current->name.c_str(), current->layer.c_str(),
                 current->virtual_ns(), current->charge_ns, current->frames);
+    if (current->faults > 0 || current->retries > 0) {
+      std::printf("  [%" PRIu64 " faults, %" PRIu64 " retries]",
+                  current->faults, current->retries);
+    }
+    std::printf("\n");
     const Row* heaviest = nullptr;
     for (const Row& row : rows) {
       if (row.trace_id == slowest->trace_id &&
@@ -199,6 +242,7 @@ int Report(const std::string& path) {
   std::printf("%s: %zu spans\n\n", path.c_str(), rows.size());
   PrintLayerBreakdown(rows);
   PrintPercentiles(rows);
+  PrintFaults(rows);
   PrintCriticalPath(rows);
   return 0;
 }
@@ -258,7 +302,8 @@ int SelfCheck() {
   SELF_CHECK(Percentile({}, 50) == 0);
   SELF_CHECK(Percentile({7}, 99) == 7);
 
-  // Row parsing round-trip.
+  // Row parsing round-trip: legacy 12-column rows still parse (faults
+  // and retries default to 0)...
   Row row;
   SELF_CHECK(ParseRow("1,2,0,3,ept,ept.unmap_run,100,250,150,512,5,9", &row));
   SELF_CHECK(row.trace_id == 1 && row.span_id == 2 && row.parent_id == 0);
@@ -266,7 +311,16 @@ int SelfCheck() {
              row.name == "ept.unmap_run");
   SELF_CHECK(row.virtual_ns() == 150 && row.charge_ns == 150 &&
              row.frames == 512);
+  SELF_CHECK(row.faults == 0 && row.retries == 0);
+  SELF_CHECK(row.begin_wall_ns == 5 && row.end_wall_ns == 9);
+  // ...and current 14-column rows carry fault annotations.
+  SELF_CHECK(
+      ParseRow("1,2,0,3,ept,ept.unmap_run,100,250,150,512,2,3,5,9", &row));
+  SELF_CHECK(row.faults == 2 && row.retries == 3);
+  SELF_CHECK(row.begin_wall_ns == 5 && row.end_wall_ns == 9);
   SELF_CHECK(!ParseRow("not,enough,fields", &row));
+  SELF_CHECK(
+      !ParseRow("1,2,0,3,ept,ept.unmap_run,100,250,150,512,2,3,5", &row));
 
   // Layer aggregation: spans of one synthetic trace.
   std::vector<Row> rows;
