@@ -1,19 +1,23 @@
 // Machine-readable performance runner for the paths this repo's perf
-// trajectory tracks: LLFree get/put, the sharded host frame pool, the
-// span-attribution closure of a HyperAlloc resize, and the threaded
-// multi-VM experiment. Emits one JSON document (default BENCH_PR4.json;
-// schema checked by scripts/check_bench_json.py, regressions gated by
-// scripts/perf_gate.py) so runs are comparable across commits.
+// trajectory tracks: LLFree get/put (single-frame and batched), the
+// sharded host frame pool, the span-attribution closure of a HyperAlloc
+// resize, and the threaded multi-VM experiment. Emits one JSON document
+// (default BENCH_PR6.json; schema checked by scripts/check_bench_json.py,
+// regressions gated by scripts/perf_gate.py) so runs are comparable
+// across commits.
 //
 //   --smoke          small sizes for CI (seconds, not minutes)
-//   --out=PATH       output path (default BENCH_PR4.json)
+//   --out=PATH       output path (default BENCH_PR6.json)
 //   --threads=N      host threads for the pool and multi-VM benches
 //                    (default 4; the multi-VM determinism check always
 //                    also runs single-threaded and compares series)
+//   --batch=N        train size for the batched LLFree bench (default
+//                    512 base frames per GetBatch/PutBatch round)
 //   --trace-out=PATH writes the attribution run's span tree as a
 //                    Perfetto/Chrome trace (PATH itself when it ends in
 //                    .json), plus PATH.spans.csv (the ha_trace_tool
 //                    input) and PATH.prom (Prometheus exposition)
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -23,6 +27,7 @@
 #include <vector>
 
 #include "bench/multivm_harness.h"
+#include "src/llfree/frame_cache.h"
 #include "src/llfree/llfree.h"
 #include "src/trace/export.h"
 #include "src/trace/span.h"
@@ -87,6 +92,101 @@ OpsResult BenchLLFreeAllocFree(bool smoke) {
   return result;
 }
 
+// Batched vs single-frame hot path, same allocator shape: order-0 trains
+// of `batch` frames claimed word-at-a-time via GetBatch/PutBatch against
+// the same volume of per-frame Get/Put transactions, plus the per-core
+// FrameCache layered over the batch API. Each variant runs on a fresh
+// allocator so state is identical. speedup_vs_single is the perf-gate
+// metric (scripts/perf_gate.py FLOORS): both sides run in-process on the
+// same host, so the ratio cancels machine speed.
+struct BatchBenchResult {
+  OpsResult batched;
+  OpsResult single;
+  OpsResult cached;
+  double speedup_vs_single = 0.0;
+  unsigned batch = 0;
+};
+
+BatchBenchResult BenchLLFreeBatchAllocFree(bool smoke, unsigned batch) {
+  const uint64_t frames = 1ull << (smoke ? 16 : 20);
+  llfree::Config config;
+  config.cores = 4;
+  const int rounds = smoke ? 200 : 4000;
+
+  BatchBenchResult result;
+  result.batch = batch;
+  std::vector<FrameId> held;
+  held.reserve(batch);
+
+  {
+    llfree::SharedState state(frames, config);
+    llfree::LLFree alloc(&state);
+    const Clock::time_point start = Clock::now();
+    for (int round = 0; round < rounds; ++round) {
+      const unsigned core = static_cast<unsigned>(round % 4);
+      const unsigned got =
+          alloc.GetBatch(core, 0, batch, AllocType::kMovable, &held);
+      alloc.PutBatch(held, 0);
+      result.batched.ops += 2 * got;
+      held.clear();
+    }
+    result.batched.Finish(start);
+  }
+  {
+    llfree::SharedState state(frames, config);
+    llfree::LLFree alloc(&state);
+    const Clock::time_point start = Clock::now();
+    for (int round = 0; round < rounds; ++round) {
+      const unsigned core = static_cast<unsigned>(round % 4);
+      for (unsigned i = 0; i < batch; ++i) {
+        const Result<FrameId> r = alloc.Get(core, 0, AllocType::kMovable);
+        if (!r.ok()) {
+          break;
+        }
+        held.push_back(*r);
+      }
+      for (const FrameId frame : held) {
+        alloc.Put(frame, 0);
+      }
+      result.single.ops += 2 * held.size();
+      held.clear();
+    }
+    result.single.Finish(start);
+  }
+  {
+    llfree::SharedState state(frames, config);
+    llfree::LLFree alloc(&state);
+    llfree::FrameCache::CacheConfig cc;
+    cc.slots = 4;
+    cc.capacity = batch;
+    cc.refill = std::max(1u, batch / 2);
+    llfree::FrameCache cache(&alloc, cc);
+    const Clock::time_point start = Clock::now();
+    for (int round = 0; round < rounds; ++round) {
+      const unsigned core = static_cast<unsigned>(round % 4);
+      for (unsigned i = 0; i < batch; ++i) {
+        const Result<FrameId> r = cache.Get(core, 0, AllocType::kMovable);
+        if (!r.ok()) {
+          break;
+        }
+        held.push_back(*r);
+      }
+      for (const FrameId frame : held) {
+        cache.Put(core, frame, 0);
+      }
+      result.cached.ops += 2 * held.size();
+      held.clear();
+    }
+    cache.Drain();
+    result.cached.Finish(start);
+  }
+  if (result.single.ops_per_sec > 0.0) {
+    result.speedup_vs_single =
+        result.batched.ops_per_sec / result.single.ops_per_sec;
+  }
+  return result;
+}
+
 // Multi-threaded TryReserve/Release storm on one pool. Mixed batch sizes
 // exercise the shard fast path, the batched global refill/drain, and —
 // because the pool is sized near the demand — the cross-shard
@@ -94,7 +194,7 @@ OpsResult BenchLLFreeAllocFree(bool smoke) {
 // 0) is validated after the threads join.
 OpsResult BenchHostPool(unsigned threads, bool smoke, bool* invariant_ok,
                         uint64_t* refills, uint64_t* drains,
-                        uint64_t* rebalances) {
+                        uint64_t* rebalances, uint64_t* rebalance_skips) {
   // 32 MiB worth of frames — smaller than even one thread's outstanding
   // window (64 batches averaging 256 frames), so admission runs at the
   // capacity limit where it has to raid other shards' credits (the
@@ -143,6 +243,7 @@ OpsResult BenchHostPool(unsigned threads, bool smoke, bool* invariant_ok,
   *refills = pool.refills();
   *drains = pool.drains();
   *rebalances = pool.rebalances();
+  *rebalance_skips = pool.rebalance_skips();
   return result;
 }
 
@@ -459,9 +560,10 @@ std::string PhaseJson(const PhaseAttribution& phase) {
 
 int Main(int argc, char** argv) {
   bool smoke = false;
-  std::string out = "BENCH_PR4.json";
+  std::string out = "BENCH_PR6.json";
   std::string trace_out;
   unsigned threads = 4;
+  unsigned batch = 512;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -469,6 +571,8 @@ int Main(int argc, char** argv) {
       out = argv[i] + 6;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+      batch = static_cast<unsigned>(std::atoi(argv[i] + 8));
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
     }
@@ -476,24 +580,34 @@ int Main(int argc, char** argv) {
   if (threads == 0) {
     threads = 1;
   }
+  if (batch == 0) {
+    batch = 1;
+  }
   const unsigned hw = std::thread::hardware_concurrency();
 
-  std::fprintf(stderr, "[1/4] llfree_alloc_free...\n");
+  std::fprintf(stderr, "[1/5] llfree_alloc_free...\n");
   const OpsResult llfree_result = BenchLLFreeAllocFree(smoke);
 
-  std::fprintf(stderr, "[2/4] host_reserve_release (%u threads)...\n",
+  std::fprintf(stderr, "[2/5] llfree_batch_alloc_free (batch %u)...\n",
+               batch);
+  const BatchBenchResult batch_result =
+      BenchLLFreeBatchAllocFree(smoke, batch);
+
+  std::fprintf(stderr, "[3/5] host_reserve_release (%u threads)...\n",
                threads);
   bool invariant_ok = false;
   uint64_t refills = 0;
   uint64_t drains = 0;
   uint64_t rebalances = 0;
-  const OpsResult pool_result = BenchHostPool(
-      threads, smoke, &invariant_ok, &refills, &drains, &rebalances);
+  uint64_t rebalance_skips = 0;
+  const OpsResult pool_result =
+      BenchHostPool(threads, smoke, &invariant_ok, &refills, &drains,
+                    &rebalances, &rebalance_skips);
 
-  std::fprintf(stderr, "[3/4] attribution (HyperAlloc shrink+grow)...\n");
+  std::fprintf(stderr, "[4/5] attribution (HyperAlloc shrink+grow)...\n");
   const AttributionBench attribution = BenchAttribution();
 
-  std::fprintf(stderr, "[4/4] multivm (8 VMs, 1 vs %u threads)...\n",
+  std::fprintf(stderr, "[5/5] multivm (8 VMs, 1 vs %u threads)...\n",
                threads);
   const MultiVmBench multivm = BenchMultiVm(smoke, threads);
 
@@ -519,8 +633,8 @@ int Main(int argc, char** argv) {
 
   std::string json;
   json += "{\n";
-  json += "  \"schema\": \"hyperalloc-bench-v2\",\n";
-  json += "  \"pr\": \"PR4\",\n";
+  json += "  \"schema\": \"hyperalloc-bench-v3\",\n";
+  json += "  \"pr\": \"PR6\",\n";
   json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
   json += "  \"hardware_concurrency\": " + Num(uint64_t{hw}) + ",\n";
   json += "  \"note\": \"virtual-time results are deterministic; wall-clock"
@@ -533,6 +647,19 @@ int Main(int argc, char** argv) {
   json += "      \"wall_ms\": " + Num(llfree_result.wall_ms) + ",\n";
   json += "      \"ops_per_sec\": " + Num(llfree_result.ops_per_sec) + "\n";
   json += "    },\n";
+  json += "    \"llfree_batch_alloc_free\": {\n";
+  json += "      \"batch\": " + Num(uint64_t{batch_result.batch}) + ",\n";
+  json += "      \"ops\": " + Num(batch_result.batched.ops) + ",\n";
+  json += "      \"wall_ms\": " + Num(batch_result.batched.wall_ms) + ",\n";
+  json += "      \"ops_per_sec\": " + Num(batch_result.batched.ops_per_sec) +
+          ",\n";
+  json += "      \"single_ops_per_sec\": " +
+          Num(batch_result.single.ops_per_sec) + ",\n";
+  json += "      \"cached_ops_per_sec\": " +
+          Num(batch_result.cached.ops_per_sec) + ",\n";
+  json += "      \"speedup_vs_single\": " +
+          Num(batch_result.speedup_vs_single) + "\n";
+  json += "    },\n";
   json += "    \"host_reserve_release\": {\n";
   json += "      \"threads\": " + Num(uint64_t{threads}) + ",\n";
   json += "      \"ops\": " + Num(pool_result.ops) + ",\n";
@@ -542,7 +669,8 @@ int Main(int argc, char** argv) {
           std::string(invariant_ok ? "true" : "false") + ",\n";
   json += "      \"refills\": " + Num(refills) + ",\n";
   json += "      \"drains\": " + Num(drains) + ",\n";
-  json += "      \"rebalances\": " + Num(rebalances) + "\n";
+  json += "      \"rebalances\": " + Num(rebalances) + ",\n";
+  json += "      \"rebalance_skips\": " + Num(rebalance_skips) + "\n";
   json += "    },\n";
   json += "    \"attribution\": {\n";
   json += "      \"enabled\": " +

@@ -1,18 +1,19 @@
 #!/bin/sh
 # Performance snapshot: builds the default preset, runs bench_runner, and
-# validates the emitted JSON against the hyperalloc-bench-v1 schema.
+# validates the emitted JSON against the hyperalloc-bench-v3 schema.
 #
-#   scripts/bench.sh              full run, writes BENCH_PR4.json
+#   scripts/bench.sh              full run, writes BENCH_PR6.json
 #   scripts/bench.sh --smoke      CI-sized run (seconds), same schema
 #
 # Extra flags are passed through to bench_runner (e.g. --threads=8,
-# --out=PATH, --trace-out=PATH). The JSON at the repo root is the
-# committed perf baseline; scripts/perf_gate.py compares a fresh run
-# against the previous PR's baseline.
+# --batch=N, --out=PATH, --trace-out=PATH). The JSON at the repo root is
+# the committed perf baseline; scripts/perf_gate.py compares a fresh run
+# against the committed baselines (latest gates, earlier ones feed the
+# trendline).
 set -e
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_PR4.json
+OUT=BENCH_PR6.json
 for arg in "$@"; do
   case "$arg" in
     --out=*) OUT="${arg#--out=}" ;;

@@ -7,6 +7,8 @@ Accepts all schema revisions:
                              multivm span-determinism fields)
   hyperalloc-bench-faults-v1 (PR5: bench_faults degraded-mode reclaim
                              sweep; the zero-rate baseline must be clean)
+  hyperalloc-bench-v3       (PR6: adds the `llfree_batch_alloc_free`
+                             section and host-pool `rebalance_skips`)
 
 Stdlib-only on purpose: runs in CI containers with no extra packages.
 Checks structure and types, plus the semantic gates the runner itself
@@ -111,9 +113,11 @@ def main():
         check_faults(doc)
         print(f"check_bench_json: OK ({sys.argv[1]}, {schema})")
         return
-    if schema not in ("hyperalloc-bench-v1", "hyperalloc-bench-v2"):
+    if schema not in ("hyperalloc-bench-v1", "hyperalloc-bench-v2",
+                      "hyperalloc-bench-v3"):
         fail(f"unknown schema '{schema}'")
-    v2 = schema == "hyperalloc-bench-v2"
+    v3 = schema == "hyperalloc-bench-v3"
+    v2 = schema == "hyperalloc-bench-v2" or v3
     require(doc, "pr", str, "$")
     require(doc, "smoke", bool, "$")
     require(doc, "hardware_concurrency", numbers.Real, "$")
@@ -125,9 +129,23 @@ def main():
     if llfree["ops"] <= 0 or llfree["ops_per_sec"] <= 0:
         fail("llfree_alloc_free: no work recorded")
 
+    if v3:
+        batch = require(benches, "llfree_batch_alloc_free", dict, "benches")
+        for key in ("batch", "ops", "wall_ms", "ops_per_sec",
+                    "single_ops_per_sec", "cached_ops_per_sec",
+                    "speedup_vs_single"):
+            require(batch, key, numbers.Real, "llfree_batch_alloc_free")
+        if batch["ops"] <= 0 or batch["ops_per_sec"] <= 0:
+            fail("llfree_batch_alloc_free: no work recorded")
+        if batch["speedup_vs_single"] <= 0:
+            fail("llfree_batch_alloc_free: no single-frame comparison run")
+
     pool = require(benches, "host_reserve_release", dict, "benches")
-    for key in ("threads", "ops", "wall_ms", "ops_per_sec", "refills",
-                "drains", "rebalances"):
+    pool_keys = ["threads", "ops", "wall_ms", "ops_per_sec", "refills",
+                 "drains", "rebalances"]
+    if v3:
+        pool_keys.append("rebalance_skips")
+    for key in pool_keys:
         require(pool, key, numbers.Real, "host_reserve_release")
     if not require(pool, "invariant_ok", bool, "host_reserve_release"):
         fail("host_reserve_release: pool invariant violated")

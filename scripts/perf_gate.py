@@ -1,10 +1,19 @@
 #!/usr/bin/env python3
-"""Perf-regression gate: compares a bench_runner JSON against a baseline.
+"""Perf-regression gate: compares a bench_runner JSON against baselines.
 
-    perf_gate.py BASELINE.json CURRENT.json [--threshold=0.25] [--wall]
+    perf_gate.py BASELINE.json [BASELINE2.json ...] CURRENT.json \\
+        [--threshold=0.25] [--wall]
+
+All positional arguments but the last are committed baselines in
+chronological order; the last is the current run. With more than one
+baseline a trendline across the whole sequence is printed for every
+metric, so a slow drift that stays under the per-PR threshold is still
+visible. The regression gate itself compares CURRENT against the LATEST
+baseline only.
 
 Fails (exit 1) when a guarded metric regresses by more than the
-threshold (default 25%). Two classes of metric:
+threshold (default 25%), or a FLOOR is not met. Two classes of relative
+metric:
 
   * deterministic — virtual-time results (multivm footprint/peak,
     attribution totals and per-layer shares) and op counts. These are
@@ -14,7 +23,11 @@ threshold (default 25%). Two classes of metric:
     they are only gated under --wall (for dedicated perf hardware);
     otherwise they are reported informationally.
 
-Sections or keys missing from the BASELINE are skipped with a note —
+FLOORS are absolute requirements on CURRENT alone, for ratio metrics
+whose two sides run in-process on the same host (machine speed cancels):
+the batched LLFree path must stay at least 2x the single-frame path.
+
+Sections or keys missing from a BASELINE are skipped with a note —
 that is how a new schema revision lands: the first run after adding a
 section has nothing to compare against (e.g. BENCH_PR3.json predates
 the `attribution` section). Keys missing from CURRENT fail: a metric
@@ -30,8 +43,12 @@ import sys
 METRICS = {
     ("benches", "llfree_alloc_free", "ops"): ("higher", "det"),
     ("benches", "llfree_alloc_free", "ops_per_sec"): ("higher", "wall"),
+    ("benches", "llfree_batch_alloc_free", "ops"): ("higher", "det"),
+    ("benches", "llfree_batch_alloc_free", "ops_per_sec"):
+        ("higher", "wall"),
     ("benches", "host_reserve_release", "ops"): ("higher", "det"),
     ("benches", "host_reserve_release", "ops_per_sec"): ("higher", "wall"),
+    ("benches", "host_reserve_release", "rebalances"): ("lower", "wall"),
     ("benches", "multivm", "footprint_gib_min"): ("lower", "det"),
     ("benches", "multivm", "peak_gib"): ("lower", "det"),
     ("benches", "multivm", "wall_ms_single"): ("lower", "wall"),
@@ -40,6 +57,12 @@ METRICS = {
     ("benches", "attribution", "deflate", "total_vns"): ("lower", "det"),
     ("benches", "attribution", "trace_overhead", "overhead_pct"):
         ("lower", "wall"),
+}
+
+# metric path -> minimum value required of CURRENT (always gated when the
+# metric is present; the schema checker guards presence per revision).
+FLOORS = {
+    ("benches", "llfree_batch_alloc_free", "speedup_vs_single"): 2.0,
 }
 
 
@@ -69,9 +92,9 @@ def load(path):
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     flags = [a for a in sys.argv[1:] if a.startswith("--")]
-    if len(args) != 2:
-        fail("usage: perf_gate.py BASELINE.json CURRENT.json "
-             "[--threshold=0.25] [--wall]")
+    if len(args) < 2:
+        fail("usage: perf_gate.py BASELINE.json [BASELINE2.json ...] "
+             "CURRENT.json [--threshold=0.25] [--wall]")
     threshold = 0.25
     gate_wall = False
     for flag in flags:
@@ -82,11 +105,22 @@ def main():
         else:
             fail(f"unknown flag {flag}")
 
-    baseline = load(args[0])
-    current = load(args[1])
+    docs = [load(a) for a in args]
+    baseline, current = docs[-2], docs[-1]
     if current.get("smoke") and not baseline.get("smoke"):
         print("perf_gate: note: comparing a --smoke run against a full "
               "baseline; only scale-independent metrics are meaningful")
+
+    # Trendline across the whole committed-baseline sequence: visible
+    # drift detection; the gate below is CURRENT vs the latest baseline.
+    if len(docs) > 2:
+        for path in sorted(METRICS):
+            values = [lookup(doc, path) for doc in docs]
+            if all(v is None for v in values[:-1]):
+                continue
+            rendered = " -> ".join(
+                "n/a" if v is None else f"{v:g}" for v in values)
+            print(f"perf_gate: trend {'.'.join(path)}: {rendered}")
 
     failures = []
     for path, (direction, kind) in sorted(METRICS.items()):
@@ -147,13 +181,28 @@ def main():
             print(f"perf_gate: {status} attribution.{phase}.layers."
                   f"{layer}.share: {before} -> {after}")
 
+    # Absolute floors on the current run (in-process ratios, so they hold
+    # regardless of machine speed).
+    for path, floor in sorted(FLOORS.items()):
+        name = ".".join(path)
+        value = lookup(current, path)
+        if value is None:
+            print(f"perf_gate: skip  {name}: not in current (pre-floor "
+                  f"schema)")
+            continue
+        if value < floor:
+            print(f"perf_gate: FAIL  {name}: {value} < floor {floor}")
+            failures.append(f"{name}: {value} below floor {floor}")
+        else:
+            print(f"perf_gate: ok    {name}: {value} >= floor {floor}")
+
     if failures:
         print(f"perf_gate: FAILED ({len(failures)} regression(s) vs "
-              f"{args[0]}):", file=sys.stderr)
+              f"{args[-2]}):", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         sys.exit(1)
-    print(f"perf_gate: OK ({args[1]} vs {args[0]}, "
+    print(f"perf_gate: OK ({args[-1]} vs {args[-2]}, "
           f"threshold {threshold:.0%})")
 
 

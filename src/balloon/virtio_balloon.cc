@@ -26,6 +26,7 @@ VirtioBalloon::VirtioBalloon(guest::GuestVm* vm, const BalloonConfig& config)
       ++oom_deflations_;
       HA_COUNT("balloon.oom_deflate");
       trace::Span span(trace::Layer::kBackend, "balloon.oom_deflate");
+      std::vector<FrameId> base_frames;
       while (ballooned_frames_ > target_frames && !pages_.empty()) {
         const Ballooned b = pages_.back();
         pages_.pop_back();
@@ -33,12 +34,17 @@ VirtioBalloon::VirtioBalloon(guest::GuestVm* vm, const BalloonConfig& config)
         hv::Charge(sim_, b.order == kHugeOrder
                              ? vm_->costs().balloon_deflate_2m_ns
                              : vm_->costs().balloon_deflate_4k_ns);
-        vm_->Free(b.frame, b.order, config_.driver_cpu);
+        if (b.order == 0) {
+          base_frames.push_back(b.frame);
+        } else {
+          vm_->Free(b.frame, b.order, config_.driver_cpu);
+        }
         ballooned_frames_ -= 1ull << b.order;
         HA_COUNT_N("balloon.deflate_frames", 1ull << b.order);
         HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kDeflate,
                        b.frame, b.order);
       }
+      vm_->FreeBatch(base_frames, 0, config_.driver_cpu);
       return true;
     });
   }
@@ -171,32 +177,51 @@ void VirtioBalloon::InflateSlice(uint64_t target_frames,
     trace::Span guest(trace::Layer::kGuest, "balloon.guest_alloc");
     while (batch.size() < config_.vq_capacity &&
            ballooned_frames_ < target_frames) {
-      unsigned order = config_.huge ? kHugeOrder : 0;
       if (config_.huge &&
-          target_frames - ballooned_frames_ < kFramesPerHuge) {
-        order = 0;  // tail smaller than one huge frame
+          target_frames - ballooned_frames_ >= kFramesPerHuge) {
+        const Result<FrameId> r = vm_->Alloc(kHugeOrder, AllocType::kMovable,
+                                             config_.driver_cpu,
+                                             /*allow_oom_notify=*/false);
+        if (r.ok()) {
+          hv::Charge(sim_, vm_->costs().guest_alloc_2m_ns);
+          hv::Charge(sim_, vm_->costs().virtqueue_element_ns);
+          batch.push_back({*r, kHugeOrder});
+          ballooned_frames_ += kFramesPerHuge;
+          HA_COUNT_N("balloon.inflate_frames", kFramesPerHuge);
+          HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kInflate, *r,
+                         kHugeOrder);
+          guest.AddFrames(kFramesPerHuge);
+          continue;
+        }
+        // Fragmentation fallback (Hu et al. split path): 4 KiB pages via
+        // the batched train below.
       }
-      Result<FrameId> r = vm_->Alloc(order, AllocType::kMovable,
-                                     config_.driver_cpu,
-                                     /*allow_oom_notify=*/false);
-      if (!r.ok() && order == kHugeOrder) {
-        // Fragmentation fallback (Hu et al. split path): 4 KiB pages.
-        order = 0;
-        r = vm_->Alloc(order, AllocType::kMovable, config_.driver_cpu,
-                       /*allow_oom_notify=*/false);
-      }
-      if (!r.ok()) {
+      // Order-0 train (sub-huge tail or fragmentation fallback): one
+      // AllocBatch fills the rest of the virtqueue via word-at-a-time
+      // claims instead of per-frame Get transactions. Costs charge at
+      // batch granularity (n per-frame costs, identical virtual time).
+      const uint64_t want =
+          std::min<uint64_t>(config_.vq_capacity - batch.size(),
+                             target_frames - ballooned_frames_);
+      std::vector<FrameId> frames;
+      const unsigned got = vm_->AllocBatch(
+          0, static_cast<unsigned>(want), AllocType::kMovable,
+          config_.driver_cpu, &frames, /*allow_oom_notify=*/false);
+      if (got == 0) {
         break;  // guest out of reclaimable memory; stop inflating
       }
-      hv::Charge(sim_, order == kHugeOrder ? vm_->costs().guest_alloc_2m_ns
-                                           : vm_->costs().guest_alloc_4k_ns);
-      hv::Charge(sim_, vm_->costs().virtqueue_element_ns);
-      batch.push_back({*r, order});
-      ballooned_frames_ += 1ull << order;
-      HA_COUNT_N("balloon.inflate_frames", 1ull << order);
-      HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kInflate, *r,
-                     order);
-      guest.AddFrames(1ull << order);
+      hv::Charge(sim_, got * (vm_->costs().guest_alloc_4k_ns +
+                              vm_->costs().virtqueue_element_ns));
+      for (const FrameId f : frames) {
+        batch.push_back({f, 0});
+        HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kInflate, f, 0);
+      }
+      ballooned_frames_ += got;
+      HA_COUNT_N("balloon.inflate_frames", got);
+      guest.AddFrames(got);
+      if (got < want) {
+        break;  // allocator ran dry mid-train
+      }
     }
   }
   cpu_.guest_ns += sim_->now() - guest_start;
@@ -210,14 +235,21 @@ void VirtioBalloon::InflateSlice(uint64_t target_frames,
   if (!TryHypercall(batch.size())) {
     // Hypercall retries exhausted: the guest driver frees the batch back
     // (the normal deflate path) and the request finishes partial — the
-    // balloon holds exactly the pages of the prior slices.
+    // balloon holds exactly the pages of the prior slices. Order-0
+    // entries free in one batched train.
+    std::vector<FrameId> base_frames;
     for (const Ballooned& b : batch) {
       cpu_.guest_ns += hv::Charge(sim_, b.order == kHugeOrder
                                             ? vm_->costs().guest_free_2m_ns
                                             : vm_->costs().guest_free_4k_ns);
-      vm_->Free(b.frame, b.order, config_.driver_cpu);
+      if (b.order == 0) {
+        base_frames.push_back(b.frame);
+      } else {
+        vm_->Free(b.frame, b.order, config_.driver_cpu);
+      }
       ballooned_frames_ -= 1ull << b.order;
     }
+    vm_->FreeBatch(base_frames, 0, config_.driver_cpu);
     ++outcome_.rollbacks;
     HA_COUNT("balloon.fault_rollback");
     HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kRollback,
@@ -318,6 +350,10 @@ void VirtioBalloon::DeflateSlice(uint64_t target_frames,
   }
   const sim::Time t0 = sim_->now();
   unsigned elems = 0;
+  // Order-0 frees accumulate into one end-of-slice FreeBatch (one CAS
+  // per bit-field word); charges and events stay per element, so the
+  // virtual-time totals and span attribution are unchanged.
+  std::vector<FrameId> base_frames;
   while (elems < config_.vq_capacity && ballooned_frames_ > target_frames &&
          !pages_.empty()) {
     const Ballooned b = pages_.back();
@@ -333,7 +369,11 @@ void VirtioBalloon::DeflateSlice(uint64_t target_frames,
                                  ? vm_->costs().guest_free_2m_ns
                                  : vm_->costs().guest_free_4k_ns;
     cpu_.guest_ns += hv::ChargeSpan(sim_, &guest, free_ns);
-    vm_->Free(b.frame, b.order, config_.driver_cpu);
+    if (b.order == 0) {
+      base_frames.push_back(b.frame);
+    } else {
+      vm_->Free(b.frame, b.order, config_.driver_cpu);
+    }
     ballooned_frames_ -= 1ull << b.order;
     guest.AddFrames(1ull << b.order);
     HA_COUNT_N("balloon.deflate_frames", 1ull << b.order);
@@ -341,6 +381,7 @@ void VirtioBalloon::DeflateSlice(uint64_t target_frames,
                    b.order);
     ++elems;
   }
+  vm_->FreeBatch(base_frames, 0, config_.driver_cpu);
   vm_->sink().OnCpuSteal(config_.driver_cpu, t0, sim_->now(), 1.0);
 
   if (ballooned_frames_ <= target_frames || pages_.empty()) {

@@ -34,18 +34,23 @@ Summary Summarize(const std::vector<double>& samples) {
   return s;
 }
 
-double Percentile(std::vector<double> samples, double p) {
-  HA_CHECK(!samples.empty());
+double PercentileSorted(std::span<const double> sorted, double p) {
+  HA_CHECK(!sorted.empty());
   HA_CHECK(p >= 0.0 && p <= 1.0);
-  std::sort(samples.begin(), samples.end());
-  if (samples.size() == 1) {
-    return samples[0];
+  HA_DCHECK(std::is_sorted(sorted.begin(), sorted.end()));
+  if (sorted.size() == 1) {
+    return sorted[0];
   }
-  const double rank = p * static_cast<double>(samples.size() - 1);
+  const double rank = p * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  return PercentileSorted(samples, p);
 }
 
 void RunningStats::Add(double x) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace hyperalloc {
@@ -21,8 +22,13 @@ struct Summary {
 // for an empty input.
 Summary Summarize(const std::vector<double>& samples);
 
-// Returns the p-quantile (p in [0,1]) using linear interpolation between
-// closest ranks. The input does not need to be sorted.
+// Returns the p-quantile (p in [0,1]) over ascending-sorted samples using
+// linear interpolation between closest ranks. Callers taking several
+// quantiles of the same data should sort once and use this directly.
+double PercentileSorted(std::span<const double> sorted, double p);
+
+// Convenience wrapper for a single quantile of unsorted data: sorts one
+// copy, then delegates to PercentileSorted.
 double Percentile(std::vector<double> samples, double p);
 
 // Running mean/variance accumulator (Welford).

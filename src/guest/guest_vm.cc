@@ -59,6 +59,14 @@ GuestVm::GuestVm(sim::Simulation* sim, hv::HostMemory* host,
       lc.cores = config.vcpus;
       zone.llfree_state = std::make_unique<llfree::SharedState>(frames, lc);
       zone.llfree = std::make_unique<llfree::LLFree>(zone.llfree_state.get());
+      if (config.llfree_cache_frames > 0) {
+        llfree::FrameCache::CacheConfig cc;
+        cc.slots = config.vcpus;
+        cc.capacity = config.llfree_cache_frames;
+        cc.refill = std::max(1u, config.llfree_cache_frames / 2);
+        zone.llfree_cache =
+            std::make_unique<llfree::FrameCache>(zone.llfree.get(), cc);
+      }
     }
     zones_.push_back(std::move(zone));
   };
@@ -90,7 +98,10 @@ Result<FrameId> GuestVm::ZoneAlloc(Zone& zone, unsigned order,
     }
     return r;
   }
-  const Result<FrameId> r = zone.llfree->Get(core, order, type);
+  const Result<FrameId> r =
+      zone.llfree_cache != nullptr
+          ? zone.llfree_cache->Get(core, order, type)
+          : zone.llfree->Get(core, order, type);
   if (r.ok()) {
     return zone.start + *r;
   }
@@ -105,7 +116,9 @@ void GuestVm::ZoneFree(Zone& zone, FrameId frame, unsigned order,
     HA_CHECK(!err.has_value());
     return;
   }
-  const auto err = zone.llfree->Put(local, order);
+  const auto err = zone.llfree_cache != nullptr
+                       ? zone.llfree_cache->Put(core, local, order)
+                       : zone.llfree->Put(local, order);
   HA_CHECK(!err.has_value());
 }
 
@@ -154,19 +167,23 @@ void GuestVm::MaybeReclaimToWatermark(unsigned core) {
   }
 }
 
+void GuestVm::RecordAlloc(FrameId frame, unsigned order, AllocType type) {
+  alloc_order_[frame] = static_cast<uint8_t>(
+      (order + 1) | (type == AllocType::kUnmovable ? 0x80 : 0));
+  approx_free_frames_ -= std::min<uint64_t>(approx_free_frames_,
+                                            1ull << order);
+  if (aux_ != nullptr) {
+    AuxAfterAlloc(frame, order);
+  }
+}
+
 Result<FrameId> GuestVm::Alloc(unsigned order, AllocType type,
                                unsigned core, bool allow_oom_notify) {
   MaybeReclaimToWatermark(core);
   for (int round = 0; round < 64; ++round) {
     const Result<FrameId> r = AllocFromZones(order, type, core);
     if (r.ok()) {
-      alloc_order_[*r] = static_cast<uint8_t>(
-          (order + 1) | (type == AllocType::kUnmovable ? 0x80 : 0));
-      approx_free_frames_ -= std::min<uint64_t>(approx_free_frames_,
-                                                1ull << order);
-      if (aux_ != nullptr) {
-        AuxAfterAlloc(*r, order);
-      }
+      RecordAlloc(*r, order, type);
       return r;
     }
     // Direct reclaim: evict page cache and retry. Higher orders also
@@ -187,13 +204,7 @@ Result<FrameId> GuestVm::Alloc(unsigned order, AllocType type,
   PurgeAllocatorCaches();
   const Result<FrameId> r = AllocFromZones(order, type, core);
   if (r.ok()) {
-    alloc_order_[*r] = static_cast<uint8_t>(
-        (order + 1) | (type == AllocType::kUnmovable ? 0x80 : 0));
-    approx_free_frames_ -= std::min<uint64_t>(approx_free_frames_,
-                                              1ull << order);
-    if (aux_ != nullptr) {
-      AuxAfterAlloc(*r, order);
-    }
+    RecordAlloc(*r, order, type);
     return r;
   }
   // "Costly" orders (> 3, e.g. THP) fail gracefully — callers fall back
@@ -208,13 +219,7 @@ Result<FrameId> GuestVm::Alloc(unsigned order, AllocType type,
       if (freed) {
         const Result<FrameId> retry = AllocFromZones(order, type, core);
         if (retry.ok()) {
-          alloc_order_[*retry] = static_cast<uint8_t>(
-              (order + 1) | (type == AllocType::kUnmovable ? 0x80 : 0));
-          approx_free_frames_ -= std::min<uint64_t>(approx_free_frames_,
-                                                    1ull << order);
-          if (aux_ != nullptr) {
-            AuxAfterAlloc(*retry, order);
-          }
+          RecordAlloc(*retry, order, type);
           return retry;
         }
       }
@@ -222,6 +227,91 @@ Result<FrameId> GuestVm::Alloc(unsigned order, AllocType type,
     ++oom_events_;
   }
   return AllocError::kNoMemory;
+}
+
+unsigned GuestVm::AllocBatch(unsigned order, unsigned count, AllocType type,
+                             unsigned core, std::vector<FrameId>* out,
+                             bool allow_oom_notify) {
+  HA_CHECK(out != nullptr);
+  if (count == 0) {
+    return 0;
+  }
+  MaybeReclaimToWatermark(core);
+  unsigned got = 0;
+  if (order <= llfree::kMaxSingleWordOrder) {
+    // LLFree zones in the usual preference order, filled word-at-a-time.
+    const bool movable = type != AllocType::kUnmovable;
+    static constexpr ZoneKind kMovableOrder[] = {
+        ZoneKind::kMovable, ZoneKind::kNormal, ZoneKind::kDma32};
+    static constexpr ZoneKind kUnmovableOrder[] = {ZoneKind::kNormal,
+                                                   ZoneKind::kDma32};
+    const std::span<const ZoneKind> order_list =
+        movable ? std::span<const ZoneKind>(kMovableOrder)
+                : std::span<const ZoneKind>(kUnmovableOrder);
+    for (const ZoneKind kind : order_list) {
+      for (Zone& zone : zones_) {
+        if (zone.kind != kind || zone.llfree == nullptr || got == count) {
+          continue;
+        }
+        const size_t before = out->size();
+        got += zone.llfree->GetBatch(core, order, count - got, type, out);
+        for (size_t i = before; i < out->size(); ++i) {
+          (*out)[i] += zone.start;
+          RecordAlloc((*out)[i], order, type);
+        }
+      }
+    }
+  }
+  // Remainder: buddy zones and the pressure paths (direct reclaim,
+  // cache purge, deflate-on-OOM) via single Allocs.
+  while (got < count) {
+    const Result<FrameId> r = Alloc(order, type, core, allow_oom_notify);
+    if (!r.ok()) {
+      break;
+    }
+    out->push_back(*r);
+    ++got;
+  }
+  return got;
+}
+
+void GuestVm::FreeBatch(std::span<const FrameId> frames, unsigned order,
+                        unsigned core) {
+  if (order > llfree::kMaxSingleWordOrder) {
+    for (const FrameId f : frames) {
+      Free(f, order, core);
+    }
+    return;
+  }
+  // Bucket LLFree-zone frames (as zone-local ids) for one PutBatch per
+  // zone; everything else takes the single-frame path.
+  std::vector<std::vector<FrameId>> buckets(zones_.size());
+  for (const FrameId f : frames) {
+    HA_CHECK(f < total_frames_);
+    size_t zi = 0;
+    while (!zones_[zi].Contains(f)) {
+      ++zi;
+    }
+    Zone& zone = zones_[zi];
+    if (zone.llfree == nullptr) {
+      Free(f, order, core);
+      continue;
+    }
+    HA_CHECK((alloc_order_[f] & 0x7fu) == order + 1);
+    alloc_order_[f] = 0;
+    approx_free_frames_ += 1ull << order;
+    buckets[zi].push_back(f - zone.start);
+    if (aux_ != nullptr) {
+      AuxAfterFree(f, order);  // no-op for LLFree zones, kept for clarity
+    }
+  }
+  for (size_t zi = 0; zi < buckets.size(); ++zi) {
+    if (buckets[zi].empty()) {
+      continue;
+    }
+    const unsigned freed = zones_[zi].llfree->PutBatch(buckets[zi], order);
+    HA_CHECK(freed == buckets[zi].size());
+  }
 }
 
 void GuestVm::AttachAuxBridge(hv::AuxState* aux,
@@ -426,6 +516,31 @@ bool GuestVm::MigrateRange(FrameId first, uint64_t count, unsigned core,
   const sim::Time t0 = sim_->now();
   uint64_t moved = 0;
 
+  // Pre-size the order-0 destination train: one AllocBatch claims the base
+  // destinations up front (word-at-a-time on LLFree zones) and the loop
+  // consumes them; higher orders stay per-allocation. Leftovers — an early
+  // abort, or a source freed while the clock advanced — go back in one
+  // FreeBatch below.
+  uint64_t base_wanted = 0;
+  for (FrameId g = first; g < first + count;) {
+    if (alloc_order_[g] == 0) {
+      ++g;
+      continue;
+    }
+    if (AllocUnmovableAt(g)) {
+      break;  // migration aborts there; later destinations are never used
+    }
+    const unsigned order = AllocOrderAt(g);
+    base_wanted += order == 0 ? 1 : 0;
+    g += 1ull << order;
+  }
+  std::vector<FrameId> base_dests;
+  size_t next_base = 0;
+  if (base_wanted > 0) {
+    AllocBatch(0, static_cast<unsigned>(base_wanted), AllocType::kMovable,
+               core, &base_dests);
+  }
+
   FrameId f = first;
   bool ok = true;
   while (f < first + count) {
@@ -439,7 +554,10 @@ bool GuestVm::MigrateRange(FrameId first, uint64_t count, unsigned core,
     }
     const unsigned order = AllocOrderAt(f);
     const uint64_t size = 1ull << order;
-    const Result<FrameId> dest = Alloc(order, AllocType::kMovable, core);
+    const Result<FrameId> dest =
+        order == 0 && next_base < base_dests.size()
+            ? Result<FrameId>(base_dests[next_base++])
+            : Alloc(order, AllocType::kMovable, core);
     if (!dest.ok()) {
       ok = false;  // nowhere to migrate: the block stays partially used
       break;
@@ -467,6 +585,11 @@ bool GuestVm::MigrateRange(FrameId first, uint64_t count, unsigned core,
     f += size;
   }
 
+  if (next_base < base_dests.size()) {
+    FreeBatch(std::span<const FrameId>(base_dests).subspan(next_base), 0,
+              core);
+  }
+
   migrated_frames_ += moved;
   if (migrated != nullptr) {
     *migrated = moved;
@@ -486,6 +609,9 @@ void GuestVm::PurgeAllocatorCaches() {
     if (zone.buddy != nullptr) {
       zone.buddy->DrainPcp();
     } else {
+      if (zone.llfree_cache != nullptr) {
+        zone.llfree_cache->Drain();
+      }
       zone.llfree->DrainReservations();
     }
   }
@@ -501,8 +627,12 @@ void GuestVm::ReleaseIsolatedRange(FrameId first, uint64_t count) {
       f += 1ull << order;  // live allocation: leave it alone
       continue;
     }
-    zone.buddy->ReleaseRange(f - zone.start, 1);
-    ++f;
+    // Coalesce the maximal isolated run into one buddy release.
+    const FrameId run_start = f;
+    while (f < first + count && AllocOrderAt(f) == 0xff) {
+      ++f;
+    }
+    zone.buddy->ReleaseRange(run_start - zone.start, f - run_start);
   }
 }
 
@@ -511,6 +641,10 @@ uint64_t GuestVm::FreeFrames() const {
   for (const Zone& zone : zones_) {
     total += zone.buddy != nullptr ? zone.buddy->FreeFrames()
                                    : zone.llfree->FreeFrames();
+    if (zone.llfree_cache != nullptr) {
+      // Cached frames look allocated to LLFree but are free to the guest.
+      total += zone.llfree_cache->CachedFrames();
+    }
   }
   return total;
 }

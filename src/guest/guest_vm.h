@@ -32,6 +32,7 @@
 #include "src/hv/host_memory.h"
 #include "src/hv/interference.h"
 #include "src/hv/iommu.h"
+#include "src/llfree/frame_cache.h"
 #include "src/llfree/llfree.h"
 #include "src/sim/simulation.h"
 
@@ -65,6 +66,10 @@ struct GuestConfig {
   uint64_t movable_bytes = 0;
   // Attach a VFIO passthrough device (IOMMU must be kept in sync).
   bool vfio = false;
+  // Per-vCPU frame-cache capacity for LLFree zones (DESIGN.md §4.10);
+  // order-0 movable allocations are served from the cache, refilling and
+  // draining in GetBatch/PutBatch batches. 0 disables the cache.
+  unsigned llfree_cache_frames = 64;
 };
 
 struct Zone {
@@ -74,6 +79,8 @@ struct Zone {
   std::unique_ptr<buddy::Buddy> buddy;
   std::unique_ptr<llfree::SharedState> llfree_state;
   std::unique_ptr<llfree::LLFree> llfree;
+  // Per-vCPU order-0 cache over `llfree` (null when disabled).
+  std::unique_ptr<llfree::FrameCache> llfree_cache;
 
   FrameId end() const { return start + frames; }
   bool Contains(FrameId frame) const {
@@ -163,6 +170,23 @@ class GuestVm {
 
   void Free(FrameId frame, unsigned order, unsigned core = 0);
 
+  // Batched variants (DESIGN.md §4.10). AllocBatch claims up to `count`
+  // runs of 2^order frames, appending each head frame to `out`: LLFree
+  // zones are filled via GetBatch (word-at-a-time claims, bypassing the
+  // per-vCPU cache so a large batch does not churn it); any remainder —
+  // buddy zones, direct reclaim, deflate-on-OOM — falls back to single
+  // Alloc calls, so batch semantics match `count` singles exactly.
+  // Returns the number of runs claimed.
+  unsigned AllocBatch(unsigned order, unsigned count, AllocType type,
+                      unsigned core = 0, std::vector<FrameId>* out = nullptr,
+                      bool allow_oom_notify = true);
+
+  // FreeBatch groups frames by zone and bit-field word (PutBatch) so a
+  // deflate-style free train costs one CAS per word instead of one full
+  // Put transaction per frame. Per-frame bookkeeping is preserved.
+  void FreeBatch(std::span<const FrameId> frames, unsigned order,
+                 unsigned core = 0);
+
   // Writes to [first, first+count) guest frames: unmapped frames fault
   // and populate (THP-style), charging virtual time and bandwidth.
   void Touch(FrameId first, uint64_t count);
@@ -251,6 +275,8 @@ class GuestVm {
 
   Result<FrameId> AllocFromZones(unsigned order, AllocType type,
                                  unsigned core);
+  // Shared post-allocation bookkeeping (alloc_order_, watermark, aux).
+  void RecordAlloc(FrameId frame, unsigned order, AllocType type);
   void AuxAfterAlloc(FrameId frame, unsigned order);
   void AuxAfterFree(FrameId frame, unsigned order);
   // kswapd-style background reclaim: keeps free memory above a low

@@ -48,6 +48,23 @@ struct MemorySnapshot {
   uint64_t peak = 0;
 };
 
+// Credit hysteresis (DESIGN.md §4.10): watermarks and a per-shard
+// post-rebalance holdoff that keep steady-state traffic from bouncing
+// credits between shards and the global reserve. All knobs are in
+// frames / Release operations; the quiescent invariant
+// credits == total - used is unaffected (hoarded credits stay counted).
+struct CreditHysteresis {
+  // Release drains a shard back to `drain_low` only once its credit
+  // exceeds `drain_high` (the old policy was high = 2 batches,
+  // low = 1 batch — too twitchy to absorb a reserve/release cycle).
+  uint64_t drain_high = 4 * 512;  // 4 * kCreditBatch
+  uint64_t drain_low = 2 * 512;   // 2 * kCreditBatch
+  // After a shard rebalanced (raided other shards), its next
+  // `rebalance_holdoff_ops` drain-eligible Releases skip draining
+  // entirely: do not give back what was just raided.
+  uint64_t rebalance_holdoff_ops = 64;
+};
+
 class HostMemory {
  public:
   // Frames moved between the global reserve and a shard per refill/drain
@@ -56,10 +73,13 @@ class HostMemory {
   static constexpr unsigned kDefaultShards = 8;
 
   explicit HostMemory(uint64_t total_frames,
-                      unsigned shards = kDefaultShards)
+                      unsigned shards = kDefaultShards,
+                      const CreditHysteresis& hysteresis = {})
       : total_(total_frames),
         num_shards_(shards == 0 ? 1 : shards),
+        hysteresis_(hysteresis),
         shards_(std::make_unique<Shard[]>(num_shards_)) {
+    HA_CHECK(hysteresis.drain_low <= hysteresis.drain_high);
     global_free_.store(total_frames, std::memory_order_relaxed);
   }
 
@@ -137,10 +157,19 @@ class HostMemory {
     Shard& s = shards_[shard % num_shards_];
     const uint64_t credit =
         s.credit.fetch_add(frames, std::memory_order_acq_rel) + frames;
-    // Keep shards lean: drain everything beyond one batch back to the
-    // global reserve so an idle shard cannot strand free memory.
-    if (credit > 2 * kCreditBatch) {
-      DrainShard(s, credit - kCreditBatch);
+    // Hysteresis: drain back to the low watermark only once the credit
+    // line exceeds the high one, and never within the holdoff window
+    // after this shard rebalanced — a shard that just raided its peers
+    // would otherwise hand the frames straight back to the global
+    // reserve and re-raid on the next reserve (the churn behind
+    // BENCH_PR4's 2.3M rebalances).
+    if (credit > hysteresis_.drain_high) {
+      const uint64_t op = s.ops.fetch_add(1, std::memory_order_relaxed) + 1;
+      const uint64_t last =
+          s.last_rebalance_op.load(std::memory_order_relaxed);
+      if (last == 0 || op - last >= hysteresis_.rebalance_holdoff_ops) {
+        DrainShard(s, credit - hysteresis_.drain_low);
+      }
     }
   }
 
@@ -160,6 +189,11 @@ class HostMemory {
   uint64_t drains() const { return drains_.load(std::memory_order_relaxed); }
   uint64_t rebalances() const {
     return rebalances_.load(std::memory_order_relaxed);
+  }
+  // Raids avoided by the feasibility pre-scan (peers observably could
+  // not cover the shortfall).
+  uint64_t rebalance_skips() const {
+    return rebalance_skips_.load(std::memory_order_relaxed);
   }
 
   // Free frames currently parked in shard credit lines + the global
@@ -185,6 +219,12 @@ class HostMemory {
  private:
   struct alignas(64) Shard {
     Atomic<uint64_t> credit{0};  // free frames owned by this shard
+    // Drain-eligible Release count and the value it had at this shard's
+    // most recent rebalance (0 = never rebalanced); together they form
+    // the holdoff window. Both are hysteresis bookkeeping, not part of
+    // the credit chain.
+    Atomic<uint64_t> ops{0};
+    Atomic<uint64_t> last_rebalance_op{0};
   };
 
   // Debits `frames` from the shard's credit line, refilling from the
@@ -236,27 +276,44 @@ class HostMemory {
     // Rebalance: the global reserve is dry; raid other shards' credit
     // lines. Near the capacity limit all free memory may be parked in
     // credits, and a reservation must still succeed if the *sum* covers
-    // it.
-    rebalances_.fetch_add(1, std::memory_order_relaxed);
-    trace::Span rebalance_span(trace::Layer::kHostPool,
-                               "hostpool.rebalance");
-    for (unsigned i = 0; i < num_shards_ && need > 0; ++i) {
-      Shard& other = shards_[i];
-      if (&other == &s) {
-        continue;
+    // it. A load-only feasibility pre-scan first: when the peers
+    // observably cannot cover the shortfall, skip the CAS raid (and its
+    // cache-line invalidations) and fall through to the last global
+    // look — the observation is itself the "some instant" of the
+    // contract, exactly as a fruitless raid loop would have been.
+    uint64_t peer_sum = 0;
+    for (unsigned i = 0; i < num_shards_; ++i) {
+      if (&shards_[i] != &s) {
+        peer_sum += shards_[i].credit.load(std::memory_order_acquire);
       }
-      uint64_t c = other.credit.load(std::memory_order_acquire);
-      while (c > 0) {
-        const uint64_t grab = c < need ? c : need;
-        if (other.credit.compare_exchange_weak(
-                c, c - grab, std::memory_order_acq_rel,
-                std::memory_order_acquire)) {
-          have += grab;
-          need -= grab;
-          rebalance_span.AddFrames(grab);
-          break;
+    }
+    if (peer_sum >= need) {
+      rebalances_.fetch_add(1, std::memory_order_relaxed);
+      s.last_rebalance_op.store(
+          s.ops.load(std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      trace::Span rebalance_span(trace::Layer::kHostPool,
+                                 "hostpool.rebalance");
+      for (unsigned i = 0; i < num_shards_ && need > 0; ++i) {
+        Shard& other = shards_[i];
+        if (&other == &s) {
+          continue;
+        }
+        uint64_t c = other.credit.load(std::memory_order_acquire);
+        while (c > 0) {
+          const uint64_t grab = c < need ? c : need;
+          if (other.credit.compare_exchange_weak(
+                  c, c - grab, std::memory_order_acq_rel,
+                  std::memory_order_acquire)) {
+            have += grab;
+            need -= grab;
+            rebalance_span.AddFrames(grab);
+            break;
+          }
         }
       }
+    } else {
+      rebalance_skips_.fetch_add(1, std::memory_order_relaxed);
     }
     if (need == 0) {
       return true;
@@ -322,6 +379,7 @@ class HostMemory {
 
   uint64_t total_;
   unsigned num_shards_;
+  CreditHysteresis hysteresis_;
   std::unique_ptr<Shard[]> shards_;
   alignas(64) Atomic<uint64_t> global_free_{0};
   alignas(64) Atomic<uint64_t> used_{0};
@@ -329,6 +387,7 @@ class HostMemory {
   Atomic<uint64_t> refills_{0};
   Atomic<uint64_t> drains_{0};
   Atomic<uint64_t> rebalances_{0};
+  Atomic<uint64_t> rebalance_skips_{0};
   Atomic<uint64_t> fault_injected_{0};
   fault::Injector* fault_ = nullptr;
 };

@@ -9,20 +9,26 @@ namespace hyperalloc::llfree {
 std::optional<unsigned> AreaBits::Set(unsigned order, unsigned start_hint) {
   HA_CHECK(order <= kMaxBitfieldOrder);
   if (order > kMaxSingleWordOrder) {
-    return SetMultiWord(order);
+    return SetMultiWord(order, start_hint);
   }
   const unsigned run = 1u << order;
   const uint64_t mask = (order == 6) ? ~0ull : ((1ull << run) - 1);
   const unsigned first_word = (start_hint / 64) % kWordsPerArea;
+  // Run-aligned in-word position of the hint; the first word scanned
+  // starts there and wraps so the hinted run itself is tried first.
+  const unsigned first_pos = (start_hint % 64) & ~(run - 1);
 
   for (unsigned i = 0; i < kWordsPerArea; ++i) {
     const unsigned w = (first_word + i) % kWordsPerArea;
+    const unsigned start_pos = (i == 0) ? first_pos : 0;
     Atomic<uint64_t>& word = words_[w];
     uint64_t current = word.load(std::memory_order_acquire);
     for (;;) {
-      // Find an aligned zero run in `current`.
+      // Find an aligned zero run in `current`, starting at the hinted
+      // position and wrapping within the word.
       int shift = -1;
-      for (unsigned pos = 0; pos < 64; pos += run) {
+      for (unsigned j = 0; j < 64; j += run) {
+        const unsigned pos = (start_pos + j) % 64;
         if ((current & (mask << pos)) == 0) {
           shift = static_cast<int>(pos);
           break;
@@ -43,13 +49,81 @@ std::optional<unsigned> AreaBits::Set(unsigned order, unsigned start_hint) {
   return std::nullopt;
 }
 
-std::optional<unsigned> AreaBits::SetMultiWord(unsigned order) {
+unsigned AreaBits::SetBatch(unsigned order, unsigned count,
+                            unsigned start_hint, unsigned* offsets) {
+  HA_CHECK(order <= kMaxSingleWordOrder);
+  const unsigned run = 1u << order;
+  const uint64_t mask = (order == 6) ? ~0ull : ((1ull << run) - 1);
+  const unsigned first_word = (start_hint / 64) % kWordsPerArea;
+  unsigned claimed = 0;
+
+  for (unsigned i = 0; i < kWordsPerArea && claimed < count; ++i) {
+    const unsigned w = (first_word + i) % kWordsPerArea;
+    Atomic<uint64_t>& word = words_[w];
+    uint64_t current = word.load(std::memory_order_acquire);
+    for (;;) {
+      // Build a claim mask covering as many free aligned runs as this
+      // word holds (up to the remaining count), then take them all with
+      // one CAS.
+      uint64_t claim = 0;
+      unsigned runs = 0;
+      if (order == 0) {
+        // countr_one on the occupied view jumps straight to the lowest
+        // zero bit — no per-position scan.
+        uint64_t occupied = current;
+        while (runs < count - claimed) {
+          const unsigned pos =
+              static_cast<unsigned>(std::countr_one(occupied));
+          if (pos >= 64) {
+            break;
+          }
+          claim |= 1ull << pos;
+          occupied |= 1ull << pos;
+          ++runs;
+        }
+      } else {
+        for (unsigned pos = 0; pos < 64 && runs < count - claimed;
+             pos += run) {
+          if (((current | claim) & (mask << pos)) == 0) {
+            claim |= mask << pos;
+            ++runs;
+          }
+        }
+      }
+      if (runs == 0) {
+        break;  // word full for this order; next word
+      }
+      if (word.compare_exchange_weak(current, current | claim,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+        // Extract the claimed run offsets from the claim mask.
+        uint64_t picked = claim;
+        while (picked != 0) {
+          const unsigned pos =
+              static_cast<unsigned>(std::countr_zero(picked));
+          offsets[claimed++] = w * 64 + pos;
+          picked &= ~(mask << pos);
+        }
+        break;
+      }
+      // CAS failed: `current` reloaded; rebuild the claim for this word.
+    }
+  }
+  return claimed;
+}
+
+std::optional<unsigned> AreaBits::SetMultiWord(unsigned order,
+                                               unsigned start_hint) {
   // Orders 7..8 cover 2/4 naturally aligned whole words. Claim the run
   // word-by-word (each word 0 -> ~0); on a conflict, roll back the words
   // already taken. Lock-free: every step is a CAS, rollback cannot fail.
+  // The hint selects which run-aligned word group is tried first,
+  // wrapping over the area.
   const unsigned words_per_run = (1u << order) / 64;
-  for (unsigned base = 0; base + words_per_run <= kWordsPerArea;
-       base += words_per_run) {
+  const unsigned num_runs = kWordsPerArea / words_per_run;
+  const unsigned first_run = ((start_hint / 64) / words_per_run) % num_runs;
+  for (unsigned r = 0; r < num_runs; ++r) {
+    const unsigned base = ((first_run + r) % num_runs) * words_per_run;
     unsigned claimed = 0;
     for (; claimed < words_per_run; ++claimed) {
       uint64_t expected = 0;
@@ -114,6 +188,23 @@ bool AreaBits::Clear(unsigned offset, unsigned order) {
     }
     const uint64_t desired = current & ~(mask << shift);
     if (word.compare_exchange_weak(current, desired,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+      return true;
+    }
+  }
+}
+
+bool AreaBits::ClearMask(unsigned w, uint64_t mask) {
+  HA_CHECK(w < kWordsPerArea);
+  HA_CHECK(mask != 0);
+  Atomic<uint64_t>& word = words_[w];
+  uint64_t current = word.load(std::memory_order_acquire);
+  for (;;) {
+    if ((current & mask) != mask) {
+      return false;  // some bit already clear: double free in the batch
+    }
+    if (word.compare_exchange_weak(current, current & ~mask,
                                    std::memory_order_acq_rel,
                                    std::memory_order_acquire)) {
       return true;

@@ -27,12 +27,30 @@ class AreaBits {
 
   // Finds and claims a naturally aligned run of 2^order zero bits.
   // `start_hint` is a frame offset within the area (0..511) biasing where
-  // the search begins. Returns the frame offset within the area.
+  // the search begins — both the word and the in-word position, wrapping
+  // in each. Returns the frame offset within the area.
   std::optional<unsigned> Set(unsigned order, unsigned start_hint);
+
+  // Batched claim (orders 0..kMaxSingleWordOrder): claims up to `count`
+  // naturally aligned runs of 2^order zero bits, word-at-a-time — every
+  // run found within one word is taken by a single CAS, so one CAS can
+  // claim up to 64 base frames. Writes the frame offset of each claimed
+  // run to `offsets` (capacity >= count) and returns the number claimed;
+  // fewer than `count` means the area ran out of runs of this order.
+  unsigned SetBatch(unsigned order, unsigned count, unsigned start_hint,
+                    unsigned* offsets);
 
   // Clears a previously set run. Returns false (and changes nothing) if
   // any bit in the run was already clear — i.e. a double free.
   bool Clear(unsigned offset, unsigned order);
+
+  // Batched clear: clears every bit in `mask` within word `w` with one
+  // CAS (the put-side counterpart of SetBatch; `mask` is a union of
+  // previously claimed single-word runs). Returns false — changing
+  // nothing — if any bit in the mask is already clear (double free
+  // somewhere in the batch; the caller falls back to per-run clears to
+  // identify it).
+  bool ClearMask(unsigned w, uint64_t mask);
 
   // Returns true if all 2^order bits at `offset` are zero.
   bool IsFree(unsigned offset, unsigned order) const;
@@ -45,7 +63,7 @@ class AreaBits {
   void FillAll();
 
  private:
-  std::optional<unsigned> SetMultiWord(unsigned order);
+  std::optional<unsigned> SetMultiWord(unsigned order, unsigned start_hint);
 
   Atomic<uint64_t>* words_;
 };

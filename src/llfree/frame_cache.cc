@@ -1,0 +1,88 @@
+#include "src/llfree/frame_cache.h"
+
+#include "src/base/check.h"
+
+namespace hyperalloc::llfree {
+
+FrameCache::FrameCache(LLFree* alloc, const CacheConfig& config)
+    : alloc_(alloc), config_(config) {
+  HA_CHECK(alloc != nullptr);
+  HA_CHECK(config.slots > 0);
+  HA_CHECK(config.refill > 0);
+  HA_CHECK(config.refill <= config.capacity);
+  slots_ = std::make_unique<Slot[]>(config.slots);
+  for (unsigned s = 0; s < config.slots; ++s) {
+    slots_[s].frames.reserve(config.capacity + 1);
+  }
+}
+
+Result<FrameId> FrameCache::Get(unsigned core, unsigned order,
+                                AllocType type) {
+  if (order != 0 || type != AllocType::kMovable) {
+    return alloc_->Get(core, order, type);
+  }
+  Slot& slot = slots_[core % config_.slots];
+  if (!slot.frames.empty()) {
+    const FrameId frame = slot.frames.back();
+    slot.frames.pop_back();
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return frame;
+  }
+  // Miss: refill a batch, serve from it. GetBatch already falls back to
+  // single Gets under pressure, so a partial refill is still correct —
+  // and zero claimed means the allocator is genuinely dry.
+  const unsigned got =
+      alloc_->GetBatch(core, 0, config_.refill, type, &slot.frames);
+  if (got == 0) {
+    return AllocError::kNoMemory;
+  }
+  refills_.fetch_add(1, std::memory_order_relaxed);
+  const FrameId frame = slot.frames.back();
+  slot.frames.pop_back();
+  return frame;
+}
+
+std::optional<AllocError> FrameCache::Put(unsigned core, FrameId frame,
+                                          unsigned order) {
+  if (order != 0) {
+    return alloc_->Put(frame, order);
+  }
+  if (frame >= alloc_->frames()) {
+    return AllocError::kInvalid;
+  }
+  Slot& slot = slots_[core % config_.slots];
+  slot.frames.push_back(frame);
+  if (slot.frames.size() > config_.capacity) {
+    // Drain one batch from the cold end (the hot end keeps recency).
+    const std::span<const FrameId> batch(slot.frames.data(), config_.refill);
+    const unsigned freed = alloc_->PutBatch(batch, 0);
+    HA_CHECK(freed == config_.refill);  // cache holds only owned frames
+    slot.frames.erase(slot.frames.begin(),
+                      slot.frames.begin() + config_.refill);
+    drains_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return std::nullopt;
+}
+
+void FrameCache::Drain() {
+  for (unsigned s = 0; s < config_.slots; ++s) {
+    Slot& slot = slots_[s];
+    if (slot.frames.empty()) {
+      continue;
+    }
+    const unsigned freed = alloc_->PutBatch(slot.frames, 0);
+    HA_CHECK(freed == slot.frames.size());
+    slot.frames.clear();
+    drains_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+uint64_t FrameCache::CachedFrames() const {
+  uint64_t total = 0;
+  for (unsigned s = 0; s < config_.slots; ++s) {
+    total += slots_[s].frames.size();
+  }
+  return total;
+}
+
+}  // namespace hyperalloc::llfree

@@ -1,0 +1,76 @@
+// Per-thread frame caches layered over LLFree's tree reservations
+// (DESIGN.md §4.10). The same idiom as Linux's per-CPU page lists: each
+// slot holds a small stack of order-0 movable frames so the common
+// alloc/free pair touches no shared cache line at all. The cache refills
+// and drains in batches via LLFree::GetBatch/PutBatch, so even the
+// misses are amortized word-at-a-time claims instead of full Get
+// transactions.
+//
+// Discipline: exactly one thread may use a given slot at a time (the
+// same rule as LLFree's per-core reservation slots). The stacks are
+// deliberately plain (non-atomic) under that rule; cross-slot
+// introspection (CachedFrames) and Drain are quiescent-use only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/atomic.h"
+#include "src/base/result.h"
+#include "src/base/types.h"
+#include "src/llfree/llfree.h"
+
+namespace hyperalloc::llfree {
+
+class FrameCache {
+ public:
+  struct CacheConfig {
+    // Number of cache slots (one per core/thread).
+    unsigned slots = 1;
+    // Maximum frames parked per slot; a Put that would exceed it drains
+    // `refill` frames back in one PutBatch.
+    unsigned capacity = 64;
+    // Frames pulled per GetBatch refill (and pushed per overflow drain).
+    unsigned refill = 32;
+  };
+
+  FrameCache(LLFree* alloc, const CacheConfig& config);
+
+  // Order-0 movable allocations are served from the slot's stack,
+  // refilling in batches when empty; everything else passes through to
+  // the allocator. When the allocator itself runs dry the miss falls
+  // through to a single Get so pressure semantics are unchanged.
+  Result<FrameId> Get(unsigned core, unsigned order, AllocType type);
+
+  // Order-0 frees park in the slot's stack (draining overflow in
+  // batches); higher orders pass through.
+  std::optional<AllocError> Put(unsigned core, FrameId frame, unsigned order);
+
+  // Returns every cached frame to the allocator (quiesce / cache-purge
+  // reaction, §3.3). Quiescent-use only.
+  void Drain();
+
+  // Frames currently parked across all slots. Quiescent-use only.
+  uint64_t CachedFrames() const;
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t refills() const { return refills_.load(std::memory_order_relaxed); }
+  uint64_t drains() const { return drains_.load(std::memory_order_relaxed); }
+
+  const CacheConfig& cache_config() const { return config_; }
+
+ private:
+  struct alignas(64) Slot {
+    std::vector<FrameId> frames;
+  };
+
+  LLFree* alloc_;
+  CacheConfig config_;
+  std::unique_ptr<Slot[]> slots_;
+  Atomic<uint64_t> hits_{0};
+  Atomic<uint64_t> refills_{0};
+  Atomic<uint64_t> drains_{0};
+};
+
+}  // namespace hyperalloc::llfree

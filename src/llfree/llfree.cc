@@ -145,6 +145,63 @@ std::optional<uint64_t> LLFree::TakeFromReservation(unsigned slot,
   }
 }
 
+std::optional<uint64_t> LLFree::TakeUpToFromReservation(unsigned slot,
+                                                        unsigned run,
+                                                        unsigned max_runs,
+                                                        unsigned* taken_runs) {
+  Atomic<uint64_t>& slot_atom = state_->reservations_[slot];
+  for (;;) {
+    uint64_t raw = slot_atom.load(std::memory_order_acquire);
+    const Reservation r = Reservation::Unpack(raw);
+    if (!r.active) {
+      return std::nullopt;
+    }
+    const unsigned avail_runs = r.free / run;
+    if (avail_runs > 0) {
+      const unsigned take = std::min(avail_runs, max_runs);
+      Reservation next = r;
+      next.free = static_cast<uint16_t>(r.free - take * run);
+      uint64_t expected = raw;
+      if (slot_atom.compare_exchange_weak(expected, next.Pack(),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        *taken_runs = take;
+        return r.tree;
+      }
+      continue;  // raced; retry
+    }
+    // Local counter dry: re-steal whatever the reserved tree accumulated
+    // from frees since we reserved it (same resync as the single path).
+    uint32_t stolen = 0;
+    AtomicUpdate(state_->trees_[r.tree], [&](uint32_t tree_raw)
+                     -> std::optional<uint32_t> {
+      TreeEntry entry = TreeEntry::Unpack(tree_raw);
+      if (entry.free == 0) {
+        return std::nullopt;
+      }
+      stolen = entry.free;
+      entry.free = 0;
+      return entry.Pack();
+    });
+    if (stolen == 0) {
+      return std::nullopt;  // genuinely dry; caller reserves a new tree
+    }
+    Reservation next = r;
+    next.free = static_cast<uint16_t>(r.free + stolen);
+    uint64_t expected = raw;
+    if (!slot_atom.compare_exchange_strong(expected, next.Pack(),
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      AtomicUpdate(state_->trees_[r.tree],
+                   [&](uint32_t tree_raw) -> std::optional<uint32_t> {
+                     TreeEntry entry = TreeEntry::Unpack(tree_raw);
+                     entry.free += stolen;
+                     return entry.Pack();
+                   });
+    }
+  }
+}
+
 void LLFree::GiveBack(unsigned slot, uint64_t tree, unsigned need) {
   Atomic<uint64_t>& slot_atom = state_->reservations_[slot];
   for (;;) {
@@ -345,6 +402,73 @@ Result<FrameId> LLFree::Get(unsigned core, unsigned order, AllocType type) {
   return AllocError::kRetry;
 }
 
+unsigned LLFree::GetBatch(unsigned core, unsigned order, unsigned count,
+                          AllocType type, std::vector<FrameId>* out) {
+  if (count == 0) {
+    return 0;
+  }
+  if (order > kMaxSingleWordOrder) {
+    // Multi-word and huge orders gain nothing from word-batching (each
+    // run already spans whole words); loop the single-run path.
+    unsigned done = 0;
+    for (; done < count; ++done) {
+      const Result<FrameId> r = Get(core, order, type);
+      if (!r.ok()) {
+        break;
+      }
+      out->push_back(*r);
+    }
+    return done;
+  }
+
+  const unsigned run = 1u << order;
+  const unsigned slot = SlotFor(core, type);
+  unsigned claimed = 0;
+  std::optional<uint64_t> avoid;
+  for (unsigned attempt = 0;
+       attempt < kMaxReserveAttempts && claimed < count; ++attempt) {
+    unsigned taken_runs = 0;
+    const std::optional<uint64_t> tree =
+        TakeUpToFromReservation(slot, run, count - claimed, &taken_runs);
+    if (!tree.has_value()) {
+      if (!ReserveNewTree(slot, type, run, avoid)) {
+        break;
+      }
+      continue;
+    }
+    const unsigned got = SearchTreeBatch(*tree, order, taken_runs, out);
+    claimed += got;
+    if (got < taken_runs) {
+      // The counter promised more runs than the tree could deliver
+      // (fragmentation or a race): return the shortfall and move on.
+      GiveBack(slot, *tree, (taken_runs - got) * run);
+      avoid = *tree;
+      if (!ReserveNewTree(slot, type, run, avoid)) {
+        break;
+      }
+    }
+  }
+  // The singles tail below counts its own "llfree.get"s.
+  if (claimed > 0) {
+    HA_COUNT_N("llfree.get", claimed);
+    HA_COUNT("llfree.get_batch");
+    HA_HIST("llfree.get_batch_runs", claimed);
+    HA_TRACE_EVENT(trace::Category::kLLFree, trace::Op::kGet,
+                   out->at(out->size() - claimed), order);
+  }
+  // Tail under pressure: fall back to single Gets so the batch keeps the
+  // exact semantics (fallback steal included) of `count` single calls.
+  while (claimed < count) {
+    const Result<FrameId> r = Get(core, order, type);
+    if (!r.ok()) {
+      break;
+    }
+    out->push_back(*r);
+    ++claimed;
+  }
+  return claimed;
+}
+
 Result<FrameId> LLFree::GetFallback(unsigned order, bool huge) {
   // Last resort under memory pressure: no unreserved tree has room, but
   // trees reserved by *other* slots (or fragmented ones) may still hold
@@ -438,6 +562,29 @@ std::optional<FrameId> LLFree::SearchTree(uint64_t tree, unsigned order) {
   return std::nullopt;
 }
 
+unsigned LLFree::SearchTreeBatch(uint64_t tree, unsigned order,
+                                 unsigned count, std::vector<FrameId>* out) {
+  const uint64_t first = FirstAreaOf(tree);
+  const uint64_t areas = AreasInTree(tree);
+  const int start_pass = config().prefer_non_evicted ? 0 : 1;
+  unsigned claimed = 0;
+  for (int pass = start_pass; pass < 2 && claimed < count; ++pass) {
+    for (uint64_t i = 0; i < areas && claimed < count; ++i) {
+      const uint64_t area = first + i;
+      const AreaEntry entry = AreaEntry::Unpack(
+          state_->areas_[area].load(std::memory_order_acquire));
+      if (entry.allocated || entry.free < (1u << order)) {
+        continue;
+      }
+      if (pass == 0 && entry.evicted) {
+        continue;
+      }
+      claimed += ClaimBaseBatch(area, order, count - claimed, out);
+    }
+  }
+  return claimed;
+}
+
 std::optional<FrameId> LLFree::SearchTreeHuge(uint64_t tree) {
   const uint64_t first = FirstAreaOf(tree);
   const uint64_t count = AreasInTree(tree);
@@ -496,6 +643,49 @@ bool LLFree::ClaimBase(uint64_t area, unsigned order, FrameId* out) {
   }
   *out = HugeToFrame(area) + *offset;
   return true;
+}
+
+unsigned LLFree::ClaimBaseBatch(uint64_t area, unsigned order,
+                                unsigned count, std::vector<FrameId>* out) {
+  const unsigned run = 1u << order;
+  bool was_evicted = false;
+  unsigned want = 0;
+  const auto taken = AtomicUpdate(
+      state_->areas_[area], [&](uint16_t raw) -> std::optional<uint16_t> {
+        AreaEntry entry = AreaEntry::Unpack(raw);
+        if (entry.allocated || entry.free < run) {
+          return std::nullopt;
+        }
+        was_evicted = entry.evicted;
+        want = std::min<unsigned>(count, entry.free / run);
+        entry.free = static_cast<uint16_t>(entry.free - want * run);
+        return entry.Pack();
+      });
+  if (!taken.has_value()) {
+    return 0;
+  }
+  unsigned offsets[kFramesPerHuge];
+  const unsigned got = BitsOf(area).SetBatch(order, want, 0, offsets);
+  if (got < want) {
+    // Counter promised more runs than the bit field held (transient race
+    // with concurrent claims): roll the shortfall back.
+    AtomicUpdate(state_->areas_[area],
+                 [&](uint16_t raw) -> std::optional<uint16_t> {
+                   AreaEntry entry = AreaEntry::Unpack(raw);
+                   entry.free = static_cast<uint16_t>(entry.free +
+                                                      (want - got) * run);
+                   return entry.Pack();
+                 });
+  }
+  if (got > 0 && was_evicted) {
+    // DMA safety, once per area rather than once per frame: the whole
+    // batch waits for a single install (§3.2 at batch granularity).
+    TriggerInstall(area);
+  }
+  for (unsigned i = 0; i < got; ++i) {
+    out->push_back(HugeToFrame(area) + offsets[i]);
+  }
+  return got;
 }
 
 bool LLFree::ClaimHuge(uint64_t area) {
@@ -580,6 +770,91 @@ std::optional<AllocError> LLFree::Put(FrameId frame, unsigned order) {
   HA_COUNT("llfree.put");
   HA_TRACE_EVENT(trace::Category::kLLFree, trace::Op::kPut, frame, order);
   return std::nullopt;
+}
+
+unsigned LLFree::PutBatch(std::span<const FrameId> frames, unsigned order) {
+  if (frames.empty()) {
+    return 0;
+  }
+  if (order > kMaxSingleWordOrder) {
+    unsigned freed = 0;
+    for (const FrameId f : frames) {
+      if (!Put(f, order).has_value()) {
+        ++freed;
+      }
+    }
+    return freed;
+  }
+  const unsigned run = 1u << order;
+  const uint64_t mask = (order == 6) ? ~0ull : ((1ull << run) - 1);
+
+  // Sort a local copy so runs sharing one bit-field word are adjacent and
+  // the whole group clears with a single CAS + one counter credit each.
+  std::vector<FrameId> sorted;
+  sorted.reserve(frames.size());
+  for (const FrameId f : frames) {
+    if (f >= this->frames() || f % run != 0) {
+      continue;  // kInvalid: skipped, rest of the batch still frees
+    }
+    sorted.push_back(f);
+  }
+  std::sort(sorted.begin(), sorted.end());
+
+  unsigned freed_total = 0;
+  unsigned freed_batched = 0;  // one-CAS groups only (Put counts its own)
+  size_t i = 0;
+  while (i < sorted.size()) {
+    const uint64_t area = FrameToHuge(sorted[i]);
+    const unsigned word = (sorted[i] % kFramesPerHuge) / 64;
+    uint64_t word_mask = 0;
+    bool overlap = false;
+    size_t end = i;
+    while (end < sorted.size() && FrameToHuge(sorted[end]) == area &&
+           (sorted[end] % kFramesPerHuge) / 64 == word) {
+      const uint64_t m = mask << (sorted[end] % 64);
+      overlap = overlap || (word_mask & m) != 0;  // duplicate in batch
+      word_mask |= m;
+      ++end;
+    }
+    const unsigned group_runs = static_cast<unsigned>(end - i);
+    if (!overlap && BitsOf(area).ClearMask(word, word_mask)) {
+      // One credit per group, same order as Put: bits, area, then tree.
+      AtomicUpdate(state_->areas_[area],
+                   [&](uint16_t raw) -> std::optional<uint16_t> {
+                     AreaEntry entry = AreaEntry::Unpack(raw);
+                     HA_DCHECK(!entry.allocated);
+                     HA_DCHECK(entry.free + group_runs * run <=
+                               kFramesPerHuge);
+                     entry.free = static_cast<uint16_t>(entry.free +
+                                                        group_runs * run);
+                     return entry.Pack();
+                   });
+      AtomicUpdate(state_->trees_[TreeOf(area)],
+                   [&](uint32_t raw) -> std::optional<uint32_t> {
+                     TreeEntry entry = TreeEntry::Unpack(raw);
+                     entry.free += group_runs * run;
+                     return entry.Pack();
+                   });
+      freed_total += group_runs;
+      freed_batched += group_runs;
+    } else {
+      // A duplicate or double free hides somewhere in the group: fall
+      // back to per-run Put so the valid subset still frees.
+      for (size_t j = i; j < end; ++j) {
+        if (!Put(sorted[j], order).has_value()) {
+          ++freed_total;
+        }
+      }
+    }
+    i = end;
+  }
+  if (freed_batched > 0) {
+    HA_COUNT_N("llfree.put", freed_batched);
+    HA_COUNT("llfree.put_batch");
+    HA_TRACE_EVENT(trace::Category::kLLFree, trace::Op::kPut, sorted[0],
+                   order);
+  }
+  return freed_total;
 }
 
 // ----------------------------------------------------------------------

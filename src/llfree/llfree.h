@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/base/atomic.h"
@@ -140,6 +141,28 @@ class LLFree {
   // out-of-range frames.
   std::optional<AllocError> Put(FrameId frame, unsigned order);
 
+  // Batched allocation (DESIGN.md §4.10): claims up to `count` runs of
+  // 2^order frames for `core`, appending the first frame of each run to
+  // `out`. For orders 0..6 the claim runs word-at-a-time inside the
+  // slot's reserved tree — one CAS on the reservation takes the whole
+  // batch's worth of frames and one CAS per bit-field word claims every
+  // run that word holds — so a 64-frame order-0 batch costs a handful of
+  // atomics instead of 64 full Get transactions. Higher orders fall back
+  // to a Get loop. Returns the number of runs claimed; fewer than
+  // `count` means the allocator ran dry (the pressure fallback is still
+  // exercised for the tail, so a batch is exactly equivalent to `count`
+  // single Gets).
+  unsigned GetBatch(unsigned core, unsigned order, unsigned count,
+                    AllocType type, std::vector<FrameId>* out);
+
+  // Batched free of uniform-order runs: frames sharing a bit-field word
+  // are cleared with a single CAS and credited to the area and tree
+  // counters once per group. Invalid or double-freed entries are skipped
+  // (the rest of the batch still frees; a group whose one-CAS clear
+  // fails falls back to per-run Put to isolate the bad entry). Returns
+  // the number of runs actually freed.
+  unsigned PutBatch(std::span<const FrameId> frames, unsigned order);
+
   // Returns reserved (cached) frames to the global tree counters —
   // the guest's reaction to the hypervisor's "cache purge" request when
   // shrinking the hard limit (§3.3).
@@ -238,6 +261,13 @@ class LLFree {
   // counter runs dry. Returns the reserved tree index on success.
   std::optional<uint64_t> TakeFromReservation(unsigned slot, unsigned need);
 
+  // Batch variant: takes between 1 and `max_runs` runs of `run` frames
+  // (as many as the local counter covers), writing the count taken to
+  // `*taken_runs`. Same dry-counter resync as TakeFromReservation.
+  std::optional<uint64_t> TakeUpToFromReservation(unsigned slot, unsigned run,
+                                                  unsigned max_runs,
+                                                  unsigned* taken_runs);
+
   // Returns `need` frames: to the slot's reservation if it still points
   // at `tree`, otherwise to the tree's global counter.
   void GiveBack(unsigned slot, uint64_t tree, unsigned need);
@@ -252,6 +282,11 @@ class LLFree {
   // areas first (if configured), then evicted ones (triggering install).
   std::optional<FrameId> SearchTree(uint64_t tree, unsigned order);
 
+  // Batch variant: claims up to `count` runs across the tree's areas
+  // (same two evicted-preference passes). Returns the number claimed.
+  unsigned SearchTreeBatch(uint64_t tree, unsigned order, unsigned count,
+                           std::vector<FrameId>* out);
+
   // Claims one huge frame inside `tree` (area allocated flag).
   std::optional<FrameId> SearchTreeHuge(uint64_t tree);
 
@@ -262,6 +297,13 @@ class LLFree {
   // Area-level claim helpers; return true on success.
   bool ClaimBase(uint64_t area, unsigned order, FrameId* out);
   bool ClaimHuge(uint64_t area);
+
+  // Batch variant: one counter transaction reserves up to `count` runs in
+  // the area, one word-at-a-time bit-field pass claims them; a shortfall
+  // is rolled back to the counter. Install triggers once per area, not
+  // per frame (fault sites at batch granularity). Returns runs claimed.
+  unsigned ClaimBaseBatch(uint64_t area, unsigned order, unsigned count,
+                          std::vector<FrameId>* out);
 
   void TriggerInstall(HugeId huge);
 

@@ -42,6 +42,45 @@ TEST_F(AreaBitsTest, StartHintBiasesSearch) {
   EXPECT_EQ(*a, 128u);  // word 2 searched first
 }
 
+TEST_F(AreaBitsTest, StartHintHonoredWithinWord) {
+  // Regression: the intra-word bit offset of the hint used to be
+  // dropped, restarting every search at bit 0 of the hinted word.
+  const auto a = bits_.Set(0, 130);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 130u);
+  const auto b = bits_.Set(0, 130);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, 131u);
+}
+
+TEST_F(AreaBitsTest, StartHintWrapsWithinWord) {
+  // Fill [60,64) of word 0 from hinted positions, then a hint at 60 must
+  // wrap to the beginning of the same word, not skip to word 1.
+  for (unsigned bit = 60; bit < 64; ++bit) {
+    const auto r = bits_.Set(0, bit);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, bit);
+  }
+  const auto wrapped = bits_.Set(0, 60);
+  ASSERT_TRUE(wrapped.has_value());
+  EXPECT_EQ(*wrapped, 0u);
+}
+
+TEST_F(AreaBitsTest, MultiWordStartHintHonored) {
+  // Regression: orders above the single-word maximum ignored the hint
+  // entirely. An order-7 run spans two words; a hint at frame 256 must
+  // start the run search at that run, and wrap once the tail is taken.
+  const auto a = bits_.Set(7, 256);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 256u);
+  const auto b = bits_.Set(7, 384);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, 384u);
+  const auto c = bits_.Set(7, 384);  // hinted run taken: wraps to run 0
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, 0u);
+}
+
 TEST_F(AreaBitsTest, AlignedRunsPerOrder) {
   for (unsigned order = 0; order <= kMaxBitfieldOrder; ++order) {
     for (auto& word : words_) {
@@ -96,6 +135,52 @@ TEST_F(AreaBitsTest, FillAllMarksEverything) {
   bits_.FillAll();
   EXPECT_EQ(bits_.CountSet(), kFramesPerHuge);
   EXPECT_FALSE(bits_.Set(0, 0).has_value());
+}
+
+TEST_F(AreaBitsTest, SetBatchClaimsWordAtATime) {
+  unsigned offsets[kFramesPerHuge];
+  const unsigned got = bits_.SetBatch(0, 70, 0, offsets);
+  ASSERT_EQ(got, 70u);
+  for (unsigned i = 0; i < got; ++i) {
+    EXPECT_EQ(offsets[i], i);
+  }
+  EXPECT_EQ(bits_.CountSet(), 70u);
+}
+
+TEST_F(AreaBitsTest, SetBatchSkipsOccupiedAndAligns) {
+  ASSERT_TRUE(bits_.Set(0, 1).has_value());  // occupy bit 1
+  unsigned offsets[8];
+  const unsigned got = bits_.SetBatch(1, 3, 0, offsets);
+  ASSERT_EQ(got, 3u);
+  EXPECT_EQ(offsets[0], 2u);  // pair [0,2) blocked by bit 1
+  EXPECT_EQ(offsets[1], 4u);
+  EXPECT_EQ(offsets[2], 6u);
+}
+
+TEST_F(AreaBitsTest, SetBatchStopsWhenFull) {
+  bits_.FillAll();
+  ASSERT_TRUE(bits_.Clear(17, 0));
+  unsigned offsets[8];
+  const unsigned got = bits_.SetBatch(0, 8, 0, offsets);
+  ASSERT_EQ(got, 1u);
+  EXPECT_EQ(offsets[0], 17u);
+}
+
+TEST_F(AreaBitsTest, ClearMaskRoundTripAndDoubleFree) {
+  unsigned offsets[64];
+  ASSERT_EQ(bits_.SetBatch(0, 64, 0, offsets), 64u);
+  EXPECT_TRUE(bits_.ClearMask(0, ~0ull));
+  EXPECT_FALSE(bits_.ClearMask(0, ~0ull)) << "double free must fail";
+  EXPECT_EQ(bits_.CountSet(), 0u);
+}
+
+TEST_F(AreaBitsTest, ClearMaskRejectsPartiallyFreeWord) {
+  unsigned offsets[4];
+  ASSERT_EQ(bits_.SetBatch(0, 4, 0, offsets), 4u);
+  // Mask covers one free bit: the whole clear must be rejected and the
+  // four set bits left intact (all-or-nothing, like Clear).
+  EXPECT_FALSE(bits_.ClearMask(0, 0x1full));
+  EXPECT_EQ(bits_.CountSet(), 4u);
 }
 
 TEST(AreaEntry, PackUnpackRoundTrip) {

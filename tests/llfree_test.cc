@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/base/rng.h"
+#include "src/llfree/frame_cache.h"
 #include "src/llfree/llfree.h"
 
 namespace hyperalloc::llfree {
@@ -91,6 +92,156 @@ TEST_F(LLFreeTest, OutOfRangeAndMisalignedFreesRejected) {
   Init(kFrames16MiB);
   EXPECT_EQ(alloc_->Put(kFrames16MiB, 0), AllocError::kInvalid);
   EXPECT_EQ(alloc_->Put(3, 2), AllocError::kInvalid);  // not 4-aligned
+}
+
+TEST_F(LLFreeTest, BatchRoundTrip) {
+  Init(kFrames64MiB);
+  std::vector<FrameId> frames;
+  const unsigned got = alloc_->GetBatch(0, 0, 300, AllocType::kMovable,
+                                        &frames);
+  ASSERT_EQ(got, 300u);
+  ASSERT_EQ(frames.size(), 300u);
+  const std::set<FrameId> unique(frames.begin(), frames.end());
+  EXPECT_EQ(unique.size(), 300u) << "batch returned duplicate frames";
+  EXPECT_EQ(alloc_->FreeFrames(), kFrames64MiB - 300);
+  EXPECT_TRUE(alloc_->Validate());
+  EXPECT_EQ(alloc_->PutBatch(frames, 0), 300u);
+  EXPECT_EQ(alloc_->FreeFrames(), kFrames64MiB);
+  EXPECT_TRUE(alloc_->Validate());
+}
+
+TEST_F(LLFreeTest, BatchSequenceEquivalentToSingles) {
+  // A batched allocator and a single-frame allocator replaying the same
+  // logical sequence must agree on every aggregate at every step, and
+  // both must validate — the batch path is an optimization, not a new
+  // allocation policy.
+  Init(kFrames64MiB);
+  SharedState single_state(kFrames64MiB, DefaultConfig());
+  LLFree single(&single_state);
+
+  const struct {
+    unsigned order;
+    unsigned count;
+  } rounds[] = {{0, 513}, {2, 17}, {6, 9}, {0, 64}, {3, 5}, {0, 1}};
+  std::vector<std::pair<unsigned, std::vector<FrameId>>> batched_held;
+  std::vector<std::pair<unsigned, std::vector<FrameId>>> single_held;
+  for (const auto& round : rounds) {
+    std::vector<FrameId> batched;
+    ASSERT_EQ(alloc_->GetBatch(0, round.order, round.count,
+                               AllocType::kMovable, &batched),
+              round.count);
+    std::vector<FrameId> singles;
+    for (unsigned i = 0; i < round.count; ++i) {
+      const Result<FrameId> r = single.Get(0, round.order,
+                                           AllocType::kMovable);
+      ASSERT_TRUE(r.ok());
+      singles.push_back(*r);
+    }
+    EXPECT_EQ(alloc_->FreeFrames(), single.FreeFrames());
+    EXPECT_TRUE(alloc_->Validate());
+    EXPECT_TRUE(single.Validate());
+    batched_held.emplace_back(round.order, std::move(batched));
+    single_held.emplace_back(round.order, std::move(singles));
+  }
+  for (size_t i = 0; i < batched_held.size(); ++i) {
+    EXPECT_EQ(alloc_->PutBatch(batched_held[i].second, batched_held[i].first),
+              batched_held[i].second.size());
+    for (const FrameId frame : single_held[i].second) {
+      EXPECT_FALSE(single.Put(frame, single_held[i].first).has_value());
+    }
+    EXPECT_EQ(alloc_->FreeFrames(), single.FreeFrames());
+  }
+  EXPECT_EQ(alloc_->FreeFrames(), kFrames64MiB);
+  EXPECT_EQ(alloc_->FreeHugeFrames(), single.FreeHugeFrames());
+  EXPECT_TRUE(alloc_->Validate());
+  EXPECT_TRUE(single.Validate());
+}
+
+TEST_F(LLFreeTest, PutBatchSkipsInvalidEntries) {
+  Init(kFrames16MiB);
+  std::vector<FrameId> frames;
+  ASSERT_EQ(alloc_->GetBatch(0, 0, 10, AllocType::kMovable, &frames), 10u);
+  frames.push_back(kFrames16MiB + 7);  // out of range: skipped, not fatal
+  EXPECT_EQ(alloc_->PutBatch(frames, 0), 10u);
+  EXPECT_EQ(alloc_->FreeFrames(), kFrames16MiB);
+  EXPECT_TRUE(alloc_->Validate());
+}
+
+TEST_F(LLFreeTest, PutBatchDetectsDuplicates) {
+  Init(kFrames16MiB);
+  std::vector<FrameId> frames;
+  ASSERT_EQ(alloc_->GetBatch(0, 0, 8, AllocType::kMovable, &frames), 8u);
+  frames.push_back(frames[0]);  // double free inside one batch
+  EXPECT_EQ(alloc_->PutBatch(frames, 0), 8u);
+  EXPECT_EQ(alloc_->FreeFrames(), kFrames16MiB);
+  EXPECT_TRUE(alloc_->Validate());
+}
+
+TEST_F(LLFreeTest, GetBatchPartialWhenNearlyFull) {
+  Init(kFrames16MiB);
+  // Claim everything, return 5 frames, then ask for 64: the batch takes
+  // what exists and reports the shortfall instead of failing outright.
+  std::vector<FrameId> all;
+  ASSERT_EQ(alloc_->GetBatch(0, 0, kFrames16MiB, AllocType::kMovable, &all),
+            kFrames16MiB);
+  EXPECT_EQ(alloc_->FreeFrames(), 0u);
+  std::vector<FrameId> returned(all.begin(), all.begin() + 5);
+  ASSERT_EQ(alloc_->PutBatch(returned, 0), 5u);
+  std::vector<FrameId> refill;
+  EXPECT_EQ(alloc_->GetBatch(0, 0, 64, AllocType::kMovable, &refill), 5u);
+  EXPECT_EQ(alloc_->FreeFrames(), 0u);
+  EXPECT_TRUE(alloc_->Validate());
+}
+
+TEST_F(LLFreeTest, FrameCacheHitsAvoidAllocator) {
+  Init(kFrames16MiB);
+  FrameCache::CacheConfig cc;
+  cc.slots = 1;
+  cc.capacity = 64;
+  cc.refill = 32;
+  FrameCache cache(alloc_.get(), cc);
+  const Result<FrameId> a = cache.Get(0, 0, AllocType::kMovable);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(cache.refills(), 1u);  // miss pulled one batch
+  const Result<FrameId> b = cache.Get(0, 0, AllocType::kMovable);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.refills(), 1u);  // served from the slot stack
+  EXPECT_FALSE(cache.Put(0, *a, 0).has_value());
+  EXPECT_FALSE(cache.Put(0, *b, 0).has_value());
+}
+
+TEST_F(LLFreeTest, FrameCacheDrainOnQuiesce) {
+  Init(kFrames16MiB);
+  FrameCache::CacheConfig cc;
+  cc.slots = 2;
+  cc.capacity = 64;
+  cc.refill = 32;
+  FrameCache cache(alloc_.get(), cc);
+  // One get/put pair leaves a refill batch parked: those frames look
+  // allocated to LLFree but are free to the cache's user.
+  const Result<FrameId> frame = cache.Get(1, 0, AllocType::kMovable);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(cache.Put(1, *frame, 0).has_value());
+  EXPECT_EQ(cache.CachedFrames(), cc.refill);
+  EXPECT_EQ(alloc_->FreeFrames(), kFrames16MiB - cc.refill);
+  // Drain restores quiescence: every parked frame back, counters intact.
+  cache.Drain();
+  EXPECT_EQ(cache.CachedFrames(), 0u);
+  EXPECT_EQ(alloc_->FreeFrames(), kFrames16MiB);
+  EXPECT_EQ(cache.drains(), 1u);
+  EXPECT_TRUE(alloc_->Validate());
+}
+
+TEST_F(LLFreeTest, FrameCachePassesThroughNonBasePages) {
+  Init(kFrames16MiB);
+  FrameCache::CacheConfig cc;
+  FrameCache cache(alloc_.get(), cc);
+  const Result<FrameId> huge = cache.Get(0, kHugeOrder, AllocType::kMovable);
+  ASSERT_TRUE(huge.ok());
+  EXPECT_EQ(cache.CachedFrames(), 0u);  // no caching above order 0
+  EXPECT_FALSE(cache.Put(0, *huge, kHugeOrder).has_value());
+  EXPECT_EQ(alloc_->FreeFrames(), kFrames16MiB);
 }
 
 TEST_F(LLFreeTest, UnsupportedOrdersRejected) {

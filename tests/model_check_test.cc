@@ -12,6 +12,8 @@
 // by scripts/check.sh for the sanitizer runs); the coverage test skips
 // itself when capped below its target.
 
+#include <algorithm>
+#include <bit>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -117,6 +119,46 @@ Scenario GetPutOneTree() {
       CheckQuiescent(c->guest);
       Require(c->guest.FreeFrames() == 2048,
               "frames leaked after all puts");
+    });
+  };
+}
+
+// --------------------------------------------------------------------
+// Scenario 1b: the batched hot path (DESIGN.md §4.10) — two threads each
+// claim an order-0 train via GetBatch and return it via PutBatch,
+// racing on the tree counter, the reservation slots, and the
+// word-at-a-time bitfield CAS. Conservation must hold at quiescence.
+// --------------------------------------------------------------------
+Scenario BatchGetPutOneTree() {
+  return [](Execution& exec) {
+    Config cfg;
+    cfg.mode = Config::ReservationMode::kPerCore;
+    cfg.cores = 2;
+    cfg.areas_per_tree = 4;
+    auto c = std::make_shared<Ctx>(2048, cfg);
+    for (unsigned t = 0; t < 2; ++t) {
+      exec.Spawn([c, t] {
+        std::vector<FrameId> frames;
+        const unsigned got =
+            c->guest.GetBatch(t, 0, 6, AllocType::kMovable, &frames);
+        for (const FrameId frame : frames) {
+          c->owner.Acquire(frame, 0);
+        }
+        for (const FrameId frame : frames) {
+          c->owner.Release(frame, 0);
+        }
+        Require(c->guest.PutBatch(frames, 0) == got,
+                "batched put freed fewer frames than the batch claimed");
+      });
+    }
+    exec.OnStep([c] {
+      CheckStepInvariants(c->state);
+      c->owner();
+    });
+    exec.OnEnd([c] {
+      CheckQuiescent(c->guest);
+      Require(c->guest.FreeFrames() == 2048,
+              "frames leaked after batched round trips");
     });
   };
 }
@@ -588,6 +630,93 @@ Scenario DroppedRollbackOnFailedMapMutant() {
   };
 }
 
+// --------------------------------------------------------------------
+// Mutant: ClaimBaseBatch's shortfall rollback dropped. The batched claim
+// pre-charges the counter for `want` frames, then the word CAS discovers
+// fewer free bits (a racing free has credited the counter but not yet
+// cleared its bit) — the real code gives the difference back; this one
+// does not, so the counter drifts below the bitfield's truth. The
+// counter/bitfield mismatch must be caught in both modes.
+// --------------------------------------------------------------------
+struct LostBatchCtx {
+  // One 8-frame area, frame 0 pre-allocated: counter + bitfield word.
+  Atomic<uint64_t> free_count{7};
+  Atomic<uint64_t> bits{1};
+  uint64_t taken_mask = 0;  // model threads are sequentialized
+  unsigned taken = 0;
+
+  // The racing free: credit the counter FIRST, clear the bit second —
+  // the same transient window LLFree's put leaves between the tree
+  // counter and the area bitfield.
+  void FreeFrameZero() {
+    free_count.fetch_add(1, std::memory_order_acq_rel);
+    bits.fetch_and(~1ull, std::memory_order_acq_rel);
+  }
+
+  // The buggy batched claim.
+  unsigned ClaimUpTo(unsigned want_in) {
+    uint64_t current = free_count.load(std::memory_order_acquire);
+    unsigned want;
+    do {
+      want = static_cast<unsigned>(
+          std::min<uint64_t>(current, uint64_t{want_in}));
+      if (want == 0) {
+        return 0;
+      }
+    } while (!free_count.compare_exchange_weak(
+        current, current - want, std::memory_order_acq_rel,
+        std::memory_order_acquire));
+    uint64_t word = bits.load(std::memory_order_acquire);
+    unsigned got;
+    for (;;) {
+      uint64_t claim = 0;
+      uint64_t occupied = word | ~0xffull;  // 8-frame area
+      got = 0;
+      while (got < want) {
+        const unsigned pos =
+            static_cast<unsigned>(std::countr_one(occupied));
+        if (pos >= 8) {
+          break;
+        }
+        claim |= 1ull << pos;
+        occupied |= 1ull << pos;
+        ++got;
+      }
+      if (bits.compare_exchange_weak(word, word | claim,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+        taken_mask |= claim;
+        taken += got;
+        break;
+      }
+    }
+    // BUG (deliberate): when got < want, the (want - got) frames charged
+    // off the counter were never claimed in the bitfield — the real
+    // ClaimBaseBatch adds the shortfall back here.
+    return got;
+  }
+};
+
+Scenario LostBatchRollbackMutant() {
+  return [](Execution& exec) {
+    auto c = std::make_shared<LostBatchCtx>();
+    exec.Spawn([c] { c->FreeFrameZero(); });
+    exec.Spawn([c] { (void)c->ClaimUpTo(8); });
+    exec.OnEnd([c] {
+      // Return the claimed train correctly, then counter and bitfield
+      // must agree again — unless a shortfall rollback was lost.
+      if (c->taken > 0) {
+        c->bits.fetch_and(~c->taken_mask, std::memory_order_acq_rel);
+        c->free_count.fetch_add(c->taken, std::memory_order_acq_rel);
+      }
+      const uint64_t free_bits = 8 - static_cast<uint64_t>(std::popcount(
+          c->bits.load(std::memory_order_acquire) & 0xffull));
+      Require(c->free_count.load(std::memory_order_acquire) == free_bits,
+              "lost batch rollback: counter drifted from the bitfield");
+    });
+  };
+}
+
 RunResult ExploreRandom(const Scenario& scenario, uint64_t iterations,
                         uint64_t seed = 1) {
   Options opt;
@@ -604,6 +733,28 @@ void ExpectClean(const RunResult& r) {
 
 TEST(ModelCheckScenarios, GetPutOneTree) {
   ExpectClean(ExploreRandom(GetPutOneTree(), ScaledIters(1500)));
+}
+
+TEST(ModelCheckScenarios, BatchGetPutOneTree) {
+  ExpectClean(ExploreRandom(BatchGetPutOneTree(), ScaledIters(1500)));
+}
+
+TEST(ModelCheckMutant, RandomWalkFindsLostBatchRollback) {
+  const RunResult r = ExploreRandom(LostBatchRollbackMutant(), 2000);
+  ASSERT_TRUE(r.failed)
+      << "random exploration missed the lost-batch-rollback mutant";
+  EXPECT_NE(r.message.find("lost batch rollback"), std::string::npos)
+      << r.message;
+}
+
+TEST(ModelCheckMutant, ExhaustiveFindsLostBatchRollback) {
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult r = Explore(opt, LostBatchRollbackMutant());
+  ASSERT_TRUE(r.failed)
+      << "exhaustive exploration missed the lost-batch-rollback mutant";
+  EXPECT_NE(r.message.find("lost batch rollback"), std::string::npos)
+      << r.message;
 }
 
 TEST(ModelCheckScenarios, PutVsReclaimScan) {
