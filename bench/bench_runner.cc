@@ -172,7 +172,7 @@ BatchBenchResult BenchLLFreeBatchAllocFree(bool smoke, unsigned batch) {
         held.push_back(*r);
       }
       for (const FrameId frame : held) {
-        cache.Put(core, frame, 0);
+        cache.Put(core, frame, 0, AllocType::kMovable);
       }
       result.cached.ops += 2 * held.size();
       held.clear();

@@ -109,15 +109,17 @@ Result<FrameId> GuestVm::ZoneAlloc(Zone& zone, unsigned order,
 }
 
 void GuestVm::ZoneFree(Zone& zone, FrameId frame, unsigned order,
-                       unsigned core) {
+                       unsigned core, AllocType type) {
   const FrameId local = frame - zone.start;
   if (zone.buddy != nullptr) {
     const auto err = zone.buddy->Free(core, local, order);
     HA_CHECK(!err.has_value());
     return;
   }
+  // The recorded type keeps non-movable frees out of the per-vCPU cache
+  // so they return through LLFree's type-aware slot selection.
   const auto err = zone.llfree_cache != nullptr
-                       ? zone.llfree_cache->Put(core, local, order)
+                       ? zone.llfree_cache->Put(core, local, order, type)
                        : zone.llfree->Put(local, order);
   HA_CHECK(!err.has_value());
 }
@@ -352,9 +354,12 @@ void GuestVm::AuxAfterFree(FrameId frame, unsigned order) {
 void GuestVm::Free(FrameId frame, unsigned order, unsigned core) {
   HA_CHECK(frame < total_frames_);
   HA_CHECK((alloc_order_[frame] & 0x7fu) == order + 1);
+  const AllocType type = (alloc_order_[frame] & 0x80) != 0
+                             ? AllocType::kUnmovable
+                             : AllocType::kMovable;
   alloc_order_[frame] = 0;
   approx_free_frames_ += 1ull << order;
-  ZoneFree(ZoneOf(frame), frame, order, core);
+  ZoneFree(ZoneOf(frame), frame, order, core, type);
   if (aux_ != nullptr) {
     AuxAfterFree(frame, order);
   }

@@ -285,7 +285,8 @@ class GuestVm {
   void MaybeReclaimToWatermark(unsigned core);
   Result<FrameId> ZoneAlloc(Zone& zone, unsigned order, AllocType type,
                             unsigned core);
-  void ZoneFree(Zone& zone, FrameId frame, unsigned order, unsigned core);
+  void ZoneFree(Zone& zone, FrameId frame, unsigned order, unsigned core,
+                AllocType type);
 
   sim::Simulation* sim_;
   hv::HostMemory* host_;

@@ -190,8 +190,9 @@ class HostMemory {
   uint64_t rebalances() const {
     return rebalances_.load(std::memory_order_relaxed);
   }
-  // Raids avoided by the feasibility pre-scan (peers observably could
-  // not cover the shortfall).
+  // Raids avoided by the feasibility pre-scan (peers had no credit to
+  // take, or peers plus the global reserve observably could not cover
+  // the shortfall jointly).
   uint64_t rebalance_skips() const {
     return rebalance_skips_.load(std::memory_order_relaxed);
   }
@@ -276,18 +277,24 @@ class HostMemory {
     // Rebalance: the global reserve is dry; raid other shards' credit
     // lines. Near the capacity limit all free memory may be parked in
     // credits, and a reservation must still succeed if the *sum* covers
-    // it. A load-only feasibility pre-scan first: when the peers
-    // observably cannot cover the shortfall, skip the CAS raid (and its
-    // cache-line invalidations) and fall through to the last global
-    // look — the observation is itself the "some instant" of the
-    // contract, exactly as a fruitless raid loop would have been.
+    // it. A load-only feasibility pre-scan first: the raid takes peer
+    // credit partially and the last global look below covers whatever
+    // remains, so feasibility is the *joint* sum of peer credit and the
+    // global reserve (a concurrent drain may have parked part of the
+    // free memory back there). Only when even that sum observably
+    // cannot cover the shortfall — or the peers have nothing to take —
+    // is the CAS raid (and its cache-line invalidations) skipped; the
+    // observation is itself the "some instant" of the contract, exactly
+    // as a fruitless raid loop would have been.
     uint64_t peer_sum = 0;
     for (unsigned i = 0; i < num_shards_; ++i) {
       if (&shards_[i] != &s) {
         peer_sum += shards_[i].credit.load(std::memory_order_acquire);
       }
     }
-    if (peer_sum >= need) {
+    const uint64_t global_seen =
+        global_free_.load(std::memory_order_acquire);
+    if (peer_sum > 0 && peer_sum + global_seen >= need) {
       rebalances_.fetch_add(1, std::memory_order_relaxed);
       s.last_rebalance_op.store(
           s.ops.load(std::memory_order_relaxed) + 1,

@@ -1,5 +1,7 @@
 #include "src/llfree/frame_cache.h"
 
+#include <algorithm>
+
 #include "src/base/check.h"
 
 namespace hyperalloc::llfree {
@@ -43,38 +45,56 @@ Result<FrameId> FrameCache::Get(unsigned core, unsigned order,
 }
 
 std::optional<AllocError> FrameCache::Put(unsigned core, FrameId frame,
-                                          unsigned order) {
-  if (order != 0) {
+                                          unsigned order, AllocType type) {
+  if (order != 0 || type != AllocType::kMovable) {
+    // Non-movable frees bypass the cache so the frame returns through
+    // LLFree's type-aware slot selection instead of being recycled into
+    // a movable allocation (which would mix movability within areas).
     return alloc_->Put(frame, order);
   }
   if (frame >= alloc_->frames()) {
     return AllocError::kInvalid;
   }
   Slot& slot = slots_[core % config_.slots];
+  HA_DCHECK(std::find(slot.frames.begin(), slot.frames.end(), frame) ==
+            slot.frames.end());  // double free into the same slot
   slot.frames.push_back(frame);
   if (slot.frames.size() > config_.capacity) {
     // Drain one batch from the cold end (the hot end keeps recency).
     const std::span<const FrameId> batch(slot.frames.data(), config_.refill);
     const unsigned freed = alloc_->PutBatch(batch, 0);
-    HA_CHECK(freed == config_.refill);  // cache holds only owned frames
     slot.frames.erase(slot.frames.begin(),
                       slot.frames.begin() + config_.refill);
     drains_.fetch_add(1, std::memory_order_relaxed);
+    if (freed != config_.refill) {
+      // The allocator refused part of the batch: some earlier Put fed
+      // the cache a frame it did not own (double free). Surface the
+      // error here, at the drain that detected it — the refused frames
+      // are already owned by someone else, so dropping them is the only
+      // state that cannot hand one frame to two callers.
+      lost_.fetch_add(config_.refill - freed, std::memory_order_relaxed);
+      return AllocError::kInvalid;
+    }
   }
   return std::nullopt;
 }
 
-void FrameCache::Drain() {
+uint64_t FrameCache::Drain() {
+  uint64_t refused = 0;
   for (unsigned s = 0; s < config_.slots; ++s) {
     Slot& slot = slots_[s];
     if (slot.frames.empty()) {
       continue;
     }
     const unsigned freed = alloc_->PutBatch(slot.frames, 0);
-    HA_CHECK(freed == slot.frames.size());
+    refused += slot.frames.size() - freed;
     slot.frames.clear();
     drains_.fetch_add(1, std::memory_order_relaxed);
   }
+  if (refused > 0) {
+    lost_.fetch_add(refused, std::memory_order_relaxed);
+  }
+  return refused;
 }
 
 uint64_t FrameCache::CachedFrames() const {

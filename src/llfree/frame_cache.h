@@ -39,17 +39,27 @@ class FrameCache {
 
   // Order-0 movable allocations are served from the slot's stack,
   // refilling in batches when empty; everything else passes through to
-  // the allocator. When the allocator itself runs dry the miss falls
-  // through to a single Get so pressure semantics are unchanged.
+  // the allocator. The refill (GetBatch) itself exercises the
+  // single-Get pressure fallback for its tail, so a refill that claims
+  // zero frames means the allocator is genuinely dry (kNoMemory).
   Result<FrameId> Get(unsigned core, unsigned order, AllocType type);
 
-  // Order-0 frees park in the slot's stack (draining overflow in
-  // batches); higher orders pass through.
-  std::optional<AllocError> Put(unsigned core, FrameId frame, unsigned order);
+  // Order-0 *movable* frees park in the slot's stack (draining overflow
+  // in batches); higher orders and non-movable frees pass through, so
+  // frames keep the movability grouping LLFree's slot selection gave
+  // them (mirroring the Get-side pass-through). Callers must not free a
+  // frame twice: a duplicate parked in the stack is only detected when
+  // the allocator refuses it at drain time, in which case the refused
+  // frames are dropped (counted in lost_frames()) and the Put that
+  // triggered the drain returns kInvalid.
+  std::optional<AllocError> Put(unsigned core, FrameId frame, unsigned order,
+                                AllocType type);
 
   // Returns every cached frame to the allocator (quiesce / cache-purge
-  // reaction, §3.3). Quiescent-use only.
-  void Drain();
+  // reaction, §3.3). Quiescent-use only. Returns the number of frames
+  // the allocator refused (0 unless a caller double-freed into the
+  // cache); refused frames are dropped and counted in lost_frames().
+  uint64_t Drain();
 
   // Frames currently parked across all slots. Quiescent-use only.
   uint64_t CachedFrames() const;
@@ -57,6 +67,11 @@ class FrameCache {
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t refills() const { return refills_.load(std::memory_order_relaxed); }
   uint64_t drains() const { return drains_.load(std::memory_order_relaxed); }
+  // Frames the allocator refused at drain time (double frees fed to
+  // Put). Nonzero means a caller broke the no-double-free discipline.
+  uint64_t lost_frames() const {
+    return lost_.load(std::memory_order_relaxed);
+  }
 
   const CacheConfig& cache_config() const { return config_; }
 
@@ -71,6 +86,7 @@ class FrameCache {
   Atomic<uint64_t> hits_{0};
   Atomic<uint64_t> refills_{0};
   Atomic<uint64_t> drains_{0};
+  Atomic<uint64_t> lost_{0};
 };
 
 }  // namespace hyperalloc::llfree

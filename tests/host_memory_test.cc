@@ -78,6 +78,30 @@ TEST(HostMemorySharded, RebalanceRaidsOtherShardsNearTheLimit) {
   ExpectQuiescent(pool);
 }
 
+TEST(HostMemorySharded, ReserveSucceedsWhenPeersAndGlobalJointlyCover) {
+  // Regression: the hysteresis drain can leave free memory split between
+  // a peer shard's credit line and the global reserve so that neither
+  // alone covers a request while their sum does. The feasibility
+  // pre-scan must consider the joint sum — a partial peer raid topped
+  // off from the global reserve — or the reservation fails with 3000
+  // frames free.
+  HostMemory pool(3000, /*shards=*/2);
+  EXPECT_TRUE(pool.TryReserve(2500, 0));
+  pool.Release(2500, 0);
+  // With the default watermarks shard 0 keeps drain_low (1024) and the
+  // drain parks the rest (1976) in the global reserve: each bucket
+  // individually short of the 2000-frame request below.
+  EXPECT_LT(pool.DebugShardCredit(0), 2000u);
+  EXPECT_LT(pool.DebugGlobalFree(), 2000u);
+  EXPECT_TRUE(pool.TryReserve(2000, 1))
+      << "3000 frames free, 2000 requested: the raid must combine peer "
+         "credit with the global reserve";
+  EXPECT_EQ(pool.rebalances(), 1u);
+  EXPECT_EQ(pool.used_frames(), 2000u);
+  pool.Release(2000, 1);
+  ExpectQuiescent(pool);
+}
+
 TEST(HostMemorySharded, FailedReserveReturnsPartialCredit) {
   HostMemory pool(kBatch, /*shards=*/2);
   EXPECT_TRUE(pool.TryReserve(kBatch / 2, 0));

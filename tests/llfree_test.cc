@@ -207,8 +207,8 @@ TEST_F(LLFreeTest, FrameCacheHitsAvoidAllocator) {
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.refills(), 1u);  // served from the slot stack
-  EXPECT_FALSE(cache.Put(0, *a, 0).has_value());
-  EXPECT_FALSE(cache.Put(0, *b, 0).has_value());
+  EXPECT_FALSE(cache.Put(0, *a, 0, AllocType::kMovable).has_value());
+  EXPECT_FALSE(cache.Put(0, *b, 0, AllocType::kMovable).has_value());
 }
 
 TEST_F(LLFreeTest, FrameCacheDrainOnQuiesce) {
@@ -222,7 +222,7 @@ TEST_F(LLFreeTest, FrameCacheDrainOnQuiesce) {
   // allocated to LLFree but are free to the cache's user.
   const Result<FrameId> frame = cache.Get(1, 0, AllocType::kMovable);
   ASSERT_TRUE(frame.ok());
-  EXPECT_FALSE(cache.Put(1, *frame, 0).has_value());
+  EXPECT_FALSE(cache.Put(1, *frame, 0, AllocType::kMovable).has_value());
   EXPECT_EQ(cache.CachedFrames(), cc.refill);
   EXPECT_EQ(alloc_->FreeFrames(), kFrames16MiB - cc.refill);
   // Drain restores quiescence: every parked frame back, counters intact.
@@ -240,8 +240,64 @@ TEST_F(LLFreeTest, FrameCachePassesThroughNonBasePages) {
   const Result<FrameId> huge = cache.Get(0, kHugeOrder, AllocType::kMovable);
   ASSERT_TRUE(huge.ok());
   EXPECT_EQ(cache.CachedFrames(), 0u);  // no caching above order 0
-  EXPECT_FALSE(cache.Put(0, *huge, kHugeOrder).has_value());
+  EXPECT_FALSE(
+      cache.Put(0, *huge, kHugeOrder, AllocType::kMovable).has_value());
   EXPECT_EQ(alloc_->FreeFrames(), kFrames16MiB);
+}
+
+TEST_F(LLFreeTest, FrameCacheBypassesUnmovableFrees) {
+  Init(kFrames16MiB);
+  FrameCache::CacheConfig cc;
+  cc.slots = 1;
+  cc.capacity = 64;
+  cc.refill = 32;
+  FrameCache cache(alloc_.get(), cc);
+  // Unmovable traffic passes through on both sides: the free returns
+  // through LLFree's type-aware slot selection instead of parking in
+  // the (movable-only) stack, so movability grouping is preserved.
+  const Result<FrameId> f = cache.Get(0, 0, AllocType::kUnmovable);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(cache.CachedFrames(), 0u);
+  EXPECT_FALSE(cache.Put(0, *f, 0, AllocType::kUnmovable).has_value());
+  EXPECT_EQ(cache.CachedFrames(), 0u);
+  EXPECT_EQ(alloc_->FreeFrames(), kFrames16MiB);
+  // The uncached path keeps failing fast on a double free.
+  EXPECT_EQ(cache.Put(0, *f, 0, AllocType::kUnmovable),
+            AllocError::kInvalid);
+  EXPECT_TRUE(alloc_->Validate());
+}
+
+TEST_F(LLFreeTest, FrameCacheSurfacesDoubleFreeAtDrain) {
+  Init(kFrames16MiB);
+  FrameCache::CacheConfig cc;
+  cc.slots = 1;
+  cc.capacity = 2;
+  cc.refill = 2;
+  FrameCache cache(alloc_.get(), cc);
+  // Take three frames directly (bypassing the cache) so the cache's
+  // stack holds frames it believes it owns.
+  const Result<FrameId> a = alloc_->Get(0, 0, AllocType::kMovable);
+  const Result<FrameId> x1 = alloc_->Get(0, 0, AllocType::kMovable);
+  const Result<FrameId> x2 = alloc_->Get(0, 0, AllocType::kMovable);
+  ASSERT_TRUE(a.ok() && x1.ok() && x2.ok());
+  // First free of `a` drains back to the allocator cleanly.
+  EXPECT_FALSE(cache.Put(0, *a, 0, AllocType::kMovable).has_value());
+  EXPECT_EQ(cache.Drain(), 0u);
+  EXPECT_EQ(alloc_->FreeFrames(), kFrames16MiB - 2);
+  // Double free of `a`: it parks undetected (the slot no longer holds
+  // it), and the overflow drain is where the allocator refuses it — the
+  // Put that triggered that drain reports kInvalid instead of a crash,
+  // and the refused frame is dropped, not handed out twice.
+  EXPECT_FALSE(cache.Put(0, *a, 0, AllocType::kMovable).has_value());
+  EXPECT_FALSE(cache.Put(0, *x1, 0, AllocType::kMovable).has_value());
+  EXPECT_EQ(cache.Put(0, *x2, 0, AllocType::kMovable),
+            AllocError::kInvalid);
+  EXPECT_EQ(cache.lost_frames(), 1u);
+  // x2 is still parked; the final drain returns it without incident.
+  EXPECT_EQ(cache.Drain(), 0u);
+  EXPECT_EQ(cache.CachedFrames(), 0u);
+  EXPECT_EQ(alloc_->FreeFrames(), kFrames16MiB);
+  EXPECT_TRUE(alloc_->Validate());
 }
 
 TEST_F(LLFreeTest, UnsupportedOrdersRejected) {
