@@ -3,7 +3,12 @@
 #   1. tier-1 build + full ctest (default preset),
 #   2. static gates (scripts/lint.sh),
 #   3. full ctest under ASan+UBSan (asan-ubsan preset, no recovery),
-#   4. ThreadSanitizer on the lock-free paths (tsan preset): the LLFree
+#   4. the model checker in BOTH memory-model configurations — the
+#      happens-before layer on (HYPERALLOC_MC_MM=1: stale reads, race
+#      detection, the mutant scenarios) and off (HYPERALLOC_MC_MM=0:
+#      the SC-only fallback every older scenario was written against).
+#      A failure prints which configuration produced it,
+#   5. ThreadSanitizer on the lock-free paths (tsan preset): the LLFree
 #      concurrent stress test, the sharded host frame pool stress test,
 #      the trace-layer counter/ring tests, and a capped model-check run
 #      (the model checker is deterministic, so a small TSan run only
@@ -23,6 +28,21 @@ echo "== asan-ubsan: full ctest (preset: asan-ubsan) =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j
 ctest --preset asan-ubsan -j "$(nproc)"
+
+echo "== model check: both memory-model configurations (preset: default) =="
+# ctest above already ran these binaries in the build's default
+# configuration; this wall pins each configuration explicitly so a
+# regression names the offender ("memory model ON" vs "OFF") instead of
+# depending on the developer's environment.
+for mm in 1 0; do
+  for bin in model_check_test memory_model_test; do
+    if ! HYPERALLOC_MC_MM=$mm "./build/tests/$bin"; then
+      echo "FAILED: $bin with HYPERALLOC_MC_MM=$mm (memory model" \
+        "$([ "$mm" = 1 ] && echo ON || echo OFF))"
+      exit 1
+    fi
+  done
+done
 
 echo "== tsan: lock-free paths (preset: tsan) =="
 cmake --preset tsan >/dev/null

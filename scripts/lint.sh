@@ -14,7 +14,16 @@
 #   5. docs consistency — every --flag mentioned in README / EXPERIMENTS /
 #      DESIGN / ROADMAP must exist in the sources (or be a known external
 #      tool's flag), and every "DESIGN.md §N.M" cross-reference must point
-#      at a real DESIGN.md section heading.
+#      at a real DESIGN.md section heading,
+#   6. per-field atomic ordering protocol — for every atomic field in the
+#      gate-2 directories, acquire-side consumers (acquire loads, acquire
+#      CAS failures, acquire RMWs) must be paired with at least one
+#      release-side publisher (release/acq_rel/seq_cst store, exchange,
+#      CAS success, or fetch_*) and vice versa: a one-sided protocol
+#      means the order either buys nothing or protects nobody. Set
+#      HA_LINT_GATE6_MUTANT=1 to also scan the committed mutant
+#      (tests/lint/gate6_protocol_mutant.cc) and watch the gate fail —
+#      proof the pairing check is live.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -30,7 +39,7 @@ if [ -n "$missing" ]; then
   status=1
 fi
 
-echo "-- gate 2: explicit memory orders in src/llfree src/core src/trace src/check"
+echo "-- gate 2: explicit memory orders in src/llfree src/core src/trace src/check src/hv src/balloon"
 python3 - <<'EOF' || status=1
 import re
 import sys
@@ -52,7 +61,8 @@ EXEMPT = {Path("src/check/shim.h")}
 call_re = re.compile(r"(?:\.|->)(%s)\s*\(" % "|".join(OPS))
 
 failures = []
-for root in ("src/llfree", "src/core", "src/trace", "src/check"):
+for root in ("src/llfree", "src/core", "src/trace", "src/check", "src/hv",
+             "src/balloon"):
     for path in sorted(Path(root).rglob("*.cc")) + sorted(
             Path(root).rglob("*.h")):
         if path in EXEMPT:
@@ -152,6 +162,144 @@ for doc in DOCS:
 
 if failures:
     print("docs drifted from the sources:")
+    print("\n".join(failures))
+    sys.exit(1)
+EOF
+
+echo "-- gate 6: per-field atomic ordering protocol (publisher/consumer pairing)"
+python3 - <<'EOF' || status=1
+import os
+import re
+import sys
+from pathlib import Path
+
+# Builds a per-field ordering-protocol table from every atomic member
+# operation in the gate-2 directories and checks that the release and
+# acquire sides pair up. An RMW with acq_rel (or seq_cst) counts as both
+# publisher and consumer, so CAS-transaction fields satisfy the rule by
+# construction; the gate exists for split protocols (store-release /
+# load-acquire) where a downgrade on either side silently breaks the
+# other.
+OPS = ("load", "store", "exchange", "compare_exchange_weak",
+       "compare_exchange_strong", "fetch_add", "fetch_sub", "fetch_or",
+       "fetch_and", "fetch_xor")
+RELEASE = {"memory_order_release", "memory_order_acq_rel",
+           "memory_order_seq_cst"}
+ACQUIRE = {"memory_order_acquire", "memory_order_consume",
+           "memory_order_acq_rel", "memory_order_seq_cst"}
+
+# The shim forwards caller-provided orders (exempt from gate 2 for the
+# same reason); its internal std::atomic member is not a protocol field.
+EXEMPT_FILES = {Path("src/check/shim.h")}
+
+# Lexical aliases for one location reached under two names: the global
+# bit-field array is mutated through the AreaBits view (`words_`,
+# src/llfree/bitfield.h) but read by the invariants oracle through the
+# SharedState accessor (`bitfield()`). Extend this table deliberately —
+# every entry is a pairing the lexical scan cannot see on its own.
+ALIASES = {"bitfield": "words"}
+
+call_re = re.compile(r"(?:\.|->)(%s)\s*\(" % "|".join(OPS))
+
+
+def field_before(text, pos):
+    """The member name the op is invoked on: the identifier before the
+    ./-> accessor, skipping one trailing [index] or (call) group."""
+    i = pos
+    while i > 0 and text[i - 1] in ")]":
+        close = text[i - 1]
+        opener = "(" if close == ")" else "["
+        depth = 0
+        while i > 0:
+            i -= 1
+            if text[i] == close:
+                depth += 1
+            elif text[i] == opener:
+                depth -= 1
+                if depth == 0:
+                    break
+    j = i
+    while j > 0 and (text[j - 1].isalnum() or text[j - 1] == "_"):
+        j -= 1
+    return text[j:i]
+
+
+publishers = {}  # field -> [site, ...]
+consumers = {}
+sites = {}       # field -> every op site, for the report
+
+roots = ["src/llfree", "src/core", "src/trace", "src/check", "src/hv",
+         "src/balloon"]
+files = []
+for root in roots:
+    files += sorted(Path(root).rglob("*.cc")) + sorted(
+        Path(root).rglob("*.h"))
+if os.environ.get("HA_LINT_GATE6_MUTANT") == "1":
+    files.append(Path("tests/lint/gate6_protocol_mutant.cc"))
+
+for path in files:
+    if path in EXEMPT_FILES:
+        continue
+    text = path.read_text()
+    for m in call_re.finditer(text):
+        op = m.group(1)
+        depth, i = 1, m.end()
+        while i < len(text) and depth:
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+            i += 1
+        args = text[m.end():i - 1]
+        orders = re.findall(r"memory_order_\w+", args)
+        if not orders:
+            continue  # forwarded parameter order (gate 2 polices this)
+        field = field_before(text, m.start())
+        if not field:
+            continue
+        # Repo convention: member `bitfield_` and accessor `bitfield()`
+        # name the same location — aggregate them as one protocol field.
+        field = field.rstrip("_")
+        field = ALIASES.get(field, field)
+        line = text.count("\n", 0, m.start()) + 1
+        site = f"{path}:{line}: .{op}({', '.join(orders)})"
+        sites.setdefault(field, []).append(site)
+        if op == "load":
+            if orders[0] in ACQUIRE:
+                consumers.setdefault(field, []).append(site)
+        elif op == "store":
+            if orders[0] in RELEASE:
+                publishers.setdefault(field, []).append(site)
+        elif op.startswith("compare_exchange"):
+            if orders[0] in RELEASE:
+                publishers.setdefault(field, []).append(site)
+            if orders[0] in ACQUIRE:
+                consumers.setdefault(field, []).append(site)
+            if len(orders) > 1 and orders[1] in ACQUIRE:
+                consumers.setdefault(field, []).append(site)
+        else:  # exchange / fetch_*
+            if orders[0] in RELEASE:
+                publishers.setdefault(field, []).append(site)
+            if orders[0] in ACQUIRE:
+                consumers.setdefault(field, []).append(site)
+
+failures = []
+for field in sorted(sites):
+    has_pub = field in publishers
+    has_con = field in consumers
+    if has_con and not has_pub:
+        failures.append(
+            f"field '{field}' has acquire-side consumers but no "
+            f"release/acq_rel/seq_cst publisher — the acquire orders "
+            f"nothing:\n    " + "\n    ".join(consumers[field]))
+    elif has_pub and not has_con:
+        failures.append(
+            f"field '{field}' has release-side publishers but no "
+            f"acquire-side consumer — nobody orders against the "
+            f"release:\n    " + "\n    ".join(publishers[field]))
+
+if failures:
+    print("one-sided atomic ordering protocols:")
     print("\n".join(failures))
     sys.exit(1)
 EOF

@@ -1,0 +1,65 @@
+// The non-atomic shared-data seam of the lock-free core, companion to
+// the Atomic<T> seam in src/base/atomic.h.
+//
+// Fields that are *intended* to be protected by a release/acquire
+// protocol on a neighboring Atomic<T> — published once and then read by
+// other threads, or handed off across a CAS — are declared
+// `hyperalloc::Shared<T>` and accessed through `.read()` / `.write()`.
+//
+// Production builds alias it to PlainShared<T> below: read()/write()
+// compile to a bare member access with zero overhead. Model-checking
+// builds (-DHYPERALLOC_MODEL_CHECK=1) alias it to check::Shared<T>
+// (src/check/memory_model.h), which stamps every access with the
+// calling model thread's vector clock and fails the execution when two
+// accesses from different threads — at least one a write — are
+// unordered by happens-before, reporting both source sites, the
+// schedule trace, and the missing release/acquire edge.
+//
+// Plain members stay appropriate for data that is genuinely
+// single-threaded or immutable after construction; Shared<T> is for
+// data whose safety *depends on* the ordering protocol of the
+// surrounding atomics.
+#pragma once
+
+#include <utility>
+
+namespace hyperalloc {
+
+// Production-side implementation: a transparent wrapper. read()/write()
+// are plain accessors the optimizer erases.
+template <typename T>
+class PlainShared {
+ public:
+  PlainShared() : v_{} {}
+  template <typename... Args>
+  explicit PlainShared(Args&&... args) : v_(std::forward<Args>(args)...) {}
+
+  PlainShared(const PlainShared&) = delete;
+  PlainShared& operator=(const PlainShared&) = delete;
+
+  const T& read() const { return v_; }
+  T& write() { return v_; }
+
+ private:
+  T v_;
+};
+
+}  // namespace hyperalloc
+
+#if defined(HYPERALLOC_MODEL_CHECK) && HYPERALLOC_MODEL_CHECK
+
+#include "src/check/memory_model.h"
+
+namespace hyperalloc {
+template <typename T>
+using Shared = check::Shared<T>;
+}  // namespace hyperalloc
+
+#else
+
+namespace hyperalloc {
+template <typename T>
+using Shared = PlainShared<T>;
+}  // namespace hyperalloc
+
+#endif

@@ -1,0 +1,66 @@
+#include "src/check/memory_model.h"
+
+#include <sstream>
+
+namespace hyperalloc::check::mm {
+
+namespace {
+
+const char* BaseName(const char* path) {
+  if (path == nullptr) {
+    return "<unknown>";
+  }
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/' || *p == '\\') {
+      base = p + 1;
+    }
+  }
+  return base;
+}
+
+void Describe(std::ostringstream& out, const AccessSite& site) {
+  out << (site.write ? "write" : "read") << " at " << BaseName(site.file)
+      << ":" << site.line << " (thread " << site.thread << ", step "
+      << site.step << ")";
+}
+
+}  // namespace
+
+std::string VectorClock::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  unsigned last = 0;
+  for (unsigned i = 0; i < kMaxThreads; ++i) {
+    if (c[i] != 0) {
+      last = i;
+    }
+  }
+  for (unsigned i = 0; i <= last; ++i) {
+    if (i != 0) {
+      out << ",";
+    }
+    out << c[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+void ReportRace(const AccessSite& prior, const AccessSite& current) {
+  std::ostringstream out;
+  out << "data race: ";
+  Describe(out, prior);
+  out << " and ";
+  Describe(out, current);
+  out << " are unordered by happens-before — no release/acquire (or "
+         "stronger) edge connects thread "
+      << prior.thread << "'s access to thread " << current.thread
+      << "'s. Missing edge: a release (or acq_rel/seq_cst) publisher "
+         "after the first access that the second thread consumes with "
+         "acquire before its access — or the field must become "
+         "Atomic<T>. Replay: feed RunResult::failing_seed to ReplaySeed "
+         "(random mode) or RunResult::trace to ReplayTrace (exhaustive).";
+  throw CheckFailure(out.str());
+}
+
+}  // namespace hyperalloc::check::mm

@@ -1,0 +1,371 @@
+// C++ memory-model layer for the model checker (DESIGN.md §4.11).
+//
+// The scheduler (src/check/scheduler.h) explores *interleavings*; this
+// layer adds the *reordering* dimension the shim's header comment used to
+// disclaim: per-thread and per-atomic-location vector clocks with
+// release/acquire edge propagation, a bounded per-location
+// modification-order history so relaxed/acquire loads can return values
+// that are stale-but-permitted by happens-before, and a data-race
+// detector for non-atomic shared state (`Shared<T>`).
+//
+// Clock rules (the full table is in DESIGN.md §4.11):
+//   - every instrumented write ticks the writing thread's own component;
+//   - a release (or stronger) store publishes the writer's clock as the
+//     entry's *message clock*; a relaxed store publishes nothing and
+//     breaks the release sequence;
+//   - an RMW always reads the newest entry and *continues* the release
+//     sequence: its message clock is the previous entry's message clock
+//     joined with the RMW's own clock iff the RMW releases;
+//   - an acquire (or stronger) load joins the message clock of the entry
+//     it reads into the reader's clock; a relaxed load moves data only;
+//   - a failed CAS acts as a load of the *newest* entry with the failure
+//     order (deliberately conservative: stale failed-CAS reads would let
+//     exhaustive mode spin forever on retry loops);
+//   - seq_cst is modeled as acq_rel whose loads never go stale. The
+//     global total order S over seq_cst operations is NOT modeled, and
+//     std::atomic_thread_fence is not instrumented at all (no fence
+//     call sites exist in the instrumented directories; lint gate 6
+//     keeps the ordering protocol visible per field).
+//
+// Which entries a load may return: entry i is visible to thread t unless
+// a *later* entry j was written at a clock already contained in t's
+// clock (reading i would travel backwards across a happens-before edge),
+// or i precedes the newest entry t has already read or written on this
+// location (per-thread coherence floor). The newest entry is always
+// visible. Stale choices are scheduler decisions: seeded in random mode,
+// enumerated in exhaustive mode, recorded in the trace (tagged with
+// kValueDecisionTag), and bounded per execution by
+// Options::stale_read_budget so CAS/spin loops terminate.
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <string>
+#include <vector>
+
+#include "src/check/scheduler.h"
+
+namespace hyperalloc::check::mm {
+
+// Model threads per execution the clock layer supports. Scenarios spawn
+// 2..4 threads; the engine fails an execution that exceeds this.
+inline constexpr unsigned kMaxThreads = 16;
+
+// Decision-stream tag: value decisions (stale-read index picks) are
+// recorded in RunResult::trace as (kValueDecisionTag | index), distinct
+// from the untagged thread ids of scheduling decisions.
+inline constexpr uint32_t kValueDecisionTag = 0x80000000u;
+
+struct VectorClock {
+  uint32_t c[kMaxThreads] = {};
+
+  void Join(const VectorClock& other) {
+    for (unsigned i = 0; i < kMaxThreads; ++i) {
+      if (other.c[i] > c[i]) {
+        c[i] = other.c[i];
+      }
+    }
+  }
+
+  // this ≤ other: every event this clock knows about, `other` knows too
+  // (the happens-before partial order).
+  bool LeqOf(const VectorClock& other) const {
+    for (unsigned i = 0; i < kMaxThreads; ++i) {
+      if (c[i] > other.c[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool IsZero() const {
+    for (unsigned i = 0; i < kMaxThreads; ++i) {
+      if (c[i] != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool operator==(const VectorClock& other) const {
+    for (unsigned i = 0; i < kMaxThreads; ++i) {
+      if (c[i] != other.c[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------
+// Engine hooks (implemented in scheduler.cc against the running engine).
+// All return neutral values outside an mm-enabled model thread.
+// ---------------------------------------------------------------------
+
+// True iff the calling thread is a model thread of an execution with the
+// memory-model layer enabled, and no oracle is running. Every other
+// helper below may only do clock work when this is true.
+bool Active();
+
+// The calling model thread's id and clock. Precondition: Active().
+int ThreadId();
+VectorClock& Clock();
+
+// Ticks the calling thread's own clock component (one per instrumented
+// write) and returns the post-tick clock. Precondition: Active().
+const VectorClock& Tick();
+
+// A *value* decision: which of `options` happens-before-permitted values
+// a load observes (0 = newest). Drawn from the same seeded stream as the
+// scheduling decisions in random mode, a DFS node in exhaustive mode,
+// and replayed from the tagged trace entry. Precondition: Active() and
+// options >= 2.
+uint32_t ChooseReadIndex(uint32_t options);
+
+// Takes one unit of the per-execution stale-read budget
+// (Options::stale_read_budget); false once exhausted — the load must
+// then return the newest entry without a decision point.
+bool TakeStaleBudget();
+
+// Bounded modification-order history depth (Options::history_depth).
+uint32_t HistoryDepth();
+
+// Current schedule-point count, for race-report access sites.
+uint64_t Step();
+
+// One access to a Shared<T> location, for race reports.
+struct AccessSite {
+  const char* file = nullptr;
+  uint32_t line = 0;
+  bool write = false;
+  int thread = -1;
+  uint64_t step = 0;
+};
+
+// Formats and throws CheckFailure for a detected data race between two
+// unordered accesses (`prior` happened earlier in this schedule).
+[[noreturn]] void ReportRace(const AccessSite& prior,
+                             const AccessSite& current);
+
+// ---------------------------------------------------------------------
+// Per-atomic-location metadata, embedded in check::Atomic<T>
+// (src/check/shim.h). Values are kept by the shim in a parallel vector;
+// this class holds only clocks, sequence stamps, and coherence floors.
+// ---------------------------------------------------------------------
+class LocationMeta {
+ public:
+  LocationMeta() { entries_.push_back(Entry{}); }  // initial value, seq 0
+
+  size_t entries() const { return entries_.size(); }
+
+  // A plain store: new entry whose message clock is the writer's clock
+  // iff `release`; a relaxed store publishes nothing (and breaks any
+  // release sequence headed earlier).
+  void OnStore(bool release) {
+    Entry e;
+    e.seq = ++seq_;
+    if (Active()) {
+      e.write_clock = Tick();
+      if (release) {
+        e.msg = e.write_clock;
+      }
+      floor_[ThreadId()] = e.seq;
+    }
+    Push(e);
+  }
+
+  // An RMW (exchange, fetch_*, successful CAS): reads the newest entry
+  // (joining its message clock iff `acquire`) and appends a new entry
+  // continuing the release sequence.
+  void OnRmw(bool acquire, bool release) {
+    Entry e;
+    e.seq = ++seq_;
+    e.msg = entries_.back().msg;  // release-sequence continuation
+    if (Active()) {
+      if (acquire) {
+        Clock().Join(entries_.back().msg);
+      }
+      e.write_clock = Tick();
+      if (release) {
+        e.msg.Join(e.write_clock);
+      }
+      floor_[ThreadId()] = e.seq;
+    }
+    Push(e);
+  }
+
+  // A failed CAS: a load of the newest entry with the failure order.
+  void OnFailedCas(bool acquire) {
+    if (!Active()) {
+      return;
+    }
+    if (acquire) {
+      Clock().Join(entries_.back().msg);
+    }
+    floor_[ThreadId()] = entries_.back().seq;
+  }
+
+  // A load. Picks which visible entry the load observes (a recorded
+  // value decision when more than one is permitted and budget remains),
+  // joins its message clock iff `acquire`, and advances the caller's
+  // coherence floor. Returns how many entries *behind the newest* the
+  // observed value is (0 = newest); the shim indexes its value vector
+  // with it. seq_cst loads never go stale.
+  uint32_t OnLoad(bool acquire, bool seq_cst) {
+    if (!Active()) {
+      return 0;
+    }
+    uint32_t back = 0;
+    if (!seq_cst && entries_.size() > 1) {
+      // Visible set, newest first: stop at the first entry below the
+      // caller's coherence floor or superseded by a later entry whose
+      // write the caller already happens-after.
+      const int tid = ThreadId();
+      const VectorClock& mine = Clock();
+      uint32_t candidates = 1;  // the newest entry is always visible
+      for (size_t i = entries_.size() - 1; i-- > 0;) {
+        if (entries_[i].seq < floor_[tid] ||
+            entries_[i + 1].write_clock.LeqOf(mine)) {
+          break;
+        }
+        ++candidates;
+      }
+      if (candidates > 1 && TakeStaleBudget()) {
+        back = ChooseReadIndex(candidates);
+      }
+    }
+    const Entry& read = entries_[entries_.size() - 1 - back];
+    if (acquire) {
+      Clock().Join(read.msg);
+    }
+    if (read.seq > floor_[ThreadId()]) {
+      floor_[ThreadId()] = read.seq;
+    }
+    return back;
+  }
+
+ private:
+  struct Entry {
+    VectorClock msg;          // clock published to acquire readers
+    VectorClock write_clock;  // writer's clock at the write (visibility)
+    uint64_t seq = 0;         // position in modification order
+  };
+
+  void Push(Entry e) {
+    entries_.push_back(e);
+    // Bounded history: evict the oldest beyond the configured depth
+    // (+1 for the newest). The shim mirrors the eviction via entries().
+    const size_t depth = static_cast<size_t>(HistoryDepth()) + 1;
+    while (entries_.size() > depth) {
+      entries_.erase(entries_.begin());
+    }
+  }
+
+  std::vector<Entry> entries_;       // oldest..newest
+  uint64_t seq_ = 0;                 // modification-order stamp source
+  uint64_t floor_[kMaxThreads] = {};  // per-thread coherence floor (seq)
+};
+
+// ---------------------------------------------------------------------
+// Shared<T>: instrumented non-atomic shared data. The model-check side
+// of the hyperalloc::Shared<T> seam (src/base/shared.h). Two accesses
+// from different threads, at least one a write, that are unordered by
+// happens-before fail the execution with both sites and the schedule.
+// ---------------------------------------------------------------------
+class DataMeta {
+ public:
+  void OnRead(const std::source_location& loc) {
+    if (!Active()) {
+      return;
+    }
+    const int tid = ThreadId();
+    CheckWriteOrdered(tid, loc, /*write=*/false);
+    // Tick so the recorded epoch is nonzero: 0 is reserved for "accessed
+    // only during setup", which happens-before every model thread.
+    reads_[tid] = Tick().c[tid];
+    read_sites_[tid] = Site(loc, /*write=*/false);
+  }
+
+  void OnWrite(const std::source_location& loc) {
+    if (!Active()) {
+      return;
+    }
+    const int tid = ThreadId();
+    CheckWriteOrdered(tid, loc, /*write=*/true);
+    const VectorClock& mine = Clock();
+    for (unsigned u = 0; u < kMaxThreads; ++u) {
+      if (static_cast<int>(u) != tid && reads_[u] != 0 &&
+          mine.c[u] < reads_[u]) {
+        ReportRace(read_sites_[u], Site(loc, /*write=*/true));
+      }
+    }
+    write_tid_ = tid;
+    write_stamp_ = Tick().c[tid];  // nonzero: 0 means setup-only
+    write_site_ = Site(loc, /*write=*/true);
+  }
+
+ private:
+  static AccessSite Site(const std::source_location& loc, bool write) {
+    AccessSite s;
+    s.file = loc.file_name();
+    s.line = loc.line();
+    s.write = write;
+    s.thread = ThreadId();
+    s.step = Step();
+    return s;
+  }
+
+  void CheckWriteOrdered(int tid, const std::source_location& loc,
+                         bool write) const {
+    if (write_tid_ >= 0 && write_tid_ != tid &&
+        Clock().c[write_tid_] < write_stamp_) {
+      ReportRace(write_site_, Site(loc, write));
+    }
+  }
+
+  // Last write epoch: writer's own clock component at the write. A
+  // stamp of 0 (or tid -1) means "written only during setup", which
+  // happens-before every model thread.
+  int write_tid_ = -1;
+  uint32_t write_stamp_ = 0;
+  AccessSite write_site_;
+  // Per-thread last-read epochs (0 = no model-thread read yet).
+  uint32_t reads_[kMaxThreads] = {};
+  AccessSite read_sites_[kMaxThreads];
+};
+
+template <typename T>
+class Shared {
+ public:
+  Shared() : v_{} {}
+  template <typename... Args>
+  explicit Shared(Args&&... args) : v_(std::forward<Args>(args)...) {}
+
+  Shared(const Shared&) = delete;
+  Shared& operator=(const Shared&) = delete;
+
+  const T& read(std::source_location loc =
+                    std::source_location::current()) const {
+    meta_.OnRead(loc);
+    return v_;
+  }
+
+  T& write(std::source_location loc = std::source_location::current()) {
+    meta_.OnWrite(loc);
+    return v_;
+  }
+
+ private:
+  T v_;
+  mutable DataMeta meta_;
+};
+
+}  // namespace hyperalloc::check::mm
+
+namespace hyperalloc::check {
+// Scenario-facing spelling, mirroring check::Atomic.
+template <typename T>
+using Shared = mm::Shared<T>;
+}  // namespace hyperalloc::check

@@ -1,13 +1,26 @@
 #include "src/check/scheduler.h"
 
+#include <algorithm>
 #include <condition_variable>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <thread>
 
 #include "src/base/check.h"
 #include "src/base/rng.h"
+#include "src/check/memory_model.h"
 
 namespace hyperalloc::check {
+
+bool DefaultMemoryModel() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("HYPERALLOC_MC_MM");
+    return env == nullptr ||
+           (std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0);
+  }();
+  return enabled;
+}
 
 namespace {
 
@@ -25,6 +38,10 @@ class Strategy {
   virtual ~Strategy() = default;
   virtual uint32_t Choose(const std::vector<uint32_t>& runnable,
                           int current) = 0;
+  // A *value* decision (memory-model layer): which of `options`
+  // happens-before-permitted values a load observes. Same determinism
+  // contract as Choose.
+  virtual uint32_t ChooseIndex(uint32_t options) = 0;
   virtual bool SpuriousCas() { return false; }
 };
 
@@ -63,6 +80,10 @@ class RandomStrategy : public Strategy {
     return runnable[pick];
   }
 
+  uint32_t ChooseIndex(uint32_t options) override {
+    return static_cast<uint32_t>(rng_.Below(options));
+  }
+
   bool SpuriousCas() override { return rng_.Chance(1.0 / 64); }
 
  private:
@@ -82,16 +103,15 @@ class ExhaustiveStrategy : public Strategy {
     if (runnable.size() == 1) {
       return runnable[0];  // no branching: not a decision node
     }
-    if (depth_ < stack_.size()) {
-      Node& node = stack_[depth_++];
-      Require(node.options == runnable.size(),
-              "exhaustive exploration: scenario is nondeterministic "
-              "(decision point changed option count between executions)");
-      return runnable[node.chosen];
+    return runnable[Branch(Node::kThread,
+                           static_cast<uint32_t>(runnable.size()))];
+  }
+
+  uint32_t ChooseIndex(uint32_t options) override {
+    if (options <= 1) {
+      return 0;
     }
-    stack_.push_back(Node{0, static_cast<uint32_t>(runnable.size())});
-    ++depth_;
-    return runnable[0];
+    return Branch(Node::kValue, options);
   }
 
   void BeginExecution() { depth_ = 0; }
@@ -111,9 +131,28 @@ class ExhaustiveStrategy : public Strategy {
 
  private:
   struct Node {
+    enum Kind : uint8_t { kThread, kValue };
     uint32_t chosen;
     uint32_t options;
+    Kind kind;
   };
+
+  // Replays the forced prefix of the DFS stack, extending it with a
+  // fresh node (first branch) past the prefix.
+  uint32_t Branch(Node::Kind kind, uint32_t options) {
+    if (depth_ < stack_.size()) {
+      Node& node = stack_[depth_++];
+      Require(node.options == options && node.kind == kind,
+              "exhaustive exploration: scenario is nondeterministic "
+              "(decision point changed kind or option count between "
+              "executions)");
+      return node.chosen;
+    }
+    stack_.push_back(Node{0, options, kind});
+    ++depth_;
+    return 0;
+  }
+
   std::vector<Node> stack_;
   size_t depth_ = 0;
 };
@@ -126,18 +165,62 @@ class TraceStrategy : public Strategy {
   uint32_t Choose(const std::vector<uint32_t>& runnable,
                   int current) override {
     (void)current;
-    Require(position_ < trace_.size(),
-            "trace replay: execution has more schedule points than the "
-            "recorded trace");
-    const uint32_t forced = trace_[position_++];
+    const uint32_t forced = Next(/*value_decision=*/false);
     for (const uint32_t tid : runnable) {
       if (tid == forced) {
         return forced;
       }
     }
     throw CheckFailure(
-        "trace replay: recorded thread is not runnable (diverged)");
+        "stale trace: recorded thread " + std::to_string(forced) +
+        " is not runnable at decision " + std::to_string(position_ - 1) +
+        " — the scenario changed since the trace was recorded, so this "
+        "replay says nothing about the original failure");
   }
+
+  uint32_t ChooseIndex(uint32_t options) override {
+    const uint32_t forced = Next(/*value_decision=*/true);
+    if (forced >= options) {
+      throw CheckFailure(
+          "stale trace: recorded value decision " + std::to_string(forced) +
+          " at decision " + std::to_string(position_ - 1) +
+          " exceeds the " + std::to_string(options) +
+          " happens-before-permitted values — the scenario changed since "
+          "the trace was recorded");
+    }
+    return forced;
+  }
+
+ private:
+  // Pops the next decision, diagnosing exhaustion and thread-vs-value
+  // kind mismatches as a stale trace instead of a confusing downstream
+  // invariant message.
+  uint32_t Next(bool value_decision) {
+    if (position_ >= trace_.size()) {
+      throw CheckFailure(
+          "stale trace: the execution has more decision points than the "
+          "recorded trace (exhausted after " +
+          std::to_string(trace_.size()) +
+          " decisions) — the scenario changed since the trace was "
+          "recorded");
+    }
+    const uint32_t entry = trace_[position_++];
+    const bool tagged = (entry & mm::kValueDecisionTag) != 0;
+    if (tagged != value_decision) {
+      throw CheckFailure(
+          "stale trace: decision " + std::to_string(position_ - 1) +
+          " is a " + (tagged ? "value" : "thread") +
+          " decision in the recorded trace but the scenario asked for a " +
+          (value_decision ? "value" : "thread") +
+          " choice — the scenario changed since the trace was recorded");
+    }
+    return entry & ~mm::kValueDecisionTag;
+  }
+
+ public:
+  // Entries never consumed: nonzero after a clean replay means the
+  // scenario now has fewer decision points than the recording.
+  size_t remaining() const { return trace_.size() - position_; }
 
  private:
   const std::vector<uint32_t>& trace_;
@@ -153,11 +236,24 @@ thread_local int tls_thread = -1;
 // only at schedule points, with the strategy deciding every transfer.
 class Engine {
  public:
-  Engine(const Execution& exec, Strategy* strategy, uint64_t max_steps)
-      : exec_(exec), strategy_(strategy), max_steps_(max_steps) {}
+  Engine(const Execution& exec, Strategy* strategy, const Options& options)
+      : exec_(exec),
+        strategy_(strategy),
+        max_steps_(options.max_steps),
+        mm_enabled_(options.memory_model),
+        stale_budget_(options.stale_read_budget),
+        history_depth_(options.history_depth) {}
 
   void Run() {
     const size_t n = exec_.threads().size();
+    if (mm_enabled_ && n > mm::kMaxThreads) {
+      failed_ = true;
+      message_ = "memory model supports at most " +
+                 std::to_string(mm::kMaxThreads) +
+                 " model threads per execution (scenario spawned " +
+                 std::to_string(n) + ")";
+      return;
+    }
     states_.assign(n, State::kReady);
     std::vector<std::thread> os_threads;
     os_threads.reserve(n);
@@ -232,6 +328,33 @@ class Engine {
     }
     return strategy_->SpuriousCas();
   }
+
+  // --- memory-model hooks (src/check/memory_model.h) -----------------
+  // Called from the running model thread between schedule points, so no
+  // other thread touches the clocks or the trace concurrently.
+
+  bool MmActive() const { return mm_enabled_ && !in_oracle_; }
+
+  mm::VectorClock& MmClock(int thread) { return clocks_[thread]; }
+
+  uint32_t MmChooseIndex(uint32_t options) {
+    const uint32_t choice = strategy_->ChooseIndex(options);
+    if (!aborted_) {
+      trace_.push_back(mm::kValueDecisionTag | choice);
+    }
+    return choice;
+  }
+
+  bool MmTakeStaleBudget() {
+    if (stale_budget_ == 0) {
+      return false;
+    }
+    --stale_budget_;
+    return true;
+  }
+
+  uint32_t MmHistoryDepth() const { return history_depth_; }
+  uint64_t MmStep() const { return steps_; }
 
  private:
   enum class State { kReady, kFinished };
@@ -314,6 +437,10 @@ class Engine {
   const Execution& exec_;
   Strategy* strategy_;
   uint64_t max_steps_;
+  const bool mm_enabled_;
+  uint32_t stale_budget_;
+  const uint32_t history_depth_;
+  mm::VectorClock clocks_[mm::kMaxThreads];
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -334,7 +461,7 @@ bool RunOnce(const Options& options, Strategy* strategy,
              RunResult* result) {
   Execution exec;
   scenario(exec);
-  Engine engine(exec, strategy, options.max_steps);
+  Engine engine(exec, strategy, options);
   engine.Run();
   ++result->executions;
   result->trace = engine.trace();
@@ -342,6 +469,8 @@ bool RunOnce(const Options& options, Strategy* strategy,
     result->failed = true;
     result->message = engine.message();
     result->failing_seed = seed_for_result;
+    result->stale_trace =
+        result->message.rfind("stale trace", 0) == 0;
     return false;
   }
   return true;
@@ -386,12 +515,48 @@ RunResult ReplaySeed(const Options& options, uint64_t seed,
   return result;
 }
 
+RunResult ReplaySeed(const Options& options, uint64_t seed,
+                     const Scenario& scenario,
+                     const std::vector<uint32_t>& expected_trace) {
+  RunResult result = ReplaySeed(options, seed, scenario);
+  const size_t n =
+      std::min(result.trace.size(), expected_trace.size());
+  size_t diverged = n;
+  for (size_t i = 0; i < n; ++i) {
+    if (result.trace[i] != expected_trace[i]) {
+      diverged = i;
+      break;
+    }
+  }
+  if (diverged < n || result.trace.size() != expected_trace.size()) {
+    result.failed = true;
+    result.stale_trace = true;
+    result.message =
+        "stale trace: the replayed schedule diverged from the recorded "
+        "trace at decision " +
+        std::to_string(diverged) +
+        " — the scenario changed since the seed was recorded, so this "
+        "replay says nothing about the original failure";
+  }
+  return result;
+}
+
 RunResult ReplayTrace(const Options& options,
                       const std::vector<uint32_t>& trace,
                       const Scenario& scenario) {
   RunResult result;
   TraceStrategy strategy(trace);
   RunOnce(options, &strategy, scenario, /*seed_for_result=*/0, &result);
+  if (!result.failed && strategy.remaining() > 0) {
+    result.failed = true;
+    result.stale_trace = true;
+    result.message =
+        "stale trace: the execution finished with " +
+        std::to_string(strategy.remaining()) +
+        " recorded decisions unconsumed — the scenario changed since "
+        "the trace was recorded, so this replay says nothing about the "
+        "original failure";
+  }
   return result;
 }
 
@@ -405,5 +570,46 @@ bool SpuriousCasFailure() {
   return tls_engine != nullptr && tls_thread >= 0 &&
          tls_engine->SpuriousCas();
 }
+
+// ---------------------------------------------------------------------
+// Memory-model engine hooks (declared in src/check/memory_model.h).
+// All run on the single active model thread, so the engine's clocks and
+// trace need no extra synchronization.
+// ---------------------------------------------------------------------
+namespace mm {
+
+bool Active() {
+  return tls_engine != nullptr && tls_thread >= 0 &&
+         tls_engine->MmActive();
+}
+
+int ThreadId() { return tls_thread; }
+
+VectorClock& Clock() { return tls_engine->MmClock(tls_thread); }
+
+const VectorClock& Tick() {
+  VectorClock& clock = tls_engine->MmClock(tls_thread);
+  ++clock.c[tls_thread];
+  return clock;
+}
+
+uint32_t ChooseReadIndex(uint32_t options) {
+  return tls_engine->MmChooseIndex(options);
+}
+
+bool TakeStaleBudget() { return tls_engine->MmTakeStaleBudget(); }
+
+uint32_t HistoryDepth() {
+  if (tls_engine == nullptr) {
+    return Options{}.history_depth;
+  }
+  return tls_engine->MmHistoryDepth();
+}
+
+uint64_t Step() {
+  return tls_engine != nullptr ? tls_engine->MmStep() : 0;
+}
+
+}  // namespace mm
 
 }  // namespace hyperalloc::check

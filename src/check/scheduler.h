@@ -48,6 +48,12 @@ inline void Require(bool condition, const std::string& message) {
 
 inline constexpr unsigned kUnboundedPreemptions = ~0u;
 
+// Default for Options::memory_model: true unless the environment sets
+// HYPERALLOC_MC_MM=0 (scripts/check.sh runs the suite in both
+// configurations so the SC-only engine stays supported for quick
+// iteration).
+bool DefaultMemoryModel();
+
 struct Options {
   enum class Mode {
     kRandom,      // seeded random walk, `iterations` executions
@@ -71,6 +77,19 @@ struct Options {
   // Exhaustive mode: time-box — stop (complete=false) after this many
   // executions even if the schedule tree has not been exhausted.
   uint64_t max_executions = 1 << 17;
+
+  // Memory-model layer (src/check/memory_model.h): vector-clock
+  // happens-before tracking, bounded stale reads, Shared<T> data-race
+  // detection. Off = the historical SC-only engine (every declared
+  // order executed as seq_cst, loads always newest, Shared<T> inert).
+  bool memory_model = DefaultMemoryModel();
+  // At most this many loads per execution may return a non-newest value
+  // (keeps CAS/spin retry loops terminating and the exhaustive decision
+  // tree bounded). Further loads read the newest entry decision-free.
+  uint32_t stale_read_budget = 8;
+  // Stale entries retained per atomic location beyond the newest one
+  // (the modification-order history bound).
+  uint32_t history_depth = 3;
 };
 
 struct RunResult {
@@ -84,10 +103,19 @@ struct RunResult {
   // Random mode: the per-execution seed of the failing schedule; feed to
   // ReplaySeed to reproduce it exactly.
   uint64_t failing_seed = 0;
-  // The schedule of the last (or failing) execution: the thread id chosen
-  // at every schedule point. Feed to ReplayTrace to force it again
-  // (exhaustive mode; random mode replays via the seed because spurious
-  // weak-CAS failures are drawn from the same random stream).
+  // Replay-side diagnosis: the failure is a divergence between the
+  // recorded decision stream and the scenario as it exists *now* (trace
+  // exhausted, decision kind mismatch, recorded thread not runnable, or
+  // a seed replay that no longer follows its recorded trace) — the
+  // scenario changed since the trace was recorded, so the replay says
+  // nothing about the original bug.
+  bool stale_trace = false;
+  // The decision stream of the last (or failing) execution: the thread
+  // id chosen at every schedule point, interleaved with value decisions
+  // (stale-read index picks) tagged with mm::kValueDecisionTag. Feed to
+  // ReplayTrace to force it again (exhaustive mode; random mode replays
+  // via the seed because spurious weak-CAS failures are drawn from the
+  // same random stream).
   std::vector<uint32_t> trace;
 };
 
@@ -137,7 +165,21 @@ RunResult Explore(const Options& options, const Scenario& scenario);
 RunResult ReplaySeed(const Options& options, uint64_t seed,
                      const Scenario& scenario);
 
-// Runs exactly one execution forcing the recorded schedule trace.
+// Seed replay that also cross-checks the produced decision stream
+// against the originally recorded one. A pure seed replay cannot tell a
+// scheduling divergence (scenario changed since the trace was recorded)
+// from a genuine pass/fail difference; this variant marks the result
+// stale_trace — with a "stale trace" message naming the first diverging
+// decision — instead of returning a silently unrelated execution.
+RunResult ReplaySeed(const Options& options, uint64_t seed,
+                     const Scenario& scenario,
+                     const std::vector<uint32_t>& expected_trace);
+
+// Runs exactly one execution forcing the recorded decision stream. A
+// trace that no longer matches the scenario (exhausted early, thread vs
+// value decision mismatch, recorded thread not runnable) fails with a
+// "stale trace" message and RunResult::stale_trace set, not with a
+// misleading invariant message.
 RunResult ReplayTrace(const Options& options,
                       const std::vector<uint32_t>& trace,
                       const Scenario& scenario);

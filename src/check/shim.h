@@ -8,12 +8,21 @@
 // exactly the instruction granularity that matters for lock-free code:
 // the shared-memory accesses.
 //
-// Because the engine runs exactly one model thread at a time, the
-// underlying std::atomic operations are never concurrent — the shim
-// explores *interleavings*, not hardware memory-model reorderings. That
-// matches the code under test, which is lock-free via CAS loops rather
-// than via fence subtleties; the TSan preset (scripts/check.sh) covers
-// the ordering dimension on real hardware.
+// The engine runs exactly one model thread at a time, so the shim
+// explores *interleavings*; the memory-model layer
+// (src/check/memory_model.h, DESIGN.md §4.11) adds the *reordering*
+// dimension on top. Each operation drives a per-location
+// happens-before record: release (and stronger) writes publish the
+// writer's vector clock, acquire (and stronger) reads join the clock of
+// the entry they observe, and relaxed operations move data only. The
+// shim keeps a bounded modification-order history of values in lockstep
+// with that record, so relaxed/acquire loads can return
+// stale-but-HB-permitted values — a seeded, replayable exploration
+// decision like a preemption. Failed CASes always read the newest value
+// (stale failed-CAS reads would let exhaustive mode spin retry loops
+// forever); seq_cst loads never go stale. With Options::memory_model
+// off, every load reads newest and the shim degenerates to the
+// historical SC-only behavior.
 //
 // Every operation takes mandatory explicit std::memory_order arguments —
 // there are deliberately no defaulted-order overloads and no implicit
@@ -29,41 +38,68 @@
 #pragma once
 
 #include <atomic>
+#include <vector>
 
+#include "src/check/memory_model.h"
 #include "src/check/scheduler.h"
 
 namespace hyperalloc::check {
+
+// Memory-order decomposition for the happens-before record. consume is
+// treated as acquire (like every mainstream compiler).
+constexpr bool IsAcquireOrder(std::memory_order order) {
+  return order == std::memory_order_acquire ||
+         order == std::memory_order_consume ||
+         order == std::memory_order_acq_rel ||
+         order == std::memory_order_seq_cst;
+}
+
+constexpr bool IsReleaseOrder(std::memory_order order) {
+  return order == std::memory_order_release ||
+         order == std::memory_order_acq_rel ||
+         order == std::memory_order_seq_cst;
+}
 
 template <typename T>
 class Atomic {
  public:
   using value_type = T;
 
-  Atomic() noexcept : v_{} {}
-  constexpr Atomic(T desired) noexcept : v_(desired) {}  // NOLINT(google-explicit-constructor): mirrors std::atomic
+  Atomic() noexcept : v_{} { values_.push_back(T{}); }
+  Atomic(T desired) noexcept : v_(desired) {  // NOLINT(google-explicit-constructor): mirrors std::atomic
+    values_.push_back(desired);
+  }
   Atomic(const Atomic&) = delete;
   Atomic& operator=(const Atomic&) = delete;
 
   T load(std::memory_order order) const {
     SchedulePoint();
-    return v_.load(order);
+    const uint32_t back =
+        meta_.OnLoad(IsAcquireOrder(order),
+                     /*seq_cst=*/order == std::memory_order_seq_cst);
+    return values_[values_.size() - 1 - back];
   }
 
   void store(T desired, std::memory_order order) {
     SchedulePoint();
+    meta_.OnStore(IsReleaseOrder(order));
     v_.store(desired, order);
+    PushValue(desired);
   }
 
   T exchange(T desired, std::memory_order order) {
     SchedulePoint();
-    return v_.exchange(desired, order);
+    meta_.OnRmw(IsAcquireOrder(order), IsReleaseOrder(order));
+    const T old = v_.exchange(desired, order);
+    PushValue(desired);
+    return old;
   }
 
   bool compare_exchange_strong(T& expected, T desired,
                                std::memory_order success,
                                std::memory_order failure) {
     SchedulePoint();
-    return v_.compare_exchange_strong(expected, desired, success, failure);
+    return CasNoSchedule(expected, desired, success, failure);
   }
 
   bool compare_exchange_weak(T& expected, T desired,
@@ -71,34 +107,81 @@ class Atomic {
                              std::memory_order failure) {
     SchedulePoint();
     if (SpuriousCasFailure()) {
+      meta_.OnFailedCas(IsAcquireOrder(failure));
       expected = v_.load(failure);
       return false;
     }
-    return v_.compare_exchange_strong(expected, desired, success, failure);
+    return CasNoSchedule(expected, desired, success, failure);
   }
 
   T fetch_add(T arg, std::memory_order order) {
     SchedulePoint();
-    return v_.fetch_add(arg, order);
+    meta_.OnRmw(IsAcquireOrder(order), IsReleaseOrder(order));
+    const T old = v_.fetch_add(arg, order);
+    PushValue(v_.load(std::memory_order_relaxed));
+    return old;
   }
 
   T fetch_sub(T arg, std::memory_order order) {
     SchedulePoint();
-    return v_.fetch_sub(arg, order);
+    meta_.OnRmw(IsAcquireOrder(order), IsReleaseOrder(order));
+    const T old = v_.fetch_sub(arg, order);
+    PushValue(v_.load(std::memory_order_relaxed));
+    return old;
   }
 
   T fetch_or(T arg, std::memory_order order) {
     SchedulePoint();
-    return v_.fetch_or(arg, order);
+    meta_.OnRmw(IsAcquireOrder(order), IsReleaseOrder(order));
+    const T old = v_.fetch_or(arg, order);
+    PushValue(v_.load(std::memory_order_relaxed));
+    return old;
   }
 
   T fetch_and(T arg, std::memory_order order) {
     SchedulePoint();
-    return v_.fetch_and(arg, order);
+    meta_.OnRmw(IsAcquireOrder(order), IsReleaseOrder(order));
+    const T old = v_.fetch_and(arg, order);
+    PushValue(v_.load(std::memory_order_relaxed));
+    return old;
+  }
+
+  T fetch_xor(T arg, std::memory_order order) {
+    SchedulePoint();
+    meta_.OnRmw(IsAcquireOrder(order), IsReleaseOrder(order));
+    const T old = v_.fetch_xor(arg, order);
+    PushValue(v_.load(std::memory_order_relaxed));
+    return old;
   }
 
  private:
-  std::atomic<T> v_;
+  // A CAS after its schedule point. RMWs always read the *newest* value,
+  // so the comparison goes against v_ directly.
+  bool CasNoSchedule(T& expected, T desired, std::memory_order success,
+                     std::memory_order failure) {
+    const bool ok =
+        v_.compare_exchange_strong(expected, desired, success, failure);
+    if (ok) {
+      meta_.OnRmw(IsAcquireOrder(success), IsReleaseOrder(success));
+      PushValue(desired);
+    } else {
+      meta_.OnFailedCas(IsAcquireOrder(failure));
+    }
+    return ok;
+  }
+
+  // Mirrors the bounded-history eviction of LocationMeta so that
+  // values_[i] always pairs with the i-th surviving entry.
+  void PushValue(T value) {
+    values_.push_back(value);
+    while (values_.size() > meta_.entries()) {
+      values_.erase(values_.begin());
+    }
+  }
+
+  std::atomic<T> v_;                 // newest value (authoritative)
+  std::vector<T> values_;            // modification-order history
+  mutable mm::LocationMeta meta_;    // clocks + visibility (loads mutate)
 };
 
 // Lowercase alias for call sites that spell it like the standard library.

@@ -33,6 +33,7 @@
 
 #include "src/base/atomic.h"
 #include "src/base/check.h"
+#include "src/base/shared.h"
 #include "src/base/types.h"
 #include "src/fault/fault.h"
 #include "src/trace/span.h"
@@ -163,12 +164,13 @@ class HostMemory {
     // would otherwise hand the frames straight back to the global
     // reserve and re-raid on the next reserve (the churn behind
     // BENCH_PR4's 2.3M rebalances).
-    if (credit > hysteresis_.drain_high) {
+    const CreditHysteresis& hysteresis = hysteresis_.read();
+    if (credit > hysteresis.drain_high) {
       const uint64_t op = s.ops.fetch_add(1, std::memory_order_relaxed) + 1;
       const uint64_t last =
           s.last_rebalance_op.load(std::memory_order_relaxed);
-      if (last == 0 || op - last >= hysteresis_.rebalance_holdoff_ops) {
-        DrainShard(s, credit - hysteresis_.drain_low);
+      if (last == 0 || op - last >= hysteresis.rebalance_holdoff_ops) {
+        DrainShard(s, credit - hysteresis.drain_low);
       }
     }
   }
@@ -386,7 +388,9 @@ class HostMemory {
 
   uint64_t total_;
   unsigned num_shards_;
-  CreditHysteresis hysteresis_;
+  // Fixed at construction, read from every Release: the checker verifies
+  // no late reconfiguration races the hot path.
+  Shared<CreditHysteresis> hysteresis_;
   std::unique_ptr<Shard[]> shards_;
   alignas(64) Atomic<uint64_t> global_free_{0};
   alignas(64) Atomic<uint64_t> used_{0};

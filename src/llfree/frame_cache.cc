@@ -14,7 +14,7 @@ FrameCache::FrameCache(LLFree* alloc, const CacheConfig& config)
   HA_CHECK(config.refill <= config.capacity);
   slots_ = std::make_unique<Slot[]>(config.slots);
   for (unsigned s = 0; s < config.slots; ++s) {
-    slots_[s].frames.reserve(config.capacity + 1);
+    slots_[s].frames.write().reserve(config.capacity + 1);
   }
 }
 
@@ -23,10 +23,12 @@ Result<FrameId> FrameCache::Get(unsigned core, unsigned order,
   if (order != 0 || type != AllocType::kMovable) {
     return alloc_->Get(core, order, type);
   }
-  Slot& slot = slots_[core % config_.slots];
-  if (!slot.frames.empty()) {
-    const FrameId frame = slot.frames.back();
-    slot.frames.pop_back();
+  // A Get both pops and refills the stack, so the whole access is a
+  // write under the one-thread-per-slot discipline.
+  std::vector<FrameId>& frames = slots_[core % config_.slots].frames.write();
+  if (!frames.empty()) {
+    const FrameId frame = frames.back();
+    frames.pop_back();
     hits_.fetch_add(1, std::memory_order_relaxed);
     return frame;
   }
@@ -34,13 +36,13 @@ Result<FrameId> FrameCache::Get(unsigned core, unsigned order,
   // single Gets under pressure, so a partial refill is still correct —
   // and zero claimed means the allocator is genuinely dry.
   const unsigned got =
-      alloc_->GetBatch(core, 0, config_.refill, type, &slot.frames);
+      alloc_->GetBatch(core, 0, config_.refill, type, &frames);
   if (got == 0) {
     return AllocError::kNoMemory;
   }
   refills_.fetch_add(1, std::memory_order_relaxed);
-  const FrameId frame = slot.frames.back();
-  slot.frames.pop_back();
+  const FrameId frame = frames.back();
+  frames.pop_back();
   return frame;
 }
 
@@ -55,16 +57,15 @@ std::optional<AllocError> FrameCache::Put(unsigned core, FrameId frame,
   if (frame >= alloc_->frames()) {
     return AllocError::kInvalid;
   }
-  Slot& slot = slots_[core % config_.slots];
-  HA_DCHECK(std::find(slot.frames.begin(), slot.frames.end(), frame) ==
-            slot.frames.end());  // double free into the same slot
-  slot.frames.push_back(frame);
-  if (slot.frames.size() > config_.capacity) {
+  std::vector<FrameId>& frames = slots_[core % config_.slots].frames.write();
+  HA_DCHECK(std::find(frames.begin(), frames.end(), frame) ==
+            frames.end());  // double free into the same slot
+  frames.push_back(frame);
+  if (frames.size() > config_.capacity) {
     // Drain one batch from the cold end (the hot end keeps recency).
-    const std::span<const FrameId> batch(slot.frames.data(), config_.refill);
+    const std::span<const FrameId> batch(frames.data(), config_.refill);
     const unsigned freed = alloc_->PutBatch(batch, 0);
-    slot.frames.erase(slot.frames.begin(),
-                      slot.frames.begin() + config_.refill);
+    frames.erase(frames.begin(), frames.begin() + config_.refill);
     drains_.fetch_add(1, std::memory_order_relaxed);
     if (freed != config_.refill) {
       // The allocator refused part of the batch: some earlier Put fed
@@ -82,13 +83,13 @@ std::optional<AllocError> FrameCache::Put(unsigned core, FrameId frame,
 uint64_t FrameCache::Drain() {
   uint64_t refused = 0;
   for (unsigned s = 0; s < config_.slots; ++s) {
-    Slot& slot = slots_[s];
-    if (slot.frames.empty()) {
+    std::vector<FrameId>& frames = slots_[s].frames.write();
+    if (frames.empty()) {
       continue;
     }
-    const unsigned freed = alloc_->PutBatch(slot.frames, 0);
-    refused += slot.frames.size() - freed;
-    slot.frames.clear();
+    const unsigned freed = alloc_->PutBatch(frames, 0);
+    refused += frames.size() - freed;
+    frames.clear();
     drains_.fetch_add(1, std::memory_order_relaxed);
   }
   if (refused > 0) {
@@ -100,7 +101,7 @@ uint64_t FrameCache::Drain() {
 uint64_t FrameCache::CachedFrames() const {
   uint64_t total = 0;
   for (unsigned s = 0; s < config_.slots; ++s) {
-    total += slots_[s].frames.size();
+    total += slots_[s].frames.read().size();
   }
   return total;
 }

@@ -8,8 +8,11 @@
 //
 // Discipline: exactly one thread may use a given slot at a time (the
 // same rule as LLFree's per-core reservation slots). The stacks are
-// deliberately plain (non-atomic) under that rule; cross-slot
-// introspection (CachedFrames) and Drain are quiescent-use only.
+// non-atomic under that rule, declared Shared<...> (src/base/shared.h)
+// so model-check builds verify the discipline: two model threads
+// touching one slot without a happens-before edge fail the scenario
+// with both access sites. Cross-slot introspection (CachedFrames) and
+// Drain are quiescent-use only.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +20,7 @@
 #include <vector>
 
 #include "src/base/atomic.h"
+#include "src/base/shared.h"
 #include "src/base/result.h"
 #include "src/base/types.h"
 #include "src/llfree/llfree.h"
@@ -77,7 +81,7 @@ class FrameCache {
 
  private:
   struct alignas(64) Slot {
-    std::vector<FrameId> frames;
+    Shared<std::vector<FrameId>> frames;
   };
 
   LLFree* alloc_;

@@ -713,8 +713,9 @@ bool LLFree::ClaimHuge(uint64_t area) {
 void LLFree::TriggerInstall(HugeId huge) {
   HA_COUNT("llfree.install_trigger");
   HA_TRACE_EVENT(trace::Category::kLLFree, trace::Op::kInstall, huge, 0);
-  if (install_handler_) {
-    install_handler_(huge);
+  const InstallHandler& handler = install_handler_.read();
+  if (handler) {
+    handler(huge);
   } else {
     // Standalone operation (no hypervisor attached): the hint is cleared
     // locally so the allocator remains self-consistent.

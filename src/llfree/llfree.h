@@ -20,6 +20,7 @@
 
 #include "src/base/atomic.h"
 #include "src/base/result.h"
+#include "src/base/shared.h"
 #include "src/base/types.h"
 #include "src/llfree/bitfield.h"
 #include "src/llfree/entries.h"
@@ -62,7 +63,7 @@ class SharedState {
   uint64_t frames() const { return frames_; }
   uint64_t num_areas() const { return num_areas_; }
   uint64_t num_trees() const { return num_trees_; }
-  const Config& config() const { return config_; }
+  const Config& config() const { return config_.read(); }
 
   // Raw state arrays. The auto-reclamation scan (src/core) reads the area
   // array directly to count touched cache lines (paper §3.3); the
@@ -91,7 +92,10 @@ class SharedState {
   uint64_t frames_;
   uint64_t num_areas_;
   uint64_t num_trees_;
-  Config config_;
+  // Written once at construction, read by every view from every thread:
+  // the immutable-after-publication discipline the model checker
+  // verifies (setup writes happen-before all model threads).
+  Shared<Config> config_;
 
   std::unique_ptr<Atomic<uint64_t>[]> bitfield_;
   std::unique_ptr<Atomic<uint16_t>[]> areas_;
@@ -124,7 +128,7 @@ class LLFree {
   uint64_t num_trees() const { return state_->num_trees(); }
 
   void SetInstallHandler(InstallHandler handler) {
-    install_handler_ = std::move(handler);
+    install_handler_.write() = std::move(handler);
   }
 
   // ------------------------------------------------------------------
@@ -308,7 +312,10 @@ class LLFree {
   void TriggerInstall(HugeId huge);
 
   SharedState* state_;
-  InstallHandler install_handler_;
+  // Set at wiring time (before concurrent use), invoked from allocation
+  // paths on any thread; Shared<> makes the checker flag a handler swap
+  // that races an allocation.
+  Shared<InstallHandler> install_handler_;
 };
 
 }  // namespace hyperalloc::llfree

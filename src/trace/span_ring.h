@@ -18,14 +18,18 @@
 // writer only after the drainer has copied them out. A slot is therefore
 // never accessed concurrently.
 //
-// The atomic type is a template-template parameter instead of the
-// hyperalloc::Atomic seam: production code instantiates
-// `RingCore<SpanRecord, std::atomic>` (one definition everywhere, no ODR
-// hazard with model-check builds), while the model-check scenario in
-// tests/model_check_test.cc instantiates `RingCore<uint64_t,
-// check::Atomic>` — a distinct type — to explore writer-vs-drainer
-// interleavings. Members are protected so that scenario can also derive
-// a deliberately broken drain (the lost-event mutant).
+// The atomic and shared-slot types are template-template parameters
+// instead of the hyperalloc::Atomic / hyperalloc::Shared seams:
+// production code instantiates `RingCore<SpanRecord, std::atomic>` (one
+// definition everywhere, no ODR hazard with model-check builds), while
+// the model-check scenario in tests/model_check_test.cc instantiates
+// `RingCore<uint64_t, check::Atomic, check::Shared>` — a distinct type —
+// to explore writer-vs-drainer interleavings AND verify that the
+// release/acquire protocol above really does order every slot access
+// (each slot is a SharedT<Event>; the happens-before checker flags any
+// unordered writer-write vs drainer-read). Members are protected so that
+// scenario can also derive a deliberately broken drain (the lost-event
+// mutant).
 #pragma once
 
 #include <atomic>
@@ -33,9 +37,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/base/shared.h"
+
 namespace hyperalloc::trace {
 
-template <typename Event, template <typename> class AtomicT>
+template <typename Event, template <typename> class AtomicT,
+          template <typename> class SharedT = PlainShared>
 class RingCore {
  public:
   explicit RingCore(size_t capacity) : ring_(capacity) {}
@@ -54,7 +61,7 @@ class RingCore {
       dropped_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    ring_[head % ring_.size()] = event;
+    ring_[head % ring_.size()].write() = event;
     head_.store(head + 1, std::memory_order_release);
     return true;
   }
@@ -65,7 +72,7 @@ class RingCore {
     uint64_t tail = tail_.load(std::memory_order_relaxed);
     const uint64_t head = head_.load(std::memory_order_acquire);
     for (; tail != head; ++tail) {
-      out->push_back(ring_[tail % ring_.size()]);
+      out->push_back(ring_[tail % ring_.size()].read());
     }
     tail_.store(tail, std::memory_order_release);
   }
@@ -84,14 +91,16 @@ class RingCore {
   // Re-creates the ring with a new capacity. Quiescence only (no
   // concurrent Push/Drain): pending events are discarded.
   void Rebuild(size_t capacity) {
-    ring_.assign(capacity, Event{});
+    // SharedT is non-copyable; a fresh vector default-constructs the
+    // slots (pending events are discarded either way).
+    ring_ = std::vector<SharedT<Event>>(capacity);
     head_.store(0, std::memory_order_relaxed);
     tail_.store(0, std::memory_order_relaxed);
     dropped_.store(0, std::memory_order_relaxed);
   }
 
  protected:
-  std::vector<Event> ring_;
+  std::vector<SharedT<Event>> ring_;
   AtomicT<uint64_t> head_{0};
   AtomicT<uint64_t> tail_{0};
   AtomicT<uint64_t> dropped_{0};

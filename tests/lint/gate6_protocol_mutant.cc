@@ -1,0 +1,37 @@
+// Seeded mutant for lint gate 6 (scripts/lint.sh): a one-sided atomic
+// ordering protocol that the per-field publisher/consumer pairing table
+// must flag. The reader takes the spinlock-style flag with an acquire
+// load, but every publisher was "optimized" down to relaxed — exactly
+// the release->relaxed downgrade the gate exists to catch. The file is
+// NOT part of any build target and is only scanned when
+// HA_LINT_GATE6_MUTANT=1; CI runs the gate once in that configuration
+// and requires it to fail, proving the check is live.
+
+#include <atomic>
+#include <cstdint>
+
+namespace hyperalloc::lint_mutant {
+
+struct ReservationSlot {
+  // Packed (tree_index << 1) | valid, llfree-style.
+  std::atomic<uint64_t> mutant_slot_word_{0};
+  uint64_t tree_meta_ = 0;  // published via mutant_slot_word_... in theory
+};
+
+inline bool Publish(ReservationSlot& slot, uint64_t tree_index) {
+  slot.tree_meta_ = tree_index * 2;
+  uint64_t expected = 0;
+  // BUG: success order downgraded release -> relaxed; the acquire load
+  // below now orders against nothing.
+  return slot.mutant_slot_word_.compare_exchange_strong(
+      expected, (tree_index << 1) | 1, std::memory_order_relaxed,
+      std::memory_order_relaxed);
+}
+
+inline uint64_t Consume(const ReservationSlot& slot) {
+  const uint64_t word =
+      slot.mutant_slot_word_.load(std::memory_order_acquire);
+  return (word & 1) != 0 ? slot.tree_meta_ : 0;
+}
+
+}  // namespace hyperalloc::lint_mutant

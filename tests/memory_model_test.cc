@@ -1,0 +1,286 @@
+// Unit tests for the memory-model layer (src/check/memory_model.h,
+// DESIGN.md §4.11): vector-clock algebra, the bounded modification-order
+// history, the fetch_xor shim operation, stale-read determinism, and
+// the stale-trace diagnosis of ReplayTrace / the trace-cross-checking
+// ReplaySeed overload. Pure harness tests — no allocator state — so the
+// binary links only ha_check.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/check/memory_model.h"
+#include "src/check/scheduler.h"
+#include "src/check/shim.h"
+
+namespace hyperalloc::check {
+namespace {
+
+// --------------------------------------------------------------------
+// VectorClock algebra.
+// --------------------------------------------------------------------
+TEST(VectorClock, JoinTakesComponentwiseMax) {
+  mm::VectorClock a;
+  mm::VectorClock b;
+  a.c[0] = 3;
+  a.c[1] = 1;
+  b.c[1] = 5;
+  b.c[2] = 2;
+  a.Join(b);
+  EXPECT_EQ(a.c[0], 3u);
+  EXPECT_EQ(a.c[1], 5u);
+  EXPECT_EQ(a.c[2], 2u);
+}
+
+TEST(VectorClock, LeqOfIsThePartialOrder) {
+  mm::VectorClock lo;
+  mm::VectorClock hi;
+  lo.c[0] = 1;
+  hi.c[0] = 2;
+  hi.c[1] = 1;
+  EXPECT_TRUE(lo.LeqOf(hi));
+  EXPECT_FALSE(hi.LeqOf(lo));
+  // Concurrent clocks: neither <= the other.
+  mm::VectorClock other;
+  other.c[1] = 3;
+  EXPECT_FALSE(hi.LeqOf(other));
+  EXPECT_FALSE(other.LeqOf(hi));
+  // Reflexive, and zero <= everything.
+  EXPECT_TRUE(hi.LeqOf(hi));
+  EXPECT_TRUE(mm::VectorClock{}.LeqOf(lo));
+  EXPECT_TRUE(mm::VectorClock{}.IsZero());
+  EXPECT_FALSE(lo.IsZero());
+}
+
+TEST(VectorClock, EqualityAndToString) {
+  mm::VectorClock a;
+  mm::VectorClock b;
+  a.c[0] = 1;
+  a.c[2] = 4;
+  EXPECT_FALSE(a == b);
+  b.c[0] = 1;
+  b.c[2] = 4;
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.ToString(), "[1,0,4]");
+  EXPECT_EQ(mm::VectorClock{}.ToString(), "[0]");
+}
+
+// --------------------------------------------------------------------
+// Modification-order history bounding. Outside an execution the engine
+// hooks are inert (Active() == false), so LocationMeta can be driven
+// directly: every store appends an entry, and the history is evicted to
+// Options{}.history_depth stale entries + the newest.
+// --------------------------------------------------------------------
+TEST(LocationMeta, HistoryIsBounded) {
+  mm::LocationMeta meta;
+  EXPECT_EQ(meta.entries(), 1u);  // the initial value
+  const size_t bound = static_cast<size_t>(Options{}.history_depth) + 1;
+  for (int i = 0; i < 16; ++i) {
+    meta.OnStore(/*release=*/true);
+    EXPECT_LE(meta.entries(), bound);
+  }
+  EXPECT_EQ(meta.entries(), bound);
+  meta.OnRmw(/*acquire=*/true, /*release=*/true);
+  EXPECT_EQ(meta.entries(), bound);
+}
+
+// The shim's value history stays in lockstep with the eviction: after
+// many stores, a load outside any execution still returns the newest.
+TEST(ShimAtomic, ValueHistoryTracksEviction) {
+  Atomic<uint64_t> a{0};
+  for (uint64_t v = 1; v <= 100; ++v) {
+    a.store(v, std::memory_order_release);
+  }
+  EXPECT_EQ(a.load(std::memory_order_acquire), 100u);
+  EXPECT_EQ(a.exchange(7, std::memory_order_acq_rel), 100u);
+  EXPECT_EQ(a.load(std::memory_order_relaxed), 7u);
+}
+
+// --------------------------------------------------------------------
+// fetch_xor: scheduled, clock-instrumented, and correct. Two threads
+// toggling disjoint bits of one word commute; toggling the same bit an
+// even number of times cancels. Every interleaving must agree.
+// --------------------------------------------------------------------
+TEST(ShimAtomic, FetchXorExploresAndCommutes) {
+  Scenario scenario = [](Execution& exec) {
+    auto word = std::make_shared<Atomic<uint64_t>>(0);
+    exec.Spawn([word] {
+      (void)word->fetch_xor(0b0011, std::memory_order_acq_rel);
+      (void)word->fetch_xor(0b0001, std::memory_order_acq_rel);
+    });
+    exec.Spawn([word] {
+      (void)word->fetch_xor(0b0100, std::memory_order_acq_rel);
+    });
+    exec.OnEnd([word] {
+      Require(word->load(std::memory_order_acquire) == 0b0110,
+              "fetch_xor: toggles did not commute/cancel");
+    });
+  };
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult r = Explore(opt, scenario);
+  EXPECT_FALSE(r.failed) << r.message;
+  EXPECT_TRUE(r.complete);
+  EXPECT_GE(r.executions, 3u);  // the xor ops really are schedule points
+}
+
+TEST(ShimAtomic, FetchXorReturnsPriorValue) {
+  Atomic<uint64_t> a{0b1010};
+  EXPECT_EQ(a.fetch_xor(0b0110, std::memory_order_acq_rel), 0b1010u);
+  EXPECT_EQ(a.load(std::memory_order_acquire), 0b1100u);
+}
+
+// --------------------------------------------------------------------
+// Stale-read determinism: with the memory model on, a racy
+// message-passing reader observes different values on different seeds,
+// but any single seed replays to the identical trace and outcome.
+// --------------------------------------------------------------------
+struct MpCtx {
+  Atomic<uint32_t> payload{0};
+  Atomic<uint32_t> flag{0};
+};
+
+Scenario RelaxedMessagePassing(std::shared_ptr<std::vector<uint32_t>> seen) {
+  return [seen](Execution& exec) {
+    auto c = std::make_shared<MpCtx>();
+    exec.Spawn([c] {
+      c->payload.store(7, std::memory_order_relaxed);
+      c->flag.store(1, std::memory_order_relaxed);
+    });
+    exec.Spawn([c, seen] {
+      if (c->flag.load(std::memory_order_relaxed) == 1) {
+        seen->push_back(c->payload.load(std::memory_order_relaxed));
+      }
+    });
+  };
+}
+
+TEST(StaleReads, SeedReplayReproducesTheSameStaleValues) {
+  Options opt;
+  opt.memory_model = true;
+  opt.iterations = 64;
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    auto seen1 = std::make_shared<std::vector<uint32_t>>();
+    auto seen2 = std::make_shared<std::vector<uint32_t>>();
+    const RunResult r1 =
+        ReplaySeed(opt, seed, RelaxedMessagePassing(seen1));
+    const RunResult r2 =
+        ReplaySeed(opt, seed, RelaxedMessagePassing(seen2));
+    ASSERT_FALSE(r1.failed) << r1.message;
+    EXPECT_EQ(r1.trace, r2.trace) << "seed " << seed;
+    EXPECT_EQ(*seen1, *seen2) << "seed " << seed;
+  }
+}
+
+TEST(StaleReads, BudgetZeroForcesNewestReads) {
+  // With no stale budget every load reads newest: once the reader sees
+  // flag == 1 the payload store (which precedes it in program order and
+  // in this schedule) must also be visible.
+  auto seen = std::make_shared<std::vector<uint32_t>>();
+  Options opt;
+  opt.memory_model = true;
+  opt.stale_read_budget = 0;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult r = Explore(opt, RelaxedMessagePassing(seen));
+  ASSERT_FALSE(r.failed) << r.message;
+  EXPECT_TRUE(r.complete);
+  for (const uint32_t v : *seen) {
+    EXPECT_EQ(v, 7u) << "budget 0 still produced a stale read";
+  }
+  EXPECT_FALSE(seen->empty());
+}
+
+TEST(StaleReads, ExhaustiveEnumeratesValueDecisions) {
+  // With budget, exhaustive mode must cover BOTH the fresh and the
+  // stale read behind the relaxed flag.
+  auto seen = std::make_shared<std::vector<uint32_t>>();
+  Options opt;
+  opt.memory_model = true;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult r = Explore(opt, RelaxedMessagePassing(seen));
+  ASSERT_FALSE(r.failed) << r.message;
+  EXPECT_TRUE(r.complete);
+  bool fresh = false;
+  bool stale = false;
+  for (const uint32_t v : *seen) {
+    (v == 7 ? fresh : stale) = true;
+  }
+  EXPECT_TRUE(fresh) << "no execution read the newest payload";
+  EXPECT_TRUE(stale) << "no execution read the stale payload";
+}
+
+// --------------------------------------------------------------------
+// Stale-trace diagnosis: a recorded decision stream replayed against a
+// scenario that has since changed must fail with a "stale trace"
+// message and RunResult::stale_trace — never with a misleading
+// downstream invariant message.
+// --------------------------------------------------------------------
+Scenario TwoStepThreads(int steps_thread0) {
+  return [steps_thread0](Execution& exec) {
+    auto a = std::make_shared<Atomic<uint32_t>>(0);
+    exec.Spawn([a, steps_thread0] {
+      for (int i = 0; i < steps_thread0; ++i) {
+        (void)a->fetch_add(1, std::memory_order_acq_rel);
+      }
+    });
+    exec.Spawn([a] { (void)a->fetch_add(1, std::memory_order_acq_rel); });
+  };
+}
+
+TEST(StaleTrace, ExhaustedTraceIsDiagnosed) {
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult recorded = Explore(opt, TwoStepThreads(2));
+  ASSERT_FALSE(recorded.failed) << recorded.message;
+
+  // The scenario grows an extra step: the recorded stream runs out.
+  const RunResult r = ReplayTrace(opt, recorded.trace, TwoStepThreads(4));
+  ASSERT_TRUE(r.failed);
+  EXPECT_TRUE(r.stale_trace);
+  EXPECT_NE(r.message.find("stale trace"), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("more decision points"), std::string::npos)
+      << r.message;
+}
+
+TEST(StaleTrace, NotRunnableThreadIsDiagnosed) {
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult recorded = Explore(opt, TwoStepThreads(2));
+  ASSERT_FALSE(recorded.failed) << recorded.message;
+
+  // The scenario shrinks: thread 0 finishes earlier than the trace
+  // remembers, so a recorded choice of thread 0 eventually names a
+  // thread that is no longer runnable (or the stream has leftovers).
+  const RunResult r = ReplayTrace(opt, recorded.trace, TwoStepThreads(1));
+  ASSERT_TRUE(r.failed);
+  EXPECT_TRUE(r.stale_trace);
+  EXPECT_NE(r.message.find("stale trace"), std::string::npos) << r.message;
+}
+
+TEST(StaleTrace, SeedReplayCrossCheckDiagnosesDivergence) {
+  Options opt;
+  opt.iterations = 8;
+  const RunResult recorded = Explore(opt, TwoStepThreads(3));
+  ASSERT_FALSE(recorded.failed) << recorded.message;
+
+  // Same seed, changed scenario: the pure seed replay happily produces
+  // an unrelated schedule; the cross-checking overload flags it.
+  const RunResult r = ReplaySeed(opt, opt.seed + opt.iterations - 1,
+                                 TwoStepThreads(5), recorded.trace);
+  ASSERT_TRUE(r.failed);
+  EXPECT_TRUE(r.stale_trace);
+  EXPECT_NE(r.message.find("stale trace"), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("diverged"), std::string::npos) << r.message;
+
+  // And against the unchanged scenario it stays clean.
+  const RunResult ok = ReplaySeed(opt, opt.seed + opt.iterations - 1,
+                                  TwoStepThreads(3), recorded.trace);
+  EXPECT_FALSE(ok.stale_trace) << ok.message;
+}
+
+}  // namespace
+}  // namespace hyperalloc::check

@@ -28,6 +28,7 @@
 #include "src/core/reclaim_states.h"
 #include "src/fault/fault.h"
 #include "src/hv/host_memory.h"
+#include "src/llfree/frame_cache.h"
 #include "src/llfree/llfree.h"
 #include "src/trace/span_ring.h"
 
@@ -373,14 +374,15 @@ Scenario HostPoolReserveRelease() {
 // Scenario 6: the span ring (src/trace/span_ring.h) under preemption —
 // a writer emitting spans into a deliberately tiny ring while a drainer
 // streams them out mid-flight. RingCore is instantiated with
-// check::Atomic (a distinct type from the production
+// check::Atomic and check::Shared (a distinct type from the production
 // RingCore<SpanRecord, std::atomic>, so no ODR hazard), making every
-// head/tail access a schedule point. Oracle: every value the writer
-// successfully pushed is drained exactly once, in order, and
-// accepted + dropped == attempted.
+// head/tail access a schedule point and every slot access
+// happens-before-checked. Oracle: every value the writer successfully
+// pushed is drained exactly once, in order, and
+// accepted + dropped == attempted — and no slot access races.
 // --------------------------------------------------------------------
 struct SpanRingCtx {
-  trace::RingCore<uint64_t, Atomic> ring{2};
+  trace::RingCore<uint64_t, Atomic, Shared> ring{2};
   std::vector<uint64_t> accepted;  // model threads are sequentialized
   std::vector<uint64_t> drained;
 };
@@ -420,14 +422,14 @@ Scenario SpanRingWriterVsDrainer() {
 // the harness must find the interleaving in both modes. RingCore's
 // members are protected precisely so this subclass can exist.
 // --------------------------------------------------------------------
-struct BrokenDrainRing : trace::RingCore<uint64_t, Atomic> {
+struct BrokenDrainRing : trace::RingCore<uint64_t, Atomic, Shared> {
   using RingCore::RingCore;
 
   void DrainBroken(std::vector<uint64_t>* out) {
     uint64_t tail = tail_.load(std::memory_order_relaxed);
     const uint64_t head = head_.load(std::memory_order_acquire);
     for (; tail != head; ++tail) {
-      out->push_back(ring_[tail % ring_.size()]);
+      out->push_back(ring_[tail % ring_.size()].read());
     }
     // BUG (deliberate): acknowledging the *current* head instead of the
     // position the copy loop stopped at skips concurrent pushes.
@@ -827,8 +829,10 @@ TEST(ModelCheckMutant, ExhaustiveFindsLostSpan) {
 // path (orders 7–8) used to check-then-store, letting two racing frees
 // of the same run both succeed and double-credit the counters. Exactly
 // one of two concurrent puts of the same order-7 run may succeed.
-TEST(ModelCheckScenarios, ConcurrentDoubleFreeMultiword) {
-  Scenario scenario = [](Execution& exec) {
+// (Also re-run under the forced-on happens-before checker by
+// ModelCheckRegression below.)
+Scenario DoubleFreeMultiword() {
+  return [](Execution& exec) {
     Config cfg;
     cfg.mode = Config::ReservationMode::kPerType;
     cfg.areas_per_tree = 1;
@@ -849,10 +853,13 @@ TEST(ModelCheckScenarios, ConcurrentDoubleFreeMultiword) {
       CheckQuiescent(c->guest);
     });
   };
-  ExpectClean(ExploreRandom(scenario, ScaledIters(1000)));
+}
+
+TEST(ModelCheckScenarios, ConcurrentDoubleFreeMultiword) {
+  ExpectClean(ExploreRandom(DoubleFreeMultiword(), ScaledIters(1000)));
   Options opt;
   opt.mode = Options::Mode::kExhaustive;
-  const RunResult r = Explore(opt, scenario);
+  const RunResult r = Explore(opt, DoubleFreeMultiword());
   ExpectClean(r);
   EXPECT_TRUE(r.complete) << "exhaustive exploration was time-boxed";
 }
@@ -987,6 +994,343 @@ TEST(ModelCheckMutant, ExhaustiveFindsLostPeakUpdate) {
 }
 
 // --------------------------------------------------------------------
+// Memory-model mutants (DESIGN.md §4.11): release→relaxed downgrades
+// that a sequentially-consistent checker can never catch — every
+// interleaving still computes the right *values* — but that break the
+// happens-before protocol the surrounding plain data relies on. The
+// vector-clock layer must flag them as data races in BOTH random and
+// exhaustive mode. Setting HYPERALLOC_MC_INVERT_MUTANTS=1 flips the
+// assertions (expects the mutants to go UNdetected), so a local or CI
+// run with the knob set must fail — proof the detection is live, not
+// vacuously green.
+// --------------------------------------------------------------------
+
+bool MmEnabled() { return Options{}.memory_model; }
+
+bool MutantsInverted() {
+  const char* env = std::getenv("HYPERALLOC_MC_INVERT_MUTANTS");
+  return env != nullptr && env[0] == '1';
+}
+
+void ExpectRaceCaught(const RunResult& r, const char* what) {
+  if (MutantsInverted()) {
+    EXPECT_FALSE(r.failed) << "inverted mutant run: the " << what
+                           << " WAS detected: " << r.message;
+    return;
+  }
+  ASSERT_TRUE(r.failed) << "exploration missed the " << what;
+  EXPECT_NE(r.message.find("data race"), std::string::npos) << r.message;
+}
+
+// Models LLFree's reservation publish (ReserveSlot's acq_rel CAS on
+// reservations_[slot], src/llfree/llfree.cc): the reserver prepares
+// tree-local state, then publishes the packed reservation entry; other
+// cores consume the slot with acquire and touch the tree state it
+// names. The payload is Shared<> so the checker verifies that the CAS's
+// release half is the edge ordering those accesses.
+struct ReservationPublishModel {
+  Atomic<uint64_t> slot{0};        // 0 = inactive, else tree index + 1
+  Shared<uint32_t> tree_meta{0u};  // tree-local state guarded by `slot`
+};
+
+Scenario ReservationPublish(std::memory_order publish_order) {
+  return [publish_order](Execution& exec) {
+    auto c = std::make_shared<ReservationPublishModel>();
+    exec.Spawn([c, publish_order] {  // reserver
+      c->tree_meta.write() = 42;     // prepare the tree's local state
+      uint64_t expected = 0;
+      (void)c->slot.compare_exchange_strong(expected, 1, publish_order,
+                                            std::memory_order_acquire);
+    });
+    exec.Spawn([c] {  // consumer on another core
+      if (c->slot.load(std::memory_order_acquire) != 0) {
+        Require(c->tree_meta.read() == 42,
+                "consumed a reservation whose tree state was never "
+                "published");
+      }
+    });
+  };
+}
+
+TEST(ModelCheckMemoryModel, ReservationPublishReleaseIsRaceClean) {
+  if (!MmEnabled()) {
+    GTEST_SKIP() << "HYPERALLOC_MC_MM=0: happens-before layer disabled";
+  }
+  ExpectClean(
+      ExploreRandom(ReservationPublish(std::memory_order_acq_rel), 2000));
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult r =
+      Explore(opt, ReservationPublish(std::memory_order_acq_rel));
+  ExpectClean(r);
+  EXPECT_TRUE(r.complete) << "exhaustive exploration was time-boxed";
+}
+
+TEST(ModelCheckMemoryModel, RandomWalkFindsRelaxedReservationPublish) {
+  if (!MmEnabled()) {
+    GTEST_SKIP() << "HYPERALLOC_MC_MM=0: happens-before layer disabled";
+  }
+  ExpectRaceCaught(
+      ExploreRandom(ReservationPublish(std::memory_order_relaxed), 2000),
+      "relaxed reservation-publish mutant");
+}
+
+TEST(ModelCheckMemoryModel, ExhaustiveFindsRelaxedReservationPublish) {
+  if (!MmEnabled()) {
+    GTEST_SKIP() << "HYPERALLOC_MC_MM=0: happens-before layer disabled";
+  }
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  ExpectRaceCaught(
+      Explore(opt, ReservationPublish(std::memory_order_relaxed)),
+      "relaxed reservation-publish mutant");
+}
+
+// The span-ring drain path with its tail publication downgraded to
+// relaxed. Values stay correct in every interleaving (the copy loop
+// bounds itself by `head`), but the edge that hands drained slots back
+// to the writer is gone: the writer's next wrap-around Push writes a
+// slot the drainer's copy loop read without ordering.
+struct RelaxedTailDrainRing : trace::RingCore<uint64_t, Atomic, Shared> {
+  using RingCore::RingCore;
+
+  void DrainRelaxedTail(std::vector<uint64_t>* out) {
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    for (; tail != head; ++tail) {
+      out->push_back(ring_[tail % ring_.size()].read());
+    }
+    // BUG (deliberate): relaxed instead of release.
+    tail_.store(tail, std::memory_order_relaxed);
+  }
+};
+
+Scenario SpanRingRelaxedTailMutant() {
+  return [](Execution& exec) {
+    struct MutantCtx {
+      RelaxedTailDrainRing ring{2};
+      std::vector<uint64_t> drained;
+    };
+    auto c = std::make_shared<MutantCtx>();
+    exec.Spawn([c] {  // writer: fill, then wrap into drained slots
+      for (uint64_t value = 1; value <= 3; ++value) {
+        (void)c->ring.Push(value);
+      }
+    });
+    exec.Spawn([c] { c->ring.DrainRelaxedTail(&c->drained); });
+  };
+}
+
+TEST(ModelCheckMemoryModel, RandomWalkFindsRelaxedTailDrain) {
+  if (!MmEnabled()) {
+    GTEST_SKIP() << "HYPERALLOC_MC_MM=0: happens-before layer disabled";
+  }
+  ExpectRaceCaught(ExploreRandom(SpanRingRelaxedTailMutant(), 2000),
+                   "relaxed-tail drain mutant");
+}
+
+TEST(ModelCheckMemoryModel, ExhaustiveFindsRelaxedTailDrain) {
+  if (!MmEnabled()) {
+    GTEST_SKIP() << "HYPERALLOC_MC_MM=0: happens-before layer disabled";
+  }
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  ExpectRaceCaught(Explore(opt, SpanRingRelaxedTailMutant()),
+                   "relaxed-tail drain mutant");
+}
+
+// --------------------------------------------------------------------
+// FrameCache slot discipline: each slot's stack is Shared<> (exactly
+// one thread per slot at a time, src/llfree/frame_cache.h). Distinct
+// slots never share a stack — race-clean; two threads on the same slot
+// with no ordering is the violation the seam exists to catch.
+// --------------------------------------------------------------------
+Scenario FrameCacheSlots(unsigned cache_slots) {
+  return [cache_slots](Execution& exec) {
+    Config cfg;
+    cfg.mode = Config::ReservationMode::kPerCore;
+    cfg.cores = 2;
+    cfg.areas_per_tree = 1;
+    auto c = std::make_shared<Ctx>(512, cfg);
+    llfree::FrameCache::CacheConfig cache_cfg;
+    cache_cfg.slots = cache_slots;
+    cache_cfg.capacity = 4;
+    cache_cfg.refill = 2;
+    auto cache =
+        std::make_shared<llfree::FrameCache>(&c->guest, cache_cfg);
+    for (unsigned core = 0; core < 2; ++core) {
+      exec.Spawn([c, cache, core] {
+        const Result<FrameId> r = cache->Get(core, 0, AllocType::kMovable);
+        if (r.ok()) {
+          (void)cache->Put(core, *r, 0, AllocType::kMovable);
+        }
+      });
+    }
+    exec.OnEnd([c, cache] {
+      cache->Drain();
+      Require(cache->lost_frames() == 0, "frame cache lost frames");
+      CheckQuiescent(c->guest);
+    });
+  };
+}
+
+TEST(ModelCheckMemoryModel, FrameCacheDistinctSlotsRaceClean) {
+  ExpectClean(ExploreRandom(FrameCacheSlots(/*cache_slots=*/2),
+                            ScaledIters(1000)));
+}
+
+TEST(ModelCheckMemoryModel, FrameCacheSharedSlotRaces) {
+  if (!MmEnabled()) {
+    GTEST_SKIP() << "HYPERALLOC_MC_MM=0: happens-before layer disabled";
+  }
+  // BUG (deliberate): one slot, two unsynchronized threads — both cores
+  // map onto slot 0 and pop/push the same plain stack.
+  ExpectRaceCaught(ExploreRandom(FrameCacheSlots(/*cache_slots=*/1), 2000),
+                   "shared-slot frame-cache mutant");
+}
+
+// --------------------------------------------------------------------
+// Precision: the layer must not cry wolf. A relaxed load whose location
+// was last written before a release/acquire edge the reader DID consume
+// is forced fresh (the stale entry is hidden by happens-before), so the
+// classic message-passing pattern reads the payload correctly — while
+// the same pattern with a relaxed flag can observe the stale payload.
+// --------------------------------------------------------------------
+struct MessagePassing {
+  Atomic<uint32_t> payload{0};
+  Atomic<uint32_t> flag{0};
+};
+
+TEST(ModelCheckMemoryModel, AcquireEdgeForcesFreshRelaxedRead) {
+  if (!MmEnabled()) {
+    GTEST_SKIP() << "HYPERALLOC_MC_MM=0: happens-before layer disabled";
+  }
+  Scenario scenario = [](Execution& exec) {
+    auto c = std::make_shared<MessagePassing>();
+    exec.Spawn([c] {
+      c->payload.store(7, std::memory_order_relaxed);
+      c->flag.store(1, std::memory_order_release);
+    });
+    exec.Spawn([c] {
+      if (c->flag.load(std::memory_order_acquire) == 1) {
+        Require(c->payload.load(std::memory_order_relaxed) == 7,
+                "acquire-ordered relaxed load observed the stale "
+                "payload");
+      }
+    });
+  };
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult r = Explore(opt, scenario);
+  ExpectClean(r);
+  EXPECT_TRUE(r.complete) << "exhaustive exploration was time-boxed";
+}
+
+TEST(ModelCheckMemoryModel, RelaxedFlagAdmitsStalePayload) {
+  if (!MmEnabled()) {
+    GTEST_SKIP() << "HYPERALLOC_MC_MM=0: happens-before layer disabled";
+  }
+  // With the flag downgraded to relaxed there is no edge: some
+  // execution must observe flag == 1 with the payload still 0 — the
+  // reordering a sequentially-consistent checker can never produce.
+  auto stale_seen = std::make_shared<bool>(false);
+  Scenario scenario = [stale_seen](Execution& exec) {
+    auto c = std::make_shared<MessagePassing>();
+    exec.Spawn([c] {
+      c->payload.store(7, std::memory_order_relaxed);
+      c->flag.store(1, std::memory_order_relaxed);
+    });
+    exec.Spawn([c, stale_seen] {
+      if (c->flag.load(std::memory_order_relaxed) == 1 &&
+          c->payload.load(std::memory_order_relaxed) == 0) {
+        *stale_seen = true;
+      }
+    });
+  };
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult r = Explore(opt, scenario);
+  ExpectClean(r);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(*stale_seen)
+      << "no explored execution observed the stale payload behind the "
+         "relaxed flag";
+}
+
+// Per-thread coherence: two loads of one location by one thread never
+// go backwards in modification order, however relaxed.
+TEST(ModelCheckMemoryModel, SameThreadReadsNeverGoBackwards) {
+  if (!MmEnabled()) {
+    GTEST_SKIP() << "HYPERALLOC_MC_MM=0: happens-before layer disabled";
+  }
+  Scenario scenario = [](Execution& exec) {
+    auto c = std::make_shared<MessagePassing>();
+    exec.Spawn([c] {
+      for (uint32_t v = 1; v <= 3; ++v) {
+        c->payload.store(v, std::memory_order_relaxed);
+      }
+    });
+    exec.Spawn([c] {
+      const uint32_t first = c->payload.load(std::memory_order_relaxed);
+      const uint32_t second = c->payload.load(std::memory_order_relaxed);
+      Require(second >= first,
+              "coherence violation: same-thread reads of one location "
+              "went backwards in modification order");
+    });
+  };
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult r = Explore(opt, scenario);
+  ExpectClean(r);
+  EXPECT_TRUE(r.complete);
+}
+
+// --------------------------------------------------------------------
+// Regression re-verification under the forced-on happens-before
+// checker, independent of HYPERALLOC_MC_MM: the PR 2 multiword-Clear
+// double-free fix and the PR 6 lost-batch-rollback fix stay correct
+// with stale reads and race detection in play — and the committed
+// lost-batch mutant is still caught.
+// --------------------------------------------------------------------
+TEST(ModelCheckRegression, MultiwordDoubleFreeFixHoldsUnderHb) {
+  Options opt;
+  opt.memory_model = true;
+  opt.iterations = ScaledIters(1000);
+  ExpectClean(Explore(opt, DoubleFreeMultiword()));
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult r = Explore(opt, DoubleFreeMultiword());
+  ExpectClean(r);
+  EXPECT_TRUE(r.complete) << "exhaustive exploration was time-boxed";
+}
+
+TEST(ModelCheckRegression, BatchClaimRollbackFixHoldsUnderHb) {
+  Options opt;
+  opt.memory_model = true;
+  opt.iterations = ScaledIters(1500);
+  ExpectClean(Explore(opt, BatchGetPutOneTree()));
+}
+
+TEST(ModelCheckRegression, LostBatchMutantStillCaughtUnderHb) {
+  Options opt;
+  opt.memory_model = true;
+  opt.iterations = 2000;
+  const RunResult random = Explore(opt, LostBatchRollbackMutant());
+  ASSERT_TRUE(random.failed)
+      << "random exploration under the happens-before checker missed "
+         "the lost-batch-rollback mutant";
+  EXPECT_NE(random.message.find("lost batch rollback"), std::string::npos)
+      << random.message;
+  opt.mode = Options::Mode::kExhaustive;
+  const RunResult exhaustive = Explore(opt, LostBatchRollbackMutant());
+  ASSERT_TRUE(exhaustive.failed)
+      << "exhaustive exploration under the happens-before checker "
+         "missed the lost-batch-rollback mutant";
+  EXPECT_NE(exhaustive.message.find("lost batch rollback"),
+            std::string::npos)
+      << exhaustive.message;
+}
+
+// --------------------------------------------------------------------
 // Determinism: replaying a recorded failing seed reproduces the exact
 // same schedule (trace) and the same failure, twice in a row.
 // --------------------------------------------------------------------
@@ -1016,6 +1360,36 @@ TEST(ModelCheckDeterminism, FailingTraceReplays) {
   ASSERT_TRUE(replay.failed);
   EXPECT_EQ(replay.message, found.message);
   EXPECT_EQ(replay.trace, found.trace);
+}
+
+// A failing *race* seed replays identically too — the decision stream
+// interleaves value decisions (stale-read picks, tagged with
+// mm::kValueDecisionTag) with the thread decisions, and both come from
+// the same seeded stream. The trace-cross-checking ReplaySeed overload
+// confirms the replay really followed the recorded stream.
+TEST(ModelCheckDeterminism, RaceSeedReplaysIdentically) {
+  if (!MmEnabled()) {
+    GTEST_SKIP() << "HYPERALLOC_MC_MM=0: happens-before layer disabled";
+  }
+  Options opt;
+  opt.iterations = 2000;
+  const RunResult first = Explore(opt, SpanRingRelaxedTailMutant());
+  ASSERT_TRUE(first.failed);
+  ASSERT_NE(first.message.find("data race"), std::string::npos)
+      << first.message;
+
+  const RunResult replay = ReplaySeed(opt, first.failing_seed,
+                                      SpanRingRelaxedTailMutant(),
+                                      first.trace);
+  ASSERT_TRUE(replay.failed);
+  EXPECT_FALSE(replay.stale_trace) << replay.message;
+  EXPECT_EQ(replay.trace, first.trace);
+  EXPECT_EQ(replay.message, first.message);
+
+  const RunResult traced =
+      ReplayTrace(opt, first.trace, SpanRingRelaxedTailMutant());
+  ASSERT_TRUE(traced.failed);
+  EXPECT_EQ(traced.message, first.message);
 }
 
 // A failing LLFree-state seed also replays identically: re-check the
