@@ -24,7 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "bench/candidates.h"
+#include "bench/fleet_bench.h"
 #include "bench/trace_io.h"
 #include "src/base/units.h"
 #include "src/fault/fault.h"
@@ -73,27 +73,75 @@ struct SweepPoint {
   uint64_t injected_total = 0;
 };
 
+// The reclaim probe inside the (single-VM) fleet: prepare the guest so
+// the shrink has real work to do, then issue one 2 GiB shrink request
+// and stop when it settles. Fault composition is unchanged from the
+// MakeSetup path — the fleet VM factory arms the same per-VM injector,
+// and the engine arms the host pool's kHostReserve site with it.
+class ReclaimProbe : public fleet::VmAgent {
+ public:
+  void Start(fleet::VmContext* context) override {
+    context_ = context;
+    // Prepare: back most of guest memory with host frames, then free it
+    // so the shrink below has real reclaim work to do (same shape as E1).
+    workloads::MemoryPool pool(context->vm);
+    const uint64_t memory = context->vm->config().memory_bytes;
+    const uint64_t region =
+        pool.AllocRegion(memory - kGiB, /*thp_fraction=*/0.95, 0);
+    pool.FreeRegion(region, 0);
+    context->vm->PurgeAllocatorCaches();
+
+    start_bytes_ = context->deflator->limit_bytes();
+    issued_ = context->sim->now();
+    context->deflator->Request({.target_bytes = 2 * kGiB, .done = [this] {
+                                  elapsed_ = context_->sim->now() - issued_;
+                                  done_ = true;
+                                }});
+  }
+
+  bool finished() const override { return done_; }
+  uint64_t demand_bytes() const override { return 0; }
+
+  uint64_t start_bytes() const { return start_bytes_; }
+  sim::Time elapsed() const { return elapsed_; }
+
+ private:
+  fleet::VmContext* context_ = nullptr;
+  uint64_t start_bytes_ = 0;
+  sim::Time issued_ = 0;
+  sim::Time elapsed_ = 0;
+  bool done_ = false;
+};
+
 SweepPoint RunOne(Candidate candidate, const fault::Plan& plan, double rate,
                   bool smoke) {
   SetupOptions options;
   options.memory_bytes = smoke ? 4 * kGiB : 20 * kGiB;
-  options.host_bytes = smoke ? 16 * kGiB : 64 * kGiB;
   options.fault_plan = plan;
-  Setup setup = MakeSetup(candidate, options);
 
-  // Prepare: back most of guest memory with host frames, then free it so
-  // the shrink below has real reclaim work to do (same shape as E1).
-  workloads::MemoryPool pool(setup.vm.get());
-  const uint64_t prepare_bytes = options.memory_bytes - kGiB;
-  const uint64_t region =
-      pool.AllocRegion(prepare_bytes, /*thp_fraction=*/0.95, 0);
-  pool.FreeRegion(region, 0);
-  setup.vm->PurgeAllocatorCaches();
+  fleet::FleetConfig config;
+  config.vms = 1;
+  config.threads = 1;
+  config.vm_bytes = options.memory_bytes;
+  config.host_bytes = smoke ? 16 * kGiB : 64 * kGiB;
+  config.run_to_completion = true;
+  config.record_series = false;
+  config.arm_host_faults = true;
 
-  const uint64_t small = 2 * kGiB;
-  const uint64_t before = setup.deflator->limit_bytes();
-  const sim::Time elapsed = setup.SetLimit(small);
-  const hv::ResizeOutcome& outcome = setup.deflator->last_outcome();
+  ReclaimProbe* probe = nullptr;
+  fleet::FleetEngine engine(
+      config, MakeFleetVmFactory(candidate, options),
+      [&probe](uint64_t) {
+        auto agent = std::make_unique<ReclaimProbe>();
+        probe = agent.get();
+        return agent;
+      },
+      /*policy=*/nullptr);
+  engine.Run();
+
+  const sim::Time elapsed = probe->elapsed();
+  const uint64_t before = probe->start_bytes();
+  const hv::ResizeOutcome& outcome = engine.deflator(0)->last_outcome();
 
   SweepPoint point;
   point.rate = rate;
@@ -108,8 +156,9 @@ SweepPoint RunOne(Candidate candidate, const fault::Plan& plan, double rate,
   point.faults = outcome.faults;
   point.retries = outcome.retries;
   point.rollbacks = outcome.rollbacks;
-  point.injected_total =
-      setup.fault != nullptr ? setup.fault->injected_total() : 0;
+  point.injected_total = engine.injector(0) != nullptr
+                             ? engine.injector(0)->injected_total()
+                             : 0;
   const uint64_t reclaimed =
       before > outcome.achieved_bytes ? before - outcome.achieved_bytes : 0;
   if (elapsed > 0) {

@@ -1,0 +1,134 @@
+// Fleet-scale policy scenarios: N small VMs (default 128, up to 1024+)
+// on an overcommitted host, demand driven by a deterministic arrival
+// process, limits driven by a pluggable resize policy under admission
+// control. Verifies the engine determinism contract by running the same
+// scenario with 1 and N worker threads and comparing fleet digests, and
+// compares the stock policies on the same traffic.
+//
+// Emits the `hyperalloc-bench-fleet-v1` JSON document with --out=FILE
+// (the same object bench_runner embeds under benches.fleet).
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/fleet_bench.h"
+#include "bench/trace_io.h"
+
+namespace hyperalloc::bench {
+namespace {
+
+FleetScenarioOptions BaseOptions(uint64_t vms, unsigned threads) {
+  FleetScenarioOptions options;
+  options.vms = vms;
+  options.threads = threads;
+  return options;
+}
+
+int Main(int argc, char** argv) {
+  uint64_t vms = 128;
+  unsigned threads = 4;
+  std::string policy = "proportional-share";
+  std::string arrival = "bursty";
+  std::string out;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--vms=", 6) == 0) {
+      vms = static_cast<uint64_t>(std::atoll(argv[i] + 6));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--policy=", 9) == 0) {
+      policy = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--arrival=", 10) == 0) {
+      arrival = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  if (smoke) {
+    vms = std::min<uint64_t>(vms, 128);
+  }
+
+  FleetScenarioOptions options = BaseOptions(vms, threads);
+  options.policy = policy;
+  if (arrival == "bursty") {
+    options.arrival.kind = fleet::ArrivalKind::kBursty;
+  } else if (arrival == "diurnal") {
+    options.arrival.kind = fleet::ArrivalKind::kDiurnal;
+  } else if (arrival == "heavy-tailed") {
+    options.arrival.kind = fleet::ArrivalKind::kHeavyTailed;
+  } else {
+    std::fprintf(stderr, "unknown arrival '%s'\n", arrival.c_str());
+    return 1;
+  }
+
+  std::printf("fleet: %llu x %llu MiB VMs, %.2gx overcommit, %s arrivals, "
+              "policy %s, horizon %llu s\n\n",
+              static_cast<unsigned long long>(options.vms),
+              static_cast<unsigned long long>(options.vm_bytes / kMiB),
+              options.overcommit, arrival.c_str(), policy.c_str(),
+              static_cast<unsigned long long>(options.horizon / sim::kSec));
+
+  // Determinism: the same scenario with 1 worker thread and with N must
+  // produce the same per-VM outcome digests.
+  FleetScenarioOptions single = options;
+  single.threads = 1;
+  const fleet::FleetResult reference = RunFleetScenario(single);
+  const fleet::FleetResult result = RunFleetScenario(options);
+  const bool deterministic =
+      reference.fleet_digest == result.fleet_digest &&
+      reference.vm_digests == result.vm_digests;
+  std::printf("determinism: 1 thread vs %u threads -> %s "
+              "(digest %016llx)\n\n",
+              threads, deterministic ? "IDENTICAL" : "DIVERGED",
+              static_cast<unsigned long long>(result.fleet_digest));
+
+  // Policy comparison on identical traffic.
+  std::printf("  %-20s %8s %10s %10s %8s %8s %8s %12s\n", "policy",
+              "resizes", "p50[ms]", "p99[ms]", "granted", "clipped",
+              "rejected", "t2r[ms]");
+  for (const char* name :
+       {"proportional-share", "pressure-pid", "market"}) {
+    FleetScenarioOptions po = options;
+    po.policy = name;
+    const fleet::FleetResult pr =
+        std::string(name) == policy ? result : RunFleetScenario(po);
+    std::printf("  %-20s %8llu %10.2f %10.2f %8llu %8llu %8llu %12.0f%s\n",
+                name, static_cast<unsigned long long>(pr.slo.resizes),
+                pr.slo.p50_resize_ms, pr.slo.p99_resize_ms,
+                static_cast<unsigned long long>(pr.admission.granted),
+                static_cast<unsigned long long>(pr.admission.clipped),
+                static_cast<unsigned long long>(pr.admission.rejected),
+                pr.slo.time_to_reclaim_ms,
+                pr.slo.spike_satisfied ? "" : " (unsatisfied)");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+
+  if (!out.empty()) {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"hyperalloc-bench-fleet-v1\",\n"
+                    "  \"fleet\": %s\n}\n",
+                 FleetJson(options, result, deterministic, 4).c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return deterministic ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hyperalloc::bench
+
+int main(int argc, char** argv) {
+  hyperalloc::bench::TraceOutput trace_out(argc, argv);
+  return hyperalloc::bench::Main(argc, argv);
+}

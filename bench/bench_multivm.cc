@@ -7,7 +7,8 @@
 // Each VM runs in its own virtual-time simulation against the shared
 // sharded host pool, so the experiment parallelizes across host threads
 // (--threads=N) without changing any result series — see
-// bench/multivm_harness.h for the determinism contract.
+// src/fleet/fleet.h for the determinism contract. This bench is a thin
+// client of the fleet engine's run-to-completion mode.
 //
 // Time is compressed relative to the paper (builds take ~10 min here vs
 // ~35 min on the authors' testbed); gaps and offsets are scaled to keep
@@ -19,7 +20,7 @@
 #include <cstring>
 #include <string>
 
-#include "bench/multivm_harness.h"
+#include "bench/fleet_bench.h"
 #include "bench/trace_io.h"
 
 namespace hyperalloc::bench {
@@ -73,15 +74,15 @@ int Main(int argc, char** argv) {
     std::printf("  %-20s %14s %10s %10s\n", "", "[GiB*min]", "[GiB]",
                 "[ms]");
     for (const Row& row : rows) {
-      MultiVmConfig config;
-      config.vms = vms;
-      config.threads = threads;
-      config.candidate = row.candidate;
-      config.offset = offset;
-      config.compile = BuildConfig();
-      const MultiVmResult result = RunMultiVm(config);
-      WriteMultiVmCsvs(result, std::string(offset ? "offset_" : "aligned_") +
-                                   row.tag);
+      CompileFleetOptions options;
+      options.vms = vms;
+      options.threads = threads;
+      options.candidate = row.candidate;
+      options.offset = offset;
+      options.compile = BuildConfig();
+      const fleet::FleetResult result = RunCompileFleet(options);
+      WriteFleetCsvs(result, std::string(offset ? "offset_" : "aligned_") +
+                                 row.tag);
       std::printf("  %-20s %14.0f %10.2f %10.0f\n", row.label,
                   result.footprint_gib_min, result.peak_gib, result.wall_ms);
       std::fflush(stdout);

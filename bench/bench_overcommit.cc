@@ -8,6 +8,10 @@
 //   (b) HyperAlloc automatic reclamation (+ swap as backstop) — idle
 //       memory is returned cooperatively before pressure builds.
 //
+// Runs on the fleet engine's shared-clock mode (src/fleet/fleet.h): the
+// two VMs are causally coupled through the swap manager, so they live on
+// ONE simulation driven by one thread.
+//
 // Reported: total swap traffic, time spent in swap I/O, and the peak
 // host usage. The paper's prediction: "HyperAlloc, because of its better
 // memory efficiency, is expected to cause fewer and shorter
@@ -15,7 +19,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "bench/candidates.h"
+#include "bench/fleet_bench.h"
 #include "bench/trace_io.h"
 #include "src/base/units.h"
 #include "src/hv/swap.h"
@@ -25,6 +29,44 @@
 namespace hyperalloc::bench {
 namespace {
 
+// One tenant: a Blender render job starting at a per-VM offset. VM 1
+// starts when VM 0 is mid-render; VM 0's memory goes idle (freed) before
+// VM 1 peaks — cooperative reclamation can exploit that, swapping cannot
+// (it only reacts to pressure).
+class BlenderAgent : public fleet::VmAgent {
+ public:
+  explicit BlenderAgent(sim::Time start_at) : start_at_(start_at) {}
+
+  void Start(fleet::VmContext* context) override {
+    context_ = context;
+    if (context->deflator != nullptr) {
+      context->deflator->StartAuto();
+    }
+    pool_ = std::make_unique<workloads::MemoryPool>(context->vm);
+    pool_->DisableMigrationTracking();
+    workloads::BlenderConfig job;
+    job.working_set = 12 * kGiB;
+    job.scene_bytes = kGiB;
+    job.render_time = 3 * sim::kMin;
+    job_ = std::make_unique<workloads::BlenderWorkload>(context->vm,
+                                                        pool_.get(), job);
+    context->sim->At(start_at_,
+                     [this] { job_->Run([this] { done_ = true; }); });
+  }
+
+  bool finished() const override { return done_; }
+  uint64_t demand_bytes() const override {
+    return context_ != nullptr ? context_->vm->rss_bytes() : 0;
+  }
+
+ private:
+  sim::Time start_at_;
+  fleet::VmContext* context_ = nullptr;
+  std::unique_ptr<workloads::MemoryPool> pool_;
+  std::unique_ptr<workloads::BlenderWorkload> job_;
+  bool done_ = false;
+};
+
 struct OvercommitResult {
   uint64_t swapped_out = 0;
   uint64_t swapped_in = 0;
@@ -33,60 +75,50 @@ struct OvercommitResult {
 };
 
 OvercommitResult Run(bool hyperalloc_reclaim) {
-  sim::Simulation sim;
-  hv::HostMemory host(FramesForBytes(24 * kGiB));
-  hv::SwapManager swap(&sim, &host);
+  fleet::FleetConfig config;
+  config.vms = 2;
+  config.threads = 1;
+  config.vm_bytes = 16 * kGiB;
+  config.host_bytes = 24 * kGiB;
+  config.shared_clock = true;
+  config.run_to_completion = true;
+  config.record_series = false;
 
-  struct Tenant {
-    VmBundle bundle;
-    std::unique_ptr<workloads::MemoryPool> pool;
-    std::unique_ptr<workloads::BlenderWorkload> job;
-    bool done = false;
-  };
-  std::vector<std::unique_ptr<Tenant>> tenants;
-  for (int i = 0; i < 2; ++i) {
-    auto tenant = std::make_unique<Tenant>();
-    SetupOptions options;
-    options.memory_bytes = 16 * kGiB;
-    tenant->bundle = MakeVmBundle(
-        &sim, &host,
-        hyperalloc_reclaim ? Candidate::kHyperAlloc
-                           : Candidate::kBaselineLLFree,
-        options, "vm" + std::to_string(i));
-    swap.Register(tenant->bundle.vm.get());
-    if (tenant->bundle.deflator != nullptr) {
-      tenant->bundle.deflator->StartAuto();
+  SetupOptions options;
+  options.memory_bytes = config.vm_bytes;
+  const Candidate candidate = hyperalloc_reclaim
+                                  ? Candidate::kHyperAlloc
+                                  : Candidate::kBaselineLLFree;
+
+  fleet::FleetEngine engine(
+      config, MakeFleetVmFactory(candidate, options),
+      [](uint64_t index) {
+        return std::make_unique<BlenderAgent>(
+            index == 0 ? 0 : 5 * sim::kMin + 30 * sim::kSec);
+      },
+      /*policy=*/nullptr);
+
+  // The swap manager spans both VMs on the shared clock; register each
+  // tenant before its agent starts (StartAuto runs inside the agent).
+  std::unique_ptr<hv::SwapManager> swap;
+  sim::Simulation* shared_sim = nullptr;
+  engine.SetOnVmCreated([&engine, &swap, &shared_sim](
+                            uint64_t, sim::Simulation* sim,
+                            guest::GuestVm* vm, hv::Deflator*) {
+    if (swap == nullptr) {
+      shared_sim = sim;
+      swap = std::make_unique<hv::SwapManager>(sim, engine.host());
     }
-    tenant->pool =
-        std::make_unique<workloads::MemoryPool>(tenant->bundle.vm.get());
-    tenant->pool->DisableMigrationTracking();
-    workloads::BlenderConfig job;
-    job.working_set = 12 * kGiB;
-    job.scene_bytes = kGiB;
-    job.render_time = 3 * sim::kMin;
-    tenant->job = std::make_unique<workloads::BlenderWorkload>(
-        tenant->bundle.vm.get(), tenant->pool.get(), job);
-    tenants.push_back(std::move(tenant));
-  }
+    swap->Register(vm);
+  });
 
-  // Offset bursts: VM 1 starts when VM 0 is mid-render; VM 0's memory
-  // goes idle (freed) before VM 1 peaks — cooperative reclamation can
-  // exploit that, swapping cannot (it only reacts to pressure).
-  const sim::Time start = sim.now();
-  Tenant* first = tenants[0].get();
-  Tenant* second = tenants[1].get();
-  sim.At(start, [first] { first->job->Run([first] { first->done = true; }); });
-  sim.At(start + 5 * sim::kMin + 30 * sim::kSec,
-         [second] { second->job->Run([second] { second->done = true; }); });
+  const fleet::FleetResult fleet_result = engine.Run();
 
-  while (!(first->done && second->done)) {
-    HA_CHECK(sim.Step());
-  }
   OvercommitResult result;
-  result.swapped_out = swap.swapped_out_frames();
-  result.swapped_in = swap.swapped_in_frames();
-  result.runtime = sim.now() - start;
-  result.peak_gib = static_cast<double>(host.peak_frames()) *
+  result.swapped_out = swap->swapped_out_frames();
+  result.swapped_in = swap->swapped_in_frames();
+  result.runtime = shared_sim->now();
+  result.peak_gib = static_cast<double>(fleet_result.pool_peak_frames) *
                     static_cast<double>(kFrameSize) /
                     static_cast<double>(kGiB);
   return result;

@@ -1,16 +1,17 @@
 // Machine-readable performance runner for the paths this repo's perf
 // trajectory tracks: LLFree get/put (single-frame and batched), the
 // sharded host frame pool, the span-attribution closure of a HyperAlloc
-// resize, and the threaded multi-VM experiment. Emits one JSON document
-// (default BENCH_PR6.json; schema checked by scripts/check_bench_json.py,
-// regressions gated by scripts/perf_gate.py) so runs are comparable
-// across commits.
+// resize, the compile fleet (the old multi-VM experiment, now a fleet
+// client), and the policy-driven fleet scenario at 1024 VMs (128 in
+// smoke). Emits one JSON document (default BENCH_PR8.json; schema
+// checked by scripts/check_bench_json.py, regressions gated by
+// scripts/perf_gate.py) so runs are comparable across commits.
 //
 //   --smoke          small sizes for CI (seconds, not minutes)
-//   --out=PATH       output path (default BENCH_PR6.json)
-//   --threads=N      host threads for the pool and multi-VM benches
-//                    (default 4; the multi-VM determinism check always
-//                    also runs single-threaded and compares series)
+//   --out=PATH       output path (default BENCH_PR8.json)
+//   --threads=N      host threads for the pool, multi-VM, and fleet
+//                    benches (default 4; the determinism checks always
+//                    also run single-threaded and compare series/digests)
 //   --batch=N        train size for the batched LLFree bench (default
 //                    512 base frames per GetBatch/PutBatch round)
 //   --trace-out=PATH writes the attribution run's span tree as a
@@ -20,13 +21,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "bench/multivm_harness.h"
+#include "bench/fleet_bench.h"
 #include "src/llfree/frame_cache.h"
 #include "src/llfree/llfree.h"
 #include "src/trace/export.h"
@@ -417,8 +419,8 @@ AttributionBench BenchAttribution() { return {}; }
 
 #endif  // HYPERALLOC_TRACE
 
-MultiVmConfig MultiVmBenchConfig(bool smoke, unsigned threads) {
-  MultiVmConfig config;
+CompileFleetOptions MultiVmBenchConfig(bool smoke, unsigned threads) {
+  CompileFleetOptions config;
   config.vms = 8;
   config.threads = threads;
   config.candidate = Candidate::kHyperAlloc;
@@ -460,7 +462,7 @@ struct MultiVmBench {
 };
 
 MultiVmBench BenchMultiVm(bool smoke, unsigned threads) {
-  MultiVmConfig config = MultiVmBenchConfig(smoke, 1);
+  CompileFleetOptions config = MultiVmBenchConfig(smoke, 1);
 #if HYPERALLOC_TRACE
   trace::SpanTracer& spans = trace::SpanTracer::Global();
   spans.SetCapacity(size_t{1} << 19);
@@ -468,12 +470,12 @@ MultiVmBench BenchMultiVm(bool smoke, unsigned threads) {
   (void)spans.Drain();
   spans.SetEnabled(true);
 #endif
-  const MultiVmResult single = RunMultiVm(config);
+  const fleet::FleetResult single = RunCompileFleet(config);
 #if HYPERALLOC_TRACE
   const std::vector<trace::SpanRecord> single_spans = spans.Drain();
 #endif
   config.threads = threads;
-  const MultiVmResult parallel = RunMultiVm(config);
+  const fleet::FleetResult parallel = RunCompileFleet(config);
 #if HYPERALLOC_TRACE
   const std::vector<trace::SpanRecord> parallel_spans = spans.Drain();
   spans.SetEnabled(false);
@@ -487,11 +489,13 @@ MultiVmBench BenchMultiVm(bool smoke, unsigned threads) {
   result.footprint_gib_min = single.footprint_gib_min;
   result.peak_gib = single.peak_gib;
   result.deterministic =
-      single.per_vm_rss.size() == parallel.per_vm_rss.size();
+      single.per_vm_rss.size() == parallel.per_vm_rss.size() &&
+      single.fleet_digest == parallel.fleet_digest &&
+      single.vm_digests == parallel.vm_digests;
   for (size_t i = 0; result.deterministic && i < single.per_vm_rss.size();
        ++i) {
     result.deterministic =
-        SeriesEqual(single.per_vm_rss[i], parallel.per_vm_rss[i]);
+        fleet::SeriesEqual(single.per_vm_rss[i], parallel.per_vm_rss[i]);
   }
 #if HYPERALLOC_TRACE
   result.spans_single = single_spans.size();
@@ -511,6 +515,79 @@ MultiVmBench BenchMultiVm(bool smoke, unsigned threads) {
   }
 #endif
   return result;
+}
+
+// ----------------------------------------------------------------------
+// Fleet scenario: 1024 (128 in smoke) 64 MiB VMs on a 1.6x- (1.5x-)
+// overcommitted host, bursty demand, proportional-share policy, with a
+// pressure spike probing the time-to-reclaim SLO. Determinism means
+// byte-identical per-VM outcome digests between 1 and N worker threads.
+// ----------------------------------------------------------------------
+
+struct FleetBench {
+  FleetScenarioOptions options;
+  fleet::FleetResult result;     // the N-thread run (reported)
+  bool deterministic = false;
+  // Span cross-check: resize latencies re-derived from request-layer
+  // spans of a small traced run must reproduce the engine's p99 exactly
+  // (same nearest-rank method, same virtual instants).
+  bool span_checked = false;
+  bool span_matched = false;
+  double span_p99_ms = 0.0;
+  double engine_p99_ms = 0.0;
+};
+
+FleetBench BenchFleet(bool smoke, unsigned threads) {
+  FleetBench bench;
+  bench.options.vms = smoke ? 128 : 1024;
+  bench.options.threads = threads;
+  // Overcommit is capped where the time-to-reclaim SLO stays feasible:
+  // above ~1.8x the fleet's summed want (demand + growth headroom)
+  // permanently exceeds usable capacity, proportional-share scales every
+  // VM below its full demand, and no amount of reclaim can ever satisfy
+  // a spiked VM. The smoke fleet is small enough that the 32-VM spike is
+  // a quarter of it, so it gets a little more slack still.
+  bench.options.overcommit = smoke ? 1.5 : 1.6;
+
+  FleetScenarioOptions single = bench.options;
+  single.threads = 1;
+  const fleet::FleetResult reference = RunFleetScenario(single);
+  bench.result = RunFleetScenario(bench.options);
+  bench.deterministic =
+      reference.fleet_digest == bench.result.fleet_digest &&
+      reference.vm_digests == bench.result.vm_digests;
+
+#if HYPERALLOC_TRACE
+  // Traced mini-fleet for the span pipeline cross-check. Every resize
+  // the control loop issues opens a request-layer root span on the VM's
+  // virtual clock; its virtual duration is exactly the engine's
+  // (completed - issued). The only request spans NOT in the engine's
+  // records are the t=0 initial-limit shrinks — filtered by begin_vns.
+  FleetScenarioOptions traced = bench.options;
+  traced.vms = 32;
+  traced.threads = 1;
+  traced.spike.vms = 8;
+  trace::SpanTracer& spans = trace::SpanTracer::Global();
+  spans.SetCapacity(size_t{1} << 19);
+  (void)spans.Drain();
+  spans.SetEnabled(true);
+  const fleet::FleetResult traced_result = RunFleetScenario(traced);
+  const std::vector<trace::SpanRecord> traced_spans = spans.Drain();
+  spans.SetEnabled(false);
+  std::vector<double> span_ms;
+  for (const trace::SpanRecord& span : traced_spans) {
+    if (span.layer == trace::Layer::kRequest && span.begin_vns > 0) {
+      span_ms.push_back(static_cast<double>(span.virtual_ns()) / 1e6);
+    }
+  }
+  bench.span_checked = span_ms.size() == traced_result.slo.resizes;
+  bench.span_p99_ms = fleet::PercentileMs(span_ms, 0.99);
+  bench.engine_p99_ms = traced_result.slo.p99_resize_ms;
+  bench.span_matched =
+      bench.span_checked &&
+      std::abs(bench.span_p99_ms - bench.engine_p99_ms) < 1e-9;
+#endif
+  return bench;
 }
 
 std::string Num(double value) {
@@ -560,7 +637,7 @@ std::string PhaseJson(const PhaseAttribution& phase) {
 
 int Main(int argc, char** argv) {
   bool smoke = false;
-  std::string out = "BENCH_PR6.json";
+  std::string out = "BENCH_PR8.json";
   std::string trace_out;
   unsigned threads = 4;
   unsigned batch = 512;
@@ -585,15 +662,15 @@ int Main(int argc, char** argv) {
   }
   const unsigned hw = std::thread::hardware_concurrency();
 
-  std::fprintf(stderr, "[1/5] llfree_alloc_free...\n");
+  std::fprintf(stderr, "[1/6] llfree_alloc_free...\n");
   const OpsResult llfree_result = BenchLLFreeAllocFree(smoke);
 
-  std::fprintf(stderr, "[2/5] llfree_batch_alloc_free (batch %u)...\n",
+  std::fprintf(stderr, "[2/6] llfree_batch_alloc_free (batch %u)...\n",
                batch);
   const BatchBenchResult batch_result =
       BenchLLFreeBatchAllocFree(smoke, batch);
 
-  std::fprintf(stderr, "[3/5] host_reserve_release (%u threads)...\n",
+  std::fprintf(stderr, "[3/6] host_reserve_release (%u threads)...\n",
                threads);
   bool invariant_ok = false;
   uint64_t refills = 0;
@@ -604,12 +681,16 @@ int Main(int argc, char** argv) {
       BenchHostPool(threads, smoke, &invariant_ok, &refills, &drains,
                     &rebalances, &rebalance_skips);
 
-  std::fprintf(stderr, "[4/5] attribution (HyperAlloc shrink+grow)...\n");
+  std::fprintf(stderr, "[4/6] attribution (HyperAlloc shrink+grow)...\n");
   const AttributionBench attribution = BenchAttribution();
 
-  std::fprintf(stderr, "[5/5] multivm (8 VMs, 1 vs %u threads)...\n",
+  std::fprintf(stderr, "[5/6] multivm (8 VMs, 1 vs %u threads)...\n",
                threads);
   const MultiVmBench multivm = BenchMultiVm(smoke, threads);
+
+  std::fprintf(stderr, "[6/6] fleet (%s VMs, 1 vs %u threads)...\n",
+               smoke ? "128" : "1024", threads);
+  const FleetBench fleet_bench = BenchFleet(smoke, threads);
 
 #if HYPERALLOC_TRACE
   if (!trace_out.empty()) {
@@ -633,8 +714,8 @@ int Main(int argc, char** argv) {
 
   std::string json;
   json += "{\n";
-  json += "  \"schema\": \"hyperalloc-bench-v3\",\n";
-  json += "  \"pr\": \"PR6\",\n";
+  json += "  \"schema\": \"hyperalloc-bench-v4\",\n";
+  json += "  \"pr\": \"PR8\",\n";
   json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
   json += "  \"hardware_concurrency\": " + Num(uint64_t{hw}) + ",\n";
   json += "  \"note\": \"virtual-time results are deterministic; wall-clock"
@@ -712,6 +793,18 @@ int Main(int argc, char** argv) {
   json += "      \"footprint_gib_min\": " + Num(multivm.footprint_gib_min) +
           ",\n";
   json += "      \"peak_gib\": " + Num(multivm.peak_gib) + "\n";
+  json += "    },\n";
+  json += "    \"fleet\": " +
+          FleetJson(fleet_bench.options, fleet_bench.result,
+                    fleet_bench.deterministic, 6) +
+          ",\n";
+  json += "    \"fleet_span_check\": {\n";
+  json += "      \"checked\": " +
+          std::string(fleet_bench.span_checked ? "true" : "false") + ",\n";
+  json += "      \"matched\": " +
+          std::string(fleet_bench.span_matched ? "true" : "false") + ",\n";
+  json += "      \"span_p99_ms\": " + Num(fleet_bench.span_p99_ms) + ",\n";
+  json += "      \"engine_p99_ms\": " + Num(fleet_bench.engine_p99_ms) + "\n";
   json += "    }\n";
   json += "  }\n";
   json += "}\n";
@@ -734,13 +827,22 @@ int Main(int argc, char** argv) {
       (attribution.inflate.found && attribution.inflate.charge_closed &&
        attribution.deflate.found && attribution.deflate.charge_closed);
   const bool spans_ok = !multivm.spans_checked || multivm.spans_deterministic;
+  const bool fleet_span_ok =
+      !fleet_bench.span_checked || fleet_bench.span_matched;
   if (!invariant_ok || !multivm.deterministic || !attribution_ok ||
-      !spans_ok) {
-    std::fprintf(stderr, "FAILED: %s%s%s%s\n",
-                 invariant_ok ? "" : "pool invariant violated ",
-                 multivm.deterministic ? "" : "multivm non-deterministic ",
-                 attribution_ok ? "" : "span charge closure broken ",
-                 spans_ok ? "" : "span streams differ across thread counts");
+      !spans_ok || !fleet_bench.deterministic ||
+      !fleet_bench.result.slo.spike_satisfied || !fleet_span_ok) {
+    std::fprintf(
+        stderr, "FAILED: %s%s%s%s%s%s%s\n",
+        invariant_ok ? "" : "pool invariant violated ",
+        multivm.deterministic ? "" : "multivm non-deterministic ",
+        attribution_ok ? "" : "span charge closure broken ",
+        spans_ok ? "" : "span streams differ across thread counts ",
+        fleet_bench.deterministic ? "" : "fleet non-deterministic ",
+        fleet_bench.result.slo.spike_satisfied
+            ? ""
+            : "fleet pressure spike never satisfied ",
+        fleet_span_ok ? "" : "fleet span-derived p99 mismatch");
     return 1;
   }
   return 0;

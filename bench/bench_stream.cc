@@ -12,8 +12,8 @@
 
 #include "bench/candidates.h"
 #include "bench/trace_io.h"
-#include "bench/resize_schedule.h"
 #include "src/base/stats.h"
+#include "src/fleet/arrival.h"
 #include "src/workloads/interference_hub.h"
 #include "src/workloads/stream.h"
 
@@ -53,7 +53,9 @@ double RunOne(Candidate candidate, unsigned threads, bool write_csv) {
 
   PrepareVm(&setup, &pool);
   const sim::Time start = setup.sim->now();
-  ScheduleResize(&setup, start);
+  fleet::ApplyResizeSchedule(
+      setup.sim.get(), setup.deflator.get(),
+      fleet::StepResizeTrace(setup.vm->config().memory_bytes), start);
 
   bool done = false;
   stream.Start([&] { done = true; });

@@ -2,6 +2,7 @@
 
 #include "src/base/check.h"
 #include "src/trace/trace.h"
+#include "src/workloads/spec_prep.h"
 
 namespace hyperalloc::bench {
 
@@ -158,6 +159,34 @@ VmBundle MakeVmBundle(sim::Simulation* sim, hv::HostMemory* host,
       break;
   }
   return setup;
+}
+
+fleet::VmFactory MakeFleetVmFactory(Candidate candidate,
+                                    const SetupOptions& options) {
+  return [candidate, options](sim::Simulation* sim, hv::HostMemory* host,
+                              uint64_t index, const std::string& name) {
+    VmBundle bundle = MakeVmBundle(sim, host, candidate, options, name);
+    fleet::FleetVmParts parts;
+    parts.vm = std::move(bundle.vm);
+    parts.deflator = std::move(bundle.deflator);
+    if (options.fault_plan.enabled()) {
+      // Same arm-after-boot rule as MakeSetup; the seed is decorrelated
+      // per VM so fleet faults don't land in lockstep.
+      fault::Plan plan = options.fault_plan;
+      plan.seed += index;
+      parts.fault = std::make_unique<fault::Injector>(plan);
+      parts.vm->SetFaultInjector(parts.fault.get());
+    }
+    return parts;
+  };
+}
+
+void PrepareVm(Setup* setup, workloads::MemoryPool* pool) {
+  workloads::SpecPrepConfig prep;
+  prep.peak_bytes = 18 * kGiB;
+  prep.cache_bytes = 2560ull * kMiB;
+  prep.residual_fraction = 0.03;
+  workloads::SpecPrep(setup->vm.get(), pool, prep);
 }
 
 }  // namespace hyperalloc::bench

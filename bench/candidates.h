@@ -15,11 +15,13 @@
 #include "src/core/hyperalloc.h"
 #include "src/core/hyperalloc_generic.h"
 #include "src/fault/fault.h"
+#include "src/fleet/fleet.h"
 #include "src/guest/guest_vm.h"
 #include "src/hv/deflator.h"
 #include "src/hv/host_memory.h"
 #include "src/sim/simulation.h"
 #include "src/vmem/virtio_mem.h"
+#include "src/workloads/memory_pool.h"
 
 namespace hyperalloc::bench {
 
@@ -81,6 +83,18 @@ struct VmBundle {
 VmBundle MakeVmBundle(sim::Simulation* sim, hv::HostMemory* host,
                       Candidate candidate, const SetupOptions& options = {},
                       const std::string& name = "vm");
+
+// Fleet-construction path: a fleet::VmFactory that builds `candidate`
+// VMs from `options` on the engine's simulations. When the fault plan
+// is enabled, each VM gets its own injector with `plan.seed + index`
+// (decorrelated per-VM fault schedules, same composition rules as
+// MakeSetup).
+fleet::VmFactory MakeFleetVmFactory(Candidate candidate,
+                                    const SetupOptions& options = {});
+
+// Runs the SPEC-style preparation (§5.4): grow the VM to its maximum
+// and randomize the allocator state.
+void PrepareVm(Setup* setup, workloads::MemoryPool* pool);
 
 // All deflation candidates (no baselines), optionally including the
 // VFIO variants.

@@ -9,11 +9,15 @@ Accepts all schema revisions:
                              sweep; the zero-rate baseline must be clean)
   hyperalloc-bench-v3       (PR6: adds the `llfree_batch_alloc_free`
                              section and host-pool `rebalance_skips`)
+  hyperalloc-bench-v4       (PR8: adds the `fleet` orchestration section
+                             and the `fleet_span_check` cross-check)
+  hyperalloc-bench-fleet-v1 (PR8: standalone bench_fleet output; same
+                             `fleet` section shape as v4's embedded one)
 
 Stdlib-only on purpose: runs in CI containers with no extra packages.
 Checks structure and types, plus the semantic gates the runner itself
 enforces (pool invariant, multi-VM determinism, charge closure, span
-stream determinism).
+stream determinism, fleet thread-count determinism and spike SLO).
 """
 import json
 import numbers
@@ -99,6 +103,43 @@ def check_faults(doc):
             fail(f"{ctx}: zero-rate run reclaimed nothing")
 
 
+def check_fleet(fleet, ctx):
+    """One fleet section (embedded `benches.fleet` or standalone)."""
+    for key in ("vms", "threads", "vm_mib", "host_gib", "horizon_s",
+                "epoch_s", "resizes", "p50_resize_ms", "p99_resize_ms",
+                "footprint_gib_min", "peak_gib", "pool_peak_gib",
+                "wall_ms"):
+        require(fleet, key, numbers.Real, ctx)
+    for key in ("policy", "arrival", "candidate", "fleet_digest"):
+        require(fleet, key, str, ctx)
+    # Byte-identical VM outcomes across worker-thread counts is the
+    # fleet engine's core contract; a run that broke it is not a result.
+    if not require(fleet, "deterministic", bool, ctx):
+        fail(f"{ctx}: VM digests differ between worker-thread counts")
+    if fleet["vms"] < 2:
+        fail(f"{ctx}: needs at least 2 VMs to mean anything")
+    if fleet["resizes"] <= 0:
+        fail(f"{ctx}: the policy issued no resizes")
+    if fleet["p99_resize_ms"] < fleet["p50_resize_ms"]:
+        fail(f"{ctx}: p99 resize latency below p50")
+    admission = require(fleet, "admission", dict, ctx)
+    for key in ("granted", "clipped", "rejected"):
+        require(admission, key, numbers.Real, f"{ctx}.admission")
+    if admission["granted"] <= 0:
+        fail(f"{ctx}: admission control granted nothing")
+    spike = require(fleet, "spike", dict, ctx)
+    for key in ("vms", "mib", "time_to_reclaim_ms"):
+        require(spike, key, numbers.Real, f"{ctx}.spike")
+    for key in ("applied", "satisfied"):
+        require(spike, key, bool, f"{ctx}.spike")
+    if spike["vms"] > 0 and spike["applied"]:
+        if not spike["satisfied"]:
+            fail(f"{ctx}: pressure spike never satisfied (time-to-reclaim "
+                 f"SLO unmeasurable)")
+        if spike["time_to_reclaim_ms"] < 0:
+            fail(f"{ctx}: negative time-to-reclaim")
+
+
 def main():
     if len(sys.argv) != 2:
         fail("usage: check_bench_json.py BENCH.json")
@@ -113,10 +154,15 @@ def main():
         check_faults(doc)
         print(f"check_bench_json: OK ({sys.argv[1]}, {schema})")
         return
+    if schema == "hyperalloc-bench-fleet-v1":
+        check_fleet(require(doc, "fleet", dict, "$"), "fleet")
+        print(f"check_bench_json: OK ({sys.argv[1]}, {schema})")
+        return
     if schema not in ("hyperalloc-bench-v1", "hyperalloc-bench-v2",
-                      "hyperalloc-bench-v3"):
+                      "hyperalloc-bench-v3", "hyperalloc-bench-v4"):
         fail(f"unknown schema '{schema}'")
-    v3 = schema == "hyperalloc-bench-v3"
+    v4 = schema == "hyperalloc-bench-v4"
+    v3 = schema == "hyperalloc-bench-v3" or v4
     v2 = schema == "hyperalloc-bench-v2" or v3
     require(doc, "pr", str, "$")
     require(doc, "smoke", bool, "$")
@@ -187,6 +233,19 @@ def main():
             if not require(multivm, "spans_deterministic", bool, "multivm"):
                 fail("multivm: canonical span streams differ between "
                      "thread counts")
+
+    if v4:
+        check_fleet(require(benches, "fleet", dict, "benches"),
+                    "benches.fleet")
+        span = require(benches, "fleet_span_check", dict, "benches")
+        require(span, "checked", bool, "fleet_span_check")
+        require(span, "matched", bool, "fleet_span_check")
+        require(span, "span_p99_ms", numbers.Real, "fleet_span_check")
+        require(span, "engine_p99_ms", numbers.Real, "fleet_span_check")
+        if span["checked"] and not span["matched"]:
+            fail("fleet_span_check: span-derived p99 resize latency "
+                 f"({span['span_p99_ms']}) disagrees with the engine's "
+                 f"({span['engine_p99_ms']})")
 
     print(f"check_bench_json: OK ({sys.argv[1]}, {schema})")
 

@@ -57,12 +57,21 @@ METRICS = {
     ("benches", "attribution", "deflate", "total_vns"): ("lower", "det"),
     ("benches", "attribution", "trace_overhead", "overhead_pct"):
         ("lower", "wall"),
+    # Fleet SLOs (PR8): virtual-time results of the deterministic
+    # 1024-VM scenario, so any drift is a real behavior change.
+    ("benches", "fleet", "p99_resize_ms"): ("lower", "det"),
+    ("benches", "fleet", "spike", "time_to_reclaim_ms"): ("lower", "det"),
+    ("benches", "fleet", "footprint_gib_min"): ("lower", "det"),
+    ("benches", "fleet", "peak_gib"): ("lower", "det"),
+    ("benches", "fleet", "wall_ms"): ("lower", "wall"),
 }
 
 # metric path -> minimum value required of CURRENT (always gated when the
 # metric is present; the schema checker guards presence per revision).
 FLOORS = {
     ("benches", "llfree_batch_alloc_free", "speedup_vs_single"): 2.0,
+    # The fleet policy loop must actually exercise the resize path.
+    ("benches", "fleet", "resizes"): 1,
 }
 
 

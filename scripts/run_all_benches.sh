@@ -15,6 +15,7 @@ $BUILD/bench/bench_vfio_compile --runs=1     # Fig. 9
 $BUILD/bench/bench_blender                   # Fig. 10
 $BUILD/bench/bench_multivm                   # Fig. 11
 $BUILD/bench/bench_overcommit                # 6 overcommit extension
+$BUILD/bench/bench_fleet                     # 4.12 fleet orchestration
 $BUILD/bench/bench_ablation                  # 4.2 ablation
 $BUILD/bench/bench_scan                      # 3.3 scan cost (real time)
 $BUILD/bench/bench_llfree                    # LLFree ops (real time)

@@ -125,9 +125,11 @@ void VirtioBalloon::Request(const hv::ResizeRequest& request) {
   HA_CHECK(request.target_bytes <= total);
   outcome_ = hv::ResizeOutcome{};
   outcome_.target_bytes = request.target_bytes;
-  request_deadline_ = config_.retry.request_timeout_ns > 0
-                          ? sim_->now() + config_.retry.request_timeout_ns
-                          : 0;
+  request_deadline_ =
+      request.deadline_ns > 0 ? sim_->now() + request.deadline_ns
+      : config_.retry.request_timeout_ns > 0
+          ? sim_->now() + config_.retry.request_timeout_ns
+          : 0;
   const uint64_t target_frames = (total - request.target_bytes) / kFrameSize;
   const bool inflate = target_frames > ballooned_frames_;
   request_span_.Start(inflate ? "request.inflate" : "request.deflate");

@@ -502,9 +502,11 @@ void HyperAllocMonitor::Request(const hv::ResizeRequest& request) {
   outcome_ = hv::ResizeOutcome{};
   outcome_.target_bytes = request.target_bytes;
   stalled_slices_ = 0;
-  request_deadline_ = config_.retry.request_timeout_ns > 0
-                          ? sim_->now() + config_.retry.request_timeout_ns
-                          : 0;
+  request_deadline_ =
+      request.deadline_ns > 0 ? sim_->now() + request.deadline_ns
+      : config_.retry.request_timeout_ns > 0
+          ? sim_->now() + config_.retry.request_timeout_ns
+          : 0;
   const uint64_t target_hard =
       (vm_->config().memory_bytes - request.target_bytes) / kHugeSize;
   // Quarantined frames already count against the limit, so the request

@@ -7,6 +7,27 @@
 
 namespace hyperalloc::hv {
 
+double MarketPrice(const MarketConfig& config, double utilization) {
+  utilization = std::clamp(utilization, 0.0, 0.99);
+  const double price =
+      config.base_price /
+      std::pow(1.0 - utilization, config.scarcity_exponent);
+  return std::min(price, config.max_price);
+}
+
+uint64_t MarketTargetLimit(const MarketConfig& config, double price,
+                           uint64_t used_bytes, double budget_per_s,
+                           uint64_t memory_bytes) {
+  HA_CHECK(price > 0.0);
+  const uint64_t demand = used_bytes + config.headroom_bytes;
+  const uint64_t affordable = static_cast<uint64_t>(
+      budget_per_s / price * static_cast<double>(kGiB));
+  // Small fleet VMs can sit below min_limit_bytes entirely; never clamp
+  // the floor above what the VM even has.
+  const uint64_t lo = std::min(config.min_limit_bytes, memory_bytes);
+  return std::clamp(std::min(demand, affordable), lo, memory_bytes);
+}
+
 MemoryMarket::MemoryMarket(sim::Simulation* sim, HostMemory* host,
                            const MarketConfig& config)
     : sim_(sim), host_(host), config_(config),
@@ -24,11 +45,7 @@ size_t MemoryMarket::Register(guest::GuestVm* vm, Deflator* deflator,
 }
 
 double MemoryMarket::PriceForUtilization(double utilization) const {
-  utilization = std::clamp(utilization, 0.0, 0.99);
-  const double price =
-      config_.base_price /
-      std::pow(1.0 - utilization, config_.scarcity_exponent);
-  return std::min(price, config_.max_price);
+  return MarketPrice(config_, utilization);
 }
 
 void MemoryMarket::Tick() {
@@ -56,12 +73,9 @@ void MemoryMarket::Tick() {
     const uint64_t limit_now = tenant.deflator->limit_bytes();
     const uint64_t used =
         limit_now > free_bytes ? limit_now - free_bytes : 0;
-    const uint64_t demand = used + config_.headroom_bytes;
-    const uint64_t affordable = static_cast<uint64_t>(
-        tenant.budget_per_s / price_ * static_cast<double>(kGiB));
-    uint64_t target = std::min(demand, affordable);
-    target = std::clamp(target, config_.min_limit_bytes,
-                        tenant.vm->config().memory_bytes);
+    const uint64_t target =
+        MarketTargetLimit(config_, price_, used, tenant.budget_per_s,
+                          tenant.vm->config().memory_bytes);
     // Hysteresis: move only on meaningful change, and never preempt an
     // in-flight resize.
     const uint64_t current = tenant.deflator->limit_bytes();

@@ -38,6 +38,22 @@ struct MarketConfig {
   uint64_t min_limit_bytes = 512 * kMiB;
 };
 
+// The pricing core as free functions, so other control loops (the fleet
+// engine's market policy, src/fleet/policy.cc) can price memory without
+// owning a MemoryMarket instance or its tick scheduling.
+//
+// Spot price at the given pool utilization in [0, 1]:
+//   base_price / (1 - utilization)^scarcity, clamped to max_price.
+double MarketPrice(const MarketConfig& config, double utilization);
+
+// The limit one tenant can justify at `price`: min(demand, affordable)
+// clamped to [min(min_limit, memory), memory], where
+//   demand     = used_bytes + headroom
+//   affordable = budget_per_s / price  (in GiB).
+uint64_t MarketTargetLimit(const MarketConfig& config, double price,
+                           uint64_t used_bytes, double budget_per_s,
+                           uint64_t memory_bytes);
+
 class MemoryMarket {
  public:
   MemoryMarket(sim::Simulation* sim, HostMemory* host,

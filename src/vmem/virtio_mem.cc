@@ -118,9 +118,11 @@ void VirtioMem::Request(const hv::ResizeRequest& request) {
   const bool inflate = target_blocks < plugged_blocks_;
   outcome_ = hv::ResizeOutcome{};
   outcome_.target_bytes = request.target_bytes;
-  request_deadline_ = config_.retry.request_timeout_ns > 0
-                          ? sim_->now() + config_.retry.request_timeout_ns
-                          : 0;
+  request_deadline_ =
+      request.deadline_ns > 0 ? sim_->now() + request.deadline_ns
+      : config_.retry.request_timeout_ns > 0
+          ? sim_->now() + config_.retry.request_timeout_ns
+          : 0;
   request_span_.Start(inflate ? "request.inflate" : "request.deflate");
   request_span_.AddFrames((inflate ? plugged_blocks_ - target_blocks
                                    : target_blocks - plugged_blocks_) *
