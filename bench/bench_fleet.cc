@@ -17,6 +17,7 @@
 
 #include "bench/fleet_bench.h"
 #include "bench/trace_io.h"
+#include "src/telemetry/export.h"
 
 namespace hyperalloc::bench {
 namespace {
@@ -34,6 +35,10 @@ int Main(int argc, char** argv) {
   std::string policy = "proportional-share";
   std::string arrival = "bursty";
   std::string out;
+  std::string fault_plan_spec;
+  uint64_t fault_seed = 42;
+  std::string telemetry_out;
+  bool no_telemetry = false;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--vms=", 6) == 0) {
@@ -46,6 +51,14 @@ int Main(int argc, char** argv) {
       arrival = argv[i] + 10;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--fault-plan=", 13) == 0) {
+      fault_plan_spec = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--fault-seed=", 13) == 0) {
+      fault_seed = static_cast<uint64_t>(std::atoll(argv[i] + 13));
+    } else if (std::strncmp(argv[i], "--telemetry-out=", 16) == 0) {
+      telemetry_out = argv[i] + 16;
+    } else if (std::strcmp(argv[i], "--no-telemetry") == 0) {
+      no_telemetry = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     }
@@ -56,6 +69,15 @@ int Main(int argc, char** argv) {
 
   FleetScenarioOptions options = BaseOptions(vms, threads);
   options.policy = policy;
+  options.telemetry.enabled = !no_telemetry;
+  if (!fault_plan_spec.empty()) {
+    options.fault_plan.seed = fault_seed;
+    std::string error;
+    if (!fault::Plan::Parse(fault_plan_spec, &options.fault_plan, &error)) {
+      std::fprintf(stderr, "bad --fault-plan: %s\n", error.c_str());
+      return 1;
+    }
+  }
   if (arrival == "bursty") {
     options.arrival.kind = fleet::ArrivalKind::kBursty;
   } else if (arrival == "diurnal") {
@@ -82,11 +104,23 @@ int Main(int argc, char** argv) {
   const fleet::FleetResult result = RunFleetScenario(options);
   const bool deterministic =
       reference.fleet_digest == result.fleet_digest &&
-      reference.vm_digests == result.vm_digests;
+      reference.vm_digests == result.vm_digests &&
+      reference.telemetry.telemetry_digest ==
+          result.telemetry.telemetry_digest &&
+      reference.telemetry.flight_digest == result.telemetry.flight_digest;
   std::printf("determinism: 1 thread vs %u threads -> %s "
-              "(digest %016llx)\n\n",
+              "(digest %016llx, telemetry %016llx)\n\n",
               threads, deterministic ? "IDENTICAL" : "DIVERGED",
-              static_cast<unsigned long long>(result.fleet_digest));
+              static_cast<unsigned long long>(result.fleet_digest),
+              static_cast<unsigned long long>(
+                  result.telemetry.telemetry_digest));
+  if (result.telemetry.enabled) {
+    std::printf("telemetry: %llu epochs, %llu alerts, %llu flight dumps\n\n",
+                static_cast<unsigned long long>(result.telemetry.epochs),
+                static_cast<unsigned long long>(result.telemetry.alerts),
+                static_cast<unsigned long long>(
+                    result.telemetry.flight_dumps));
+  }
 
   // Policy comparison on identical traffic.
   std::printf("  %-20s %8s %10s %10s %8s %8s %8s %12s\n", "policy",
@@ -121,6 +155,18 @@ int Main(int argc, char** argv) {
                  FleetJson(options, result, deterministic, 4).c_str());
     std::fclose(f);
     std::printf("wrote %s\n", out.c_str());
+  }
+  if (!telemetry_out.empty()) {
+    const unsigned shards = options.telemetry.shards != 0
+                                ? options.telemetry.shards
+                                : hv::HostMemory::kDefaultShards;
+    telemetry::WriteTelemetryArtifacts(telemetry_out, result.telemetry,
+                                       shards);
+    std::printf("wrote %s.{fleet.csv,vms.csv,prom,perfetto.json} "
+                "+ %llu flight dump(s)\n",
+                telemetry_out.c_str(),
+                static_cast<unsigned long long>(
+                    result.telemetry.flight_dumps));
   }
   return deterministic ? 0 : 1;
 }

@@ -2,13 +2,15 @@
 // trajectory tracks: LLFree get/put (single-frame and batched), the
 // sharded host frame pool, the span-attribution closure of a HyperAlloc
 // resize, the compile fleet (the old multi-VM experiment, now a fleet
-// client), and the policy-driven fleet scenario at 1024 VMs (128 in
-// smoke). Emits one JSON document (default BENCH_PR8.json; schema
-// checked by scripts/check_bench_json.py, regressions gated by
-// scripts/perf_gate.py) so runs are comparable across commits.
+// client), the policy-driven fleet scenario at 1024 VMs (128 in
+// smoke), and the fleet telemetry pipeline (sampling overhead, alert
+// counts, flight-recorder determinism). Emits one JSON document (default
+// BENCH_PR9.json; schema checked by scripts/check_bench_json.py,
+// regressions gated by scripts/perf_gate.py) so runs are comparable
+// across commits.
 //
 //   --smoke          small sizes for CI (seconds, not minutes)
-//   --out=PATH       output path (default BENCH_PR8.json)
+//   --out=PATH       output path (default BENCH_PR9.json)
 //   --threads=N      host threads for the pool, multi-VM, and fleet
 //                    benches (default 4; the determinism checks always
 //                    also run single-threaded and compare series/digests)
@@ -21,6 +23,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -535,6 +538,21 @@ struct FleetBench {
   bool span_matched = false;
   double span_p99_ms = 0.0;
   double engine_p99_ms = 0.0;
+  // Telemetry: the N-thread run samples the pipeline every barrier
+  // (wall_ms_on is its wall time); the same scenario with telemetry
+  // disabled gives wall_ms_off. The pipeline's stream digest must match
+  // the 1-thread reference (telemetry_deterministic).
+  bool telemetry_deterministic = false;
+  double wall_ms_on = 0.0;
+  double wall_ms_off = 0.0;
+  double telemetry_overhead_pct = 0.0;
+  // Flight-recorder probe: a fault plan aggressive enough to quarantine
+  // VMs mid-run must freeze at least one schema-valid dump, and the dump
+  // bytes must be identical across thread counts.
+  uint64_t flight_dumps = 0;
+  uint64_t flight_ring_epochs = 0;
+  uint64_t flight_digest = 0;
+  bool flight_deterministic = false;
 };
 
 FleetBench BenchFleet(bool smoke, unsigned threads) {
@@ -556,6 +574,57 @@ FleetBench BenchFleet(bool smoke, unsigned threads) {
   bench.deterministic =
       reference.fleet_digest == bench.result.fleet_digest &&
       reference.vm_digests == bench.result.vm_digests;
+  bench.telemetry_deterministic =
+      reference.telemetry.telemetry_digest ==
+          bench.result.telemetry.telemetry_digest &&
+      reference.telemetry.flight_digest ==
+          bench.result.telemetry.flight_digest;
+  // Telemetry overhead: the identical scenario with the pipeline off.
+  // Both sides are sub-second wall-clock runs, so take the minimum of
+  // three samples each — the least-noise estimate of the true cost.
+  bench.wall_ms_on = bench.result.wall_ms;
+  FleetScenarioOptions off = bench.options;
+  off.telemetry.enabled = false;
+  bench.wall_ms_off = RunFleetScenario(off).wall_ms;
+  for (int i = 0; i < 2; ++i) {
+    bench.wall_ms_on =
+        std::min(bench.wall_ms_on, RunFleetScenario(bench.options).wall_ms);
+    bench.wall_ms_off =
+        std::min(bench.wall_ms_off, RunFleetScenario(off).wall_ms);
+  }
+  bench.telemetry_overhead_pct =
+      bench.wall_ms_off > 0.0
+          ? (bench.wall_ms_on - bench.wall_ms_off) / bench.wall_ms_off * 100.0
+          : 0.0;
+
+  // Flight-recorder probe: permanent unmap faults aggressive enough to
+  // push VMs over the frame-quarantine limit mid-run. Small fleet — the
+  // point is the dump, not throughput.
+  FleetScenarioOptions flight = bench.options;
+  flight.vms = 128;
+  // Pinned regardless of --smoke: enough overcommit that the policy
+  // keeps deflating (each deflate is an unmap, i.e. a fault site), so
+  // the permanent-fault count crosses the VM-quarantine limit.
+  flight.overcommit = 1.6;
+  flight.fault_plan.seed = 42;
+  std::string plan_error;
+  HA_CHECK(fault::Plan::Parse("ept_unmap:0.6!", &flight.fault_plan,
+                              &plan_error));
+  FleetScenarioOptions flight_single = flight;
+  flight_single.threads = 1;
+  const fleet::FleetResult flight_ref = RunFleetScenario(flight_single);
+  const fleet::FleetResult flight_result = RunFleetScenario(flight);
+  bench.flight_dumps = flight_result.telemetry.flight_dumps;
+  bench.flight_digest = flight_result.telemetry.flight_digest;
+  bench.flight_ring_epochs =
+      flight_result.telemetry.dumps.empty()
+          ? 0
+          : flight_result.telemetry.dumps.front().ring_epochs;
+  bench.flight_deterministic =
+      flight_ref.telemetry.flight_digest ==
+          flight_result.telemetry.flight_digest &&
+      flight_ref.telemetry.telemetry_digest ==
+          flight_result.telemetry.telemetry_digest;
 
 #if HYPERALLOC_TRACE
   // Traced mini-fleet for the span pipeline cross-check. Every resize
@@ -637,7 +706,7 @@ std::string PhaseJson(const PhaseAttribution& phase) {
 
 int Main(int argc, char** argv) {
   bool smoke = false;
-  std::string out = "BENCH_PR8.json";
+  std::string out = "BENCH_PR9.json";
   std::string trace_out;
   unsigned threads = 4;
   unsigned batch = 512;
@@ -688,7 +757,8 @@ int Main(int argc, char** argv) {
                threads);
   const MultiVmBench multivm = BenchMultiVm(smoke, threads);
 
-  std::fprintf(stderr, "[6/6] fleet (%s VMs, 1 vs %u threads)...\n",
+  std::fprintf(stderr, "[6/6] fleet (%s VMs, 1 vs %u threads, telemetry "
+                       "on/off + flight probe)...\n",
                smoke ? "128" : "1024", threads);
   const FleetBench fleet_bench = BenchFleet(smoke, threads);
 
@@ -714,8 +784,8 @@ int Main(int argc, char** argv) {
 
   std::string json;
   json += "{\n";
-  json += "  \"schema\": \"hyperalloc-bench-v4\",\n";
-  json += "  \"pr\": \"PR8\",\n";
+  json += "  \"schema\": \"hyperalloc-bench-v5\",\n";
+  json += "  \"pr\": \"PR9\",\n";
   json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
   json += "  \"hardware_concurrency\": " + Num(uint64_t{hw}) + ",\n";
   json += "  \"note\": \"virtual-time results are deterministic; wall-clock"
@@ -805,6 +875,32 @@ int Main(int argc, char** argv) {
           std::string(fleet_bench.span_matched ? "true" : "false") + ",\n";
   json += "      \"span_p99_ms\": " + Num(fleet_bench.span_p99_ms) + ",\n";
   json += "      \"engine_p99_ms\": " + Num(fleet_bench.engine_p99_ms) + "\n";
+  json += "    },\n";
+  char flight_digest[32];
+  std::snprintf(flight_digest, sizeof(flight_digest), "0x%016" PRIx64,
+                fleet_bench.flight_digest);
+  json += "    \"telemetry\": {\n";
+  json += "      \"enabled\": " +
+          std::string(fleet_bench.result.telemetry.enabled ? "true"
+                                                           : "false") +
+          ",\n";
+  json += "      \"epochs\": " + Num(fleet_bench.result.telemetry.epochs) +
+          ",\n";
+  json += "      \"alerts\": " + Num(fleet_bench.result.telemetry.alerts) +
+          ",\n";
+  json += "      \"wall_ms_on\": " + Num(fleet_bench.wall_ms_on) + ",\n";
+  json += "      \"wall_ms_off\": " + Num(fleet_bench.wall_ms_off) + ",\n";
+  json += "      \"telemetry_overhead_pct\": " +
+          Num(fleet_bench.telemetry_overhead_pct) + ",\n";
+  json += "      \"deterministic\": " +
+          std::string(fleet_bench.telemetry_deterministic ? "true"
+                                                          : "false") +
+          ",\n";
+  json += "      \"flight\": {\"dumps\": " + Num(fleet_bench.flight_dumps) +
+          ", \"ring_epochs\": " + Num(fleet_bench.flight_ring_epochs) +
+          ", \"digest\": \"" + flight_digest + "\", \"deterministic\": " +
+          std::string(fleet_bench.flight_deterministic ? "true" : "false") +
+          "}\n";
   json += "    }\n";
   json += "  }\n";
   json += "}\n";
@@ -829,11 +925,16 @@ int Main(int argc, char** argv) {
   const bool spans_ok = !multivm.spans_checked || multivm.spans_deterministic;
   const bool fleet_span_ok =
       !fleet_bench.span_checked || fleet_bench.span_matched;
+  const bool telemetry_ok =
+      fleet_bench.telemetry_deterministic &&
+      fleet_bench.flight_deterministic &&
+      (!fleet_bench.result.telemetry.enabled || fleet_bench.flight_dumps > 0);
   if (!invariant_ok || !multivm.deterministic || !attribution_ok ||
       !spans_ok || !fleet_bench.deterministic ||
-      !fleet_bench.result.slo.spike_satisfied || !fleet_span_ok) {
+      !fleet_bench.result.slo.spike_satisfied || !fleet_span_ok ||
+      !telemetry_ok) {
     std::fprintf(
-        stderr, "FAILED: %s%s%s%s%s%s%s\n",
+        stderr, "FAILED: %s%s%s%s%s%s%s%s\n",
         invariant_ok ? "" : "pool invariant violated ",
         multivm.deterministic ? "" : "multivm non-deterministic ",
         attribution_ok ? "" : "span charge closure broken ",
@@ -842,7 +943,8 @@ int Main(int argc, char** argv) {
         fleet_bench.result.slo.spike_satisfied
             ? ""
             : "fleet pressure spike never satisfied ",
-        fleet_span_ok ? "" : "fleet span-derived p99 mismatch");
+        fleet_span_ok ? "" : "fleet span-derived p99 mismatch",
+        telemetry_ok ? "" : "telemetry stream/flight recorder broken ");
     return 1;
   }
   return 0;

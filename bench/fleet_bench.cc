@@ -119,6 +119,7 @@ fleet::FleetResult RunFleetScenario(const FleetScenarioOptions& options) {
       options.policy_config.headroom_bytes;
   config.spike = options.spike;
   config.spike.vms = std::min<uint64_t>(config.spike.vms, options.vms);
+  config.telemetry = options.telemetry;
 
   fleet::ArrivalConfig arrival = options.arrival;
   arrival.horizon = options.horizon;
@@ -130,6 +131,7 @@ fleet::FleetResult RunFleetScenario(const FleetScenarioOptions& options) {
   SetupOptions vm_options;
   vm_options.memory_bytes = options.vm_bytes;
   vm_options.balloon.reporting_order = kHugeOrder;
+  vm_options.fault_plan = options.fault_plan;
 
   fleet::FleetEngine engine(
       config, MakeFleetVmFactory(options.candidate, vm_options),
@@ -165,6 +167,12 @@ std::string FleetJson(const FleetScenarioOptions& options,
   json += in + "\"arrival\": \"" + ArrivalKindName(options.arrival.kind) +
           "\",\n";
   json += in + "\"candidate\": \"" + Name(options.candidate) + "\",\n";
+  // Validators relax reclaim-SLO expectations for fault-injected runs
+  // (a quarantined VM legitimately never satisfies the spike).
+  json += in + "\"fault_plan\": \"" +
+          (options.fault_plan.enabled() ? options.fault_plan.ToString()
+                                        : std::string()) +
+          "\",\n";
   json += in + "\"vm_mib\": " + Num(options.vm_bytes / kMiB) + ",\n";
   json += in + "\"host_gib\": " +
           Num(static_cast<double>(host_bytes) / static_cast<double>(kGiB)) +
@@ -199,6 +207,20 @@ std::string FleetJson(const FleetScenarioOptions& options,
           Num(static_cast<double>(result.pool_peak_frames) *
               static_cast<double>(kFrameSize) / static_cast<double>(kGiB)) +
           ",\n";
+  const telemetry::TelemetryResult& tel = result.telemetry;
+  char tel_digest[32];
+  std::snprintf(tel_digest, sizeof(tel_digest), "0x%016" PRIx64,
+                tel.telemetry_digest);
+  char fl_digest[32];
+  std::snprintf(fl_digest, sizeof(fl_digest), "0x%016" PRIx64,
+                tel.flight_digest);
+  json += in + "\"telemetry\": {\"enabled\": " +
+          std::string(tel.enabled ? "true" : "false") +
+          ", \"epochs\": " + Num(tel.epochs) +
+          ", \"alerts\": " + Num(tel.alerts) +
+          ", \"flight_dumps\": " + Num(tel.flight_dumps) +
+          ", \"telemetry_digest\": \"" + tel_digest +
+          "\", \"flight_digest\": \"" + fl_digest + "\"},\n";
   json += in + "\"wall_ms\": " + Num(result.wall_ms) + "\n";
   json += out + "}";
   return json;

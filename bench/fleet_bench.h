@@ -72,6 +72,11 @@ struct FleetScenarioOptions {
   fleet::PressureSpike spike{2 * sim::kMin, 32, 32 * kMiB};
   bool record_series = true;
   uint64_t seed = 1;
+  // Per-VM fault plan (VM i gets seed fault_plan.seed + i, like
+  // bench_faults); default: no faults.
+  fault::Plan fault_plan;
+  // Barrier-sampled telemetry pipeline knobs (src/telemetry/).
+  telemetry::TelemetryOptions telemetry;
 };
 
 // Policy lookup by CLI name; returns null for "none"; aborts on an

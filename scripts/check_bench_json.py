@@ -12,7 +12,16 @@ Accepts all schema revisions:
   hyperalloc-bench-v4       (PR8: adds the `fleet` orchestration section
                              and the `fleet_span_check` cross-check)
   hyperalloc-bench-fleet-v1 (PR8: standalone bench_fleet output; same
-                             `fleet` section shape as v4's embedded one)
+                             `fleet` section shape as v4's embedded one,
+                             plus the PR9 `telemetry` subobject when the
+                             emitting binary has the pipeline)
+  hyperalloc-bench-v5       (PR9: adds the `telemetry` section — sampling
+                             overhead, alert counts, flight-recorder
+                             determinism and dump digest)
+  hyperalloc-flight-v1      (PR9: a black-box flight-recorder dump frozen
+                             by the telemetry pipeline; --min-epochs=N
+                             additionally requires the ring to cover at
+                             least N epochs before the trigger)
 
 Stdlib-only on purpose: runs in CI containers with no extra packages.
 Checks structure and types, plus the semantic gates the runner itself
@@ -103,6 +112,22 @@ def check_faults(doc):
             fail(f"{ctx}: zero-rate run reclaimed nothing")
 
 
+def check_fleet_telemetry(tel, ctx):
+    """The telemetry digest subobject embedded in a fleet section."""
+    require(tel, "enabled", bool, ctx)
+    for key in ("epochs", "alerts", "flight_dumps"):
+        require(tel, key, numbers.Real, ctx)
+    for key in ("telemetry_digest", "flight_digest"):
+        value = require(tel, key, str, ctx)
+        if not value.startswith("0x") or len(value) != 18:
+            fail(f"{ctx}.{key}: expected 0x-prefixed 64-bit hex, "
+                 f"got '{value}'")
+    if tel["enabled"] and tel["epochs"] <= 0:
+        fail(f"{ctx}: telemetry enabled but sampled no epochs")
+    if not tel["enabled"] and tel["telemetry_digest"] != "0x" + "0" * 16:
+        fail(f"{ctx}: telemetry disabled but digest nonzero")
+
+
 def check_fleet(fleet, ctx):
     """One fleet section (embedded `benches.fleet` or standalone)."""
     for key in ("vms", "threads", "vm_mib", "host_gib", "horizon_s",
@@ -132,36 +157,139 @@ def check_fleet(fleet, ctx):
         require(spike, key, numbers.Real, f"{ctx}.spike")
     for key in ("applied", "satisfied"):
         require(spike, key, bool, f"{ctx}.spike")
+    # A fault-injected run may quarantine spiked VMs, in which case the
+    # spike legitimately never satisfies; only clean runs must reclaim.
+    fault_injected = bool(fleet.get("fault_plan"))
     if spike["vms"] > 0 and spike["applied"]:
-        if not spike["satisfied"]:
+        if not spike["satisfied"] and not fault_injected:
             fail(f"{ctx}: pressure spike never satisfied (time-to-reclaim "
                  f"SLO unmeasurable)")
         if spike["time_to_reclaim_ms"] < 0:
             fail(f"{ctx}: negative time-to-reclaim")
+    # PR9 emitters embed the telemetry digests; older fleet-v1 documents
+    # predate the pipeline and legitimately lack the key.
+    if "telemetry" in fleet:
+        check_fleet_telemetry(fleet["telemetry"], f"{ctx}.telemetry")
+
+
+def check_flight(doc, min_epochs):
+    """hyperalloc-flight-v1: one frozen flight-recorder dump."""
+    trigger = require(doc, "trigger", dict, "$")
+    kind = require(trigger, "kind", str, "trigger")
+    if kind not in ("alert", "quarantine", "reject_spike"):
+        fail(f"trigger.kind: unknown trigger '{kind}'")
+    require(trigger, "epoch", numbers.Real, "trigger")
+    require(trigger, "at_s", numbers.Real, "trigger")
+    if kind == "quarantine":
+        require(trigger, "vm", numbers.Real, "trigger")
+    vms = require(doc, "vms", numbers.Real, "$")
+    shards = require(doc, "shards", numbers.Real, "$")
+    if vms <= 0 or shards <= 0:
+        fail("flight dump covers no VMs/shards")
+    for alert in require(doc, "alerts", list, "$"):
+        actx = "alerts[]"
+        require(alert, "epoch", numbers.Real, actx)
+        require(alert, "at_s", numbers.Real, actx)
+        if require(alert, "kind", str, actx) not in ("latency_burn",
+                                                     "pressure_burn"):
+            fail(f"{actx}: unknown alert kind '{alert['kind']}'")
+        require(alert, "burn_fast", numbers.Real, actx)
+        require(alert, "burn_slow", numbers.Real, actx)
+    epochs = require(doc, "epochs", list, "$")
+    if len(epochs) < min_epochs:
+        fail(f"flight ring covers {len(epochs)} epochs, "
+             f"need >= {min_epochs}")
+    previous = None
+    for entry in epochs:
+        ectx = f"epochs[{entry.get('epoch')}]"
+        for key in ("epoch", "at_s", "pressure", "committed_bytes",
+                    "limit_bytes", "wss_bytes", "rss_bytes", "busy_vms",
+                    "quarantined_vms", "granted", "clipped", "rejected",
+                    "rejected_delta", "faults", "retries", "rollbacks",
+                    "latency_burn_fast", "latency_burn_slow",
+                    "pressure_burn_fast", "pressure_burn_slow"):
+            require(entry, key, numbers.Real, ectx)
+        if previous is not None and entry["epoch"] != previous + 1:
+            fail(f"{ectx}: ring epochs not consecutive "
+                 f"({previous} -> {entry['epoch']})")
+        previous = entry["epoch"]
+        shard_list = require(entry, "shards", list, ectx)
+        if len(shard_list) != shards:
+            fail(f"{ectx}: {len(shard_list)} shard rollups, "
+                 f"expected {shards}")
+        shard_vms = 0
+        for shard in shard_list:
+            sctx = f"{ectx}.shards[{shard.get('shard')}]"
+            for key in ("shard", "vms", "limit_bytes", "wss_bytes",
+                        "rss_bytes", "busy_vms", "quarantined_vms",
+                        "faults"):
+                require(shard, key, numbers.Real, sctx)
+            shard_vms += shard["vms"]
+        if shard_vms != vms:
+            fail(f"{ectx}: shard rollups cover {shard_vms} VMs, "
+                 f"expected {vms}")
+        deltas = require(entry, "counter_deltas", dict, ectx)
+        for name, value in deltas.items():
+            if not isinstance(value, numbers.Real) or value <= 0:
+                fail(f"{ectx}.counter_deltas.{name}: deltas must be "
+                     f"positive (zero deltas are dropped)")
+        omitted = require(entry, "vms_detail_omitted", numbers.Real, ectx)
+        if omitted < 0:
+            fail(f"{ectx}: vms_detail_omitted must be non-negative")
+        detail = require(entry, "vms_detail", list, ectx)
+        if len(detail) + omitted > vms:
+            fail(f"{ectx}: vms_detail covers {len(detail)} rows plus "
+                 f"{omitted} omitted, exceeding the {vms}-VM fleet")
+        for vm in detail:
+            vctx = f"{ectx}.vms_detail[{vm.get('vm')}]"
+            for key in ("vm", "limit_bytes", "target_bytes",
+                        "achieved_bytes", "wss_bytes", "rss_bytes",
+                        "demand_bytes", "busy", "quarantined", "resizes",
+                        "faults", "retries", "rollbacks",
+                        "quarantined_frames"):
+                require(vm, key, numbers.Real, vctx)
+    # The trigger epoch must be the newest frame in the ring.
+    if epochs and epochs[-1]["epoch"] != trigger["epoch"]:
+        fail(f"trigger fired at epoch {trigger['epoch']} but the ring "
+             f"ends at {epochs[-1]['epoch']}")
 
 
 def main():
-    if len(sys.argv) != 2:
-        fail("usage: check_bench_json.py BENCH.json")
+    min_epochs = 0
+    paths = []
+    for arg in sys.argv[1:]:
+        if arg.startswith("--min-epochs="):
+            min_epochs = int(arg[len("--min-epochs="):])
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
+        fail("usage: check_bench_json.py [--min-epochs=N] BENCH.json")
     try:
-        with open(sys.argv[1], encoding="utf-8") as f:
+        with open(paths[0], encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot parse {sys.argv[1]}: {e}")
+        fail(f"cannot parse {paths[0]}: {e}")
 
     schema = require(doc, "schema", str, "$")
     if schema == "hyperalloc-bench-faults-v1":
         check_faults(doc)
-        print(f"check_bench_json: OK ({sys.argv[1]}, {schema})")
+        print(f"check_bench_json: OK ({paths[0]}, {schema})")
         return
     if schema == "hyperalloc-bench-fleet-v1":
         check_fleet(require(doc, "fleet", dict, "$"), "fleet")
-        print(f"check_bench_json: OK ({sys.argv[1]}, {schema})")
+        print(f"check_bench_json: OK ({paths[0]}, {schema})")
+        return
+    if schema == "hyperalloc-flight-v1":
+        check_flight(doc, min_epochs)
+        print(f"check_bench_json: OK ({paths[0]}, {schema}, "
+              f"{len(doc['epochs'])} ring epochs)")
         return
     if schema not in ("hyperalloc-bench-v1", "hyperalloc-bench-v2",
-                      "hyperalloc-bench-v3", "hyperalloc-bench-v4"):
+                      "hyperalloc-bench-v3", "hyperalloc-bench-v4",
+                      "hyperalloc-bench-v5"):
         fail(f"unknown schema '{schema}'")
-    v4 = schema == "hyperalloc-bench-v4"
+    v5 = schema == "hyperalloc-bench-v5"
+    v4 = schema == "hyperalloc-bench-v4" or v5
     v3 = schema == "hyperalloc-bench-v3" or v4
     v2 = schema == "hyperalloc-bench-v2" or v3
     require(doc, "pr", str, "$")
@@ -247,7 +375,39 @@ def main():
                  f"({span['span_p99_ms']}) disagrees with the engine's "
                  f"({span['engine_p99_ms']})")
 
-    print(f"check_bench_json: OK ({sys.argv[1]}, {schema})")
+    if v5:
+        tel = require(benches, "telemetry", dict, "benches")
+        enabled = require(tel, "enabled", bool, "telemetry")
+        for key in ("epochs", "alerts", "wall_ms_on", "wall_ms_off",
+                    "telemetry_overhead_pct"):
+            require(tel, key, numbers.Real, "telemetry")
+        flight = require(tel, "flight", dict, "telemetry")
+        for key in ("dumps", "ring_epochs"):
+            require(flight, key, numbers.Real, "telemetry.flight")
+        require(flight, "digest", str, "telemetry.flight")
+        if enabled:
+            # The digests must match across worker-thread counts — a
+            # diverging stream means the pipeline leaked thread order.
+            if not require(tel, "deterministic", bool, "telemetry"):
+                fail("telemetry: stream digest differs between "
+                     "worker-thread counts")
+            if not require(flight, "deterministic", bool,
+                           "telemetry.flight"):
+                fail("telemetry.flight: dump bytes differ between "
+                     "worker-thread counts")
+            if tel["epochs"] <= 0:
+                fail("telemetry: enabled but sampled no epochs")
+            # The runner's fault-plan probe must actually freeze a dump;
+            # a recorder that never triggers is untested.
+            if flight["dumps"] <= 0:
+                fail("telemetry.flight: the quarantine probe froze no "
+                     "dump")
+            if min_epochs and flight["ring_epochs"] < min_epochs:
+                fail(f"telemetry.flight: ring covered "
+                     f"{flight['ring_epochs']} epochs, need "
+                     f">= {min_epochs}")
+
+    print(f"check_bench_json: OK ({paths[0]}, {schema})")
 
 
 if __name__ == "__main__":

@@ -9,8 +9,8 @@
 #      defaulted-order overloads at all),
 #   3. clang-tidy bugprone-* / concurrency-* findings (skipped with a
 #      note when clang-tidy is not installed; CI installs it),
-#   4. ha_trace_tool --self-check (the offline trace analyzer validates
-#      its own percentile / parsing / attribution math),
+#   4. ha_trace_tool / ha_fleet_top --self-check (the offline analyzers
+#      validate their own percentile / parsing / aggregation math),
 #   5. docs consistency — every --flag mentioned in README / EXPERIMENTS /
 #      DESIGN / ROADMAP must exist in the sources (or be a known external
 #      tool's flag), and every "DESIGN.md §N.M" cross-reference must point
@@ -100,10 +100,11 @@ else
   echo "clang-tidy not installed; skipping (CI runs this gate)"
 fi
 
-echo "-- gate 4: ha_trace_tool --self-check"
+echo "-- gate 4: ha_trace_tool / ha_fleet_top --self-check"
 cmake --preset default >/dev/null
-cmake --build build --target ha_trace_tool >/dev/null
+cmake --build build --target ha_trace_tool ha_fleet_top >/dev/null
 ./build/tools/ha_trace_tool --self-check || status=1
+./build/tools/ha_fleet_top --self-check || status=1
 
 echo "-- gate 5: docs consistency (flags and DESIGN.md section references)"
 python3 - <<'EOF' || status=1

@@ -64,6 +64,11 @@ METRICS = {
     ("benches", "fleet", "footprint_gib_min"): ("lower", "det"),
     ("benches", "fleet", "peak_gib"): ("lower", "det"),
     ("benches", "fleet", "wall_ms"): ("lower", "wall"),
+    # Fleet telemetry (PR9): the pipeline's wall cost relative to the
+    # same scenario with sampling off. The ratio is in-process on one
+    # host, but both sides are short wall-clock runs, so the relative
+    # trend stays informational; the hard bound is the CEILING below.
+    ("benches", "telemetry", "telemetry_overhead_pct"): ("lower", "wall"),
 }
 
 # metric path -> minimum value required of CURRENT (always gated when the
@@ -72,6 +77,14 @@ FLOORS = {
     ("benches", "llfree_batch_alloc_free", "speedup_vs_single"): 2.0,
     # The fleet policy loop must actually exercise the resize path.
     ("benches", "fleet", "resizes"): 1,
+}
+
+# metric path -> maximum value allowed of CURRENT (same in-process-ratio
+# rationale as FLOORS, for metrics where smaller is required).
+CEILINGS = {
+    # Barrier-sampled telemetry must stay cheap enough to leave on:
+    # <5% of bench_fleet wall time (the PR9 acceptance bound).
+    ("benches", "telemetry", "telemetry_overhead_pct"): 5.0,
 }
 
 
@@ -204,6 +217,25 @@ def main():
             failures.append(f"{name}: {value} below floor {floor}")
         else:
             print(f"perf_gate: ok    {name}: {value} >= floor {floor}")
+
+    for path, ceiling in sorted(CEILINGS.items()):
+        name = ".".join(path)
+        value = lookup(current, path)
+        if value is None:
+            print(f"perf_gate: skip  {name}: not in current (pre-ceiling "
+                  f"schema)")
+            continue
+        if current.get("smoke"):
+            # Smoke scenarios finish in tens of milliseconds; an on/off
+            # wall ratio at that scale is scheduler noise, not a result.
+            print(f"perf_gate: skip  {name}: smoke run (wall ratio is "
+                  f"noise at smoke scale)")
+            continue
+        if value > ceiling:
+            print(f"perf_gate: FAIL  {name}: {value} > ceiling {ceiling}")
+            failures.append(f"{name}: {value} above ceiling {ceiling}")
+        else:
+            print(f"perf_gate: ok    {name}: {value} <= ceiling {ceiling}")
 
     if failures:
         print(f"perf_gate: FAILED ({len(failures)} regression(s) vs "

@@ -1,6 +1,8 @@
 #!/usr/bin/env python3
-"""Renders bench_out/*.csv time series as a standalone SVG (no external
-dependencies), e.g.:
+"""Renders repo CSV artifacts as a standalone SVG (no external
+dependencies).
+
+Time-series mode (default) plots bench_out/*.csv series, e.g.:
 
   scripts/plot_csv.py fig8.svg \
       bench_out/compiling_detail_balloon_rss.csv \
@@ -9,6 +11,19 @@ dependencies), e.g.:
 
 Each CSV must have a `time_s,<name>` header as written by
 metrics::TimeSeries::WriteCsv.
+
+Spans mode plots the fault-injection annotations of a spans CSV (the
+.spans.csv written via --trace-out; 14-column format with faults and
+retries, 12-column pre-fault traces plot as flat zero lines):
+
+  scripts/plot_csv.py --spans faults.svg trace.spans.csv
+
+Fleet mode plots columns of the fleet telemetry CSV (PREFIX.fleet.csv
+written by bench_fleet --telemetry-out=PREFIX); pick columns with
+--cols (comma-separated header names):
+
+  scripts/plot_csv.py --fleet burn.svg telemetry.fleet.csv \
+      --cols=pressure,latency_burn_fast,pressure_burn_fast
 """
 import sys
 
@@ -17,6 +32,8 @@ PALETTE = ["#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951",
            "#ff8ab7", "#a463f2", "#97bbf5"]
 WIDTH, HEIGHT = 960, 480
 MARGIN = {"left": 70, "right": 180, "top": 30, "bottom": 50}
+
+FLEET_DEFAULT_COLS = ["pressure", "latency_burn_fast", "pressure_burn_fast"]
 
 
 def read_series(path):
@@ -30,6 +47,58 @@ def read_series(path):
                 continue
             points.append((float(parts[0]), float(parts[1])))
     return path.rsplit("/", 1)[-1].removesuffix(".csv"), name, points
+
+
+def read_spans(path):
+    """Cumulative injected faults/retries over virtual time, from a spans
+    CSV (14 columns with faults/retries at indices 10/11; legacy
+    12-column traces have neither and plot as zero)."""
+    events = []
+    with open(path) as handle:
+        handle.readline()  # header
+        for line in handle:
+            parts = line.strip().split(",")
+            if len(parts) == 14:
+                end_s = float(parts[7]) / 1e9
+                events.append((end_s, int(parts[10]), int(parts[11])))
+            elif len(parts) == 12:
+                events.append((float(parts[7]) / 1e9, 0, 0))
+    if not events:
+        sys.exit(f"no spans in {path}")
+    events.sort()
+    faults = []
+    retries = []
+    fault_total = retry_total = 0
+    for end_s, fault_count, retry_count in events:
+        fault_total += fault_count
+        retry_total += retry_count
+        faults.append((end_s, fault_total))
+        retries.append((end_s, retry_total))
+    return [("faults", "cumulative faults", faults),
+            ("retries", "cumulative retries", retries)]
+
+
+def read_fleet(path, cols):
+    """Selected columns of a telemetry fleet CSV, one series each. The
+    header row names the columns (time_s first)."""
+    with open(path) as handle:
+        header = handle.readline().strip().split(",")
+        if not header or header[0] != "time_s":
+            sys.exit(f"{path}: not a fleet telemetry CSV "
+                     f"(header must start with time_s)")
+        missing = [c for c in cols if c not in header]
+        if missing:
+            sys.exit(f"{path}: no such column(s) {','.join(missing)}; "
+                     f"have {','.join(header[1:])}")
+        indices = [header.index(c) for c in cols]
+        rows = []
+        for line in handle:
+            parts = line.strip().split(",")
+            if len(parts) != len(header):
+                continue
+            rows.append(parts)
+    return [(col, col, [(float(r[0]), float(r[i])) for r in rows])
+            for col, i in zip(cols, indices)]
 
 
 def nice_ticks(lo, hi, count=6):
@@ -51,12 +120,7 @@ def nice_ticks(lo, hi, count=6):
     return ticks
 
 
-def main():
-    if len(sys.argv) < 3:
-        sys.exit(__doc__)
-    out_path = sys.argv[1]
-    series = [read_series(path) for path in sys.argv[2:]]
-
+def render(series, out_path, x_label):
     xs = [p[0] for _, _, pts in series for p in pts]
     ys = [p[1] for _, _, pts in series for p in pts]
     if not xs:
@@ -94,7 +158,7 @@ def main():
         parts.append(f'<text x="{x:.1f}" y="{MARGIN["top"] + plot_h + 18}" '
                      f'text-anchor="middle">{tick:g}</text>')
     parts.append(f'<text x="{MARGIN["left"] + plot_w / 2}" '
-                 f'y="{HEIGHT - 10}" text-anchor="middle">time [s]</text>')
+                 f'y="{HEIGHT - 10}" text-anchor="middle">{x_label}</text>')
 
     # Series.
     for i, (label, _, pts) in enumerate(series):
@@ -113,6 +177,39 @@ def main():
     with open(out_path, "w") as handle:
         handle.write("\n".join(parts))
     print(f"wrote {out_path} ({len(series)} series)")
+
+
+def main():
+    args = sys.argv[1:]
+    mode = "series"
+    cols = FLEET_DEFAULT_COLS
+    positional = []
+    for arg in args:
+        if arg == "--spans":
+            mode = "spans"
+        elif arg == "--fleet":
+            mode = "fleet"
+        elif arg.startswith("--cols="):
+            cols = [c for c in arg[len("--cols="):].split(",") if c]
+        elif arg.startswith("--"):
+            sys.exit(__doc__)
+        else:
+            positional.append(arg)
+    if len(positional) < 2:
+        sys.exit(__doc__)
+    out_path = positional[0]
+
+    if mode == "spans":
+        if len(positional) != 2:
+            sys.exit(__doc__)
+        render(read_spans(positional[1]), out_path, "virtual time [s]")
+    elif mode == "fleet":
+        if len(positional) != 2:
+            sys.exit(__doc__)
+        render(read_fleet(positional[1], cols), out_path, "time [s]")
+    else:
+        render([read_series(path) for path in positional[1:]], out_path,
+               "time [s]")
 
 
 if __name__ == "__main__":

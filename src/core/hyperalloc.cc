@@ -175,6 +175,9 @@ void HyperAllocMonitor::QuarantineFrame(ZoneView& view, HugeId local_huge,
   HA_COUNT("monitor.quarantine_frame");
   HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kQuarantine, global_huge,
                  static_cast<uint64_t>(prior));
+  if (fault::Injector* injector = vm_->fault_injector()) {
+    injector->NotifyQuarantineFrame();
+  }
   if (quarantined_huge_ >= config_.quarantine_frame_limit) {
     QuarantineVm();
   }
@@ -191,6 +194,9 @@ void HyperAllocMonitor::QuarantineVm() {
   }
   HA_COUNT("monitor.quarantine_vm");
   HA_TRACE_EVENT(trace::Category::kFault, trace::Op::kQuarantine, ~0ull, 1);
+  if (fault::Injector* injector = vm_->fault_injector()) {
+    injector->NotifyQuarantineVm();
+  }
 }
 
 bool HyperAllocMonitor::RequestTimedOut() const {

@@ -162,6 +162,25 @@ class Injector {
     return total;
   }
 
+  // Quarantine trigger hook. The recovery layers that decide to
+  // quarantine (core/hyperalloc.cc frame/VM escalation) notify the VM's
+  // injector; pollers above the VM — the fleet telemetry pipeline at its
+  // epoch barrier — read the counts back without reaching into backend
+  // internals. Notifications happen on the VM's own simulation thread;
+  // barrier reads are quiesced, so the counts are determinism-safe.
+  void NotifyQuarantineFrame() {
+    quarantined_frames_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void NotifyQuarantineVm() {
+    quarantined_vm_.store(true, std::memory_order_relaxed);
+  }
+  uint64_t quarantined_frames() const {
+    return quarantined_frames_.load(std::memory_order_relaxed);
+  }
+  bool quarantined_vm() const {
+    return quarantined_vm_.load(std::memory_order_relaxed);
+  }
+
  private:
   static constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ull;
 
@@ -205,6 +224,8 @@ class Injector {
   bool enabled_ = false;
   Plan plan_;
   std::array<State, kNumSites> state_;
+  std::atomic<uint64_t> quarantined_frames_{0};
+  std::atomic<bool> quarantined_vm_{false};
 };
 
 // Null-safe convenience wrapper: the idiom every call site uses, so an

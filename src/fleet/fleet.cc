@@ -45,23 +45,7 @@ double PercentileMs(std::vector<double> values, double q) {
 
 metrics::TimeSeries MergeSum(const std::vector<metrics::TimeSeries>& series,
                              sim::Time period) {
-  metrics::TimeSeries merged;
-  size_t longest = 0;
-  for (const metrics::TimeSeries& s : series) {
-    longest = std::max(longest, s.points().size());
-  }
-  for (size_t k = 0; k < longest; ++k) {
-    double sum = 0.0;
-    for (const metrics::TimeSeries& s : series) {
-      if (s.empty()) {
-        continue;
-      }
-      sum += k < s.points().size() ? s.points()[k].value
-                                   : s.points().back().value;
-    }
-    merged.Sample(static_cast<sim::Time>(k) * period, sum);
-  }
-  return merged;
+  return metrics::MergeSum(series, period);
 }
 
 bool SeriesEqual(const metrics::TimeSeries& a, const metrics::TimeSeries& b) {
@@ -105,6 +89,15 @@ struct FleetEngine::VmState {
   uint64_t inflight_target = 0;
   std::vector<ResizeRecord> records;
   Fnv1a digest;
+
+  // Telemetry accounting (engine thread at barriers only). Records
+  // complete in issue order — one in-flight resize per VM, never
+  // preempted — so a cursor scan finds this epoch's completions.
+  size_t records_scanned = 0;
+  uint64_t last_achieved = 0;
+  uint64_t faults_total = 0;
+  uint64_t retries_total = 0;
+  uint64_t rollbacks_total = 0;
 
   uint64_t limit_bytes() const {
     return parts.deflator != nullptr ? parts.deflator->limit_bytes()
@@ -321,6 +314,7 @@ void FleetEngine::ControlStep(sim::Time barrier, FleetResult* result) {
   }
 
   if (policy_ == nullptr) {
+    SampleTelemetry(barrier, committed, pool.pressure);
     return;
   }
   std::vector<ResizeAction> actions(n);
@@ -393,6 +387,9 @@ void FleetEngine::ControlStep(sim::Time barrier, FleetResult* result) {
         r.achieved_bytes = o.achieved_bytes;
         r.complete = o.complete;
         r.timed_out = o.timed_out;
+        r.faults = o.faults;
+        r.retries = o.retries;
+        r.rollbacks = o.rollbacks;
       } else {
         r.achieved_bytes = state->parts.deflator->limit_bytes();
         r.complete = r.achieved_bytes == r.target_bytes;
@@ -404,6 +401,9 @@ void FleetEngine::ControlStep(sim::Time barrier, FleetResult* result) {
       state->digest.Mix(r.achieved_bytes);
       state->digest.Mix(static_cast<uint64_t>(r.complete) |
                         (static_cast<uint64_t>(r.timed_out) << 1));
+      state->digest.Mix(r.faults);
+      state->digest.Mix(r.retries);
+      state->digest.Mix(r.rollbacks);
     };
     {
 #if HYPERALLOC_TRACE
@@ -417,6 +417,68 @@ void FleetEngine::ControlStep(sim::Time barrier, FleetResult* result) {
       s.parts.deflator->Request(request);
     }
   }
+
+  // Sampled after issue so the gauges see this barrier's in-flight
+  // targets and busy bits (the state the next epoch runs under).
+  SampleTelemetry(barrier, committed, pool.pressure);
+}
+
+void FleetEngine::SampleTelemetry(sim::Time barrier, uint64_t committed_bytes,
+                                  double pressure) {
+  if (telemetry_ == nullptr || !telemetry_->enabled()) {
+    return;
+  }
+  const uint64_t n = states_.size();
+  std::vector<telemetry::VmGauges> gauges(n);
+  std::vector<double> completed_ms;
+  for (uint64_t i = 0; i < n; ++i) {
+    VmState& s = *states_[i];
+    if (i + 1 < n) {
+      // The fill below chases cold per-VM objects; overlapping the next
+      // VM's cache misses with this one's reads keeps the barrier sample
+      // inside the telemetry wall budget at fleet scale. Two-deep: the
+      // i+1 header was prefetched last iteration, so its guest/fault
+      // objects can be requested now.
+      VmState& next = *states_[i + 1];
+      __builtin_prefetch(next.parts.vm.get());
+      if (next.parts.fault != nullptr) {
+        __builtin_prefetch(next.parts.fault.get());
+      }
+      if (i + 2 < n) {
+        __builtin_prefetch(states_[i + 2].get());
+      }
+    }
+    while (s.records_scanned < s.records.size() &&
+           s.records[s.records_scanned].completed != 0) {
+      const ResizeRecord& r = s.records[s.records_scanned++];
+      completed_ms.push_back(static_cast<double>(r.completed - r.issued) /
+                             static_cast<double>(sim::kMs));
+      s.last_achieved = r.achieved_bytes;
+      s.faults_total += r.faults;
+      s.retries_total += r.retries;
+      s.rollbacks_total += r.rollbacks;
+    }
+    telemetry::VmGauges& g = gauges[i];
+    g.vm = i;
+    g.limit_bytes = s.limit_bytes();
+    g.target_bytes = s.inflight_target;
+    g.achieved_bytes = s.last_achieved;
+    g.wss_bytes = s.wss_bytes;
+    g.rss_bytes = s.parts.vm->rss_bytes();
+    g.demand_bytes = s.agent->demand_bytes();
+    g.busy = s.parts.deflator != nullptr && s.parts.deflator->busy();
+    g.resizes = s.records_scanned;
+    g.faults = s.faults_total;
+    g.retries = s.retries_total;
+    g.rollbacks = s.rollbacks_total;
+    if (s.parts.fault != nullptr) {
+      g.quarantined = s.parts.fault->quarantined_vm();
+      g.quarantined_frames = s.parts.fault->quarantined_frames();
+    }
+  }
+  telemetry_->OnEpoch(barrier, std::move(gauges), committed_bytes, pressure,
+                      admission_.granted, admission_.clipped,
+                      admission_.rejected, completed_ms);
 }
 
 void FleetEngine::RunEpochs(FleetResult* result) {
@@ -492,7 +554,10 @@ FleetResult FleetEngine::Run() {
   if (config_.run_to_completion) {
     RunToCompletion();
   } else {
+    telemetry_ = std::make_unique<telemetry::Pipeline>(
+        config_.telemetry, config_.vms, host_->shards(), config_.epoch);
     RunEpochs(&result);
+    result.telemetry = telemetry_->Finish();
   }
   const auto wall_end = std::chrono::steady_clock::now();
 
@@ -515,7 +580,8 @@ FleetResult FleetEngine::Run() {
   }
   result.fleet_digest = fleet_digest.h;
   if (!result.per_vm_rss.empty()) {
-    result.merged = MergeSum(result.per_vm_rss, config_.sample_period);
+    result.merged =
+        metrics::MergeSum(result.per_vm_rss, config_.sample_period);
     result.footprint_gib_min = result.merged.IntegralPerMinute();
     result.peak_gib = result.merged.Max();
   }

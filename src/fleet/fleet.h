@@ -42,6 +42,7 @@
 #include "src/hv/host_memory.h"
 #include "src/metrics/timeseries.h"
 #include "src/sim/simulation.h"
+#include "src/telemetry/telemetry.h"
 
 namespace hyperalloc::fleet {
 
@@ -128,6 +129,10 @@ struct FleetConfig {
   // Arm the host pool's kHostReserve site with VM 0's injector.
   bool arm_host_faults = false;
   PressureSpike spike;
+  // Fleet telemetry pipeline (epoch mode only; no-op under
+  // -DHYPERALLOC_TRACE=0 and in run-to-completion mode, which has no
+  // barriers to sample at).
+  telemetry::TelemetryOptions telemetry;
 };
 
 // One issued resize, on the VM's virtual clock.
@@ -139,6 +144,11 @@ struct ResizeRecord {
   uint64_t achieved_bytes = 0;
   bool complete = false;
   bool timed_out = false;
+  // Fault-recovery accounting for this request (from the backend's
+  // ResizeOutcome; zero for backends without outcome machinery).
+  uint64_t faults = 0;
+  uint64_t retries = 0;
+  uint64_t rollbacks = 0;
 };
 
 // Admission-control accounting (grow requests only; shrinks always
@@ -180,6 +190,9 @@ struct FleetResult {
   AdmissionStats admission;
   std::vector<ResizeRecord> resizes;
   std::vector<uint64_t> final_limit_bytes;
+  // Barrier-sampled fleet telemetry (empty unless epoch mode with
+  // telemetry enabled under HYPERALLOC_TRACE).
+  telemetry::TelemetryResult telemetry;
 };
 
 // Sums sample index k across all series; series that ended keep
@@ -232,6 +245,10 @@ class FleetEngine {
   void ControlStep(sim::Time barrier, FleetResult* result);
   void ParallelPass(const std::function<void(uint64_t)>& task);
   void StartSampling(VmState* state);
+  // End-of-barrier telemetry sample: reads gauges with the fleet
+  // quiesced and feeds Pipeline::OnEpoch.
+  void SampleTelemetry(sim::Time barrier, uint64_t committed_bytes,
+                       double pressure);
 
   FleetConfig config_;
   VmFactory vm_factory_;
@@ -245,6 +262,9 @@ class FleetEngine {
   // Shared-clock mode only: the one simulation every VM lives on.
   std::unique_ptr<sim::Simulation> shared_sim_;
   std::vector<std::unique_ptr<VmState>> states_;
+
+  // Epoch-mode telemetry pipeline (null in run-to-completion mode).
+  std::unique_ptr<telemetry::Pipeline> telemetry_;
 
   // Epoch-mode control state.
   bool ledger_active_ = false;

@@ -72,6 +72,26 @@ void TimeSeries::WriteCsv(const std::string& path,
   std::fclose(file);
 }
 
+TimeSeries MergeSum(const std::vector<TimeSeries>& series, sim::Time period) {
+  TimeSeries merged;
+  size_t longest = 0;
+  for (const TimeSeries& s : series) {
+    longest = std::max(longest, s.points().size());
+  }
+  for (size_t k = 0; k < longest; ++k) {
+    double sum = 0.0;
+    for (const TimeSeries& s : series) {
+      if (s.empty()) {
+        continue;
+      }
+      sum += k < s.points().size() ? s.points()[k].value
+                                   : s.points().back().value;
+    }
+    merged.Sample(static_cast<sim::Time>(k) * period, sum);
+  }
+  return merged;
+}
+
 Sampler::Sampler(sim::Simulation* sim, sim::Time interval, TimeSeries* series,
                  std::function<double()> probe)
     : sim_(sim), interval_(interval), series_(series),

@@ -44,6 +44,14 @@ class TimeSeries {
   std::vector<Point> points_;
 };
 
+// Hierarchical sum-merge: sums sample index k across all series, stamping
+// the merged point at k * period. Series that ended keep contributing
+// their last value (an idle VM still holds its memory). Grouping is
+// associative for the byte-derived GiB values the fleet samples (n·2⁻³⁰
+// with n < 2⁵³ is exact), so merging per-shard rollups equals merging the
+// raw per-VM series directly — tests/telemetry_test.cc asserts this.
+TimeSeries MergeSum(const std::vector<TimeSeries>& series, sim::Time period);
+
 // Periodically samples `probe` into `series` until Stop() (or forever).
 class Sampler {
  public:

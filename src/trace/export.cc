@@ -27,7 +27,8 @@ void PrintJsonString(std::FILE* file, const std::string& s) {
 }
 
 // Prometheus metric names: dotted lowercase -> underscore-separated with
-// the hyperalloc_ namespace prefix.
+// the hyperalloc_ namespace prefix. Lossy on its own: "a.b" and "a_b"
+// both mangle to "hyperalloc_a_b" (PrometheusNameMap resolves that).
 std::string PrometheusName(const std::string& name) {
   std::string out = "hyperalloc_";
   for (const char c : name) {
@@ -36,6 +37,15 @@ std::string PrometheusName(const std::string& name) {
     out.push_back(ok ? c : '_');
   }
   return out;
+}
+
+uint64_t Fnv1aHash(const std::string& s) {
+  uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 void PrintHistogramJson(std::FILE* file, const Histogram::Snapshot& snap) {
@@ -56,6 +66,36 @@ void PrintHistogramJson(std::FILE* file, const Histogram::Snapshot& snap) {
 }
 
 }  // namespace
+
+std::map<std::string, std::string> PrometheusNameMap(
+    const std::vector<std::string>& names) {
+  std::map<std::string, std::string> out;
+  // Count distinct dotted names per mangled form; a form claimed by more
+  // than one dotted name is a collision group and every member gets the
+  // hash suffix (the suffix is a pure function of the dotted name, so a
+  // member's final form is stable no matter who else collides with it).
+  std::map<std::string, std::vector<std::string>> groups;
+  for (const std::string& name : names) {
+    if (out.count(name) != 0) {
+      continue;  // duplicate input
+    }
+    out.emplace(name, std::string());
+    groups[PrometheusName(name)].push_back(name);
+  }
+  for (const auto& [mangled, members] : groups) {
+    for (const std::string& name : members) {
+      if (members.size() == 1) {
+        out[name] = mangled;
+      } else {
+        char suffix[16];
+        std::snprintf(suffix, sizeof(suffix), "_x%08x",
+                      static_cast<unsigned>(Fnv1aHash(name) & 0xffffffffu));
+        out[name] = mangled + suffix;
+      }
+    }
+  }
+  return out;
+}
 
 void WriteJson(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "w");
@@ -237,13 +277,27 @@ void WriteSpansCsv(const std::string& path,
 void WritePrometheus(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   HA_CHECK(file != nullptr);
-  for (const auto& [name, value] : CounterRegistry::Global().Counters()) {
-    const std::string metric = PrometheusName(name);
+  const auto counters = CounterRegistry::Global().Counters();
+  const auto histograms = CounterRegistry::Global().Histograms();
+  // Counters and histograms share one exposition namespace, so collision
+  // detection must span both snapshots.
+  std::vector<std::string> names;
+  names.reserve(counters.size() + histograms.size());
+  for (const auto& [name, value] : counters) {
+    names.push_back(name);
+  }
+  for (const auto& [name, snap] : histograms) {
+    names.push_back(name);
+  }
+  const std::map<std::string, std::string> metric_names =
+      PrometheusNameMap(names);
+  for (const auto& [name, value] : counters) {
+    const std::string& metric = metric_names.at(name);
     std::fprintf(file, "# TYPE %s counter\n", metric.c_str());
     std::fprintf(file, "%s %" PRIu64 "\n", metric.c_str(), value);
   }
-  for (const auto& [name, snap] : CounterRegistry::Global().Histograms()) {
-    const std::string metric = PrometheusName(name);
+  for (const auto& [name, snap] : histograms) {
+    const std::string& metric = metric_names.at(name);
     std::fprintf(file, "# TYPE %s histogram\n", metric.c_str());
     // Cumulative buckets; bucket b spans [BucketLowerBound(b),
     // BucketLowerBound(b+1)), so its inclusive upper bound `le` is the

@@ -4,6 +4,7 @@
 // harness emits via --trace-out (see bench/trace_io.h).
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -39,9 +40,19 @@ void WritePerfettoJson(const std::string& path,
 void WriteSpansCsv(const std::string& path,
                    const std::vector<SpanRecord>& spans);
 
+// Maps every dotted metric name to its Prometheus exposition name
+// (`hyperalloc_` prefix, non-alphanumerics to '_'). Two *distinct*
+// dotted names can mangle identically ("a.b" vs "a_b"); every member of
+// such a collision group gets a stable `_x<8-hex FNV-1a of the dotted
+// name>` suffix, so no sample silently overwrites another and a name's
+// disambiguated form never depends on registration order.
+std::map<std::string, std::string> PrometheusNameMap(
+    const std::vector<std::string>& names);
+
 // Prometheus text exposition: counters as `hyperalloc_<name>` counter
 // samples, histograms as cumulative `_bucket{le=...}` series (power-of-2
-// bounds) plus `_sum`/`_count`. Dots in names become underscores.
+// bounds) plus `_sum`/`_count`. Dots in names become underscores, with
+// PrometheusNameMap's suffix rule breaking mangling collisions.
 void WritePrometheus(const std::string& path);
 
 // Dispatches on the extension: "*.json" produces one JSON artifact;

@@ -24,6 +24,8 @@ const char* Name(Layer layer) {
       return "iommu";
     case Layer::kHostPool:
       return "hostpool";
+    case Layer::kTelemetry:
+      return "telemetry";
   }
   return "?";
 }

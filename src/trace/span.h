@@ -46,13 +46,14 @@ enum class Layer : uint8_t {
   kBackend,   // virtio-balloon / virtio-mem driver + device work
   kGuest,     // guest-side allocator & migration work
   kLLFree,    // shared page-frame allocator operations
-  kEpt,       // second-stage unmap/populate (madvise, TLB shootdown)
-  kIommu,     // VFIO pin/unpin + IOTLB flushes
-  kHostPool,  // sharded host frame pool slow paths
+  kEpt,        // second-stage unmap/populate (madvise, TLB shootdown)
+  kIommu,      // VFIO pin/unpin + IOTLB flushes
+  kHostPool,   // sharded host frame pool slow paths
+  kTelemetry,  // fleet telemetry markers (SLO burn-rate alerts)
 };
 
 const char* Name(Layer layer);
-inline constexpr unsigned kNumLayers = 8;
+inline constexpr unsigned kNumLayers = 9;
 
 // One closed span. `name` must be a string literal (stored by pointer).
 struct SpanRecord {

@@ -124,6 +124,8 @@ const char* Name(Category category) {
       return "state";
     case Category::kFault:
       return "fault";
+    case Category::kTelemetry:
+      return "telemetry";
   }
   return "?";
 }
@@ -184,6 +186,10 @@ const char* Name(Op op) {
       return "quarantine";
     case Op::kTimeout:
       return "timeout";
+    case Op::kAlert:
+      return "alert";
+    case Op::kFlightDump:
+      return "flight_dump";
   }
   return "?";
 }

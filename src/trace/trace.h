@@ -180,6 +180,7 @@ enum class Category : uint8_t {
   kMonitor,  // HyperAlloc monitor reclaim/return/install
   kState,    // reclaim-state (R array) transitions
   kFault,    // injected faults and their recovery (retry/rollback/...)
+  kTelemetry,  // fleet telemetry pipeline (burn alerts, flight dumps)
 };
 
 enum class Op : uint8_t {
@@ -210,6 +211,8 @@ enum class Op : uint8_t {
   kRollback,    // partial work undone to restore a legal state
   kQuarantine,  // a frame (or the VM) entered fault quarantine
   kTimeout,     // a resize request hit its deadline
+  kAlert,       // SLO burn-rate alert fired (telemetry)
+  kFlightDump,  // flight recorder froze and dumped a postmortem bundle
 };
 
 const char* Name(Category category);

@@ -28,9 +28,11 @@ namespace {
 // src-only VM factory: LLFree guest + HyperAlloc monitor, optional
 // per-VM decorrelated fault plan (same seed derivation as the bench
 // factory: plan.seed + index).
-VmFactory TestVmFactory(uint64_t vm_bytes, fault::Plan plan = {}) {
-  return [vm_bytes, plan](sim::Simulation* sim, hv::HostMemory* host,
-                          uint64_t index, const std::string& name) {
+VmFactory TestVmFactory(uint64_t vm_bytes, fault::Plan plan = {},
+                        core::HyperAllocConfig monitor = {}) {
+  return [vm_bytes, plan, monitor](sim::Simulation* sim,
+                                   hv::HostMemory* host, uint64_t index,
+                                   const std::string& name) {
     guest::GuestConfig gc;
     gc.name = name;
     gc.memory_bytes = vm_bytes;
@@ -40,8 +42,8 @@ VmFactory TestVmFactory(uint64_t vm_bytes, fault::Plan plan = {}) {
 
     FleetVmParts parts;
     parts.vm = std::make_unique<guest::GuestVm>(sim, host, gc);
-    parts.deflator = std::make_unique<core::HyperAllocMonitor>(
-        parts.vm.get(), core::HyperAllocConfig{});
+    parts.deflator =
+        std::make_unique<core::HyperAllocMonitor>(parts.vm.get(), monitor);
     if (plan.enabled()) {
       fault::Plan mine = plan;
       mine.seed += index;
@@ -108,6 +110,100 @@ TEST(FleetDeterminism, ByteIdenticalAcross1And4And16Threads) {
     EXPECT_EQ(one.slo.resizes, many.slo.resizes);
     EXPECT_EQ(one.final_limit_bytes, many.final_limit_bytes);
   }
+}
+
+// ---------------------------------------------------------------------
+// Telemetry determinism: the barrier-sampled stream and the flight
+// recorder are pure functions of virtual time, so their digests must be
+// byte-identical across worker-thread counts even with a fault plan
+// driving VMs into quarantine mid-run (DESIGN.md §4.13).
+// ---------------------------------------------------------------------
+
+#if HYPERALLOC_TRACE
+FleetResult RunTelemetryFleet(unsigned threads) {
+  const uint64_t kVms = 512;
+  const uint64_t vm_bytes = 64 * kMiB;
+  PolicyConfig pc;
+
+  FleetConfig config;
+  config.vms = kVms;
+  config.threads = threads;
+  config.vm_bytes = vm_bytes;
+  config.host_bytes = kVms * 40 * kMiB;  // ~1.6x overcommit
+  config.horizon = 2 * sim::kMin;
+  config.epoch = 5 * sim::kSec;
+  config.record_series = false;
+  config.initial_limit_bytes = pc.min_limit_bytes + pc.headroom_bytes;
+  config.spike = {sim::kMin, 32, 16 * kMiB};
+  // Telemetry on (the default), span emission off: the test runs without
+  // the global tracers and must not depend on their state.
+  config.telemetry.emit_spans = false;
+
+  // Permanent unmap faults push frames toward the per-VM quarantine
+  // limit; under 1.6x overcommit the policy keeps deflating (every
+  // deflate is an unmap site), so some VMs quarantine mid-run and the
+  // flight recorder freezes a bundle. The limit is tightened from its
+  // default 16 so quarantine trips within the short test horizon (the
+  // per-VM fault budget here is ~1-2 permanent faults).
+  fault::Plan plan;
+  std::string error;
+  EXPECT_TRUE(fault::Plan::Parse("ept_unmap:0.6!", &plan, &error)) << error;
+  plan.seed = 42;
+  core::HyperAllocConfig monitor;
+  monitor.quarantine_frame_limit = 2;
+
+  ArrivalConfig ac;
+  ac.kind = ArrivalKind::kBursty;
+  ac.horizon = config.horizon;
+  ac.peak_bytes = 48 * kMiB;
+  auto arrivals = std::make_shared<std::unique_ptr<ArrivalProcess>>(
+      MakeArrivalProcess(ac));
+
+  FleetEngine engine(
+      config, TestVmFactory(vm_bytes, plan, monitor),
+      [arrivals](uint64_t index) {
+        DemandAgentConfig dc;
+        dc.trace = (*arrivals)->Generate(index);
+        return std::make_unique<DemandAgent>(dc);
+      },
+      MakeProportionalShare(pc));
+  return engine.Run();
+}
+#endif  // HYPERALLOC_TRACE
+
+TEST(FleetTelemetry, DigestsByteIdenticalAcross1And4And16Threads) {
+#if !HYPERALLOC_TRACE
+  GTEST_SKIP() << "telemetry compiled out (HYPERALLOC_TRACE=0)";
+#else
+  const FleetResult one = RunTelemetryFleet(1);
+  ASSERT_TRUE(one.telemetry.enabled);
+  EXPECT_GT(one.telemetry.epochs, 0u);
+  EXPECT_NE(one.telemetry.telemetry_digest, 0u);
+  // The fault plan must actually drive the flight recorder, otherwise
+  // flight-digest equality below is vacuous.
+  ASSERT_GT(one.telemetry.flight_dumps, 0u);
+  EXPECT_NE(one.telemetry.flight_digest, 0u);
+
+  for (const unsigned threads : {4u, 16u}) {
+    const FleetResult many = RunTelemetryFleet(threads);
+    EXPECT_EQ(one.fleet_digest, many.fleet_digest)
+        << "fleet digest diverged at " << threads << " threads";
+    EXPECT_EQ(one.telemetry.telemetry_digest, many.telemetry.telemetry_digest)
+        << "telemetry stream diverged at " << threads << " threads";
+    EXPECT_EQ(one.telemetry.flight_digest, many.telemetry.flight_digest)
+        << "flight bundles diverged at " << threads << " threads";
+    EXPECT_EQ(one.telemetry.epochs, many.telemetry.epochs);
+    EXPECT_EQ(one.telemetry.alerts, many.telemetry.alerts);
+    EXPECT_EQ(one.telemetry.flight_dumps, many.telemetry.flight_dumps);
+    // Byte-level check on the serialized bundles, not just the digest.
+    ASSERT_EQ(one.telemetry.dumps.size(), many.telemetry.dumps.size());
+    for (size_t i = 0; i < one.telemetry.dumps.size(); ++i) {
+      EXPECT_EQ(one.telemetry.dumps[i].json, many.telemetry.dumps[i].json);
+      EXPECT_EQ(one.telemetry.dumps[i].perfetto,
+                many.telemetry.dumps[i].perfetto);
+    }
+  }
+#endif  // HYPERALLOC_TRACE
 }
 
 // ---------------------------------------------------------------------

@@ -87,6 +87,62 @@ TEST(TimeSeries, CsvRoundTrip) {
   std::fclose(f);
 }
 
+TEST(MergeSum, SumsIndexAlignedPoints) {
+  std::vector<TimeSeries> series(2);
+  series[0].Sample(0, 1.0);
+  series[0].Sample(sim::kSec, 2.0);
+  series[1].Sample(0, 10.0);
+  series[1].Sample(sim::kSec, 20.0);
+  const TimeSeries merged = MergeSum(series, sim::kSec);
+  ASSERT_EQ(merged.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(merged.points()[0].value, 11.0);
+  EXPECT_DOUBLE_EQ(merged.points()[1].value, 22.0);
+  // Merged points are re-stamped on the period grid.
+  EXPECT_EQ(merged.points()[1].at, sim::kSec);
+}
+
+TEST(MergeSum, EndedSeriesCarryLastValue) {
+  std::vector<TimeSeries> series(2);
+  series[0].Sample(0, 5.0);  // ends after one point
+  series[1].Sample(0, 1.0);
+  series[1].Sample(sim::kSec, 2.0);
+  series[1].Sample(2 * sim::kSec, 3.0);
+  const TimeSeries merged = MergeSum(series, sim::kSec);
+  ASSERT_EQ(merged.points().size(), 3u);
+  EXPECT_DOUBLE_EQ(merged.points()[1].value, 7.0);  // 5 carried + 2
+  EXPECT_DOUBLE_EQ(merged.points()[2].value, 8.0);
+}
+
+TEST(MergeSum, GroupingIsAssociative) {
+  // The hierarchical-rollup property the telemetry pipeline depends on:
+  // merging per-shard merges equals merging all series directly, because
+  // the sampled values (GiB = n * 2^-30, n < 2^53) are exact doubles.
+  std::vector<TimeSeries> all(4);
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (uint64_t k = 0; k < 5; ++k) {
+      const double gib = static_cast<double>((i + 1) * (k + 3) * 4096) /
+                         static_cast<double>(uint64_t{1} << 30);
+      all[i].Sample(static_cast<sim::Time>(k) * sim::kSec, gib);
+    }
+  }
+  const TimeSeries direct = MergeSum(all, sim::kSec);
+  const std::vector<TimeSeries> shard = {
+      MergeSum({all[0], all[1]}, sim::kSec),
+      MergeSum({all[2], all[3]}, sim::kSec)};
+  const TimeSeries grouped = MergeSum(shard, sim::kSec);
+  ASSERT_EQ(direct.points().size(), grouped.points().size());
+  for (size_t k = 0; k < direct.points().size(); ++k) {
+    EXPECT_EQ(direct.points()[k].value, grouped.points()[k].value) << k;
+    EXPECT_EQ(direct.points()[k].at, grouped.points()[k].at) << k;
+  }
+}
+
+TEST(MergeSum, EmptyInputs) {
+  EXPECT_TRUE(MergeSum({}, sim::kSec).points().empty());
+  std::vector<TimeSeries> series(2);  // both empty
+  EXPECT_TRUE(MergeSum(series, sim::kSec).points().empty());
+}
+
 TEST(Sampler, SamplesAtInterval) {
   sim::Simulation sim;
   TimeSeries ts;

@@ -292,5 +292,47 @@ TEST_F(TraceTest, CsvArtifactWritesEventsAndCounters) {
   EXPECT_NE(counters_csv.find("test.csv_counter,1"), std::string::npos);
 }
 
+// Regression: "a.b" and "a_b" both mangle to "hyperalloc_a_b"; without
+// disambiguation one sample silently overwrites the other in the
+// exposition. Collision groups get a stable per-name suffix.
+TEST(PrometheusNameMapTest, CollisionsGetStableSuffixes) {
+  const std::vector<std::string> names = {"pool.get", "pool_get",
+                                          "monitor.resize"};
+  const std::map<std::string, std::string> map = PrometheusNameMap(names);
+  ASSERT_EQ(map.size(), 3u);
+  // The unambiguous name keeps the plain mangled form.
+  EXPECT_EQ(map.at("monitor.resize"), "hyperalloc_monitor_resize");
+  // Both collision-group members are suffixed (neither silently claims
+  // the plain form) and stay distinct.
+  EXPECT_NE(map.at("pool.get"), map.at("pool_get"));
+  EXPECT_NE(map.at("pool.get"), "hyperalloc_pool_get");
+  EXPECT_NE(map.at("pool_get"), "hyperalloc_pool_get");
+  EXPECT_EQ(map.at("pool.get").rfind("hyperalloc_pool_get_x", 0), 0u)
+      << map.at("pool.get");
+}
+
+TEST(PrometheusNameMapTest, SuffixIndependentOfRegistrationOrder) {
+  // A name's disambiguated form is a pure function of the name itself:
+  // permuting or growing the input set never changes an existing form.
+  const std::map<std::string, std::string> forward =
+      PrometheusNameMap({"a.b", "a_b"});
+  const std::map<std::string, std::string> reversed =
+      PrometheusNameMap({"a_b", "a.b"});
+  EXPECT_EQ(forward.at("a.b"), reversed.at("a.b"));
+  EXPECT_EQ(forward.at("a_b"), reversed.at("a_b"));
+  const std::map<std::string, std::string> grown =
+      PrometheusNameMap({"a.b", "a_b", "other.metric"});
+  EXPECT_EQ(forward.at("a.b"), grown.at("a.b"));
+  EXPECT_EQ(grown.at("other.metric"), "hyperalloc_other_metric");
+}
+
+TEST(PrometheusNameMapTest, DuplicateInputsAndNoCollisions) {
+  const std::map<std::string, std::string> map =
+      PrometheusNameMap({"x.y", "x.y", "plain"});
+  ASSERT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.at("x.y"), "hyperalloc_x_y");
+  EXPECT_EQ(map.at("plain"), "hyperalloc_plain");
+}
+
 }  // namespace
 }  // namespace hyperalloc::trace

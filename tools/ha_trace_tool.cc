@@ -107,6 +107,67 @@ bool Load(const std::string& path, std::vector<Row>* rows) {
   return true;
 }
 
+// Layers the span pipeline can emit (src/trace/span.cc Name(Layer)).
+// "telemetry" rows are zero-length event markers (alerts, flight dumps)
+// from the fleet telemetry pipeline, not timed spans — they are split
+// out of the latency/critical-path analysis and reported separately.
+bool KnownSpanLayer(const std::string& layer) {
+  static const char* const kLayers[] = {"request", "monitor", "backend",
+                                        "guest",   "llfree",  "ept",
+                                        "iommu",   "hostpool"};
+  for (const char* known : kLayers) {
+    if (layer == known) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Splits `rows` into timed spans and telemetry event markers. Rows with
+// a layer this tool does not know are kept in the span analysis (their
+// timing columns are still valid) but warned about ONCE with a final
+// count, instead of being silently folded in.
+void SplitTelemetry(const std::vector<Row>& rows, std::vector<Row>* spans,
+                    std::vector<Row>* events, uint64_t* unknown) {
+  bool warned = false;
+  for (const Row& row : rows) {
+    if (row.layer == "telemetry") {
+      events->push_back(row);
+      continue;
+    }
+    if (!KnownSpanLayer(row.layer)) {
+      ++*unknown;
+      if (!warned) {
+        std::fprintf(stderr,
+                     "ha_trace_tool: warning: unknown span layer '%s' "
+                     "(keeping in span analysis; counting further "
+                     "unknowns silently)\n",
+                     row.layer.c_str());
+        warned = true;
+      }
+    }
+    spans->push_back(row);
+  }
+}
+
+void PrintTelemetryEvents(const std::vector<Row>& events, uint64_t unknown) {
+  if (!events.empty()) {
+    std::map<std::string, uint64_t> by_name;
+    for (const Row& row : events) {
+      ++by_name[row.name];
+    }
+    std::printf("Telemetry events (markers, excluded from latency stats):\n");
+    for (const auto& [name, count] : by_name) {
+      std::printf("  %-26s %10" PRIu64 "\n", name.c_str(), count);
+    }
+    std::printf("\n");
+  }
+  if (unknown > 0) {
+    std::printf("Unknown-layer spans kept in analysis: %" PRIu64 "\n\n",
+                unknown);
+  }
+}
+
 // Nearest-rank percentile over a sorted sample (p in [0,100]).
 uint64_t Percentile(const std::vector<uint64_t>& sorted, double p) {
   if (sorted.empty()) {
@@ -239,19 +300,36 @@ int Report(const std::string& path) {
   if (!Load(path, &rows)) {
     return 1;
   }
-  std::printf("%s: %zu spans\n\n", path.c_str(), rows.size());
-  PrintLayerBreakdown(rows);
-  PrintPercentiles(rows);
-  PrintFaults(rows);
-  PrintCriticalPath(rows);
+  std::vector<Row> spans;
+  std::vector<Row> events;
+  uint64_t unknown = 0;
+  SplitTelemetry(rows, &spans, &events, &unknown);
+  std::printf("%s: %zu spans, %zu telemetry events\n\n", path.c_str(),
+              spans.size(), events.size());
+  PrintLayerBreakdown(spans);
+  PrintPercentiles(spans);
+  PrintFaults(spans);
+  PrintTelemetryEvents(events, unknown);
+  PrintCriticalPath(spans);
   return 0;
 }
 
 int Diff(const std::string& path_a, const std::string& path_b) {
+  std::vector<Row> rows_a;
+  std::vector<Row> rows_b;
+  if (!Load(path_a, &rows_a) || !Load(path_b, &rows_b)) {
+    return 1;
+  }
   std::vector<Row> a;
   std::vector<Row> b;
-  if (!Load(path_a, &a) || !Load(path_b, &b)) {
-    return 1;
+  std::vector<Row> events_a;
+  std::vector<Row> events_b;
+  uint64_t unknown = 0;
+  SplitTelemetry(rows_a, &a, &events_a, &unknown);
+  SplitTelemetry(rows_b, &b, &events_b, &unknown);
+  if (!events_a.empty() || !events_b.empty()) {
+    std::printf("Telemetry events: %zu -> %zu (excluded from attribution)\n",
+                events_a.size(), events_b.size());
   }
   const std::map<std::string, uint64_t> layers_a = LayerChargeNs(a);
   const std::map<std::string, uint64_t> layers_b = LayerChargeNs(b);
@@ -361,6 +439,28 @@ int SelfCheck() {
     charged += span.charge_ns;
   }
   SELF_CHECK(charged == rows[0].virtual_ns());
+
+  // Telemetry markers are split out of the span analysis; unknown
+  // layers are counted (and kept) rather than silently folded in.
+  r.span_id = 4;
+  r.parent_id = 0;
+  r.layer = "telemetry";
+  r.name = "telemetry.alert.latency_burn";
+  r.begin_vns = 500;
+  r.end_vns = 500;
+  r.charge_ns = 0;
+  rows.push_back(r);
+  r.span_id = 5;
+  r.layer = "mystery";
+  r.name = "mystery.op";
+  rows.push_back(r);
+  std::vector<Row> spans;
+  std::vector<Row> events;
+  uint64_t unknown = 0;
+  SplitTelemetry(rows, &spans, &events, &unknown);
+  SELF_CHECK(spans.size() == 4 && events.size() == 1 && unknown == 1);
+  SELF_CHECK(events[0].name == "telemetry.alert.latency_burn");
+  SELF_CHECK(LayerChargeNs(spans).count("telemetry") == 0);
 
   std::printf("ha_trace_tool: self-check OK\n");
   return 0;
