@@ -7,7 +7,8 @@
 // configuration; afterwards we measure how many huge frames remain
 // allocatable — the availability that huge-granular reclamation depends
 // on ("the per-type reservations lead to less fragmentation in the long
-// run").
+// run"). This isolates the long-horizon fragmentation mechanism whose
+// compressed-workload under-reproduction DESIGN.md §4.5 documents.
 #include <cstdio>
 #include <vector>
 

@@ -5,12 +5,12 @@
 // client), the policy-driven fleet scenario at 1024 VMs (128 in
 // smoke), and the fleet telemetry pipeline (sampling overhead, alert
 // counts, flight-recorder determinism). Emits one JSON document (default
-// BENCH_PR9.json; schema checked by scripts/check_bench_json.py,
+// BENCH_PR10.json; schema checked by scripts/check_bench_json.py,
 // regressions gated by scripts/perf_gate.py) so runs are comparable
 // across commits.
 //
 //   --smoke          small sizes for CI (seconds, not minutes)
-//   --out=PATH       output path (default BENCH_PR9.json)
+//   --out=PATH       output path (default BENCH_PR10.json)
 //   --threads=N      host threads for the pool, multi-VM, and fleet
 //                    benches (default 4; the determinism checks always
 //                    also run single-threaded and compare series/digests)
@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "bench/fleet_bench.h"
+#include "src/core/hyperalloc.h"
+#include "src/guest/compaction.h"
 #include "src/llfree/frame_cache.h"
 #include "src/llfree/llfree.h"
 #include "src/trace/export.h"
@@ -659,6 +661,161 @@ FleetBench BenchFleet(bool smoke, unsigned threads) {
   return bench;
 }
 
+// ----------------------------------------------------------------------
+// Huge-frame fast path (§4.14): churn a HyperAlloc VM into a splintered
+// state (straggler allocations pinning half the areas), then shrink the
+// limit. The no-compaction variant can only hard-reclaim the areas the
+// churn never splintered; the compaction variant first migrates the
+// stragglers out (Compactor LLFree pass) and reclaims the re-formed
+// huge frames too. Both report the monitor's reclaim-share split and
+// the EPT's flush-entry savings versus all-4K invalidation. A 4 KiB
+// balloon probe on THP-backed memory provides the contrast numbers
+// (2M-entry demotions, no flush savings).
+// ----------------------------------------------------------------------
+
+struct HugeFrameVariant {
+  bool compaction = false;
+  double frag_before = 0.0;  // GuestVm::FragmentationScore() after churn
+  double frag_after = 0.0;   // after the compaction pass (== before when off)
+  uint64_t compaction_blocks = 0;
+  uint64_t compaction_migrations = 0;
+  uint64_t reclaim_untouched = 0;
+  uint64_t reclaim_2m = 0;
+  uint64_t reclaim_4k = 0;
+  double share = 0.0;
+  double reclaimed_mib = 0.0;
+  uint64_t flush_entries_2m = 0;
+  uint64_t flush_entries_4k = 0;
+  uint64_t flush_entries_all4k = 0;  // what per-4K flushing would have cost
+  double flush_savings = 0.0;        // 1 - actual entries / all-4K entries
+  double wall_ms = 0.0;
+};
+
+struct HugeFrameBench {
+  uint64_t memory_mib = 0;
+  HugeFrameVariant no_compaction;
+  HugeFrameVariant with_compaction;
+  // Headline (gated) metrics: the worse share of the two variants and
+  // the compaction variant's migration/flush numbers.
+  double share = 0.0;
+  uint64_t compaction_migrations = 0;
+  double flush_savings = 0.0;
+  // 4 KiB balloon contrast probe: reclaiming THP-backed memory page by
+  // page demotes 2M entries and invalidates per-4K.
+  uint64_t balloon_demotions_2m = 0;
+  double balloon_flush_savings = 0.0;
+};
+
+HugeFrameVariant RunHugeFrameVariant(bool smoke, bool compact) {
+  HugeFrameVariant variant;
+  variant.compaction = compact;
+  const Clock::time_point start = Clock::now();
+
+  SetupOptions options;
+  options.memory_bytes = smoke ? 2 * kGiB : 4 * kGiB;
+  options.host_bytes = 2 * options.memory_bytes;
+  Setup setup = MakeSetup(Candidate::kHyperAlloc, options);
+  workloads::MemoryPool pool(setup.vm.get());
+
+  // Churn half the memory with 64-frame regions: allocate them ALL
+  // first (they pack areas densely), then free seven of every eight.
+  // Interleaving alloc/free would not fragment — the allocator reuses
+  // just-freed frames — but the two-pass order leaves every churned
+  // area holding one 64-frame straggler run: under the compaction
+  // candidate threshold, yet enough to block order-9 reclaim.
+  const uint64_t region_bytes = 64 * kFrameSize;
+  const uint64_t regions = options.memory_bytes / 2 / region_bytes;
+  std::vector<uint64_t> ids;
+  ids.reserve(regions);
+  for (uint64_t i = 0; i < regions; ++i) {
+    const uint64_t id = pool.AllocRegion(region_bytes, /*thp_fraction=*/0.0,
+                                         /*core=*/0);
+    if (id == 0) {
+      break;
+    }
+    ids.push_back(id);
+  }
+  for (uint64_t i = 0; i < ids.size(); ++i) {
+    if (i % 8 != 0) {
+      pool.FreeRegion(ids[i], 0);
+    }
+  }
+  setup.vm->PurgeAllocatorCaches();
+  variant.frag_before = setup.vm->FragmentationScore();
+
+  if (compact) {
+    guest::CompactionConfig config;
+    guest::Compactor compactor(setup.vm.get(), config);
+    compactor.CompactPass(~0ull);
+    variant.compaction_blocks = compactor.blocks_compacted();
+    variant.compaction_migrations = compactor.frames_migrated();
+  }
+  variant.frag_after = setup.vm->FragmentationScore();
+
+  // Hard reclamation to a quarter of memory. The kept stragglers pin
+  // ~1/16 of memory, so the target is feasible — but only the compacted
+  // variant has enough whole free huge frames to actually reach it.
+  setup.SetLimit(options.memory_bytes / 4);
+
+  const auto* monitor =
+      static_cast<const core::HyperAllocMonitor*>(setup.deflator.get());
+  variant.reclaim_untouched = monitor->reclaim_untouched();
+  variant.reclaim_2m = monitor->reclaim_unmapped_2m();
+  variant.reclaim_4k = monitor->reclaim_unmapped_4k();
+  variant.share = monitor->HugeReclaimShare();
+  variant.reclaimed_mib =
+      static_cast<double>(monitor->hard_reclaimed_bytes()) /
+      static_cast<double>(kMiB);
+  const hv::Ept& ept = setup.vm->ept();
+  variant.flush_entries_2m = ept.entries_invalidated_2m();
+  variant.flush_entries_4k = ept.entries_invalidated_4k();
+  variant.flush_entries_all4k = ept.tlb_flushed_frames();
+  if (variant.flush_entries_all4k > 0) {
+    variant.flush_savings =
+        1.0 - static_cast<double>(variant.flush_entries_2m +
+                                  variant.flush_entries_4k) /
+                  static_cast<double>(variant.flush_entries_all4k);
+  }
+  variant.wall_ms = MsSince(start);
+  return variant;
+}
+
+HugeFrameBench BenchHugeFrame(bool smoke) {
+  HugeFrameBench bench;
+  bench.memory_mib = (smoke ? 2 * kGiB : 4 * kGiB) / kMiB;
+  bench.no_compaction = RunHugeFrameVariant(smoke, false);
+  bench.with_compaction = RunHugeFrameVariant(smoke, true);
+  bench.share =
+      std::min(bench.no_compaction.share, bench.with_compaction.share);
+  bench.compaction_migrations = bench.with_compaction.compaction_migrations;
+  bench.flush_savings = bench.with_compaction.flush_savings;
+
+  // Contrast probe: 4 KiB ballooning of THP-backed-then-freed memory.
+  // Every reclaimed page punches a hole in a live 2 MiB entry — the
+  // first hole demotes the entry, the rest invalidate per-4K.
+  {
+    SetupOptions options;
+    options.memory_bytes = kGiB;
+    options.host_bytes = 2 * kGiB;
+    Setup setup = MakeSetup(Candidate::kBalloon, options);
+    workloads::MemoryPool pool(setup.vm.get());
+    const uint64_t id =
+        pool.AllocRegion(options.memory_bytes / 2, /*thp_fraction=*/1.0, 0);
+    pool.FreeRegion(id, 0);
+    setup.vm->PurgeAllocatorCaches();
+    setup.SetLimit(options.memory_bytes / 4);
+    const hv::Ept& ept = setup.vm->ept();
+    bench.balloon_demotions_2m = ept.demotions_2m();
+    if (ept.tlb_flushed_frames() > 0) {
+      bench.balloon_flush_savings =
+          1.0 - static_cast<double>(ept.entries_invalidated_2m() +
+                                    ept.entries_invalidated_4k()) /
+                    static_cast<double>(ept.tlb_flushed_frames());
+    }
+  }
+  return bench;
+}
+
 std::string Num(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.3f", value);
@@ -704,9 +861,38 @@ std::string PhaseJson(const PhaseAttribution& phase) {
   return json;
 }
 
+std::string HugeVariantJson(const HugeFrameVariant& variant) {
+  std::string json;
+  json += "{\n";
+  json += "        \"compaction\": " +
+          std::string(variant.compaction ? "true" : "false") + ",\n";
+  json += "        \"frag_before\": " + Num(variant.frag_before) + ",\n";
+  json += "        \"frag_after\": " + Num(variant.frag_after) + ",\n";
+  json += "        \"compaction_blocks\": " + Num(variant.compaction_blocks) +
+          ",\n";
+  json += "        \"compaction_migrations\": " +
+          Num(variant.compaction_migrations) + ",\n";
+  json += "        \"reclaim_untouched\": " + Num(variant.reclaim_untouched) +
+          ",\n";
+  json += "        \"reclaim_2m\": " + Num(variant.reclaim_2m) + ",\n";
+  json += "        \"reclaim_4k\": " + Num(variant.reclaim_4k) + ",\n";
+  json += "        \"share\": " + Num(variant.share) + ",\n";
+  json += "        \"reclaimed_mib\": " + Num(variant.reclaimed_mib) + ",\n";
+  json += "        \"flush_entries_2m\": " + Num(variant.flush_entries_2m) +
+          ",\n";
+  json += "        \"flush_entries_4k\": " + Num(variant.flush_entries_4k) +
+          ",\n";
+  json += "        \"flush_entries_all4k\": " +
+          Num(variant.flush_entries_all4k) + ",\n";
+  json += "        \"flush_savings\": " + Num(variant.flush_savings) + ",\n";
+  json += "        \"wall_ms\": " + Num(variant.wall_ms) + "\n";
+  json += "      }";
+  return json;
+}
+
 int Main(int argc, char** argv) {
   bool smoke = false;
-  std::string out = "BENCH_PR9.json";
+  std::string out = "BENCH_PR10.json";
   std::string trace_out;
   unsigned threads = 4;
   unsigned batch = 512;
@@ -731,15 +917,15 @@ int Main(int argc, char** argv) {
   }
   const unsigned hw = std::thread::hardware_concurrency();
 
-  std::fprintf(stderr, "[1/6] llfree_alloc_free...\n");
+  std::fprintf(stderr, "[1/7] llfree_alloc_free...\n");
   const OpsResult llfree_result = BenchLLFreeAllocFree(smoke);
 
-  std::fprintf(stderr, "[2/6] llfree_batch_alloc_free (batch %u)...\n",
+  std::fprintf(stderr, "[2/7] llfree_batch_alloc_free (batch %u)...\n",
                batch);
   const BatchBenchResult batch_result =
       BenchLLFreeBatchAllocFree(smoke, batch);
 
-  std::fprintf(stderr, "[3/6] host_reserve_release (%u threads)...\n",
+  std::fprintf(stderr, "[3/7] host_reserve_release (%u threads)...\n",
                threads);
   bool invariant_ok = false;
   uint64_t refills = 0;
@@ -750,17 +936,21 @@ int Main(int argc, char** argv) {
       BenchHostPool(threads, smoke, &invariant_ok, &refills, &drains,
                     &rebalances, &rebalance_skips);
 
-  std::fprintf(stderr, "[4/6] attribution (HyperAlloc shrink+grow)...\n");
+  std::fprintf(stderr, "[4/7] attribution (HyperAlloc shrink+grow)...\n");
   const AttributionBench attribution = BenchAttribution();
 
-  std::fprintf(stderr, "[5/6] multivm (8 VMs, 1 vs %u threads)...\n",
+  std::fprintf(stderr, "[5/7] multivm (8 VMs, 1 vs %u threads)...\n",
                threads);
   const MultiVmBench multivm = BenchMultiVm(smoke, threads);
 
-  std::fprintf(stderr, "[6/6] fleet (%s VMs, 1 vs %u threads, telemetry "
+  std::fprintf(stderr, "[6/7] fleet (%s VMs, 1 vs %u threads, telemetry "
                        "on/off + flight probe)...\n",
                smoke ? "128" : "1024", threads);
   const FleetBench fleet_bench = BenchFleet(smoke, threads);
+
+  std::fprintf(stderr, "[7/7] huge_frame (churn + shrink, compaction "
+                       "off/on + balloon probe)...\n");
+  const HugeFrameBench huge_frame = BenchHugeFrame(smoke);
 
 #if HYPERALLOC_TRACE
   if (!trace_out.empty()) {
@@ -784,8 +974,8 @@ int Main(int argc, char** argv) {
 
   std::string json;
   json += "{\n";
-  json += "  \"schema\": \"hyperalloc-bench-v5\",\n";
-  json += "  \"pr\": \"PR9\",\n";
+  json += "  \"schema\": \"hyperalloc-bench-v6\",\n";
+  json += "  \"pr\": \"PR10\",\n";
   json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
   json += "  \"hardware_concurrency\": " + Num(uint64_t{hw}) + ",\n";
   json += "  \"note\": \"virtual-time results are deterministic; wall-clock"
@@ -901,6 +1091,20 @@ int Main(int argc, char** argv) {
           ", \"digest\": \"" + flight_digest + "\", \"deterministic\": " +
           std::string(fleet_bench.flight_deterministic ? "true" : "false") +
           "}\n";
+  json += "    },\n";
+  json += "    \"huge_frame\": {\n";
+  json += "      \"memory_mib\": " + Num(huge_frame.memory_mib) + ",\n";
+  json += "      \"share\": " + Num(huge_frame.share) + ",\n";
+  json += "      \"compaction_migrations\": " +
+          Num(huge_frame.compaction_migrations) + ",\n";
+  json += "      \"flush_savings\": " + Num(huge_frame.flush_savings) + ",\n";
+  json += "      \"no_compaction\": " +
+          HugeVariantJson(huge_frame.no_compaction) + ",\n";
+  json += "      \"with_compaction\": " +
+          HugeVariantJson(huge_frame.with_compaction) + ",\n";
+  json += "      \"balloon_probe\": {\"demotions_2m\": " +
+          Num(huge_frame.balloon_demotions_2m) + ", \"flush_savings\": " +
+          Num(huge_frame.balloon_flush_savings) + "}\n";
   json += "    }\n";
   json += "  }\n";
   json += "}\n";
@@ -929,12 +1133,21 @@ int Main(int argc, char** argv) {
       fleet_bench.telemetry_deterministic &&
       fleet_bench.flight_deterministic &&
       (!fleet_bench.result.telemetry.enabled || fleet_bench.flight_dumps > 0);
+  // §4.14: compaction must actually evacuate blocks, lower the
+  // fragmentation score, and let the shrink reclaim at least as much as
+  // the uncompacted run (perf_gate.py holds the share >= 0.8 floor).
+  const bool huge_ok =
+      huge_frame.with_compaction.compaction_blocks > 0 &&
+      huge_frame.with_compaction.frag_after <
+          huge_frame.with_compaction.frag_before &&
+      huge_frame.with_compaction.reclaimed_mib >=
+          huge_frame.no_compaction.reclaimed_mib;
   if (!invariant_ok || !multivm.deterministic || !attribution_ok ||
       !spans_ok || !fleet_bench.deterministic ||
       !fleet_bench.result.slo.spike_satisfied || !fleet_span_ok ||
-      !telemetry_ok) {
+      !telemetry_ok || !huge_ok) {
     std::fprintf(
-        stderr, "FAILED: %s%s%s%s%s%s%s%s\n",
+        stderr, "FAILED: %s%s%s%s%s%s%s%s%s\n",
         invariant_ok ? "" : "pool invariant violated ",
         multivm.deterministic ? "" : "multivm non-deterministic ",
         attribution_ok ? "" : "span charge closure broken ",
@@ -944,7 +1157,8 @@ int Main(int argc, char** argv) {
             ? ""
             : "fleet pressure spike never satisfied ",
         fleet_span_ok ? "" : "fleet span-derived p99 mismatch",
-        telemetry_ok ? "" : "telemetry stream/flight recorder broken ");
+        telemetry_ok ? "" : "telemetry stream/flight recorder broken ",
+        huge_ok ? "" : "huge-frame compaction ineffective ");
     return 1;
   }
   return 0;

@@ -1,7 +1,8 @@
 // Shared benchmark harness support: constructs the evaluation candidates
 // of Table 1 (virtio-balloon, virtio-balloon-huge, virtio-mem ± VFIO,
 // HyperAlloc ± VFIO) plus the static baselines, wired to a fresh
-// simulation, host pool, and guest VM configured like the paper's (§5.2):
+// simulation, host pool, and guest VM configured like the paper's (§5.2;
+// modelling deviations catalogued in DESIGN.md §4.4):
 // 12 vCPUs, 20 GiB (DMA32 2 GiB + Normal; for virtio-mem, 2 GiB regular +
 // 18 GiB hotpluggable Movable memory).
 #ifndef HYPERALLOC_BENCH_CANDIDATES_H_

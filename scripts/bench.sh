@@ -1,8 +1,8 @@
 #!/bin/sh
 # Performance snapshot: builds the default preset, runs bench_runner, and
-# validates the emitted JSON against the hyperalloc-bench-v4 schema.
+# validates the emitted JSON against the hyperalloc-bench-v6 schema.
 #
-#   scripts/bench.sh              full run, writes BENCH_PR8.json
+#   scripts/bench.sh              full run, writes BENCH_PR10.json
 #   scripts/bench.sh --smoke      CI-sized run (seconds), same schema
 #
 # Extra flags are passed through to bench_runner (e.g. --threads=8,
@@ -13,7 +13,7 @@
 set -e
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_PR8.json
+OUT=BENCH_PR10.json
 for arg in "$@"; do
   case "$arg" in
     --out=*) OUT="${arg#--out=}" ;;

@@ -18,6 +18,11 @@ Accepts all schema revisions:
   hyperalloc-bench-v5       (PR9: adds the `telemetry` section — sampling
                              overhead, alert counts, flight-recorder
                              determinism and dump digest)
+  hyperalloc-bench-v6       (PR10: adds the `huge_frame` section — the
+                             §4.14 fragmentation/compaction study: reclaim
+                             share split, compaction migrations, EPT flush
+                             savings — and the fleet section's `huge`
+                             subobject)
   hyperalloc-flight-v1      (PR9: a black-box flight-recorder dump frozen
                              by the telemetry pipeline; --min-epochs=N
                              additionally requires the ring to cover at
@@ -170,6 +175,34 @@ def check_fleet(fleet, ctx):
     # predate the pipeline and legitimately lack the key.
     if "telemetry" in fleet:
         check_fleet_telemetry(fleet["telemetry"], f"{ctx}.telemetry")
+    # PR10 emitters report the fleet-wide huge-frame reclaim split.
+    if "huge" in fleet:
+        huge = fleet["huge"]
+        hctx = f"{ctx}.huge"
+        require(huge, "mode", bool, hctx)
+        for key in ("reclaim_untouched", "reclaim_2m", "reclaim_4k",
+                    "share"):
+            require(huge, key, numbers.Real, hctx)
+        if not 0.0 <= huge["share"] <= 1.0:
+            fail(f"{hctx}: share {huge['share']} outside [0, 1]")
+
+
+def check_huge_variant(variant, ctx):
+    """One huge_frame churn variant (compaction off/on)."""
+    require(variant, "compaction", bool, ctx)
+    for key in ("frag_before", "frag_after", "compaction_blocks",
+                "compaction_migrations", "reclaim_untouched", "reclaim_2m",
+                "reclaim_4k", "share", "reclaimed_mib", "flush_entries_2m",
+                "flush_entries_4k", "flush_entries_all4k", "flush_savings",
+                "wall_ms"):
+        require(variant, key, numbers.Real, ctx)
+    for key in ("frag_before", "frag_after", "share"):
+        if not 0.0 <= variant[key] <= 1.0:
+            fail(f"{ctx}.{key}: {variant[key]} outside [0, 1]")
+    reclaimed = (variant["reclaim_untouched"] + variant["reclaim_2m"] +
+                 variant["reclaim_4k"])
+    if reclaimed <= 0:
+        fail(f"{ctx}: shrink reclaimed no huge frames")
 
 
 def check_flight(doc, min_epochs):
@@ -286,9 +319,10 @@ def main():
         return
     if schema not in ("hyperalloc-bench-v1", "hyperalloc-bench-v2",
                       "hyperalloc-bench-v3", "hyperalloc-bench-v4",
-                      "hyperalloc-bench-v5"):
+                      "hyperalloc-bench-v5", "hyperalloc-bench-v6"):
         fail(f"unknown schema '{schema}'")
-    v5 = schema == "hyperalloc-bench-v5"
+    v6 = schema == "hyperalloc-bench-v6"
+    v5 = schema == "hyperalloc-bench-v5" or v6
     v4 = schema == "hyperalloc-bench-v4" or v5
     v3 = schema == "hyperalloc-bench-v3" or v4
     v2 = schema == "hyperalloc-bench-v2" or v3
@@ -406,6 +440,32 @@ def main():
                 fail(f"telemetry.flight: ring covered "
                      f"{flight['ring_epochs']} epochs, need "
                      f">= {min_epochs}")
+
+    if v6:
+        huge = require(benches, "huge_frame", dict, "benches")
+        for key in ("memory_mib", "share", "compaction_migrations",
+                    "flush_savings"):
+            require(huge, key, numbers.Real, "huge_frame")
+        no_compaction = require(huge, "no_compaction", dict, "huge_frame")
+        with_compaction = require(huge, "with_compaction", dict,
+                                  "huge_frame")
+        check_huge_variant(no_compaction, "huge_frame.no_compaction")
+        check_huge_variant(with_compaction, "huge_frame.with_compaction")
+        # The runner's own exit gates, mirrored: compaction must evacuate
+        # blocks, lower the fragmentation score, and not reclaim less
+        # than the uncompacted run. (perf_gate.py holds the share floor.)
+        if with_compaction["compaction_blocks"] <= 0:
+            fail("huge_frame.with_compaction: compaction evacuated no "
+                 "blocks")
+        if with_compaction["frag_after"] >= with_compaction["frag_before"]:
+            fail("huge_frame.with_compaction: compaction did not lower "
+                 "the fragmentation score")
+        if with_compaction["reclaimed_mib"] < no_compaction["reclaimed_mib"]:
+            fail("huge_frame: compaction reclaimed less than the "
+                 "uncompacted run")
+        probe = require(huge, "balloon_probe", dict, "huge_frame")
+        for key in ("demotions_2m", "flush_savings"):
+            require(probe, key, numbers.Real, "huge_frame.balloon_probe")
 
     print(f"check_bench_json: OK ({paths[0]}, {schema})")
 

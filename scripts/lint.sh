@@ -106,13 +106,15 @@ cmake --build build --target ha_trace_tool ha_fleet_top >/dev/null
 ./build/tools/ha_trace_tool --self-check || status=1
 ./build/tools/ha_fleet_top --self-check || status=1
 
-echo "-- gate 5: docs consistency (flags and DESIGN.md section references)"
+echo "-- gate 5: docs consistency (flags, DESIGN.md section references, orphan sections)"
 python3 - <<'EOF' || status=1
+import os
 import re
 import sys
 from pathlib import Path
 
-DOCS = ["README.md", "EXPERIMENTS.md", "DESIGN.md", "ROADMAP.md"]
+DOCS = ["README.md", "EXPERIMENTS.md", "DESIGN.md", "ROADMAP.md",
+        "docs/INDEX.md"]
 
 # Flags owned by external tools that the docs legitimately mention but
 # no repo source defines.
@@ -136,15 +138,33 @@ for root, patterns in (("bench", ["*.cc", "*.h"]), ("tools", ["*.cc"]),
 # DESIGN.md section numbers: "## 4. Key design decisions",
 # "### 4.2b Hotness hints", ...
 sections = set()
-for line in Path("DESIGN.md").read_text().splitlines():
-    m = re.match(r"#{2,}\s+(\d+(?:\.\d+)*[a-z]?)\.?\s", line)
-    if m:
+# Numbered *subsections* ("4.2b", not the narrative "## 1." chapters):
+# each must be cited by at least one source file, or it has gone orphan.
+subsections = {}  # number -> "doc:line: title"
+heading_re = re.compile(r"#{2,}\s+(\d+(?:\.\d+)*[a-z]?)\.?\s+(.*)")
+
+
+def collect_headings(doc):
+    for line_number, line in enumerate(
+            Path(doc).read_text().splitlines(), 1):
+        m = heading_re.match(line)
+        if not m:
+            continue
         number = m.group(1)
         sections.add(number)
+        if "." in number:
+            subsections[number] = f"{doc}:{line_number}: {m.group(2)}"
         # §4.2 is a valid way to cite §4.2b-style subsections' parent.
         while "." in number:
             number = number.rsplit(".", 1)[0]
             sections.add(number)
+
+
+collect_headings("DESIGN.md")
+# Seeded mutant for CI self-test: a DESIGN-style doc whose subsection no
+# source references. The orphan check below must fail on it.
+if os.environ.get("HA_LINT_GATE5_MUTANT") == "1":
+    collect_headings("tests/lint/gate5_orphan_mutant.md")
 
 ref_re = re.compile(r"DESIGN\.md\s+§\s*(\d+(?:\.\d+)*[a-z]?)")
 
@@ -160,6 +180,28 @@ for doc in DOCS:
             if ref not in sections:
                 failures.append(f"{doc}:{line_number}: DESIGN.md §{ref} "
                                 f"does not match any DESIGN.md heading")
+
+# Orphan-section check: every numbered DESIGN.md subsection must be
+# cited (as "§<num>") by at least one source file, or the design text
+# documents nothing the tree can be held to. The token regex is greedy,
+# so a "§4.10" citation can never satisfy §4.1. Bare paper-section
+# citations ("the paper's §4.2") can coincide with a DESIGN number —
+# acceptable: the gate hunts sections NO source mentions at all.
+cite_re = re.compile(r"§\s*(\d+\.(?:\d+\.?)*[a-z]?)")
+cited = set()
+for root, patterns in (("src", ["*.h", "*.cc"]), ("bench", ["*.h", "*.cc"]),
+                       ("tools", ["*.cc"]), ("tests", ["*.h", "*.cc"]),
+                       ("examples", ["*.cpp", "*.cc"]),
+                       ("scripts", ["*.sh", "*.py"])):
+    for pattern in patterns:
+        for path in Path(root).rglob(pattern):
+            cited.update(c.rstrip(".") for c in
+                         cite_re.findall(path.read_text()))
+for number, where in sorted(subsections.items()):
+    if number not in cited:
+        failures.append(f"{where.split(':', 1)[0]}: §{number} "
+                        f"({where.split(': ', 1)[1]}) is referenced by no "
+                        f"source file — orphaned design section")
 
 if failures:
     print("docs drifted from the sources:")

@@ -69,6 +69,16 @@ METRICS = {
     # host, but both sides are short wall-clock runs, so the relative
     # trend stays informational; the hard bound is the CEILING below.
     ("benches", "telemetry", "telemetry_overhead_pct"): ("lower", "wall"),
+    # Huge-frame fast path (PR10): virtual-time results of the
+    # deterministic churn+shrink scenario. The compacted run reclaiming
+    # less, or either variant's reclaim share dropping, is a real
+    # behavior change.
+    ("benches", "huge_frame", "with_compaction", "reclaimed_mib"):
+        ("higher", "det"),
+    ("benches", "huge_frame", "no_compaction", "reclaimed_mib"):
+        ("higher", "det"),
+    ("benches", "huge_frame", "share"): ("higher", "det"),
+    ("benches", "huge_frame", "flush_savings"): ("higher", "det"),
 }
 
 # metric path -> minimum value required of CURRENT (always gated when the
@@ -77,6 +87,15 @@ FLOORS = {
     ("benches", "llfree_batch_alloc_free", "speedup_vs_single"): 2.0,
     # The fleet policy loop must actually exercise the resize path.
     ("benches", "fleet", "resizes"): 1,
+    # Huge-frame reclaim share (PR10 acceptance bound): at least 80% of
+    # the huge frames HyperAlloc reclaims must avoid per-4K EPT work —
+    # in BOTH churn variants (`share` is the min of the two).
+    ("benches", "huge_frame", "share"): 0.8,
+    # Coalesced 2M invalidation must actually save flush entries vs
+    # per-4K invalidation of the same reclaim.
+    ("benches", "huge_frame", "flush_savings"): 0.9,
+    # The compaction daemon must migrate stragglers, not no-op.
+    ("benches", "huge_frame", "compaction_migrations"): 1,
 }
 
 # metric path -> maximum value allowed of CURRENT (same in-process-ratio

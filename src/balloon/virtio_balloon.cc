@@ -31,6 +31,9 @@ VirtioBalloon::VirtioBalloon(guest::GuestVm* vm, const BalloonConfig& config)
         const Ballooned b = pages_.back();
         pages_.pop_back();
         span.AddFrames(1ull << b.order);
+        if (b.order == kHugeOrder) {
+          span.AddHugeFrames(kFramesPerHuge);
+        }
         hv::Charge(sim_, b.order == kHugeOrder
                              ? vm_->costs().balloon_deflate_2m_ns
                              : vm_->costs().balloon_deflate_4k_ns);
@@ -193,6 +196,7 @@ void VirtioBalloon::InflateSlice(uint64_t target_frames,
           HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kInflate, *r,
                          kHugeOrder);
           guest.AddFrames(kFramesPerHuge);
+          guest.AddHugeFrames(kFramesPerHuge);
           continue;
         }
         // Fragmentation fallback (Hu et al. split path): 4 KiB pages via
@@ -260,6 +264,15 @@ void VirtioBalloon::InflateSlice(uint64_t target_frames,
     done();
     return;
   }
+  // The batch reached the host: account its virtqueue entries by
+  // granularity (a rolled-back batch never counts).
+  for (const Ballooned& b : batch) {
+    if (b.order == kHugeOrder) {
+      ++hypercall_huge_pfns_;
+    } else {
+      ++hypercall_base_pfns_;
+    }
+  }
   HostDiscard(batch);
   pages_.insert(pages_.end(), batch.begin(), batch.end());
 
@@ -286,6 +299,9 @@ void VirtioBalloon::HostDiscard(const std::vector<Ballooned>& batch) {
   for (const Ballooned& b : batch) {
     const uint64_t frames = 1ull << b.order;
     span.AddFrames(frames);
+    if (b.order == kHugeOrder) {
+      span.AddHugeFrames(frames);
+    }
     const uint64_t mapped = vm_->ept().CountMapped(b.frame, frames);
     // QEMU issues one madvise(DONTNEED) per entry, mapped or not.
     sys_ns += vm_->costs().madvise_syscall_ns;
@@ -378,6 +394,9 @@ void VirtioBalloon::DeflateSlice(uint64_t target_frames,
     }
     ballooned_frames_ -= 1ull << b.order;
     guest.AddFrames(1ull << b.order);
+    if (b.order == kHugeOrder) {
+      guest.AddHugeFrames(kFramesPerHuge);
+    }
     HA_COUNT_N("balloon.deflate_frames", 1ull << b.order);
     HA_TRACE_EVENT(trace::Category::kBalloon, trace::Op::kDeflate, b.frame,
                    b.order);
@@ -432,6 +451,9 @@ void VirtioBalloon::ReportCycle() {
       batch.push_back({zone.start + *local, order});
       zone_of.push_back(&zone);
       span.AddFrames(block_frames);
+      if (order == kHugeOrder) {
+        span.AddHugeFrames(block_frames);
+      }
     }
     if (batch.size() >= config_.reporting_capacity) {
       break;
@@ -462,6 +484,11 @@ void VirtioBalloon::ReportCycle() {
     return;
   }
   ++hypercalls_;
+  if (order == kHugeOrder) {
+    hypercall_huge_pfns_ += batch.size();
+  } else {
+    hypercall_base_pfns_ += batch.size();
+  }
   HostDiscard(batch);
 
   // Hand the blocks back to the allocator, remembering they are reported.

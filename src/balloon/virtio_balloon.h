@@ -78,6 +78,21 @@ class VirtioBalloon : public hv::Deflator {
   uint64_t total_madvise_calls() const { return madvise_calls_; }
   uint64_t reported_bytes_total() const { return reported_bytes_; }
 
+  // Huge-PFN batch accounting (DESIGN.md §4.14): virtqueue entries
+  // enqueued across inflate and reporting hypercalls, split by
+  // granularity. A huge entry is ONE PFN covering 512 base frames, so
+  // the share of *memory* that moved at 2 MiB granularity is
+  // huge * 512 / (huge * 512 + base).
+  uint64_t hypercall_huge_pfns() const { return hypercall_huge_pfns_; }
+  uint64_t hypercall_base_pfns() const { return hypercall_base_pfns_; }
+  double HugePfnShare() const {
+    const uint64_t huge = hypercall_huge_pfns_ * kFramesPerHuge;
+    const uint64_t total = huge + hypercall_base_pfns_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(huge) /
+                            static_cast<double>(total);
+  }
+
   // Fault-recovery statistics (DESIGN.md §4.9).
   uint64_t faults_seen() const { return faults_; }
   uint64_t fault_retries() const { return fault_retries_; }
@@ -119,6 +134,8 @@ class VirtioBalloon : public hv::Deflator {
   uint64_t hypercalls_ = 0;
   uint64_t madvise_calls_ = 0;
   uint64_t reported_bytes_ = 0;
+  uint64_t hypercall_huge_pfns_ = 0;
+  uint64_t hypercall_base_pfns_ = 0;
   sim::Time request_deadline_ = 0;  // 0 = no deadline
   uint64_t faults_ = 0;
   uint64_t fault_retries_ = 0;

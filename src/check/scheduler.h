@@ -1,4 +1,5 @@
-// Loom/relacy-style concurrency model checking for the lock-free core.
+// Loom/relacy-style concurrency model checking for the lock-free core
+// (DESIGN.md §4.6).
 //
 // A *scenario* describes one bounded concurrent situation: it builds the
 // state under test, spawns 2..N model threads, and registers invariant

@@ -226,6 +226,7 @@ void HyperAllocMonitor::Install(ZoneView& view, HugeId local_huge) {
   trace::ScopedRoot root;
   trace::Span span(trace::Layer::kMonitor, "monitor.install");
   span.AddFrames(kFramesPerHuge);
+  span.AddHugeFrames(kFramesPerHuge);
   // In-kernel integration (§5.3 ablation): no KVM->QEMU context switch —
   // the install costs no more than the EPT fault it replaces.
   const uint64_t entry_ns = config_.in_kernel
@@ -259,6 +260,7 @@ void HyperAllocMonitor::Install(ZoneView& view, HugeId local_huge) {
     {
       trace::Span populate(trace::Layer::kEpt, "ept.populate");
       populate.AddFrames(kFramesPerHuge);
+      populate.AddHugeFrames(kFramesPerHuge);
       const uint64_t ept_faults = vm_->ept().injected_faults();
       if (!vm_->PopulateFrames(global_first, kFramesPerHuge)) {
         NoteFault();
@@ -275,6 +277,7 @@ void HyperAllocMonitor::Install(ZoneView& view, HugeId local_huge) {
     if (vm_->config().vfio) {
       trace::Span pin(trace::Layer::kIommu, "iommu.pin");
       pin.AddFrames(kFramesPerHuge);
+      pin.AddHugeFrames(kFramesPerHuge);
       vm_->iommu()->Pin(FrameToHuge(global_first));
       if (!vm_->iommu()->IsPinned(FrameToHuge(global_first))) {
         NoteFault();
@@ -336,6 +339,7 @@ uint64_t HyperAllocMonitor::UnmapBatch(
       ++j;
     }
     uint64_t mapped_huge = 0;
+    uint64_t mapped_huge_2m = 0;  // of those, unmapped via a 2M EPT entry
     uint64_t run_sys_ns = 0;
     // Frames whose unmap completed (or that had nothing mapped) move on
     // to the unpin phase; failed frames are rolled back or quarantined
@@ -347,8 +351,12 @@ uint64_t HyperAllocMonitor::UnmapBatch(
       if (vm_->ept().CountMapped(first, kFramesPerHuge) == 0) {
         unmapped[k - i] = true;  // §5.3 "reclaim untouched" fast path
         ++run_ok;
+        ++reclaim_untouched_;
         continue;
       }
+      // §4.14 reclaim-share split: read the 2M-entry bit before Unmap
+      // invalidates it.
+      const bool entry_2m = vm_->ept().HasHugeEntry(sorted[k]);
       bool ok = false;
       bool permanent = false;
       for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
@@ -370,6 +378,12 @@ uint64_t HyperAllocMonitor::UnmapBatch(
         unmapped[k - i] = true;
         ++run_ok;
         ++mapped_huge;
+        if (entry_2m) {
+          ++mapped_huge_2m;
+          ++reclaim_unmapped_2m_;
+        } else {
+          ++reclaim_unmapped_4k_;
+        }
         run_sys_ns += vm_->costs().madvise_per_2m_ns;
         shootdown_allcpu_ns += vm_->costs().shootdown_allcpu_2m_ns;
         continue;
@@ -394,6 +408,7 @@ uint64_t HyperAllocMonitor::UnmapBatch(
       }
       trace::Span unmap(trace::Layer::kEpt, "ept.unmap_run");
       unmap.AddFrames(mapped_huge * kFramesPerHuge);
+      unmap.AddHugeFrames(mapped_huge_2m * kFramesPerHuge);
       cpu_.host_sys_ns +=
           hv::ChargeTraced(sim_, "monitor.unmap_ns", run_sys_ns);
     }
@@ -425,6 +440,7 @@ uint64_t HyperAllocMonitor::UnmapBatch(
         if (unpinned > 0) {
           trace::Span unpin(trace::Layer::kIommu, "iommu.unpin_range");
           unpin.AddFrames(unpinned * kFramesPerHuge);
+          unpin.AddHugeFrames(unpinned * kFramesPerHuge);
           cpu_.host_sys_ns += hv::ChargeTraced(
               sim_, "monitor.unmap_iommu_ns",
               unpinned * vm_->costs().iommu_unmap_2m_ns +
@@ -476,6 +492,7 @@ uint64_t HyperAllocMonitor::UnmapBatch(
         if (pin_ok) {
           trace::Span unpin(trace::Layer::kIommu, "iommu.unpin_range");
           unpin.AddFrames(kFramesPerHuge);
+          unpin.AddHugeFrames(kFramesPerHuge);
           cpu_.host_sys_ns += hv::ChargeTraced(
               sim_, "monitor.unmap_iommu_ns",
               vm_->costs().iommu_unmap_2m_ns + vm_->costs().iotlb_flush_ns);
@@ -601,6 +618,7 @@ void HyperAllocMonitor::ShrinkSlice(uint64_t target_huge, int escalation,
       }
     }
     reclaim.AddFrames(batch.size() * kFramesPerHuge);
+    reclaim.AddHugeFrames(batch.size() * kFramesPerHuge);
   }
   const uint64_t quarantined_before = quarantined_huge_;
   const uint64_t completed = UnmapBatch(batch);
@@ -672,6 +690,7 @@ void HyperAllocMonitor::GrowSlice(uint64_t target_huge,
       }
     }
     mark.AddFrames(static_cast<uint64_t>(returned) * kFramesPerHuge);
+    mark.AddHugeFrames(static_cast<uint64_t>(returned) * kFramesPerHuge);
   }
   // Quarantined frames cannot be returned: a grow request against a VM
   // with quarantined memory finishes partial (returned == 0 once only
@@ -746,6 +765,7 @@ uint64_t HyperAllocMonitor::AutoReclaimPass() {
   // (or were already unmapped) are net soft reclaims.
   const uint64_t completed = UnmapBatch(batch);
   pass.AddFrames(batch.size() * kFramesPerHuge);
+  pass.AddHugeFrames(batch.size() * kFramesPerHuge);
   soft_reclaims_ += completed;
   return completed;
 }

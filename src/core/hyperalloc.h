@@ -90,6 +90,26 @@ class HyperAllocMonitor : public hv::Deflator {
   uint64_t installs() const { return installs_; }
   uint64_t soft_reclaims() const { return soft_reclaims_; }
 
+  // Huge-frame reclaim share (DESIGN.md §4.14): of the huge frames this
+  // monitor reclaimed and handed to UnmapBatch, how many avoided per-4K
+  // EPT work — untouched (nothing mapped, the §5.3 fast path) or
+  // invalidated via a single 2 MiB EPT entry — vs. the ones that needed
+  // 512 separate 4K invalidations (a demoted or piecewise-faulted frame).
+  uint64_t reclaim_untouched() const { return reclaim_untouched_; }
+  uint64_t reclaim_unmapped_2m() const { return reclaim_unmapped_2m_; }
+  uint64_t reclaim_unmapped_4k() const { return reclaim_unmapped_4k_; }
+  // (untouched + 2m) / total, 1.0 when nothing was reclaimed yet.
+  double HugeReclaimShare() const { return huge_reclaim().Share(); }
+
+  // Fleet-visible form of the same split (hv::Deflator hook), so the
+  // fleet engine can aggregate the share across VMs without knowing the
+  // backend type.
+  hv::HugeReclaimStats huge_reclaim() const override {
+    return {.untouched = reclaim_untouched_,
+            .via_2m = reclaim_unmapped_2m_,
+            .via_4k = reclaim_unmapped_4k_};
+  }
+
   // Fault-recovery statistics (DESIGN.md §4.9).
   uint64_t faults_seen() const { return faults_seen_; }
   uint64_t fault_retries() const { return fault_retries_; }
@@ -188,6 +208,11 @@ class HyperAllocMonitor : public hv::Deflator {
   uint64_t installs_ = 0;
   uint64_t soft_reclaims_ = 0;
   uint64_t scan_cache_lines_ = 0;
+
+  // Huge-frame reclaim share split (DESIGN.md §4.14).
+  uint64_t reclaim_untouched_ = 0;
+  uint64_t reclaim_unmapped_2m_ = 0;
+  uint64_t reclaim_unmapped_4k_ = 0;
 };
 
 }  // namespace hyperalloc::core

@@ -577,6 +577,12 @@ FleetResult FleetEngine::Run() {
                              static_cast<double>(sim::kMs));
       result.resizes.push_back(r);
     }
+    if (state->parts.deflator != nullptr) {
+      const hv::HugeReclaimStats h = state->parts.deflator->huge_reclaim();
+      result.huge_reclaim.untouched += h.untouched;
+      result.huge_reclaim.via_2m += h.via_2m;
+      result.huge_reclaim.via_4k += h.via_4k;
+    }
   }
   result.fleet_digest = fleet_digest.h;
   if (!result.per_vm_rss.empty()) {

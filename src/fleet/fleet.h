@@ -188,6 +188,10 @@ struct FleetResult {
   double wall_ms = 0.0;
   FleetSlo slo;
   AdmissionStats admission;
+  // Fleet-wide huge-frame reclaim split (§4.14), summed across every
+  // VM's backend. Deterministic: the counters only move on each VM's
+  // own virtual clock. All-zero for backends without a huge path.
+  hv::HugeReclaimStats huge_reclaim;
   std::vector<ResizeRecord> resizes;
   std::vector<uint64_t> final_limit_bytes;
   // Barrier-sampled fleet telemetry (empty unless epoch mode with

@@ -516,7 +516,6 @@ bool GuestVm::MigrateRange(FrameId first, uint64_t count, unsigned core,
                            uint64_t* migrated) {
   HA_CHECK(first + count <= total_frames_);
   Zone& zone = ZoneOf(first);
-  HA_CHECK(zone.buddy != nullptr);  // compaction is a buddy-zone mechanism
   HA_CHECK(first + count <= zone.end());
   const sim::Time t0 = sim_->now();
   uint64_t moved = 0;
@@ -624,7 +623,32 @@ void GuestVm::PurgeAllocatorCaches() {
 
 void GuestVm::ReleaseIsolatedRange(FrameId first, uint64_t count) {
   Zone& zone = ZoneOf(first);
-  HA_CHECK(zone.buddy != nullptr);
+  if (zone.buddy != nullptr) {
+    FrameId f = first;
+    while (f < first + count) {
+      const unsigned order = AllocOrderAt(f);
+      if (order != 0xff) {
+        f += 1ull << order;  // live allocation: leave it alone
+        continue;
+      }
+      // Coalesce the maximal isolated run into one buddy release.
+      const FrameId run_start = f;
+      while (f < first + count && AllocOrderAt(f) == 0xff) {
+        ++f;
+      }
+      zone.buddy->ReleaseRange(run_start - zone.start, f - run_start);
+    }
+    return;
+  }
+  // LLFree zone (§4.14): the isolated frames are the order-0 claims
+  // ClaimFreeInArea took plus any evacuated source frames MigrateRange
+  // transferred to the isolation. One PutBatch returns them all; when
+  // the area is fully evacuated its counter reaches 512 and the free
+  // huge frame is re-formed without any dedicated release primitive.
+  // A frame freed concurrently by the guest (bit already clear) is
+  // skipped by PutBatch's double-free detection.
+  std::vector<FrameId> isolated;
+  isolated.reserve(count);
   FrameId f = first;
   while (f < first + count) {
     const unsigned order = AllocOrderAt(f);
@@ -632,13 +656,10 @@ void GuestVm::ReleaseIsolatedRange(FrameId first, uint64_t count) {
       f += 1ull << order;  // live allocation: leave it alone
       continue;
     }
-    // Coalesce the maximal isolated run into one buddy release.
-    const FrameId run_start = f;
-    while (f < first + count && AllocOrderAt(f) == 0xff) {
-      ++f;
-    }
-    zone.buddy->ReleaseRange(run_start - zone.start, f - run_start);
+    isolated.push_back(f - zone.start);
+    ++f;
   }
+  zone.llfree->PutBatch(isolated, 0);
 }
 
 uint64_t GuestVm::FreeFrames() const {
@@ -662,6 +683,21 @@ uint64_t GuestVm::FreeHugeFrames() const {
                  : zone.llfree->FreeHugeFrames();
   }
   return total;
+}
+
+double GuestVm::FragmentationScore() const {
+  const uint64_t free = FreeFrames();
+  if (free == 0) {
+    return 0.0;
+  }
+  const uint64_t huge_free = FreeHugeFrames() * kFramesPerHuge;
+  // Cached (per-vCPU) frames count as free but not huge-claimable, so
+  // they contribute to the score — draining them is part of what a
+  // compaction pass does.
+  return huge_free >= free
+             ? 0.0
+             : 1.0 - static_cast<double>(huge_free) /
+                         static_cast<double>(free);
 }
 
 uint64_t GuestVm::UsedHugeBytes() const {

@@ -221,12 +221,13 @@ class GuestVm {
     migration_listeners_.push_back(listener);
   }
 
-  // Migrates every allocation in [first, first+count) (a buddy-zone
-  // range whose free frames the caller has already isolated) to frames
-  // outside the range, then claims the evacuated frames. Returns false
-  // if a destination allocation failed (range stays partially migrated;
-  // evacuated frames remain claimed). `migrated` (optional) receives the
-  // number of frames moved.
+  // Migrates every allocation in [first, first+count) (a range whose
+  // free frames the caller has already isolated — buddy ClaimFreeInRange
+  // or LLFree ClaimFreeInArea, §4.14) to frames outside the range, then
+  // claims the evacuated frames. Returns false if a destination
+  // allocation failed (range stays partially migrated; evacuated frames
+  // remain claimed). `migrated` (optional) receives the number of frames
+  // moved.
   bool MigrateRange(FrameId first, uint64_t count, unsigned core,
                     uint64_t* migrated = nullptr);
 
@@ -243,9 +244,11 @@ class GuestVm {
     return (alloc_order_[frame] & 0x80) != 0;
   }
 
-  // Releases a range previously isolated (claimed) in a buddy zone,
-  // leaving live allocations alone — the rollback path shared by
-  // virtio-mem unplug and memory compaction.
+  // Releases a range previously isolated (claimed), leaving live
+  // allocations alone — the rollback path shared by virtio-mem unplug
+  // and memory compaction. Buddy zones coalesce isolated runs into
+  // ranged releases; LLFree zones return the isolated frames in one
+  // PutBatch (a fully evacuated area re-forms a free huge frame, §4.14).
   void ReleaseIsolatedRange(FrameId first, uint64_t count);
 
   // ------------------------------------------------------------------
@@ -257,6 +260,9 @@ class GuestVm {
   // Free frames available at huge granularity (what huge-page-granular
   // reclamation could take right now).
   uint64_t FreeHugeFrames() const;
+  // Fraction of free memory NOT recoverable as whole huge frames, over
+  // all zones (DESIGN.md §4.14) — the compaction daemon's trigger input.
+  double FragmentationScore() const;
   // Guest-used huge areas (LLFree only; Fig. 8 "huge" curve).
   uint64_t UsedHugeBytes() const;
 

@@ -80,12 +80,33 @@ struct ResizeRequest {
   std::function<void(const ResizeOutcome&)> on_outcome;
 };
 
+// Huge-frame reclaim split (DESIGN.md §4.14): how the huge frames a
+// backend reclaimed were invalidated on the host — untouched (nothing
+// was mapped), via a single 2 MiB EPT entry, or via 512 individual 4 KiB
+// entries. Backends without huge-granular reclaim report all-zero.
+struct HugeReclaimStats {
+  uint64_t untouched = 0;
+  uint64_t via_2m = 0;
+  uint64_t via_4k = 0;
+
+  uint64_t total() const { return untouched + via_2m + via_4k; }
+  // Fraction reclaimed without per-4K EPT work; 1.0 when idle.
+  double Share() const {
+    return total() == 0 ? 1.0
+                        : static_cast<double>(untouched + via_2m) /
+                              static_cast<double>(total());
+  }
+};
+
 class Deflator {
  public:
   virtual ~Deflator() = default;
 
   // Static capability matrix entry for this technique.
   virtual DeflatorCaps caps() const = 0;
+
+  // Huge-frame reclaim share (§4.14). Default: no huge-granular path.
+  virtual HugeReclaimStats huge_reclaim() const { return {}; }
 
   // Starts moving the VM's memory limit toward `request.target_bytes`.
   // Must not be called while a previous request is still in flight

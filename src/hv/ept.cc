@@ -8,7 +8,15 @@
 namespace hyperalloc::hv {
 
 Ept::Ept(uint64_t frames, HostMemory* host)
-    : frames_(frames), host_(host), bitmap_((frames + 63) / 64, 0) {}
+    : frames_(frames),
+      host_(host),
+      bitmap_((frames + 63) / 64, 0),
+      huge_entry_((HugesForFrames(frames) + 63) / 64, 0) {}
+
+bool Ept::HasHugeEntry(HugeId huge) const {
+  HA_CHECK(huge < HugesForFrames(frames_));
+  return (huge_entry_[huge / 64] >> (huge % 64)) & 1;
+}
 
 bool Ept::IsMapped(FrameId frame) const {
   HA_CHECK(frame < frames_);
@@ -53,6 +61,22 @@ uint64_t Ept::Map(FrameId first, uint64_t count) {
   if (host_ != nullptr && !host_->TryReserve(missing)) {
     return kNoHostMemory;
   }
+  // 2M-entry promotion: a huge frame the range wholly covers and that had
+  // nothing mapped before this call is installed as one 2 MiB entry
+  // (pre-call state, so the tally runs before the bitmap is touched).
+  for (HugeId huge = FrameToHuge(first);
+       huge <= FrameToHuge(first + count - 1); ++huge) {
+    const FrameId hf = HugeToFrame(huge);
+    if (hf < first || hf + kFramesPerHuge > first + count) {
+      continue;  // partial coverage: stays (or fills in as) 4K entries
+    }
+    if (CountMapped(hf, kFramesPerHuge) == 0) {
+      huge_entry_[huge / 64] |= 1ull << (huge % 64);
+      ++maps_2m_;
+      ++mapped_2m_;
+      HA_COUNT("ept.map_2m");
+    }
+  }
   for (FrameId frame = first; frame < first + count; ++frame) {
     bitmap_[frame / 64] |= 1ull << (frame % 64);
   }
@@ -78,6 +102,7 @@ uint64_t Ept::Unmap(FrameId first, uint64_t count) {
                    count);
     return kFaultInjected;
   }
+  const HugeUnmapAccounting huge = TallyHugeUnmap(first, count);
   for (FrameId frame = first; frame < first + count; ++frame) {
     bitmap_[frame / 64] &= ~(1ull << (frame % 64));
   }
@@ -91,11 +116,53 @@ uint64_t Ept::Unmap(FrameId first, uint64_t count) {
   // flushes under per-page unmapping).
   ++tlb_range_flushes_;
   tlb_flushed_frames_ += present;
+  // What the flush actually invalidated: one 2M entry per wholly-covered
+  // huge mapping, 4K entries for everything else that was present
+  // (including the demoted remainder of partially-covered 2M entries).
+  unmaps_2m_ += huge.whole_2m;
+  demotions_2m_ += huge.demoted;
+  entries_invalidated_2m_ += huge.whole_2m;
+  HA_DCHECK(present >= huge.whole_2m * kFramesPerHuge);
+  entries_invalidated_4k_ += present - huge.whole_2m * kFramesPerHuge;
+  huge_unmaps_total_ += huge.whole_full;
+  huge_unmaps_2m_ += huge.whole_2m;
   HA_COUNT("ept.unmap_ops");
   HA_COUNT_N("ept.unmap_frames", present);
   HA_COUNT("ept.tlb_range_flush");
   HA_TRACE_EVENT(trace::Category::kEpt, trace::Op::kUnmap, first, count);
   return present;
+}
+
+Ept::HugeUnmapAccounting Ept::TallyHugeUnmap(FrameId first, uint64_t count) {
+  HugeUnmapAccounting out;
+  for (HugeId huge = FrameToHuge(first);
+       huge <= FrameToHuge(first + count - 1); ++huge) {
+    const FrameId hf = HugeToFrame(huge);
+    const bool whole = hf >= first && hf + kFramesPerHuge <= first + count;
+    const bool entry = (huge_entry_[huge / 64] >> (huge % 64)) & 1;
+    if (whole) {
+      // Invariant: a live 2M entry implies all 512 subframes mapped (any
+      // partial unmap demotes it first), so `entry` ⟹ fully present.
+      if (entry || CountMapped(hf, kFramesPerHuge) == kFramesPerHuge) {
+        ++out.whole_full;
+      }
+      if (entry) {
+        ++out.whole_2m;
+        HA_COUNT("ept.unmap_2m");
+      }
+    } else if (entry) {
+      // Partial coverage splits the 2M entry into 4K entries before the
+      // covered part is invalidated (huge→base demotion, §4.14).
+      ++out.demoted;
+      HA_COUNT("ept.demote_2m");
+    }
+    if (entry) {
+      huge_entry_[huge / 64] &= ~(1ull << (huge % 64));
+      HA_DCHECK(mapped_2m_ > 0);
+      --mapped_2m_;
+    }
+  }
+  return out;
 }
 
 }  // namespace hyperalloc::hv

@@ -64,18 +64,68 @@ class Ept {
   uint64_t tlb_range_flushes() const { return tlb_range_flushes_; }
   uint64_t tlb_flushed_frames() const { return tlb_flushed_frames_; }
 
+  // 2 MiB (order-9) entry accounting — DESIGN.md §4.14. The model layers
+  // huge-entry bookkeeping over the 4 KiB bitmap without changing the
+  // host-backing semantics (reserve/release stay base-frame-granular, so
+  // every RSS/footprint metric is byte-identical with the layer off):
+  //
+  //  * A huge frame gets a 2 MiB entry exactly when ONE Map call takes it
+  //    from 0 to 512 mapped frames (the THP-style 2M fault and the
+  //    huge-PFN deflate path). Piecewise 4 KiB fills never promote —
+  //    matching hardware, where the page tables already hold 4K entries.
+  //  * An Unmap whose range wholly covers a 2 M-entry frame invalidates
+  //    that single entry (`unmaps_2m`); partial coverage first demotes
+  //    the entry to 512 separate 4K entries (`demotions_2m`) and then
+  //    invalidates only the unmapped part.
+  //
+  // entries_invalidated_2m/4k count what the coalesced flushes actually
+  // invalidate at each granularity; comparing their sum against
+  // tlb_flushed_frames() (the all-4K cost) is the flush-savings metric.
+  uint64_t maps_2m() const { return maps_2m_; }
+  uint64_t unmaps_2m() const { return unmaps_2m_; }
+  uint64_t demotions_2m() const { return demotions_2m_; }
+  // Live 2 MiB entries right now.
+  uint64_t mapped_2m() const { return mapped_2m_; }
+  uint64_t entries_invalidated_2m() const { return entries_invalidated_2m_; }
+  uint64_t entries_invalidated_4k() const { return entries_invalidated_4k_; }
+  // Huge-frame reclaim share: of the fully-backed huge frames handed back
+  // wholesale (an Unmap covering all of a huge frame with every subframe
+  // present), how many went through a single 2 MiB entry rather than 512
+  // 4 KiB ones. share = huge_unmaps_2m / huge_unmaps_total.
+  uint64_t huge_unmaps_total() const { return huge_unmaps_total_; }
+  uint64_t huge_unmaps_2m() const { return huge_unmaps_2m_; }
+  bool HasHugeEntry(HugeId huge) const;
+
   static constexpr uint64_t kNoHostMemory = ~0ull;
   static constexpr uint64_t kFaultInjected = ~0ull - 1;
 
  private:
+  // 2M-entry transitions for one Unmap call, tallied before the bitmap
+  // is touched (the bits encode the pre-call state).
+  struct HugeUnmapAccounting {
+    uint64_t whole_2m = 0;    // intact 2M entries the range wholly covers
+    uint64_t demoted = 0;     // 2M entries the range only partly covers
+    uint64_t whole_full = 0;  // fully-present huge frames wholly covered
+  };
+  HugeUnmapAccounting TallyHugeUnmap(FrameId first, uint64_t count);
+
   uint64_t frames_;
   HostMemory* host_;
   std::vector<uint64_t> bitmap_;  // bit set = mapped
+  std::vector<uint64_t> huge_entry_;  // bit set = live 2 MiB entry
   uint64_t mapped_ = 0;
   uint64_t total_map_ops_ = 0;
   uint64_t total_unmap_ops_ = 0;
   uint64_t tlb_range_flushes_ = 0;
   uint64_t tlb_flushed_frames_ = 0;
+  uint64_t maps_2m_ = 0;
+  uint64_t unmaps_2m_ = 0;
+  uint64_t demotions_2m_ = 0;
+  uint64_t mapped_2m_ = 0;
+  uint64_t entries_invalidated_2m_ = 0;
+  uint64_t entries_invalidated_4k_ = 0;
+  uint64_t huge_unmaps_total_ = 0;
+  uint64_t huge_unmaps_2m_ = 0;
   fault::Injector* fault_ = nullptr;
   fault::Kind last_injected_kind_ = fault::Kind::kTransient;
   uint64_t injected_faults_ = 0;

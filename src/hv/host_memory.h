@@ -3,7 +3,8 @@
 // guest-physical memory is populated and release them when the hypervisor
 // reclaims it; the multi-VM experiment (Fig. 11) reads aggregate usage.
 //
-// Scalability design (multi-VM scaling, one simulation thread per VM):
+// Scalability design (multi-VM scaling, DESIGN.md §4.7; one simulation
+// thread per VM):
 // admission control is *sharded*. The pool's free frames live in
 // cache-line-padded per-shard credit lines plus one global reserve.
 // TryReserve/Release on the hot path touch only the calling thread's

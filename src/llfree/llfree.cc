@@ -407,8 +407,11 @@ unsigned LLFree::GetBatch(unsigned core, unsigned order, unsigned count,
   if (count == 0) {
     return 0;
   }
+  if (order == kHugeOrder) {
+    return GetBatchHuge(core, count, type, out);
+  }
   if (order > kMaxSingleWordOrder) {
-    // Multi-word and huge orders gain nothing from word-batching (each
+    // Multi-word orders (7..8) gain nothing from word-batching (each
     // run already spans whole words); loop the single-run path.
     unsigned done = 0;
     for (; done < count; ++done) {
@@ -460,6 +463,63 @@ unsigned LLFree::GetBatch(unsigned core, unsigned order, unsigned count,
   // exact semantics (fallback steal included) of `count` single calls.
   while (claimed < count) {
     const Result<FrameId> r = Get(core, order, type);
+    if (!r.ok()) {
+      break;
+    }
+    out->push_back(*r);
+    ++claimed;
+  }
+  return claimed;
+}
+
+unsigned LLFree::GetBatchHuge(unsigned core, unsigned count, AllocType type,
+                              std::vector<FrameId>* out) {
+  // Native order-9 batch (DESIGN.md §4.14): the reservation CAS debits
+  // whole multiples of kFramesPerHuge and each tree visit claims every
+  // free huge frame it can, so a slice-sized deflate (512 MiB = 256 huge
+  // frames) costs a handful of reservation transactions instead of 256
+  // full Get transactions.
+  const AllocType effective_type =
+      config().mode == Config::ReservationMode::kPerType ? AllocType::kHuge
+                                                         : type;
+  const unsigned slot = SlotFor(core, effective_type);
+  unsigned claimed = 0;
+  std::optional<uint64_t> avoid;
+  for (unsigned attempt = 0;
+       attempt < kMaxReserveAttempts && claimed < count; ++attempt) {
+    unsigned taken_runs = 0;
+    const std::optional<uint64_t> tree = TakeUpToFromReservation(
+        slot, kFramesPerHuge, count - claimed, &taken_runs);
+    if (!tree.has_value()) {
+      if (!ReserveNewTree(slot, effective_type, kFramesPerHuge, avoid)) {
+        break;
+      }
+      continue;
+    }
+    const unsigned got = SearchTreeHugeBatch(*tree, taken_runs, out);
+    claimed += got;
+    if (got < taken_runs) {
+      // The counter promised more whole areas than the tree held
+      // (fragmentation or a race): return the shortfall and move on.
+      GiveBack(slot, *tree, (taken_runs - got) * kFramesPerHuge);
+      avoid = *tree;
+      if (!ReserveNewTree(slot, effective_type, kFramesPerHuge, avoid)) {
+        break;
+      }
+    }
+  }
+  // The singles tail below counts its own "llfree.get"s.
+  if (claimed > 0) {
+    HA_COUNT_N("llfree.get", claimed);
+    HA_COUNT("llfree.get_batch");
+    HA_HIST("llfree.get_batch_runs", claimed);
+    HA_TRACE_EVENT(trace::Category::kLLFree, trace::Op::kGet,
+                   out->at(out->size() - claimed), kHugeOrder);
+  }
+  // Tail under pressure: fall back to single Gets so the batch keeps the
+  // exact semantics (fallback steal included) of `count` single calls.
+  while (claimed < count) {
+    const Result<FrameId> r = Get(core, kHugeOrder, type);
     if (!r.ok()) {
       break;
     }
@@ -606,6 +666,32 @@ std::optional<FrameId> LLFree::SearchTreeHuge(uint64_t tree) {
     }
   }
   return std::nullopt;
+}
+
+unsigned LLFree::SearchTreeHugeBatch(uint64_t tree, unsigned count,
+                                     std::vector<FrameId>* out) {
+  const uint64_t first = FirstAreaOf(tree);
+  const uint64_t areas = AreasInTree(tree);
+  const int start_pass = config().prefer_non_evicted ? 0 : 1;
+  unsigned claimed = 0;
+  for (int pass = start_pass; pass < 2 && claimed < count; ++pass) {
+    for (uint64_t i = 0; i < areas && claimed < count; ++i) {
+      const uint64_t area = first + i;
+      const AreaEntry entry = AreaEntry::Unpack(
+          state_->areas_[area].load(std::memory_order_acquire));
+      if (!entry.IsFreeHuge()) {
+        continue;
+      }
+      if (pass == 0 && entry.evicted) {
+        continue;
+      }
+      if (ClaimHuge(area)) {
+        out->push_back(HugeToFrame(area));
+        ++claimed;
+      }
+    }
+  }
+  return claimed;
 }
 
 bool LLFree::ClaimBase(uint64_t area, unsigned order, FrameId* out) {
@@ -856,6 +942,137 @@ unsigned LLFree::PutBatch(std::span<const FrameId> frames, unsigned order) {
                    order);
   }
   return freed_total;
+}
+
+// ----------------------------------------------------------------------
+// Compaction support (DESIGN.md §4.14)
+// ----------------------------------------------------------------------
+
+unsigned LLFree::ClaimFreeInArea(HugeId area, std::vector<FrameId>* out) {
+  HA_CHECK(area < num_areas());
+  const uint64_t tree = TreeOf(area);
+  unsigned total = 0;
+  for (;;) {
+    const AreaEntry snapshot = AreaEntry::Unpack(
+        state_->areas_[area].load(std::memory_order_acquire));
+    if (snapshot.allocated || snapshot.free == 0) {
+      break;
+    }
+    // Debit the tree counter FIRST — the hard-reclaim ordering — so the
+    // guest cannot promise these frames to an allocation mid-claim. The
+    // frames may be parked in a reservation over this tree; raid those
+    // when the global counter runs dry.
+    unsigned take = 0;
+    const bool counter_taken =
+        AtomicUpdate(state_->trees_[tree],
+                     [&](uint32_t raw) -> std::optional<uint32_t> {
+                       TreeEntry te = TreeEntry::Unpack(raw);
+                       if (te.free == 0) {
+                         return std::nullopt;
+                       }
+                       take = std::min<unsigned>(snapshot.free, te.free);
+                       te.free -= take;
+                       return te.Pack();
+                     })
+            .has_value();
+    if (!counter_taken) {
+      take = 0;
+      for (unsigned s = 0; s < config().NumSlots() && take == 0; ++s) {
+        const bool raided =
+            AtomicUpdate(state_->reservations_[s],
+                         [&](uint64_t raw) -> std::optional<uint64_t> {
+                           Reservation r = Reservation::Unpack(raw);
+                           if (!r.active || r.tree != tree || r.free == 0) {
+                             return std::nullopt;
+                           }
+                           take = std::min<unsigned>(snapshot.free, r.free);
+                           r.free = static_cast<uint16_t>(r.free - take);
+                           return r.Pack();
+                         })
+                .has_value();
+        if (!raided) {
+          take = 0;
+        }
+      }
+      if (take == 0) {
+        break;  // tree counters dry: nothing safely claimable
+      }
+    }
+    // Debit the area counter (it may have shrunk since the snapshot;
+    // credit any shortfall back to the tree).
+    unsigned got = 0;
+    const bool area_taken =
+        AtomicUpdate(state_->areas_[area],
+                     [&](uint16_t raw) -> std::optional<uint16_t> {
+                       AreaEntry entry = AreaEntry::Unpack(raw);
+                       if (entry.allocated || entry.free == 0) {
+                         return std::nullopt;
+                       }
+                       got = std::min<unsigned>(take, entry.free);
+                       entry.free = static_cast<uint16_t>(entry.free - got);
+                       return entry.Pack();
+                     })
+            .has_value();
+    if (!area_taken) {
+      got = 0;
+    }
+    if (got < take) {
+      AtomicUpdate(state_->trees_[tree],
+                   [&](uint32_t raw) -> std::optional<uint32_t> {
+                     TreeEntry te = TreeEntry::Unpack(raw);
+                     te.free += take - got;
+                     return te.Pack();
+                   });
+      if (got == 0) {
+        break;
+      }
+    }
+    // Claim the corresponding order-0 bits. No install trigger: the
+    // claimed frames are the holes the migration fills around and are
+    // never written through.
+    unsigned offsets[kFramesPerHuge];
+    const unsigned set = BitsOf(area).SetBatch(0, got, 0, offsets);
+    if (set < got) {
+      // Bits raced ahead of the counter: roll the shortfall back.
+      AtomicUpdate(state_->areas_[area],
+                   [&](uint16_t raw) -> std::optional<uint16_t> {
+                     AreaEntry entry = AreaEntry::Unpack(raw);
+                     entry.free = static_cast<uint16_t>(entry.free +
+                                                        (got - set));
+                     return entry.Pack();
+                   });
+      AtomicUpdate(state_->trees_[tree],
+                   [&](uint32_t raw) -> std::optional<uint32_t> {
+                     TreeEntry te = TreeEntry::Unpack(raw);
+                     te.free += got - set;
+                     return te.Pack();
+                   });
+    }
+    for (unsigned i = 0; i < set; ++i) {
+      out->push_back(HugeToFrame(area) + offsets[i]);
+    }
+    total += set;
+    if (set == 0) {
+      break;
+    }
+  }
+  if (total > 0) {
+    HA_COUNT("llfree.compact_claim");
+    HA_COUNT_N("llfree.compact_claim_frames", total);
+    HA_TRACE_EVENT(trace::Category::kLLFree, trace::Op::kGet,
+                   HugeToFrame(area), 0);
+  }
+  return total;
+}
+
+double LLFree::FragmentationScore() const {
+  const uint64_t free = FreeFrames();
+  if (free == 0) {
+    return 0.0;
+  }
+  const uint64_t huge_free = FreeHugeFrames() * kFramesPerHuge;
+  HA_DCHECK(huge_free <= free);
+  return 1.0 - static_cast<double>(huge_free) / static_cast<double>(free);
 }
 
 // ----------------------------------------------------------------------

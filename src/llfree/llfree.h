@@ -151,11 +151,13 @@ class LLFree {
   // slot's reserved tree — one CAS on the reservation takes the whole
   // batch's worth of frames and one CAS per bit-field word claims every
   // run that word holds — so a 64-frame order-0 batch costs a handful of
-  // atomics instead of 64 full Get transactions. Higher orders fall back
-  // to a Get loop. Returns the number of runs claimed; fewer than
-  // `count` means the allocator ran dry (the pressure fallback is still
-  // exercised for the tail, so a batch is exactly equivalent to `count`
-  // single Gets).
+  // atomics instead of 64 full Get transactions. Order 9 has its own
+  // native batch (§4.14): one reservation CAS covers several huge frames
+  // and each tree visit claims every free area it holds. The remaining
+  // multi-word orders (7..8) fall back to a Get loop. Returns the number
+  // of runs claimed; fewer than `count` means the allocator ran dry (the
+  // pressure fallback is still exercised for the tail, so a batch is
+  // exactly equivalent to `count` single Gets).
   unsigned GetBatch(unsigned core, unsigned order, unsigned count,
                     AllocType type, std::vector<FrameId>* out);
 
@@ -171,6 +173,23 @@ class LLFree {
   // the guest's reaction to the hypervisor's "cache purge" request when
   // shrinking the hard limit (§3.3).
   void DrainReservations();
+
+  // Compaction isolation (DESIGN.md §4.14): claims every currently free
+  // base frame of one area into the caller's ownership, appending each
+  // frame to `out`. Debits the tree counter (raiding reservations parked
+  // over the tree, like hard reclaim) BEFORE touching the area, so a
+  // concurrent guest allocation can never be promised these frames.
+  // The claimed frames are never written by the caller (they are the
+  // holes the straggler migration fills around), so no install triggers.
+  // Returns the number of frames claimed; with no concurrent mutators a
+  // single call empties the area's free space.
+  unsigned ClaimFreeInArea(HugeId area, std::vector<FrameId>* out);
+
+  // Fragmentation score (§4.14): the fraction of free memory NOT
+  // recoverable as whole huge frames, in [0, 1]. 0 = every free frame
+  // sits in a fully free area (perfectly defragmented); 1 = free memory
+  // exists but no area is whole. The compaction daemon triggers on this.
+  double FragmentationScore() const;
 
   // ------------------------------------------------------------------
   // Bilateral (hypervisor-side) API — §3.2 state transitions
@@ -291,8 +310,19 @@ class LLFree {
   unsigned SearchTreeBatch(uint64_t tree, unsigned order, unsigned count,
                            std::vector<FrameId>* out);
 
+  // Native order-9 batch behind GetBatch (§4.14).
+  unsigned GetBatchHuge(unsigned core, unsigned count, AllocType type,
+                        std::vector<FrameId>* out);
+
   // Claims one huge frame inside `tree` (area allocated flag).
   std::optional<FrameId> SearchTreeHuge(uint64_t tree);
+
+  // Batch variant (§4.14): claims up to `count` free huge frames across
+  // the tree's areas (same two evicted-preference passes — installed
+  // frames first, the LLFREE_PREFER_INSTALLED policy). Returns the
+  // number claimed.
+  unsigned SearchTreeHugeBatch(uint64_t tree, unsigned count,
+                               std::vector<FrameId>* out);
 
   // Pressure fallback: steals directly from tree counters, ignoring the
   // reserved flag, when no tree can be reserved for the slot.

@@ -1,7 +1,8 @@
 // Deterministic discrete-event simulation engine.
 //
 // All protocol-level experiments (reclamation speed, STREAM/FTQ impact,
-// footprint traces) run in *virtual time*: operations charge calibrated
+// footprint traces) run in *virtual time* (DESIGN.md §4.3): operations
+// charge calibrated
 // nanosecond costs (src/hv/cost_model.h) to this clock, which makes results
 // reproducible and independent of the build machine. Real data-structure
 // work (LLFree/buddy) still executes for real; only its *cost* is virtual.

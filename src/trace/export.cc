@@ -142,7 +142,8 @@ void WriteJson(const std::string& path) {
   std::fprintf(file, "\n  ],\n");
 
   // Spans as compact [trace_id, span_id, parent_id, vm, "layer", "name",
-  // begin_vns, end_vns, charge_ns, frames, faults, retries] rows.
+  // begin_vns, end_vns, charge_ns, frames, huge_frames, faults,
+  // retries] rows.
   const uint64_t dropped_spans = SpanTracer::Global().dropped_spans();
   const std::vector<SpanRecord> spans = SpanTracer::Global().Drain();
   std::fprintf(file, "  \"dropped_spans\": %" PRIu64 ",\n", dropped_spans);
@@ -156,9 +157,9 @@ void WriteJson(const std::string& path) {
     PrintJsonString(file, span.name);
     std::fprintf(file,
                  ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
-                 ",%" PRIu64 "]",
+                 ",%" PRIu64 ",%" PRIu64 "]",
                  span.begin_vns, span.end_vns, span.charge_ns, span.frames,
-                 span.faults, span.retries);
+                 span.huge_frames, span.faults, span.retries);
     first = false;
   }
   std::fprintf(file, "\n  ]\n}\n");
@@ -240,13 +241,14 @@ void WritePerfettoJson(const std::string& path,
         ",\"ph\":\"X\",\"pid\":%u,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
         "\"args\":{\"trace_id\":%" PRIu64 ",\"span_id\":%" PRIu64
         ",\"parent_id\":%" PRIu64 ",\"charge_ns\":%" PRIu64
-        ",\"frames\":%" PRIu64 ",\"faults\":%" PRIu64 ",\"retries\":%" PRIu64
+        ",\"frames\":%" PRIu64 ",\"huge_frames\":%" PRIu64
+        ",\"faults\":%" PRIu64 ",\"retries\":%" PRIu64
         ",\"wall_ns\":%" PRIu64 "}}",
         span.vm, static_cast<unsigned>(span.layer),
         static_cast<double>(span.begin_vns) / 1000.0,
         static_cast<double>(span.virtual_ns()) / 1000.0, span.trace_id,
         span.span_id, span.parent_id, span.charge_ns, span.frames,
-        span.faults, span.retries, span.wall_ns());
+        span.huge_frames, span.faults, span.retries, span.wall_ns());
     first = false;
   }
   std::fprintf(file, "\n],\"displayTimeUnit\":\"ns\"}\n");
@@ -259,17 +261,18 @@ void WriteSpansCsv(const std::string& path,
   HA_CHECK(file != nullptr);
   std::fprintf(file,
                "trace_id,span_id,parent_id,vm,layer,name,begin_vns,"
-               "end_vns,charge_ns,frames,faults,retries,begin_wall_ns,"
-               "end_wall_ns\n");
+               "end_vns,charge_ns,frames,huge_frames,faults,retries,"
+               "begin_wall_ns,end_wall_ns\n");
   for (const SpanRecord& span : spans) {
     std::fprintf(file,
                  "%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%u,%s,%s,%" PRIu64
                  ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
-                 ",%" PRIu64 ",%" PRIu64 "\n",
+                 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 "\n",
                  span.trace_id, span.span_id, span.parent_id, span.vm,
                  Name(span.layer), span.name, span.begin_vns, span.end_vns,
-                 span.charge_ns, span.frames, span.faults, span.retries,
-                 span.begin_wall_ns, span.end_wall_ns);
+                 span.charge_ns, span.frames, span.huge_frames,
+                 span.faults, span.retries, span.begin_wall_ns,
+                 span.end_wall_ns);
   }
   std::fclose(file);
 }

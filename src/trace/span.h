@@ -1,4 +1,5 @@
-// Causal span tracing with per-layer virtual-time attribution.
+// Causal span tracing with per-layer virtual-time attribution
+// (DESIGN.md §4.8).
 //
 // One resize request ("where did the nanoseconds of this inflate go?")
 // becomes a tree of spans: the request root (monitor / balloon /
@@ -66,6 +67,10 @@ struct SpanRecord {
   uint64_t end_wall_ns = 0;
   uint64_t charge_ns = 0;  // cost-model ns attributed to this span
   uint64_t frames = 0;     // frames this span operated on
+  // Huge/base split (DESIGN.md §4.14): of `frames`, how many moved as
+  // whole 2 MiB units (counted in base frames, so huge_frames <= frames
+  // and frames - huge_frames is the base-granular remainder).
+  uint64_t huge_frames = 0;
   uint64_t faults = 0;     // injected faults observed under this span
   uint64_t retries = 0;    // retries (after backoff) under this span
   uint64_t seq = 0;        // global emission order (tie-break)
@@ -226,6 +231,9 @@ class Span {
   uint64_t id() const { return record_.span_id; }
 
   void AddFrames(uint64_t frames) { record_.frames += frames; }
+  // `frames` must already be counted via AddFrames; this marks how many
+  // of them moved as whole 2 MiB units (in base frames).
+  void AddHugeFrames(uint64_t frames) { record_.huge_frames += frames; }
   void AddCharge(uint64_t ns) { record_.charge_ns += ns; }
   void AddFault(uint64_t n = 1) { record_.faults += n; }
   void AddRetry(uint64_t n = 1) { record_.retries += n; }
@@ -302,6 +310,12 @@ class RequestSpan {
     }
   }
 
+  void AddHugeFrames(uint64_t frames) {
+    if (active_) {
+      record_.huge_frames += frames;
+    }
+  }
+
   void AddFault(uint64_t n = 1) {
     if (active_) {
       record_.faults += n;
@@ -366,6 +380,7 @@ class Span {
   bool armed() const { return false; }
   uint64_t id() const { return 0; }
   void AddFrames(uint64_t) {}
+  void AddHugeFrames(uint64_t) {}
   void AddCharge(uint64_t) {}
   void AddFault(uint64_t = 1) {}
   void AddRetry(uint64_t = 1) {}
@@ -379,6 +394,7 @@ class RequestSpan {
  public:
   void Start(const char*) {}
   void AddFrames(uint64_t) {}
+  void AddHugeFrames(uint64_t) {}
   void AddFault(uint64_t = 1) {}
   void AddRetry(uint64_t = 1) {}
   void Finish() {}

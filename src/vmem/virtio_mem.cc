@@ -187,6 +187,7 @@ bool VirtioMem::UnplugOneBlock() {
     cpu_.guest_ns += sim_->now() - guest_start;
     offline.AddCharge(sim_->now() - guest_start);
     offline.AddFrames(kFramesPerHuge);
+    offline.AddHugeFrames(kFramesPerHuge);
   }
 
   // Notify the device (one request per block) and discard host memory.
@@ -243,6 +244,7 @@ bool VirtioMem::UnplugOneBlock() {
     }
     trace::Span unpin(trace::Layer::kIommu, "iommu.unpin_range");
     unpin.AddFrames(kFramesPerHuge);
+    unpin.AddHugeFrames(kFramesPerHuge);
     cpu_.host_sys_ns += hv::Charge(
         sim_, vm_->costs().iommu_unmap_2m_ns + vm_->costs().iotlb_flush_ns);
   }
@@ -276,6 +278,7 @@ bool VirtioMem::UnplugOneBlock() {
               static_cast<double>(ept_ns));
       trace::Span unmap(trace::Layer::kEpt, "ept.unmap_run");
       unmap.AddFrames(kFramesPerHuge);
+      unmap.AddHugeFrames(kFramesPerHuge);
       cpu_.host_sys_ns += hv::Charge(sim_, ept_ns);
     } else {
       // The guest already gave the block up and (under VFIO) the pin is
@@ -354,6 +357,7 @@ bool VirtioMem::PlugOneBlock(uint64_t block) {
     {
       trace::Span populate(trace::Layer::kEpt, "ept.populate");
       populate.AddFrames(kFramesPerHuge);
+      populate.AddHugeFrames(kFramesPerHuge);
       for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
         if (attempt > 0) {
           ChargeBackoff(attempt - 1);
@@ -381,6 +385,7 @@ bool VirtioMem::PlugOneBlock(uint64_t block) {
     {
       trace::Span pin(trace::Layer::kIommu, "iommu.pin");
       pin.AddFrames(kFramesPerHuge);
+      pin.AddHugeFrames(kFramesPerHuge);
       for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
         if (attempt > 0) {
           ChargeBackoff(attempt - 1);
@@ -416,6 +421,7 @@ bool VirtioMem::PlugOneBlock(uint64_t block) {
   {
     trace::Span online(trace::Layer::kGuest, "vmem.online_block");
     online.AddFrames(kFramesPerHuge);
+    online.AddHugeFrames(kFramesPerHuge);
     cpu_.guest_ns += hv::Charge(sim_, vm_->costs().vmem_plug_block_ns);
   }
   zone.buddy->ReleaseRange(local_first, kFramesPerHuge);

@@ -1,6 +1,11 @@
-// Tests for the memory compactor (kcompactd model).
+// Tests for the memory compactor (kcompactd model): buddy-zone
+// evacuation, and the LLFree huge-frame re-forming pass (DESIGN.md
+// §4.14) including its behavior under injected EPT map faults.
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "src/fault/fault.h"
 #include "src/guest/compaction.h"
 #include "src/workloads/memory_pool.h"
 
@@ -18,6 +23,47 @@ class CompactionTest : public ::testing::Test {
     config.dma32_bytes = 0;
     config.buddy_config.pcp_enabled = false;
     vm_ = std::make_unique<GuestVm>(sim_.get(), host_.get(), config);
+  }
+
+  void InitLLFree() {
+    sim_ = std::make_unique<sim::Simulation>();
+    host_ = std::make_unique<hv::HostMemory>(FramesForBytes(kGiB));
+    GuestConfig config;
+    config.memory_bytes = 256 * kMiB;
+    config.vcpus = 2;
+    config.dma32_bytes = 0;
+    config.allocator = AllocatorKind::kLLFree;
+    vm_ = std::make_unique<GuestVm>(sim_.get(), host_.get(), config);
+  }
+
+  // Two-pass churn (the §4.14 bench scenario): allocate 64-frame regions
+  // over half of memory, then free 7 of every 8. Interleaving the frees
+  // would let the allocator reuse them immediately; freeing after the
+  // fact leaves each churned area one straggler run that blocks order-9
+  // reclaim. Returns the kept region ids.
+  std::vector<uint64_t> Churn(workloads::MemoryPool* pool,
+                              AllocType type = AllocType::kMovable) {
+    const uint64_t region_bytes = 64 * kFrameSize;
+    const uint64_t regions =
+        vm_->config().memory_bytes / 2 / region_bytes;
+    std::vector<uint64_t> ids;
+    for (uint64_t i = 0; i < regions; ++i) {
+      const uint64_t id = pool->AllocRegion(region_bytes, 0.0, 0, type);
+      if (id == 0) {
+        break;
+      }
+      ids.push_back(id);
+    }
+    std::vector<uint64_t> kept;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (i % 8 != 0) {
+        pool->FreeRegion(ids[i], 0);
+      } else {
+        kept.push_back(ids[i]);
+      }
+    }
+    vm_->PurgeAllocatorCaches();
+    return kept;
   }
 
   // Fragments memory: fill with order-0, free all but one frame per
@@ -157,6 +203,150 @@ TEST_F(CompactionTest, MigrationChargesTimeAndPreservesData) {
       << "the pool must track migrated frames";
   pool.FreeRegion(region, 0);
   EXPECT_EQ(vm_->FreeFrames(), vm_->total_frames());
+}
+
+// ---------------------------------------------------------------------
+// LLFree zones (§4.14): the daemon isolates an area's free frames,
+// migrates the stragglers out, and the re-formed huge frame becomes
+// order-9 reclaimable again.
+// ---------------------------------------------------------------------
+
+TEST_F(CompactionTest, LLFreeCompactionReformsSplinteredHugeFrames) {
+  InitLLFree();
+  workloads::MemoryPool pool(vm_.get());
+  const std::vector<uint64_t> kept = Churn(&pool);
+  ASSERT_GT(kept.size(), 4u);
+
+  const double frag_before = vm_->FragmentationScore();
+  EXPECT_GT(frag_before, 0.2) << "churn failed to splinter any area";
+  const uint64_t free_huge_before = vm_->FreeHugeFrames();
+  const uint64_t allocated_before = vm_->AllocatedFrames();
+
+  Compactor compactor(vm_.get(), {});
+  const uint64_t freed = compactor.CompactPass(~0ull);
+  EXPECT_GT(freed, 0u);
+  EXPECT_EQ(compactor.blocks_compacted(), freed);
+  EXPECT_GT(compactor.frames_migrated(), 0u);
+  EXPECT_GT(vm_->FreeHugeFrames(), free_huge_before)
+      << "no huge frame re-formed";
+  EXPECT_LT(vm_->FragmentationScore(), frag_before);
+  EXPECT_EQ(vm_->AllocatedFrames(), allocated_before)
+      << "compaction must migrate stragglers, not lose or leak frames";
+
+  // The stragglers' data survived the migration.
+  for (const uint64_t id : kept) {
+    EXPECT_EQ(pool.RegionBytes(id), 64 * kFrameSize);
+  }
+  for (const uint64_t id : kept) {
+    pool.FreeRegion(id, 0);
+  }
+  vm_->PurgeAllocatorCaches();
+  EXPECT_EQ(vm_->FreeFrames(), vm_->total_frames());
+}
+
+TEST_F(CompactionTest, LLFreeDaemonTriggersOnFragmentationScore) {
+  InitLLFree();
+  workloads::MemoryPool pool(vm_.get());
+  const std::vector<uint64_t> kept = Churn(&pool);
+  ASSERT_GT(vm_->FragmentationScore(), 0.25);
+
+  // Watermark satisfied (min_free_huge = 0): only the score trigger can
+  // wake a pass.
+  CompactionConfig config;
+  config.min_free_huge = 0;
+  config.frag_threshold = 0.25;
+  config.blocks_per_wakeup = 16;
+  Compactor compactor(vm_.get(), config);
+  compactor.StartBackground();
+  sim_->RunUntil(sim_->now() + 60 * sim::kSec);
+  compactor.Stop();
+
+  EXPECT_GT(compactor.triggered_passes(), 0u);
+  EXPECT_GT(compactor.blocks_compacted(), 0u);
+  EXPECT_LT(vm_->FragmentationScore(), 0.25)
+      << "the daemon must compact until the score drops below threshold";
+  EXPECT_EQ(compactor.backoff_multiplier(), 1u)
+      << "progress (or an idle trigger) must reset the backoff";
+  (void)kept;
+}
+
+TEST_F(CompactionTest, LLFreeDaemonBacksOffWhenPinned) {
+  InitLLFree();
+  workloads::MemoryPool pool(vm_.get());
+  // Unmovable stragglers: every candidate area is pinned, so triggered
+  // passes can never make progress.
+  const std::vector<uint64_t> kept =
+      Churn(&pool, AllocType::kUnmovable);
+  ASSERT_GT(vm_->FragmentationScore(), 0.25);
+
+  CompactionConfig config;
+  config.min_free_huge = 0;
+  config.frag_threshold = 0.25;
+  config.max_backoff = 8;
+  Compactor compactor(vm_.get(), config);
+  compactor.StartBackground();
+  sim_->RunUntil(sim_->now() + 120 * sim::kSec);
+  compactor.Stop();
+
+  EXPECT_GT(compactor.triggered_passes(), 0u);
+  EXPECT_EQ(compactor.blocks_compacted(), 0u)
+      << "unmovable stragglers must never be migrated";
+  EXPECT_EQ(compactor.backoff_multiplier(), config.max_backoff)
+      << "zero-progress passes must back the daemon off";
+  (void)kept;
+}
+
+// Injected EPT map faults mid-compaction (the CI fault-smoke probe):
+// a failed destination map must not corrupt the migration — the frame
+// contents are tracked, nothing leaks, and the unbacked destination
+// simply faults back in on its next touch (PopulateFrames' bounded
+// retry, DESIGN.md §4.9/§4.14 demotion rules: the hole keeps the huge
+// frame at 4 KiB granularity until re-touched).
+TEST_F(CompactionTest, LLFreeCompactionSurvivesEptMapFaultMidMigration) {
+  InitLLFree();
+  workloads::MemoryPool pool(vm_.get());
+  const std::vector<uint64_t> kept = Churn(&pool);
+  const uint64_t allocated_before = vm_->AllocatedFrames();
+  const double frag_before = vm_->FragmentationScore();
+
+  // Model the post-shrink state the daemon actually runs in: the host
+  // evicted the guest's cold pages, so every migration destination has
+  // to be EPT-mapped back in mid-pass — the map calls the fault plan
+  // intercepts.
+  vm_->ept().Unmap(0, vm_->total_frames());
+
+  // Arm after churn so only the compaction pass sees faults.
+  fault::Plan plan;
+  plan.seed = 3;
+  std::string error;
+  ASSERT_TRUE(fault::Plan::Parse("ept_map:0.2", &plan, &error)) << error;
+  fault::Injector injector(plan);
+  vm_->SetFaultInjector(&injector);
+
+  Compactor compactor(vm_.get(), {});
+  const uint64_t freed = compactor.CompactPass(~0ull);
+  ASSERT_GT(injector.injected_total(), 0u)
+      << "the armed plan never fired mid-compaction";
+  EXPECT_GT(freed, 0u)
+      << "transient map faults must not abort the evacuation";
+
+  // Rollback invariants: no frame was lost or double-freed, and every
+  // straggler region still owns its full size.
+  EXPECT_EQ(vm_->AllocatedFrames(), allocated_before);
+  EXPECT_LT(vm_->FragmentationScore(), frag_before);
+  for (const uint64_t id : kept) {
+    EXPECT_EQ(pool.RegionBytes(id), 64 * kFrameSize);
+  }
+
+  // The allocator stays coherent end to end: freeing everything returns
+  // the VM to a whole, fully defragmented state.
+  for (const uint64_t id : kept) {
+    pool.FreeRegion(id, 0);
+  }
+  vm_->PurgeAllocatorCaches();
+  EXPECT_EQ(vm_->FreeFrames(), vm_->total_frames());
+  EXPECT_EQ(vm_->FreeHugeFrames(), vm_->total_frames() / kFramesPerHuge);
+  EXPECT_DOUBLE_EQ(vm_->FragmentationScore(), 0.0);
 }
 
 }  // namespace

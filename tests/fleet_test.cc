@@ -58,7 +58,8 @@ VmFactory TestVmFactory(uint64_t vm_bytes, fault::Plan plan = {},
 // Determinism: byte-identical per-VM outcomes across worker threads.
 // ---------------------------------------------------------------------
 
-FleetResult RunDeterminismFleet(unsigned threads, uint64_t vms) {
+FleetResult RunDeterminismFleet(unsigned threads, uint64_t vms,
+                                bool huge = false) {
   const uint64_t vm_bytes = 64 * kMiB;
   PolicyConfig pc;
 
@@ -83,9 +84,14 @@ FleetResult RunDeterminismFleet(unsigned threads, uint64_t vms) {
 
   FleetEngine engine(
       config, TestVmFactory(vm_bytes),
-      [arrivals](uint64_t index) {
+      [arrivals, huge](uint64_t index) {
         DemandAgentConfig dc;
         dc.trace = (*arrivals)->Generate(index);
+        if (huge) {
+          // §4.14 fast-path mode: all demand THP-backed, so population
+          // and reclaim both move at 2 MiB granularity.
+          dc.thp_fraction = 1.0;
+        }
         return std::make_unique<DemandAgent>(dc);
       },
       MakeProportionalShare(pc));
@@ -110,6 +116,40 @@ TEST(FleetDeterminism, ByteIdenticalAcross1And4And16Threads) {
     EXPECT_EQ(one.slo.resizes, many.slo.resizes);
     EXPECT_EQ(one.final_limit_bytes, many.final_limit_bytes);
   }
+}
+
+// Huge-frame fast-path mode (§4.14): the fleet-wide huge-reclaim split
+// is aggregated at the engine barrier from per-VM deflator counters, so
+// it must be byte-identical across worker-thread counts too — and the
+// counters must actually move (the share gate would be vacuous on an
+// idle fleet).
+TEST(FleetDeterminism, HugeModeDigestsByteIdenticalAt512Vms) {
+  const uint64_t kVms = 512;
+  const FleetResult one = RunDeterminismFleet(1, kVms, /*huge=*/true);
+  ASSERT_EQ(one.vm_digests.size(), kVms);
+  EXPECT_GT(one.slo.resizes, 0u);
+  ASSERT_GT(one.huge_reclaim.total(), 0u)
+      << "huge mode reclaimed nothing: the share metric is vacuous";
+  EXPECT_GE(one.huge_reclaim.Share(), 0.0);
+  EXPECT_LE(one.huge_reclaim.Share(), 1.0);
+
+  for (const unsigned threads : {4u, 16u}) {
+    const FleetResult many = RunDeterminismFleet(threads, kVms, true);
+    EXPECT_EQ(one.fleet_digest, many.fleet_digest)
+        << "huge-mode fleet digest diverged at " << threads
+        << " threads";
+    for (uint64_t i = 0; i < kVms; ++i) {
+      ASSERT_EQ(one.vm_digests[i], many.vm_digests[i])
+          << "VM " << i << " diverged at " << threads << " threads";
+    }
+    EXPECT_EQ(one.huge_reclaim.untouched, many.huge_reclaim.untouched);
+    EXPECT_EQ(one.huge_reclaim.via_2m, many.huge_reclaim.via_2m);
+    EXPECT_EQ(one.huge_reclaim.via_4k, many.huge_reclaim.via_4k);
+  }
+
+  // The THP-backed fleet must not regress the huge-granular share below
+  // the perf-gate floor the bench enforces (scripts/perf_gate.py).
+  EXPECT_GE(one.huge_reclaim.Share(), 0.8);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,168 @@
+// Huge-frame (order-9) fast-path tests (DESIGN.md §4.14): the native
+// GetBatch/PutBatch order-9 path must be observably equivalent to the
+// same number of single Get/Put calls, and a huge round trip must be
+// observably equivalent to 512 base-frame singles covering the same
+// amount of memory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/llfree/llfree.h"
+
+namespace hyperalloc::llfree {
+namespace {
+
+constexpr uint64_t kFrames64MiB = 16384;  // 32 areas = 4 trees
+
+class HugeFrameTest : public ::testing::Test {
+ protected:
+  void Init(uint64_t frames) {
+    state_a_ = std::make_unique<SharedState>(frames, Config{});
+    a_ = std::make_unique<LLFree>(state_a_.get());
+    state_b_ = std::make_unique<SharedState>(frames, Config{});
+    b_ = std::make_unique<LLFree>(state_b_.get());
+  }
+
+  // The observable state the §4.14 equivalence contract covers.
+  static void ExpectEquivalent(const LLFree& a, const LLFree& b) {
+    EXPECT_EQ(a.FreeFrames(), b.FreeFrames());
+    EXPECT_EQ(a.FreeHugeFrames(), b.FreeHugeFrames());
+    EXPECT_EQ(a.UsedHugeAreas(), b.UsedHugeAreas());
+    EXPECT_DOUBLE_EQ(a.FragmentationScore(), b.FragmentationScore());
+    EXPECT_TRUE(a.Validate());
+    EXPECT_TRUE(b.Validate());
+  }
+
+  std::unique_ptr<SharedState> state_a_;
+  std::unique_ptr<LLFree> a_;
+  std::unique_ptr<SharedState> state_b_;
+  std::unique_ptr<LLFree> b_;
+};
+
+TEST_F(HugeFrameTest, BatchGetMatchesSingles) {
+  Init(kFrames64MiB);
+  constexpr unsigned kCount = 8;
+
+  std::vector<FrameId> batch;
+  ASSERT_EQ(a_->GetBatch(0, kHugeOrder, kCount, AllocType::kMovable,
+                         &batch),
+            kCount);
+  std::vector<FrameId> singles;
+  for (unsigned i = 0; i < kCount; ++i) {
+    const Result<FrameId> r = b_->Get(0, kHugeOrder, AllocType::kMovable);
+    ASSERT_TRUE(r.ok());
+    singles.push_back(*r);
+  }
+
+  // Every run is a whole, naturally aligned huge frame, and the batch
+  // claimed exactly the frames the singles would have.
+  for (const FrameId f : batch) {
+    EXPECT_EQ(f % kFramesPerHuge, 0u);
+    EXPECT_TRUE(a_->ReadArea(FrameToHuge(f)).allocated);
+  }
+  EXPECT_EQ(std::set<FrameId>(batch.begin(), batch.end()),
+            std::set<FrameId>(singles.begin(), singles.end()));
+  ExpectEquivalent(*a_, *b_);
+}
+
+TEST_F(HugeFrameTest, BatchPutMatchesSingles) {
+  Init(kFrames64MiB);
+  constexpr unsigned kCount = 8;
+  std::vector<FrameId> batch;
+  ASSERT_EQ(a_->GetBatch(0, kHugeOrder, kCount, AllocType::kMovable,
+                         &batch),
+            kCount);
+  std::vector<FrameId> singles;
+  b_->GetBatch(0, kHugeOrder, kCount, AllocType::kMovable, &singles);
+
+  EXPECT_EQ(a_->PutBatch(batch, kHugeOrder), kCount);
+  for (const FrameId f : singles) {
+    EXPECT_FALSE(b_->Put(f, kHugeOrder).has_value());
+  }
+
+  ExpectEquivalent(*a_, *b_);
+  EXPECT_EQ(a_->FreeFrames(), kFrames64MiB);
+  EXPECT_EQ(a_->FreeHugeFrames(), kFrames64MiB / kFramesPerHuge);
+
+  // A second batch on the drained allocator re-claims cleanly (no area
+  // left half-accounted by the batched put).
+  std::vector<FrameId> again;
+  EXPECT_EQ(a_->GetBatch(0, kHugeOrder, kCount, AllocType::kMovable,
+                         &again),
+            kCount);
+  EXPECT_EQ(a_->PutBatch(again, kHugeOrder), kCount);
+  EXPECT_TRUE(a_->Validate());
+}
+
+TEST_F(HugeFrameTest, HugeRoundTripMatches512BaseSingles) {
+  Init(kFrames64MiB);
+
+  // A: one order-9 get. B: 512 order-0 singles (the slow path the fast
+  // path replaces). Both consume identical amounts of free memory.
+  const Result<FrameId> huge = a_->Get(0, kHugeOrder, AllocType::kMovable);
+  ASSERT_TRUE(huge.ok());
+  std::vector<FrameId> bases;
+  for (unsigned i = 0; i < kFramesPerHuge; ++i) {
+    const Result<FrameId> r = b_->Get(0, 0, AllocType::kMovable);
+    ASSERT_TRUE(r.ok());
+    bases.push_back(*r);
+  }
+  EXPECT_EQ(a_->FreeFrames(), b_->FreeFrames());
+  EXPECT_EQ(a_->AllocatedFrames(), kFramesPerHuge);
+
+  // Both shapes cost at least one huge frame of contiguity; the base
+  // singles may splinter more, never less.
+  EXPECT_GE(a_->FreeHugeFrames(), b_->FreeHugeFrames());
+
+  // After the round trip the allocators are observably identical again:
+  // pristine, fully defragmented, every huge frame re-formed.
+  EXPECT_FALSE(a_->Put(*huge, kHugeOrder).has_value());
+  EXPECT_EQ(b_->PutBatch(bases, 0), kFramesPerHuge);
+  ExpectEquivalent(*a_, *b_);
+  EXPECT_EQ(a_->FreeFrames(), kFrames64MiB);
+  EXPECT_DOUBLE_EQ(a_->FragmentationScore(), 0.0);
+}
+
+TEST_F(HugeFrameTest, BatchTailEquivalenceWhenAllocatorRunsDry) {
+  Init(kFrames64MiB);
+  const uint64_t areas = kFrames64MiB / kFramesPerHuge;
+
+  // Leave only 3 whole huge frames: splinter every other area with one
+  // straggler base frame.
+  std::vector<FrameId> stragglers;
+  for (uint64_t area = 0; area < areas - 3; ++area) {
+    std::vector<FrameId> claimed;
+    ASSERT_EQ(a_->ClaimFreeInArea(area, &claimed), kFramesPerHuge);
+    ASSERT_EQ(b_->ClaimFreeInArea(area, &claimed), kFramesPerHuge);
+    const std::vector<FrameId> keep{
+        static_cast<FrameId>(area * kFramesPerHuge)};
+    std::vector<FrameId> give_back;
+    for (FrameId f = area * kFramesPerHuge + 1;
+         f < (area + 1) * kFramesPerHuge; ++f) {
+      give_back.push_back(f);
+    }
+    EXPECT_EQ(a_->PutBatch(give_back, 0), give_back.size());
+    EXPECT_EQ(b_->PutBatch(give_back, 0), give_back.size());
+    stragglers.push_back(keep[0]);
+  }
+
+  // The batch claims exactly what the singles loop can: all 3 remaining
+  // whole frames, then reports the shortfall instead of blocking.
+  std::vector<FrameId> batch;
+  EXPECT_EQ(a_->GetBatch(0, kHugeOrder, 8, AllocType::kMovable, &batch),
+            3u);
+  unsigned singles = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    if (b_->Get(0, kHugeOrder, AllocType::kMovable).ok()) {
+      ++singles;
+    }
+  }
+  EXPECT_EQ(singles, 3u);
+  ExpectEquivalent(*a_, *b_);
+  EXPECT_EQ(a_->FreeHugeFrames(), 0u);
+}
+
+}  // namespace
+}  // namespace hyperalloc::llfree

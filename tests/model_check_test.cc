@@ -719,6 +719,153 @@ Scenario LostBatchRollbackMutant() {
   };
 }
 
+// --------------------------------------------------------------------
+// Scenario 9 (§4.14): compaction re-forms a splintered huge frame while
+// a guest thread allocates and frees concurrently. The compactor thread
+// follows the real daemon's protocol (guest::Compactor::TryCompactBlock
+// over an LLFree zone): ClaimFreeInArea isolates the area's free
+// frames, every straggler is migrated to a destination claimed from the
+// allocator, and one batched put returns isolation + evacuated sources
+// (GuestVm::ReleaseIsolatedRange). Conservation must hold on every
+// schedule, and at quiescence the splintered area is whole again unless
+// the racing guest (legally) steered a migration destination into it.
+// --------------------------------------------------------------------
+struct CompactionSetup {
+  std::shared_ptr<Ctx> c;
+  std::shared_ptr<std::vector<FrameId>> stragglers;
+  HugeId area = 0;
+};
+
+CompactionSetup SplinterOneArea() {
+  Config cfg;
+  cfg.mode = Config::ReservationMode::kPerCore;
+  cfg.cores = 2;
+  cfg.areas_per_tree = 4;
+  CompactionSetup s;
+  s.c = std::make_shared<Ctx>(2048, cfg);
+  s.stragglers = std::make_shared<std::vector<FrameId>>();
+
+  // Single-threaded setup: claim a run, keep 3 stragglers in one area,
+  // free the rest — the two-pass churn shape that splinters areas.
+  std::vector<FrameId> run;
+  s.c->guest.GetBatch(0, 0, 64, AllocType::kMovable, &run);
+  Require(!run.empty(), "setup batch claimed nothing");
+  s.area = FrameToHuge(run[0]);
+  for (const FrameId f : run) {
+    if (FrameToHuge(f) == s.area && s.stragglers->size() < 3) {
+      s.stragglers->push_back(f);
+      s.c->owner.Acquire(f, 0);
+    } else {
+      Require(!s.c->guest.Put(f, 0).has_value(), "setup put failed");
+    }
+  }
+  Require(s.stragglers->size() == 3, "setup failed to place stragglers");
+  return s;
+}
+
+void SpawnConcurrentGuest(Execution& exec,
+                          const std::shared_ptr<Ctx>& c) {
+  exec.Spawn([c] {
+    std::vector<std::pair<FrameId, unsigned>> held;
+    GetAndHold(c, 0, 0, AllocType::kMovable, &held);
+    GetAndHold(c, 0, 0, AllocType::kMovable, &held);
+    PutAll(c, &held);
+  });
+}
+
+Scenario CompactionReformsHugeFrame() {
+  return [](Execution& exec) {
+    CompactionSetup s = SplinterOneArea();
+    auto c = s.c;
+    auto dest_in_area = std::make_shared<bool>(false);
+
+    exec.Spawn([c, s, dest_in_area] {
+      std::vector<FrameId> isolated;
+      (void)c->guest.ClaimFreeInArea(s.area, &isolated);
+      for (const FrameId f : isolated) {
+        c->owner.Acquire(f, 0);
+      }
+      for (const FrameId src : *s.stragglers) {
+        const Result<FrameId> dest =
+            c->guest.Get(1, 0, AllocType::kMovable);
+        Require(dest.ok(), "no destination for migration");
+        c->owner.Acquire(*dest, 0);
+        if (FrameToHuge(*dest) == s.area) {
+          // The guest freed a frame into the area after the isolation
+          // claim and the allocator handed it out as a destination —
+          // legal, but the area then cannot end whole.
+          *dest_in_area = true;
+        }
+        // The data now lives in *dest; the source joins the isolation
+        // (alloc_contig_range semantics).
+        isolated.push_back(src);
+      }
+      for (const FrameId f : isolated) {
+        c->owner.Release(f, 0);
+      }
+      Require(c->guest.PutBatch(isolated, 0) == isolated.size(),
+              "isolation release freed fewer frames than isolated");
+    });
+    SpawnConcurrentGuest(exec, c);
+    exec.OnStep([c] {
+      CheckStepInvariants(c->state);
+      c->owner();
+    });
+    exec.OnEnd([c, s, dest_in_area] {
+      CheckQuiescent(c->guest);
+      Require(c->guest.FreeFrames() == 2048 - 3,
+              "frames lost across the compaction pass");
+      Require(*dest_in_area ||
+                  c->guest.ReadArea(s.area).free == kFramesPerHuge,
+              "evacuated area did not re-form a whole huge frame");
+    });
+  };
+}
+
+// --------------------------------------------------------------------
+// Mutant: the evacuated sources dropped from the isolation release. The
+// real compactor transfers every migrated source frame to the isolation
+// and returns isolation + sources in one batched put; this one returns
+// only the claimed holes, so the migrated frames leak and the area can
+// never re-form a whole huge frame.
+// --------------------------------------------------------------------
+Scenario LostMigrationMutant() {
+  return [](Execution& exec) {
+    CompactionSetup s = SplinterOneArea();
+    auto c = s.c;
+
+    exec.Spawn([c, s] {
+      std::vector<FrameId> isolated;
+      (void)c->guest.ClaimFreeInArea(s.area, &isolated);
+      for (const FrameId f : isolated) {
+        c->owner.Acquire(f, 0);
+      }
+      for (const FrameId src : *s.stragglers) {
+        const Result<FrameId> dest =
+            c->guest.Get(1, 0, AllocType::kMovable);
+        Require(dest.ok(), "no destination for migration");
+        c->owner.Acquire(*dest, 0);
+        // BUG (deliberate): the source frame never joins the isolation —
+        // the release below returns only the claimed holes.
+        (void)src;
+      }
+      for (const FrameId f : isolated) {
+        c->owner.Release(f, 0);
+      }
+      (void)c->guest.PutBatch(isolated, 0);
+    });
+    SpawnConcurrentGuest(exec, c);
+    exec.OnStep([c] {
+      CheckStepInvariants(c->state);
+      c->owner();
+    });
+    exec.OnEnd([c] {
+      Require(c->guest.FreeFrames() == 2048 - 3,
+              "lost migration: evacuated source frames leaked");
+    });
+  };
+}
+
 RunResult ExploreRandom(const Scenario& scenario, uint64_t iterations,
                         uint64_t seed = 1) {
   Options opt;
@@ -823,6 +970,37 @@ TEST(ModelCheckMutant, ExhaustiveFindsLostSpan) {
   ASSERT_TRUE(r.failed)
       << "exhaustive exploration missed the broken-drain mutant";
   EXPECT_NE(r.message.find("lost span"), std::string::npos) << r.message;
+}
+
+TEST(ModelCheckScenarios, CompactionReformsHugeFrame) {
+  ExpectClean(ExploreRandom(CompactionReformsHugeFrame(),
+                            ScaledIters(800)));
+  // Exhaustive pass: time-boxed — the per-execution state is a real
+  // 2048-frame allocator, so full tree exhaustion is out of reach; the
+  // bounded DFS prefix must still be clean.
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  opt.max_executions = ScaledIters(4000);
+  ExpectClean(Explore(opt, CompactionReformsHugeFrame()));
+}
+
+TEST(ModelCheckMutant, RandomWalkFindsLostMigration) {
+  const RunResult r = ExploreRandom(LostMigrationMutant(), 500);
+  ASSERT_TRUE(r.failed)
+      << "random exploration missed the lost-migration mutant";
+  EXPECT_NE(r.message.find("lost migration"), std::string::npos)
+      << r.message;
+}
+
+TEST(ModelCheckMutant, ExhaustiveFindsLostMigration) {
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  opt.max_executions = 4000;
+  const RunResult r = Explore(opt, LostMigrationMutant());
+  ASSERT_TRUE(r.failed)
+      << "exhaustive exploration missed the lost-migration mutant";
+  EXPECT_NE(r.message.find("lost migration"), std::string::npos)
+      << r.message;
 }
 
 // Regression for a real race the harness flagged: the multi-word Clear

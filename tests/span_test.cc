@@ -215,6 +215,7 @@ std::vector<SpanRecord> EmitGoldenSpans(sim::Simulation* sim) {
     Span inner(Layer::kEpt, "golden.unmap");
     hv::Charge(sim, 750);
     inner.AddFrames(512);
+    inner.AddHugeFrames(512);
   }
   return SpanTracer::Global().Drain();
 }
@@ -231,24 +232,27 @@ TEST_F(SpanTest, SpansCsvGoldenRoundTrip) {
   ASSERT_TRUE(std::getline(file, header));
   EXPECT_EQ(header,
             "trace_id,span_id,parent_id,vm,layer,name,begin_vns,end_vns,"
-            "charge_ns,frames,faults,retries,begin_wall_ns,end_wall_ns");
+            "charge_ns,frames,huge_frames,faults,retries,begin_wall_ns,"
+            "end_wall_ns");
   // Round-trip: each record reappears field-for-field in file order.
   for (const SpanRecord& span : spans) {
     std::string line;
     ASSERT_TRUE(std::getline(file, line));
     char expected[256];
-    std::snprintf(expected, sizeof(expected),
-                  "%llu,%llu,%llu,%u,%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,",
-                  static_cast<unsigned long long>(span.trace_id),
-                  static_cast<unsigned long long>(span.span_id),
-                  static_cast<unsigned long long>(span.parent_id), span.vm,
-                  Name(span.layer), span.name,
-                  static_cast<unsigned long long>(span.begin_vns),
-                  static_cast<unsigned long long>(span.end_vns),
-                  static_cast<unsigned long long>(span.charge_ns),
-                  static_cast<unsigned long long>(span.frames),
-                  static_cast<unsigned long long>(span.faults),
-                  static_cast<unsigned long long>(span.retries));
+    std::snprintf(
+        expected, sizeof(expected),
+        "%llu,%llu,%llu,%u,%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,",
+        static_cast<unsigned long long>(span.trace_id),
+        static_cast<unsigned long long>(span.span_id),
+        static_cast<unsigned long long>(span.parent_id), span.vm,
+        Name(span.layer), span.name,
+        static_cast<unsigned long long>(span.begin_vns),
+        static_cast<unsigned long long>(span.end_vns),
+        static_cast<unsigned long long>(span.charge_ns),
+        static_cast<unsigned long long>(span.frames),
+        static_cast<unsigned long long>(span.huge_frames),
+        static_cast<unsigned long long>(span.faults),
+        static_cast<unsigned long long>(span.retries));
     EXPECT_EQ(line.rfind(expected, 0), 0u) << line << " vs " << expected;
   }
   std::string extra;

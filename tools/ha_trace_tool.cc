@@ -36,6 +36,7 @@ struct Row {
   uint64_t end_vns = 0;
   uint64_t charge_ns = 0;
   uint64_t frames = 0;
+  uint64_t huge_frames = 0;
   uint64_t faults = 0;
   uint64_t retries = 0;
   uint64_t begin_wall_ns = 0;
@@ -44,8 +45,9 @@ struct Row {
   uint64_t virtual_ns() const { return end_vns - begin_vns; }
 };
 
-// Accepts both the current 14-column format (with faults/retries) and the
-// pre-fault-injection 12-column format, so old traces stay analyzable.
+// Accepts the current 15-column format (with the §4.14 huge_frames
+// column), the 14-column pre-huge-frame format, and the 12-column
+// pre-fault-injection format, so old traces stay analyzable.
 bool ParseRow(const std::string& line, Row* row) {
   std::vector<std::string> fields;
   std::stringstream stream(line);
@@ -53,7 +55,7 @@ bool ParseRow(const std::string& line, Row* row) {
   while (std::getline(stream, field, ',')) {
     fields.push_back(field);
   }
-  if (fields.size() != 12 && fields.size() != 14) {
+  if (fields.size() != 12 && fields.size() != 14 && fields.size() != 15) {
     return false;
   }
   try {
@@ -68,7 +70,12 @@ bool ParseRow(const std::string& line, Row* row) {
     row->charge_ns = std::stoull(fields[8]);
     row->frames = std::stoull(fields[9]);
     size_t next = 10;
-    if (fields.size() == 14) {
+    if (fields.size() == 15) {
+      row->huge_frames = std::stoull(fields[10]);
+      row->faults = std::stoull(fields[11]);
+      row->retries = std::stoull(fields[12]);
+      next = 13;
+    } else if (fields.size() == 14) {
       row->faults = std::stoull(fields[10]);
       row->retries = std::stoull(fields[11]);
       next = 12;
@@ -224,6 +231,36 @@ void PrintPercentiles(const std::vector<Row>& rows) {
   std::printf("\n");
 }
 
+// Huge/base frame split per layer (DESIGN.md §4.14): how much of each
+// layer's frame traffic moved as whole 2 MiB units. Omitted entirely for
+// traces with no huge_frames column (all zeros).
+void PrintHugeShare(const std::vector<Row>& rows) {
+  std::map<std::string, std::pair<uint64_t, uint64_t>> by_layer;
+  uint64_t total_huge = 0;
+  for (const Row& row : rows) {
+    by_layer[row.layer].first += row.frames;
+    by_layer[row.layer].second += row.huge_frames;
+    total_huge += row.huge_frames;
+  }
+  if (total_huge == 0) {
+    return;  // pre-§4.14 trace or no huge traffic: keep report unchanged
+  }
+  std::printf("Huge-frame share per layer (frames moved as 2 MiB units):\n");
+  std::printf("  %-10s %15s %15s %8s\n", "layer", "frames", "huge_frames",
+              "share");
+  for (const auto& [layer, pair] : by_layer) {
+    const auto [frames, huge] = pair;
+    if (frames == 0) {
+      continue;
+    }
+    std::printf("  %-10s %15" PRIu64 " %15" PRIu64 " %7.1f%%\n",
+                layer.c_str(), frames, huge,
+                100.0 * static_cast<double>(huge) /
+                    static_cast<double>(frames));
+  }
+  std::printf("\n");
+}
+
 // Fault-injection annotations (DESIGN.md §4.9): which operations took
 // injected faults, and how many retries it cost to get past them.
 void PrintFaults(const std::vector<Row>& rows) {
@@ -308,6 +345,7 @@ int Report(const std::string& path) {
               spans.size(), events.size());
   PrintLayerBreakdown(spans);
   PrintPercentiles(spans);
+  PrintHugeShare(spans);
   PrintFaults(spans);
   PrintTelemetryEvents(events, unknown);
   PrintCriticalPath(spans);
@@ -391,10 +429,17 @@ int SelfCheck() {
              row.frames == 512);
   SELF_CHECK(row.faults == 0 && row.retries == 0);
   SELF_CHECK(row.begin_wall_ns == 5 && row.end_wall_ns == 9);
-  // ...and current 14-column rows carry fault annotations.
+  // ...14-column rows carry fault annotations but no huge split...
   SELF_CHECK(
       ParseRow("1,2,0,3,ept,ept.unmap_run,100,250,150,512,2,3,5,9", &row));
   SELF_CHECK(row.faults == 2 && row.retries == 3);
+  SELF_CHECK(row.huge_frames == 0);
+  SELF_CHECK(row.begin_wall_ns == 5 && row.end_wall_ns == 9);
+  // ...and current 15-column rows carry the §4.14 huge_frames column.
+  SELF_CHECK(ParseRow(
+      "1,2,0,3,ept,ept.unmap_run,100,250,150,512,512,2,3,5,9", &row));
+  SELF_CHECK(row.huge_frames == 512 && row.faults == 2 &&
+             row.retries == 3);
   SELF_CHECK(row.begin_wall_ns == 5 && row.end_wall_ns == 9);
   SELF_CHECK(!ParseRow("not,enough,fields", &row));
   SELF_CHECK(
